@@ -1,0 +1,109 @@
+// Ablation: the ring-position "distance ratio" statistic.
+//
+// Sec. VII's most reliable rule compares avg_dist/distance for
+// responsible HSDirs. We measure the ratio's distribution for honest
+// (random-fingerprint) rings vs. positioned (key-ground) relays across
+// grinding budgets, validating the paper's thresholds (honest ~ O(1),
+// their own relays > 100, the May campaign > 10k).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "attack/grinding.hpp"
+#include "crypto/digest.hpp"
+#include "stats/descriptive.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace torsim;
+
+// Ratio of the first responsible HSDir in an honest ring of size n.
+double honest_first_ratio(util::Rng& rng, int n) {
+  crypto::DescriptorId target;
+  rng.fill_bytes(target.data(), target.size());
+  double best = std::ldexp(1.0, 160);
+  for (int i = 0; i < n; ++i) {
+    crypto::Sha1Digest fp;
+    rng.fill_bytes(fp.data(), fp.size());
+    best = std::min(best, crypto::ring_distance(target, fp));
+  }
+  const double avg = std::ldexp(1.0, 160) / n;
+  return avg / best;
+}
+
+void BM_GrindToBeatRing(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  util::Rng rng(70);
+  crypto::DescriptorId target;
+  rng.fill_bytes(target.data(), target.size());
+  for (auto _ : state) {
+    // Beat an n-relay ring: land within 1/(4n) of the ring.
+    auto result =
+        attack::grind_key_after(target, 0.25 / n, rng, 10'000'000);
+    benchmark::DoNotOptimize(result->attempts);
+  }
+}
+BENCHMARK(BM_GrindToBeatRing)->Arg(100)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+void print_ablation() {
+  std::printf("\n==== Ablation — distance ratio: honest vs positioned ====\n");
+  util::Rng rng(71);
+
+  // Honest baseline across ring sizes.
+  std::printf("\n  honest rings (first responsible HSDir):\n");
+  std::printf("  %-10s %-10s %-10s %-10s\n", "ring size", "median", "p95",
+              "max(1k)");
+  for (int n : {757, 1300, 1862}) {
+    std::vector<double> ratios;
+    for (int i = 0; i < 1000; ++i) ratios.push_back(honest_first_ratio(rng, n));
+    std::printf("  %-10d %-10.1f %-10.1f %-10.1f\n", n,
+                stats::median(ratios), stats::percentile(ratios, 95),
+                stats::max(ratios));
+  }
+
+  // Positioned relays at the paper's two grinding tightnesses.
+  std::printf("\n  positioned relays (key grinding):\n");
+  std::printf("  %-22s %-14s %-12s %s\n", "arc (ring fraction)", "mean tries",
+              "mean ratio", "paper analogue");
+  struct Case {
+    double fraction;
+    const char* analogue;
+  };
+  const Case cases[] = {
+      {1e-3, "loose placement"},
+      {1e-5, "authors' own relays (>100)"},
+      {1e-6, "aggressive tracker"},
+  };
+  const int ring = 1300;
+  for (const auto& c : cases) {
+    double tries = 0.0, ratio_sum = 0.0;
+    const int trials = 5;
+    for (int i = 0; i < trials; ++i) {
+      crypto::DescriptorId target;
+      rng.fill_bytes(target.data(), target.size());
+      const auto result =
+          attack::grind_key_after(target, c.fraction, rng, 50'000'000);
+      tries += static_cast<double>(result->attempts);
+      const double avg = std::ldexp(1.0, 160) / ring;
+      ratio_sum += avg / result->distance;
+    }
+    std::printf("  %-22.0e %-14.0f %-12.0f %s\n", c.fraction, tries / trials,
+                ratio_sum / trials, c.analogue);
+  }
+  std::printf(
+      "\n  Honest first-responsible ratios concentrate around ~1 and rarely\n"
+      "  exceed ~100 even at p95 over a year of periods; ground keys sit\n"
+      "  orders of magnitude closer — the separation the detector exploits.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_ablation();
+  return 0;
+}

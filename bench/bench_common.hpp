@@ -1,0 +1,55 @@
+// Shared fixtures for the reproduction benches: the full-scale
+// population and scan, built once per binary.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "population/population.hpp"
+#include "scan/cert_analysis.hpp"
+#include "scan/crawler.hpp"
+#include "scan/port_scanner.hpp"
+
+namespace torsim::bench {
+
+/// The paper-scale population (39,824 services), generated once.
+inline const population::Population& full_population() {
+  static const population::Population pop = [] {
+    population::PopulationConfig config;
+    config.seed = 20130204;
+    config.scale = 1.0;
+    return population::Population::generate(config);
+  }();
+  return pop;
+}
+
+/// The full multi-day port scan of the harvested addresses.
+inline const scan::ScanReport& full_scan() {
+  static const scan::ScanReport report = [] {
+    scan::PortScanner scanner;
+    return scanner.scan(full_population());
+  }();
+  return report;
+}
+
+/// The crawl two months after the scan.
+inline const scan::CrawlReport& full_crawl() {
+  static const scan::CrawlReport report = [] {
+    scan::Crawler crawler;
+    return crawler.crawl(full_population(), full_scan());
+  }();
+  return report;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+inline void print_row(const std::string& label, double measured,
+                      double paper) {
+  const double ratio = paper != 0.0 ? measured / paper : 0.0;
+  std::printf("  %-28s measured %10.0f   paper %10.0f   x%.2f\n",
+              label.c_str(), measured, paper, ratio);
+}
+
+}  // namespace torsim::bench

@@ -1,0 +1,137 @@
+// Figure 2: topic distribution of English hidden-service pages, plus the
+// in-text language distribution (84% English, 17 languages) and the
+// Sec. IV exclusion funnel (2,348 short incl. 1,092 SSH banners; 1,108
+// port-443 duplicates; 73 error pages; 805 TorHost defaults; 1,813
+// classified).
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "content/pipeline.hpp"
+#include "stats/histogram.hpp"
+
+namespace {
+
+using namespace torsim;
+
+const content::TopicClassifier& shared_classifier() {
+  static const content::TopicClassifier classifier = [] {
+    util::Rng rng(77);
+    return content::TopicClassifier::make_default(rng);
+  }();
+  return classifier;
+}
+
+const content::PipelineResult& full_pipeline_result() {
+  static const content::PipelineResult result = [] {
+    content::ContentPipeline pipeline(shared_classifier(),
+                                      content::LanguageDetector::instance());
+    return pipeline.run(bench::full_crawl().pages);
+  }();
+  return result;
+}
+
+void BM_TrainClassifier(benchmark::State& state) {
+  for (auto _ : state) {
+    util::Rng rng(5);
+    auto classifier = content::TopicClassifier::make_default(rng, 20, 100);
+    benchmark::DoNotOptimize(classifier.trained());
+  }
+}
+BENCHMARK(BM_TrainClassifier)->Unit(benchmark::kMillisecond);
+
+void BM_ClassifyPage(benchmark::State& state) {
+  util::Rng rng(6);
+  content::PageGenerator gen;
+  const auto page = gen.generate_english(content::Topic::kDrugs, 200, rng);
+  const auto& classifier = shared_classifier();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(classifier.classify(page).topic);
+}
+BENCHMARK(BM_ClassifyPage);
+
+void BM_DetectLanguage(benchmark::State& state) {
+  util::Rng rng(7);
+  content::PageGenerator gen;
+  const auto page =
+      gen.generate(content::Topic::kOther, content::Language::kRussian, 150,
+                   rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        content::LanguageDetector::instance().detect(page).language);
+}
+BENCHMARK(BM_DetectLanguage);
+
+void BM_FullContentPipeline(benchmark::State& state) {
+  content::ContentPipeline pipeline(shared_classifier(),
+                                    content::LanguageDetector::instance());
+  const auto& pages = bench::full_crawl().pages;
+  for (auto _ : state) {
+    auto result = pipeline.run(pages);
+    benchmark::DoNotOptimize(result.classified);
+  }
+}
+BENCHMARK(BM_FullContentPipeline)->Unit(benchmark::kMillisecond);
+
+void print_figure2() {
+  const auto& result = full_pipeline_result();
+  const auto& paper = population::paper();
+
+  bench::print_header("Sec. IV funnel");
+  bench::print_row("connected destinations",
+                   static_cast<double>(result.connected),
+                   static_cast<double>(paper.crawl_connected));
+  bench::print_row("excluded <20 words",
+                   static_cast<double>(result.excluded_short),
+                   static_cast<double>(paper.excluded_short));
+  bench::print_row("  of which SSH banners",
+                   static_cast<double>(result.excluded_ssh_banner),
+                   static_cast<double>(paper.excluded_ssh_banners));
+  bench::print_row("excluded 443 duplicates",
+                   static_cast<double>(result.excluded_dup443),
+                   static_cast<double>(paper.excluded_dup443));
+  bench::print_row("excluded error pages",
+                   static_cast<double>(result.excluded_error),
+                   static_cast<double>(paper.excluded_error_pages));
+  bench::print_row("classifiable", static_cast<double>(result.classifiable),
+                   static_cast<double>(paper.classifiable));
+  bench::print_row("English pages", static_cast<double>(result.english),
+                   static_cast<double>(paper.english_pages));
+  bench::print_row("TorHost default pages",
+                   static_cast<double>(result.torhost_default),
+                   static_cast<double>(paper.torhost_default_pages));
+  bench::print_row("topic-classified",
+                   static_cast<double>(result.classified),
+                   static_cast<double>(paper.classified_pages));
+
+  bench::print_header("Language distribution (in-text)");
+  const auto lang_shares = result.language_shares();
+  int languages_seen = 0;
+  for (int i = 0; i < content::kNumLanguages; ++i)
+    if (result.language_counts[i] > 0) ++languages_seen;
+  std::printf("  languages seen: measured %d, paper %lld\n",
+              languages_seen,
+              static_cast<long long>(paper.languages_found));
+  std::printf("  English share: measured %.1f%%, paper %.0f%%\n",
+              lang_shares[0] * 100.0, paper.english_share * 100.0);
+
+  bench::print_header("Figure 2 — topic distribution (%)");
+  const auto pct = result.topic_percentages();
+  const auto& paper_pct = content::paper_topic_percentages();
+  std::printf("  %-20s measured   paper\n", "topic");
+  for (int i = 0; i < content::kNumTopics; ++i) {
+    std::printf("  %-20s %7.1f   %6.0f\n",
+                std::string(content::topic_name(
+                                content::topic_from_index(i)))
+                    .c_str(),
+                pct[i], paper_pct[i]);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_figure2();
+  return 0;
+}

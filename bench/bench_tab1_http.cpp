@@ -1,0 +1,89 @@
+// Table I: HTTP and HTTPS access — onion-address counts per port among
+// the destinations the crawler could connect to two months after the
+// scan (80: 3741, 443: 1289, 22: 1094, 8080: 4, other: 451 in the
+// paper), plus the crawl funnel (8,153 -> 7,114 -> 6,579) and the
+// Sec. III certificate analysis.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace torsim;
+
+void BM_Crawl(benchmark::State& state) {
+  const auto& pop = bench::full_population();
+  const auto& scan_report = bench::full_scan();
+  for (auto _ : state) {
+    scan::Crawler crawler(scan::CrawlConfig{.seed = 3,
+                                            .connect_success = 0.975});
+    auto report = crawler.crawl(pop, scan_report);
+    benchmark::DoNotOptimize(report.connected);
+  }
+}
+BENCHMARK(BM_Crawl)->Unit(benchmark::kMillisecond);
+
+void BM_CertAnalysis(benchmark::State& state) {
+  const auto& pop = bench::full_population();
+  const auto& scan_report = bench::full_scan();
+  for (auto _ : state) {
+    auto report = scan::analyse_certificates(pop, scan_report);
+    benchmark::DoNotOptimize(report.certificates_seen);
+  }
+}
+BENCHMARK(BM_CertAnalysis)->Unit(benchmark::kMillisecond);
+
+void print_table1() {
+  const auto& crawl = bench::full_crawl();
+  const auto& paper = population::paper();
+
+  bench::print_header("Table I — HTTP(S) access");
+  bench::print_row("crawl destinations",
+                   static_cast<double>(crawl.destinations),
+                   static_cast<double>(paper.crawl_destinations));
+  bench::print_row("still open", static_cast<double>(crawl.still_open),
+                   static_cast<double>(paper.crawl_open));
+  bench::print_row("connected (HTTP/HTTPS)",
+                   static_cast<double>(crawl.connected),
+                   static_cast<double>(paper.crawl_connected));
+
+  // Per-port counts among connected destinations.
+  std::int64_t p80 = 0, p443 = 0, p22 = 0, p8080 = 0, other = 0;
+  for (const auto& page : crawl.pages) {
+    switch (page.port) {
+      case 80: ++p80; break;
+      case 443: ++p443; break;
+      case 22: ++p22; break;
+      case 8080: ++p8080; break;
+      default: ++other; break;
+    }
+  }
+  std::printf("\n  Port  measured   paper\n");
+  std::printf("  80    %8lld    3741\n", static_cast<long long>(p80));
+  std::printf("  443   %8lld    1289\n", static_cast<long long>(p443));
+  std::printf("  22    %8lld    1094\n", static_cast<long long>(p22));
+  std::printf("  8080  %8lld       4\n", static_cast<long long>(p8080));
+  std::printf("  other %8lld     451\n", static_cast<long long>(other));
+
+  const auto certs =
+      scan::analyse_certificates(bench::full_population(), bench::full_scan());
+  std::printf("\n  HTTPS certificates (Sec. III):\n");
+  bench::print_row("self-signed CN mismatch",
+                   static_cast<double>(certs.selfsigned_mismatch),
+                   static_cast<double>(paper.certs_selfsigned_mismatch));
+  bench::print_row("TorHost shared CN",
+                   static_cast<double>(certs.torhost_cn),
+                   static_cast<double>(paper.certs_torhost_cn));
+  bench::print_row("public-DNS CN (deanonymising)",
+                   static_cast<double>(certs.public_dns_cn),
+                   static_cast<double>(paper.certs_public_dns_cn));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_table1();
+  return 0;
+}

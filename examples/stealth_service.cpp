@@ -1,0 +1,73 @@
+// Authenticated ("stealth") hidden services and the full rendezvous
+// protocol: a service publishes under cookie-mixed descriptor IDs, an
+// authorized client completes the intro/rendezvous handshake, and an
+// unauthorized client — or a measuring adversary with the onion address
+// alone — cannot even locate the descriptor.
+//
+//   $ ./stealth_service
+#include <cstdio>
+
+#include "hs/rendezvous.hpp"
+#include "sim/world.hpp"
+
+int main() {
+  using namespace torsim;
+
+  sim::WorldConfig config;
+  config.seed = 1307;
+  config.honest_relays = 300;
+  sim::World world(config);
+
+  // Operator side: a cookie-protected service. The cookie is installed
+  // *before* the first publication — a service that ever published
+  // publicly leaves its plain descriptors on the HSDirs until expiry.
+  auto service = hs::ServiceHost::create(world.rng(), world.now());
+  const std::vector<std::uint8_t> cookie = {0xc0, 0x0c, 0x1e, 0x55};
+  service.set_descriptor_cookie(cookie);
+  service.maintain_guards(world.consensus(), world.rng(), world.now());
+  service.maybe_publish(world.consensus(), world.directories(), world.rng(),
+                        world.now(), /*force=*/true);
+  std::printf("stealth service: %s.onion (cookie-protected)\n",
+              service.onion_address().c_str());
+
+  // An unauthorized client knows the address but not the cookie.
+  hs::Client outsider(net::Ipv4(198, 51, 100, 20), 1);
+  outsider.maintain(world.consensus(), world.now());
+  const auto blind = outsider.fetch_descriptor(
+      service.onion_address(), world.consensus(), world.directories(),
+      world.now());
+  std::printf("outsider fetch without cookie: %s\n",
+              blind.found ? "FOUND (bug!)" : "not found — as designed");
+
+  // An authorized client derives the cookie-mixed descriptor id.
+  hs::Client member(net::Ipv4(198, 51, 100, 21), 2);
+  member.maintain(world.consensus(), world.now());
+  const auto authed = member.fetch_descriptor(
+      service.onion_address(), world.consensus(), world.directories(),
+      world.now(), cookie);
+  std::printf("member fetch with cookie:      %s\n",
+              authed.found ? "FOUND" : "not found");
+
+  // The member completes the full rendezvous handshake. (The descriptor
+  // fetch inside rendezvous_connect is cookie-less in this simplified
+  // API, so we show the pieces separately: fetch above, then a public
+  // sibling service for the handshake.)
+  const auto public_index = world.add_service();
+  hs::ServiceHost& public_service = world.service(public_index);
+  public_service.maintain_guards(world.consensus(), world.rng(), world.now());
+  const auto session = hs::rendezvous_connect(
+      member, public_service, world.consensus(), world.directories(),
+      world.rng(), world.now());
+  std::printf("\nrendezvous with a public service: %s\n",
+              session.success ? "ESTABLISHED" : to_string(session.failure));
+  if (session.success) {
+    std::printf("  client guard -> RP:   relay #%u -> relay #%u\n",
+                session.client_guard, session.rendezvous_point);
+    std::printf("  service guard -> RP:  relay #%u (intro relay #%u)\n",
+                session.service_guard, session.intro_point);
+    std::printf("  cookie %016llx, %d setup cells\n",
+                static_cast<unsigned long long>(session.cookie),
+                session.setup_cells);
+  }
+  return authed.found && !blind.found && session.success ? 0 : 1;
+}

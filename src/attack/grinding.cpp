@@ -1,0 +1,41 @@
+#include "attack/grinding.hpp"
+
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace torsim::attack {
+
+std::optional<GrindResult> grind_key_after(const crypto::Sha1Digest& target,
+                                           double max_ring_fraction,
+                                           util::Rng& rng,
+                                           std::uint64_t max_attempts) {
+  const double ring_size = std::ldexp(1.0, 160);
+  const double max_distance = max_ring_fraction * ring_size;
+  const crypto::U160 target_value(target);
+  for (std::uint64_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    crypto::KeyPair key = crypto::KeyPair::generate(rng);
+    const crypto::U160 fp(key.fingerprint());
+    if (fp == target_value) continue;  // need strictly after
+    const double distance =
+        fp.ring_distance_from(target_value).to_double();
+    if (distance <= max_distance)
+      return GrindResult{std::move(key), attempt, distance};
+  }
+  return std::nullopt;
+}
+
+std::optional<GrindResult> grind_onion_prefix(std::string_view prefix,
+                                              util::Rng& rng,
+                                              std::uint64_t max_attempts) {
+  for (std::uint64_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    crypto::KeyPair key = crypto::KeyPair::generate(rng);
+    const auto onion = crypto::onion_address(
+        crypto::permanent_id_from_fingerprint(key.fingerprint()));
+    if (util::starts_with(onion, prefix))
+      return GrindResult{std::move(key), attempt, 0.0};
+  }
+  return std::nullopt;
+}
+
+}  // namespace torsim::attack

@@ -1,0 +1,110 @@
+#include "attack/harvester.hpp"
+
+#include <stdexcept>
+
+#include "util/logging.hpp"
+
+namespace torsim::attack {
+
+ShadowHarvester::ShadowHarvester(HarvesterConfig config) : config_(config) {
+  if (config_.num_ips <= 0 || config_.relays_per_ip < 2)
+    throw std::invalid_argument("ShadowHarvester: need >=1 IP, >=2 relays/IP");
+}
+
+void ShadowHarvester::deploy(sim::World& world) {
+  if (deployed_) throw std::logic_error("ShadowHarvester: already deployed");
+  deployed_ = true;
+  const util::UnixTime now = world.now();
+  for (int ip_index = 0; ip_index < config_.num_ips; ++ip_index) {
+    const net::Ipv4 address = net::Ipv4::random_public(world.rng());
+    for (int j = 0; j < config_.relays_per_ip; ++j) {
+      relay::RelayConfig rc;
+      rc.nickname =
+          "harv" + std::to_string(ip_index) + "x" + std::to_string(j);
+      rc.address = address;
+      rc.or_port = static_cast<std::uint16_t>(9001 + j);
+      // Strictly decreasing bandwidth makes the per-IP election order
+      // deterministic: lower j wins.
+      rc.bandwidth_kbps = config_.bandwidth_kbps - j;
+      const relay::RelayId id =
+          world.registry().create(rc, world.rng(), now);
+      world.registry().get(id).set_online(true, now);
+      world.set_churn_exempt(id, true);
+      world.directories().store_for(id).enable_logging(true);
+      relays_.push_back(id);
+    }
+  }
+  expose_pair(world, 0);
+}
+
+bool ShadowHarvester::owns(relay::RelayId id) const {
+  for (relay::RelayId mine : relays_)
+    if (mine == id) return true;
+  return false;
+}
+
+void ShadowHarvester::expose_pair(sim::World& world, int pair_index) {
+  const int pairs = config_.relays_per_ip / 2;
+  const int active = pair_index % pairs;
+  for (int ip_index = 0; ip_index < config_.num_ips; ++ip_index) {
+    for (int j = 0; j < config_.relays_per_ip; ++j) {
+      const relay::RelayId id = relays_[static_cast<std::size_t>(
+          ip_index * config_.relays_per_ip + j)];
+      const bool visible = j / 2 == active;
+      world.registry().get(id).set_authority_reachable(visible);
+    }
+  }
+}
+
+void ShadowHarvester::collect(sim::World& world,
+                              HarvestReport& report) const {
+  for (relay::RelayId id : relays_) {
+    const hsdir::DescriptorStore* store = world.directories().find_store(id);
+    if (store == nullptr) continue;
+    for (const hsdir::Descriptor& d : store->all_descriptors())
+      report.onions.insert(d.onion_address());
+  }
+}
+
+HarvestReport ShadowHarvester::run(sim::World& world, int rotation_hours) {
+  if (!deployed_) throw std::logic_error("ShadowHarvester: deploy() first");
+  HarvestReport report;
+  report.relays_deployed = static_cast<int>(relays_.size());
+
+  // Ripen: 25 hours for the HSDir flag (plus one hour of margin so the
+  // first consensus after ripening reflects it).
+  const int ripen = 26;
+  report.ripen_hours = ripen;
+  for (int h = 0; h < ripen; ++h) world.step_hour();
+
+  std::set<relay::RelayId> positions;
+  for (int h = 0; h < rotation_hours; ++h) {
+    expose_pair(world, h);
+    world.step_hour();
+    for (relay::RelayId id : relays_) {
+      const dirauth::ConsensusEntry* e = world.consensus().find_relay(id);
+      if (e != nullptr && has_flag(e->flags, dirauth::Flag::kHSDir))
+        positions.insert(id);
+    }
+    collect(world, report);
+  }
+  report.rotation_hours = rotation_hours;
+  report.positions_used = static_cast<int>(positions.size());
+
+  collect(world, report);
+  std::int64_t descriptors = 0;
+  std::int64_t fetches = 0;
+  for (relay::RelayId id : relays_) {
+    const hsdir::DescriptorStore* store = world.directories().find_store(id);
+    if (store == nullptr) continue;
+    descriptors += static_cast<std::int64_t>(store->size());
+    fetches += static_cast<std::int64_t>(store->fetch_log().size());
+  }
+  report.descriptors_collected = descriptors;
+  report.fetch_requests_logged = fetches;
+  TORSIM_INFO() << "harvest: " << report.onions.size() << " onions from "
+                << report.positions_used << " ring positions";
+  return report;
+}
+
+}  // namespace torsim::attack

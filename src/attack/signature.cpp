@@ -1,0 +1,43 @@
+#include "attack/signature.hpp"
+
+#include <stdexcept>
+
+namespace torsim::attack {
+
+TrafficSignature TrafficSignature::standard() {
+  return TrafficSignature({12, 0, 1, 0, 25, 0, 1, 0, 12});
+}
+
+TrafficSignature::TrafficSignature(std::vector<int> pattern)
+    : pattern_(std::move(pattern)) {
+  if (pattern_.empty())
+    throw std::invalid_argument("TrafficSignature: empty pattern");
+}
+
+void TrafficSignature::inject(CellTrace& trace) const {
+  trace.insert(trace.end(), pattern_.begin(), pattern_.end());
+}
+
+bool TrafficSignature::detect(const CellTrace& trace, int jitter) const {
+  if (trace.size() < pattern_.size()) return false;
+  for (std::size_t start = 0; start + pattern_.size() <= trace.size();
+       ++start) {
+    bool match = true;
+    for (std::size_t i = 0; i < pattern_.size(); ++i) {
+      const int delta = trace[start + i] - pattern_[i];
+      // Extra cells can ride along (positive jitter); cells never vanish.
+      if (delta < 0 || delta > jitter) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return true;
+  }
+  return false;
+}
+
+CellTrace background_trace(util::Rng& rng, int ticks) {
+  return net::background_cells(rng, ticks);
+}
+
+}  // namespace torsim::attack

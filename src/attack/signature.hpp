@@ -1,0 +1,52 @@
+// The traffic signature of [Biryukov-Pustogarov-Weinmann, S&P'13],
+// adapted in Sec. VI to deanonymise *clients*: a malicious HSDir wraps
+// its descriptor response in a distinctive relay-cell pattern; an
+// attacker-controlled guard recognises the pattern on the forwarded
+// circuit and thereby links the request to the client's IP address.
+//
+// We model a circuit's observable behaviour as a cell trace: the number
+// of cells relayed per 100 ms tick. The signature is a burst pattern
+// (the original attack used ~50 PADDING cells in a recognisable rhythm).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/cells.hpp"
+#include "util/rng.hpp"
+
+namespace torsim::attack {
+
+/// Cells observed per 100 ms tick on one circuit (shared with the
+/// cell-level circuit model in net/).
+using CellTrace = net::CellTrace;
+
+class TrafficSignature {
+ public:
+  /// The default pattern used by our attacker: bursts of sizes
+  /// 12, 1, 25, 1, 12 separated by silent ticks — long enough to be
+  /// essentially unique against HTTP-ish background traffic.
+  static TrafficSignature standard();
+
+  explicit TrafficSignature(std::vector<int> pattern);
+
+  const std::vector<int>& pattern() const { return pattern_; }
+
+  /// Appends the signature to a trace (what the malicious HSDir's
+  /// response does to the circuit).
+  void inject(CellTrace& trace) const;
+
+  /// Scans a trace for the signature, tolerating per-tick jitter of
+  /// +-`jitter` cells (cells from other in-flight traffic). Returns true
+  /// if any window matches.
+  bool detect(const CellTrace& trace, int jitter = 1) const;
+
+ private:
+  std::vector<int> pattern_;
+};
+
+/// Background traffic; thin wrapper over net::background_cells kept for
+/// the attack-facing API.
+CellTrace background_trace(util::Rng& rng, int ticks);
+
+}  // namespace torsim::attack

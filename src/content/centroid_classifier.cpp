@@ -1,0 +1,137 @@
+#include "content/centroid_classifier.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "content/page_generator.hpp"
+#include "util/strings.hpp"
+
+namespace torsim::content {
+namespace {
+
+std::unordered_map<std::string, double> term_frequencies(
+    std::string_view text) {
+  std::unordered_map<std::string, double> tf;
+  for (const std::string& w : util::tokenize_words(text)) tf[w] += 1.0;
+  return tf;
+}
+
+void l2_normalize(std::unordered_map<std::string, double>& vec) {
+  double norm = 0.0;
+  for (const auto& [w, v] : vec) norm += v * v;
+  norm = std::sqrt(norm);
+  if (norm == 0.0) return;
+  for (auto& [w, v] : vec) v /= norm;
+}
+
+}  // namespace
+
+void CentroidClassifier::train(const std::vector<LabeledDoc>& docs) {
+  if (docs.empty()) throw std::invalid_argument("CentroidClassifier: no docs");
+
+  // IDF over the training corpus.
+  std::unordered_map<std::string, double> doc_freq;
+  for (const LabeledDoc& doc : docs) {
+    const auto tf = term_frequencies(doc.text);
+    for (const auto& [w, count] : tf) doc_freq[w] += 1.0;
+  }
+  const double n = static_cast<double>(docs.size());
+  idf_.clear();
+  for (const auto& [w, df] : doc_freq)
+    idf_[w] = std::log((n + 1.0) / (df + 1.0)) + 1.0;
+  default_idf_ = std::log(n + 1.0) + 1.0;
+
+  // Per-topic centroid: mean of L2-normalized TF-IDF document vectors.
+  centroids_.assign(kNumTopics, {});
+  std::vector<double> class_docs(kNumTopics, 0.0);
+  for (const LabeledDoc& doc : docs) {
+    auto vec = term_frequencies(doc.text);
+    for (auto& [w, v] : vec) {
+      const auto it = idf_.find(w);
+      v *= it != idf_.end() ? it->second : default_idf_;
+    }
+    l2_normalize(vec);
+    const int cls = static_cast<int>(doc.topic);
+    for (const auto& [w, v] : vec) centroids_[cls][w] += v;
+    class_docs[cls] += 1.0;
+  }
+  for (int cls = 0; cls < kNumTopics; ++cls) {
+    if (class_docs[cls] == 0.0) {
+      centroids_[cls].clear();  // untrained class never matches
+      continue;
+    }
+    for (auto& [w, v] : centroids_[cls]) v /= class_docs[cls];
+    l2_normalize(centroids_[cls]);
+  }
+}
+
+TopicGuess CentroidClassifier::classify(std::string_view text) const {
+  if (!trained()) throw std::logic_error("CentroidClassifier: not trained");
+  auto vec = term_frequencies(text);
+  for (auto& [w, v] : vec) {
+    const auto it = idf_.find(w);
+    v *= it != idf_.end() ? it->second : default_idf_;
+  }
+  l2_normalize(vec);
+
+  TopicGuess guess;
+  double best = -1.0;
+  double total = 0.0;
+  for (int cls = 0; cls < kNumTopics; ++cls) {
+    double dot = 0.0;
+    for (const auto& [w, v] : vec) {
+      const auto it = centroids_[cls].find(w);
+      if (it != centroids_[cls].end()) dot += v * it->second;
+    }
+    total += dot;
+    if (dot > best) {
+      best = dot;
+      guess.topic = topic_from_index(cls);
+    }
+  }
+  guess.confidence = total > 0.0 ? best / total : 0.0;
+  return guess;
+}
+
+CentroidClassifier CentroidClassifier::make_default(util::Rng& rng,
+                                                    int docs_per_topic,
+                                                    int words_per_doc) {
+  PageGenerator generator;
+  std::vector<LabeledDoc> docs;
+  docs.reserve(static_cast<std::size_t>(docs_per_topic) * kNumTopics);
+  for (int t = 0; t < kNumTopics; ++t) {
+    const Topic topic = topic_from_index(t);
+    for (int i = 0; i < docs_per_topic; ++i)
+      docs.push_back(
+          {topic, generator.generate_english(topic, words_per_doc, rng)});
+  }
+  CentroidClassifier classifier;
+  classifier.train(docs);
+  return classifier;
+}
+
+AgreementReport measure_agreement(const TopicClassifier& bayes,
+                                  const CentroidClassifier& centroid,
+                                  util::Rng& rng, int docs_per_topic,
+                                  int words_per_doc) {
+  PageGenerator generator;
+  AgreementReport report;
+  for (int t = 0; t < kNumTopics; ++t) {
+    const Topic truth = topic_from_index(t);
+    for (int i = 0; i < docs_per_topic; ++i) {
+      const auto page =
+          generator.generate_english(truth, words_per_doc, rng);
+      const Topic a = bayes.classify(page).topic;
+      const Topic b = centroid.classify(page).topic;
+      ++report.documents;
+      if (a == b) {
+        ++report.agreed;
+        if (a == truth) ++report.agreed_correct;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace torsim::content

@@ -1,0 +1,59 @@
+// TF-IDF nearest-centroid (Rocchio) topic classification — a second,
+// independent classifier family. The paper cross-checked Mallet with the
+// uClassify web service; we mirror that methodology with naive Bayes
+// (TopicClassifier) cross-checked against this centroid model, and the
+// ablation bench reports their agreement.
+#pragma once
+
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "content/topic_classifier.hpp"  // LabeledDoc, TopicGuess
+#include "content/topics.hpp"
+#include "util/rng.hpp"
+
+namespace torsim::content {
+
+class CentroidClassifier {
+ public:
+  /// Computes IDF weights over the corpus and one L2-normalized TF-IDF
+  /// centroid per topic.
+  void train(const std::vector<LabeledDoc>& docs);
+
+  /// Cosine-similarity argmax against the centroids.
+  TopicGuess classify(std::string_view text) const;
+
+  bool trained() const { return !centroids_.empty(); }
+
+  /// Same convenience constructor shape as TopicClassifier::make_default.
+  static CentroidClassifier make_default(util::Rng& rng,
+                                         int docs_per_topic = 40,
+                                         int words_per_doc = 120);
+
+ private:
+  std::unordered_map<std::string, double> idf_;
+  std::vector<std::unordered_map<std::string, double>> centroids_;
+  double default_idf_ = 0.0;
+};
+
+/// Fraction of documents on which two classifiers give the same label.
+struct AgreementReport {
+  std::size_t documents = 0;
+  std::size_t agreed = 0;
+  /// Of the agreements, how many match the ground-truth label.
+  std::size_t agreed_correct = 0;
+  double agreement_rate() const {
+    return documents > 0 ? static_cast<double>(agreed) /
+                               static_cast<double>(documents)
+                         : 0.0;
+  }
+};
+
+/// Runs both classifiers over generated labelled pages.
+AgreementReport measure_agreement(const TopicClassifier& bayes,
+                                  const CentroidClassifier& centroid,
+                                  util::Rng& rng, int docs_per_topic = 20,
+                                  int words_per_doc = 150);
+
+}  // namespace torsim::content

@@ -1,0 +1,364 @@
+#include "content/corpus.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace torsim::content {
+namespace {
+
+using Words = std::vector<std::string_view>;
+
+const Words kAdultKeywords = {
+    "adult",  "erotic",  "explicit", "nude",    "amateur", "webcam",
+    "video",  "gallery", "models",   "fetish",  "dating",  "escort",
+    "photos", "cams",    "mature",   "lingerie", "sensual", "intimate",
+    "membership", "preview", "uncensored", "xxx", "hot", "babes",
+    "exclusive", "hdquality", "archive", "private", "verified", "swingers"};
+
+const Words kDrugsKeywords = {
+    "cannabis", "weed",     "marijuana", "cocaine",  "mdma",     "ecstasy",
+    "lsd",      "heroin",   "opiates",   "pills",    "grams",    "ounce",
+    "stealth",  "shipping", "vendor",    "strain",   "psychedelic",
+    "mushrooms", "amphetamine", "ketamine", "hash",   "edibles",  "dose",
+    "purity",   "lab", "tested", "discreet", "packaging",
+    "cannabinoid", "tabs", "blotter", "microdose", "reship", "escrowed", "decarb", "tincture"};
+
+const Words kPoliticsKeywords = {
+    "freedom",   "speech",     "censorship", "corruption", "regime",
+    "leaked",    "cables",     "whistleblower", "rights",  "human",
+    "repression", "activist",  "protest",    "democracy",  "government",
+    "surveillance", "journalist", "dissident", "revolution", "uprising",
+    "transparency", "documents", "expose",    "oppression", "liberty",
+    "amnesty", "detained", "samizdat", "referendum", "junta", "propaganda", "asylum", "embargo"};
+
+const Words kCounterfeitKeywords = {
+    "counterfeit", "replica",  "stolen",  "cards",    "cvv",     "dumps",
+    "paypal",      "accounts", "hacked",  "fullz",    "passport", "license",
+    "documents",   "bills",    "banknotes", "cloned", "skimmer", "carding",
+    "balance",     "transfer", "western", "union",   "verified", "fraud",
+    "hologram", "embossed", "track2", "bins", "cashout", "mule", "swipe", "novelty"};
+
+const Words kWeaponsKeywords = {
+    "firearms",  "pistol",  "rifle",   "ammunition", "rounds",   "caliber",
+    "glock",     "handgun", "scope",   "tactical",   "holster",  "barrel",
+    "suppressor", "magazine", "ammo",  "gunsmith",   "ordnance", "knife",
+    "blade", "defense", "concealed", "shipment",
+    "flashbang", "sidearm", "carbine", "optics", "trigger", "stockpile", "gauge", "muzzle"};
+
+const Words kFaqsKeywords = {
+    "tutorial", "howto",  "guide",   "instructions", "beginners", "steps",
+    "learn",    "faq",    "answers", "questions",    "manual",    "setup",
+    "configure", "install", "walkthrough", "tips",   "tricks",    "explained",
+    "introduction", "basics", "lesson", "examples",
+    "stepwise", "primer", "checklist", "troubleshooting", "glossary", "newbie", "walkthroughs", "handbook"};
+
+const Words kSecurityKeywords = {
+    "encryption", "pgp",       "gpg",      "keys",     "cipher",  "aes",
+    "passwords",  "otr",       "securely", "hardening", "firewall", "audit",
+    "vulnerability", "patch",  "disk",     "wipe",     "metadata", "opsec",
+    "threat",     "model",     "verify",   "signatures", "fingerprint",
+    "integrity",
+    "keyring", "entropy", "nonce", "airgapped", "tamper", "checksum", "revocation", "passphrase"};
+
+const Words kAnonymityKeywords = {
+    "anonymous", "anonymity", "tor",     "onion",   "relay",    "circuit",
+    "privacy",   "pseudonym", "remailer", "mixmaster", "i2p",    "freenet",
+    "proxies",   "vpn",       "hidden",  "untraceable", "mailbox", "hosting",
+    "traffic",   "analysis",  "exit",    "node",    "bridge",   "unlinkable",
+    "pseudonymous", "deanonymization", "cover", "mixnet", "hop", "linkability", "burner", "compartmentalize"};
+
+const Words kHackingKeywords = {
+    "exploit",  "zero",    "day",     "rootkit", "botnet",   "malware",
+    "payload",  "shellcode", "injection", "xss", "sql",      "overflow",
+    "backdoor", "keylogger", "phishing", "cracked", "warez",  "leaks",
+    "breach",   "database", "dox",     "ddos",    "spoofing", "bypass",
+    "fuzzing", "privesc", "ransomware", "stealer", "crypter", "obfuscation", "dropper", "pwned"};
+
+const Words kSoftwareKeywords = {
+    "software",  "download", "release", "version", "linux",    "windows",
+    "opensource", "compile", "binary",  "source",  "repository", "library",
+    "driver",    "kernel",   "debian",  "packages", "update",   "toolchain",
+    "hardware",  "arduino",  "raspberry", "chipset", "firmware", "emulator",
+    "makefile", "segfault", "daemons", "libc", "overclock", "soldering", "bootloader", "changelog"};
+
+const Words kArtKeywords = {
+    "art",      "poetry",   "paintings", "drawings", "gallery",  "artists",
+    "creative", "fiction",  "stories",   "novel",    "photography", "sketch",
+    "sculpture", "exhibition", "canvas", "portrait", "illustration", "music",
+    "ambient",  "literature", "prose",  "verse",
+    "haiku", "etching", "collage", "manuscript", "zine", "aesthetics", "surreal", "monochrome"};
+
+const Words kServicesKeywords = {
+    "escrow",   "laundering", "mixer",  "tumbler",  "hitman",  "hire",
+    "services", "fee",        "percent", "vouches", "jobs",    "delivery",
+    "middleman", "guarantee", "refund", "contract", "payment", "invoice",
+    "commission", "courier",  "broker", "settlement",
+    "retainer", "deadline", "upfront", "negotiable", "confidential", "handler", "errand", "cleanup"};
+
+const Words kGamesKeywords = {
+    "chess",   "poker",   "lottery", "casino",  "bets",    "wager",
+    "jackpot", "players", "tournament", "rooms", "blackjack", "roulette",
+    "odds",    "winnings", "stakes", "dice",    "gaming",  "arcade",
+    "puzzle",  "leaderboard", "rounds", "deposit",
+    "elo", "blinds", "flop", "checkmate", "wagering", "payout", "freeroll", "gambit"};
+
+const Words kScienceKeywords = {
+    "research",  "physics",  "chemistry", "biology",  "mathematics",
+    "theorem",   "quantum",  "experiment", "dataset", "hypothesis",
+    "journal",   "papers",   "academic",  "study",    "analysis",
+    "laboratory", "genome",  "neuroscience", "astronomy", "statistics",
+    "peer",      "review",
+    "reagent", "spectroscopy", "enzyme", "isotope", "preprint", "citation", "conjecture", "thermodynamics"};
+
+const Words kDigitalLibsKeywords = {
+    "library",  "ebooks",  "archive", "collection", "texts",   "pdf",
+    "epub",     "catalog", "volumes", "titles",     "authors", "classics",
+    "mirror",   "repository", "scans", "magazines", "journals", "index",
+    "shelves",  "reading", "borrow",  "preservation",
+    "ocr", "djvu", "folio", "errata", "anthology", "facsimile", "gutenberg", "bibliography"};
+
+const Words kSportsKeywords = {
+    "football", "soccer",  "league",  "matches", "scores",  "betting",
+    "teams",    "season",  "players", "championship", "tennis", "basketball",
+    "fixtures", "standings", "goals", "transfer", "stadium", "coach",
+    "highlights", "tournament", "cup", "racing",
+    "handicap", "parlay", "relegation", "offside", "paddock", "grandslam", "knockout", "qualifiers"};
+
+const Words kTechnologyKeywords = {
+    "bitcoin",  "blockchain", "mining",  "wallet",   "cryptocurrency",
+    "server",   "hosting",   "bandwidth", "datacenter", "network",
+    "protocol", "nodes",     "api",      "cloud",    "storage",
+    "infrastructure", "latency", "uptime", "cluster", "router",
+    "satoshi",  "hashrate",
+    "colocation", "failover", "mempool", "sharding", "throughput", "websocket", "kernelspace", "cdn"};
+
+const Words kOtherKeywords = {
+    "random",  "misc",    "personal", "blog",    "diary",   "thoughts",
+    "links",   "bookmarks", "directory", "wiki", "pastebin", "notes",
+    "updates", "announcements", "board", "forum", "chat",    "community",
+    "welcome", "homepage", "placeholder", "test",
+    "guestbook", "changelog", "ramblings", "shoutbox", "miscellany", "snippets", "scrapbook", "doodles"};
+
+const Words kEnglishStopwords = {
+    "the",  "of",    "and",   "to",    "in",   "is",    "you",  "that",
+    "it",   "he",    "was",   "for",   "on",   "are",   "as",   "with",
+    "his",  "they",  "at",    "be",    "this", "have",  "from", "or",
+    "one",  "had",   "by",    "word",  "but",  "not",   "what", "all",
+    "were", "we",    "when",  "your",  "can",  "said",  "there", "use",
+    "an",   "each",  "which", "she",   "do",   "how",   "their", "if",
+    "will", "up",    "other", "about", "out",  "many",  "then", "them"};
+
+const Words kGermanWords = {
+    "der",   "die",    "und",   "in",    "den",   "von",   "zu",   "das",
+    "mit",   "sich",   "des",   "auf",   "für",   "ist",   "im",   "dem",
+    "nicht", "ein",    "eine",  "als",   "auch",  "es",    "an",   "werden",
+    "aus",   "er",     "hat",   "dass",  "sie",   "nach",  "wird", "bei",
+    "einer", "um",     "am",    "sind",  "noch",  "wie",   "einem", "über",
+    "einen", "so",     "zum",   "haben", "nur",   "oder",  "aber", "vor"};
+
+const Words kRussianWords = {
+    "и",    "в",     "не",   "на",   "я",    "быть", "он",   "с",
+    "что",  "а",     "по",   "это",  "она",  "этот", "к",    "но",
+    "они",  "мы",    "как",  "из",   "у",    "который", "то", "за",
+    "свой", "весь",  "год",  "от",   "так",  "о",    "для",  "ты",
+    "же",   "все",   "тот",  "мочь", "вы",   "человек", "такой", "его",
+    "сказать", "только", "или", "еще", "бы",  "себя", "один", "как"};
+
+const Words kPortugueseWords = {
+    "de",   "a",     "o",    "que",  "e",    "do",   "da",   "em",
+    "um",   "para",  "é",    "com",  "não",  "uma",  "os",   "no",
+    "se",   "na",    "por",  "mais", "as",   "dos",  "como", "mas",
+    "foi",  "ao",    "ele",  "das",  "tem",  "à",    "seu",  "sua",
+    "ou",   "ser",   "quando", "muito", "há", "nos",  "já",   "está",
+    "eu",   "também", "só",  "pelo", "pela", "até",  "isso", "ela"};
+
+const Words kSpanishWords = {
+    "de",   "la",    "que",  "el",   "en",   "y",    "a",    "los",
+    "del",  "se",    "las",  "por",  "un",   "para", "con",  "no",
+    "una",  "su",    "al",   "lo",   "como", "más",  "pero", "sus",
+    "le",   "ya",    "o",    "este", "sí",   "porque", "esta", "entre",
+    "cuando", "muy", "sin",  "sobre", "también", "me", "hasta", "hay",
+    "donde", "quien", "desde", "todo", "nos", "durante", "todos", "uno"};
+
+const Words kFrenchWords = {
+    "de",   "la",    "le",   "et",   "les",  "des",  "en",   "un",
+    "du",   "une",   "que",  "est",  "pour", "qui",  "dans", "a",
+    "par",  "plus",  "pas",  "au",   "sur",  "ne",   "se",   "ce",
+    "il",   "sont",  "la",   "mais", "comme", "ou",  "si",   "leur",
+    "y",    "dont",  "aux",  "avec", "cette", "ces", "fait", "son",
+    "tout", "nous",  "sa",   "bien", "être", "deux", "même", "aussi"};
+
+const Words kPolishWords = {
+    "w",    "i",     "z",    "na",   "do",   "to",   "się",  "nie",
+    "że",   "jest",  "o",    "a",    "jak",  "po",   "co",   "tak",
+    "za",   "od",    "ale",  "czy",  "dla",  "ma",   "być",  "przez",
+    "był",  "tym",   "które", "tego", "już", "lub",  "tylko", "przy",
+    "może", "bardzo", "jego", "kiedy", "także", "które", "ich", "przed",
+    "więc", "jeszcze", "gdy", "nawet", "czyli", "ponieważ", "aby", "można"};
+
+const Words kJapaneseWords = {
+    "の",   "に",    "は",   "を",   "た",   "が",   "で",   "て",
+    "と",   "し",    "れ",   "さ",   "ある", "いる", "も",   "する",
+    "から", "な",    "こと", "として", "い", "や",   "れる", "など",
+    "なっ", "ない",  "この", "ため", "その", "あっ", "よう", "また",
+    "もの", "という", "あり", "まで", "られ", "なる", "へ",  "か",
+    "だ",   "これ",  "によって", "により", "おり", "より", "による", "ず"};
+
+const Words kItalianWords = {
+    "di",   "e",     "il",   "la",   "che",  "in",   "a",    "per",
+    "un",   "è",     "del",  "non",  "con",  "le",   "si",   "una",
+    "i",    "da",    "al",   "nel",  "come", "più",  "anche", "lo",
+    "ma",   "della", "sono", "ha",   "alla", "su",   "dei",  "gli",
+    "questo", "delle", "o",  "se",   "suo",  "ci",   "due",  "nella",
+    "loro", "stato", "essere", "molto", "fatto", "dopo", "tra", "quando"};
+
+const Words kCzechWords = {
+    "a",    "se",    "v",    "na",   "je",   "že",   "o",    "s",
+    "z",    "do",    "i",    "to",   "k",    "ve",   "pro",  "za",
+    "by",   "ale",   "si",   "po",   "jako", "podle", "od",  "jsou",
+    "které", "byl",  "jeho", "její", "nebo", "už",   "jen",  "při",
+    "také", "může",  "až",   "být",  "před", "však", "bude", "ještě",
+    "když", "roce",  "má",   "mezi", "tak",  "první", "byla", "co"};
+
+const Words kArabicWords = {
+    "في",   "من",    "على",  "أن",   "إلى",  "عن",   "مع",   "هذا",
+    "كان",  "التي",  "الذي", "ما",   "لا",   "هو",   "و",    "قد",
+    "كل",   "بعد",   "لم",   "بين",  "هذه",  "أو",   "حيث",  "عند",
+    "لكن",  "منذ",   "حتى",  "إذا",  "كما",  "فيه",  "غير",  "أكثر",
+    "يمكن", "خلال",  "عام",  "أي",   "ثم",   "هناك", "عليه", "نحو",
+    "وقد",  "وهو",   "ولا",  "بها",  "له",   "أنه",  "بعض",  "ذلك"};
+
+const Words kDutchWords = {
+    "de",   "van",   "het",  "een",  "en",   "in",   "is",   "dat",
+    "op",   "te",    "zijn", "voor", "met",  "die",  "niet", "aan",
+    "er",   "om",    "ook",  "als",  "dan",  "maar", "bij",  "of",
+    "uit",  "nog",   "naar", "door", "over", "ze",   "zich", "hij",
+    "worden", "wordt", "kan", "meer", "geen", "al",  "tot",  "deze",
+    "heeft", "hun",  "werd", "wel",  "we",   "na",   "onder", "omdat"};
+
+const Words kBasqueWords = {
+    "eta",  "da",    "ez",   "bat",  "du",   "dira", "zen",  "ere",
+    "baina", "hau",  "dute", "egin", "izan", "bere", "beste", "horrek",
+    "zuen", "gara",  "dago", "behar", "urte", "berri", "guztiak", "euskal",
+    "horien", "gero", "oso", "ondoren", "arte", "bezala", "asko", "baino",
+    "lehen", "orain", "hori", "zer",  "nola", "non",  "nor",  "zein",
+    "bai",  "edo",   "ditu", "gabe", "arabera", "artean", "hala", "honen"};
+
+const Words kChineseWords = {
+    "的",   "一",    "是",   "在",   "不",   "了",   "有",   "和",
+    "人",   "这",    "中",   "大",   "为",   "上",   "个",   "国",
+    "我",   "以",    "要",   "他",   "时",   "来",   "用",   "们",
+    "生",   "到",    "作",   "地",   "于",   "出",   "就",   "分",
+    "对",   "成",    "会",   "可",   "主",   "发",   "年",   "动",
+    "同",   "工",    "也",   "能",   "下",   "过",   "子",   "说"};
+
+const Words kHungarianWords = {
+    "a",    "az",    "és",   "hogy", "nem",  "is",   "egy",  "de",
+    "volt", "meg",   "ez",   "el",   "vagy", "ha",   "már",  "csak",
+    "mint", "még",   "ki",   "fel",  "be",   "le",   "azt",  "után",
+    "minden", "van", "lehet", "kell", "ami", "amely", "első", "más",
+    "ezt",  "olyan", "nagy", "új",   "két",  "magyar", "pedig", "át",
+    "abban", "arra", "szerint", "majd", "most", "itt", "ők",  "között"};
+
+const Words kBantuWords = {
+    "na",   "ya",    "wa",   "kwa",  "ni",   "za",   "katika", "la",
+    "hii",  "yake",  "kama", "cha",  "kuwa", "watu", "ambao",  "hiyo",
+    "sasa", "pia",   "moja", "lakini", "hata", "wote", "baada", "kabla",
+    "mtu",  "vya",   "wengi", "hivyo", "ndani", "nje", "juu",  "chini",
+    "huo",  "wao",   "yao",  "zao",  "mimi", "wewe", "yeye",   "sisi",
+    "ninyi", "habari", "nzuri", "sana", "kidogo", "kubwa", "ndogo", "leo"};
+
+const Words kSwedishWords = {
+    "och",  "i",     "att",  "det",  "som",  "en",   "på",   "är",
+    "av",   "för",   "med",  "till", "den",  "har",  "de",   "inte",
+    "om",   "ett",   "han",  "men",  "var",  "jag",  "sig",  "från",
+    "vi",   "så",    "kan",  "när",  "år",   "under", "också", "efter",
+    "eller", "nu",   "sin",  "där",  "vid",  "mot",  "ska",  "skulle",
+    "kommer", "ut",  "får",  "finns", "vara", "hade", "alla", "andra"};
+
+const Words* language_tables[kNumLanguages] = {
+    &kEnglishStopwords, &kGermanWords,  &kRussianWords, &kPortugueseWords,
+    &kSpanishWords,     &kFrenchWords,  &kPolishWords,  &kJapaneseWords,
+    &kItalianWords,     &kCzechWords,   &kArabicWords,  &kDutchWords,
+    &kBasqueWords,      &kChineseWords, &kHungarianWords, &kBantuWords,
+    &kSwedishWords};
+
+const Words* topic_tables[kNumTopics] = {
+    &kAdultKeywords,     &kDrugsKeywords,       &kPoliticsKeywords,
+    &kCounterfeitKeywords, &kWeaponsKeywords,   &kFaqsKeywords,
+    &kSecurityKeywords,  &kAnonymityKeywords,   &kHackingKeywords,
+    &kSoftwareKeywords,  &kArtKeywords,         &kServicesKeywords,
+    &kGamesKeywords,     &kScienceKeywords,     &kDigitalLibsKeywords,
+    &kSportsKeywords,    &kTechnologyKeywords,  &kOtherKeywords};
+
+const std::vector<std::string_view> kTopicPhrases[kNumTopics] = {
+    {"members area login", "free preview gallery", "verified models only"},
+    {"worldwide stealth shipping", "lab tested purity", "bulk discount available"},
+    {"freedom of speech", "leaked government documents", "human rights violations"},
+    {"fresh cvv dumps", "cloned cards shipped", "verified paypal accounts"},
+    {"ships disassembled parts", "untraceable serial numbers", "ammo sold separately"},
+    {"step by step guide", "frequently asked questions", "complete beginners tutorial"},
+    {"verify pgp signatures", "full disk encryption", "threat model first"},
+    {"hidden service hosting", "anonymous mail relay", "no logs kept"},
+    {"zero day exploit", "private botnet access", "database breach dumps"},
+    {"open source release", "compile from source", "nightly builds available"},
+    {"original poetry collection", "digital art gallery", "short fiction archive"},
+    {"escrow protects both", "mixing fee percent", "satisfied customer vouches"},
+    {"correspondence chess server", "bitcoin poker tables", "provably fair lottery"},
+    {"peer reviewed preprints", "replication data sets", "open access journal"},
+    {"rare book scans", "complete works archive", "mirrored library catalog"},
+    {"live match scores", "betting odds feed", "league standings table"},
+    {"bitcoin mining pool", "bulletproof hosting plans", "uptime guarantee"},
+    {"personal home page", "random link list", "under construction"}};
+
+constexpr std::string_view kTorHostPage =
+    "welcome to torhost free anonymous hosting your site has been created "
+    "this is the default placeholder page upload your content to replace it "
+    "torhost provides free onion hosting with php and mysql support sign up "
+    "is anonymous no email required start building your hidden service today";
+
+constexpr std::string_view kSshBanner = "SSH-2.0-OpenSSH_5.9p1 Debian-5ubuntu1";
+
+constexpr std::string_view kErrorPage =
+    "<html><head><title>error</title></head><body><h1>500 internal server "
+    "error</h1><p>the server encountered an internal error or "
+    "misconfiguration and was unable to complete your request please "
+    "contact the server administrator and inform them of the time the "
+    "error occurred and anything you might have done that may have caused "
+    "the error more information about this issue may be available in the "
+    "server error log</p></body></html>";
+
+}  // namespace
+
+const std::vector<std::string_view>& topic_keywords(Topic topic) {
+  const int idx = static_cast<int>(topic);
+  if (idx < 0 || idx >= kNumTopics)
+    throw std::out_of_range("topic_keywords: bad topic");
+  return *topic_tables[idx];
+}
+
+const std::vector<std::string_view>& topic_phrases(Topic topic) {
+  const int idx = static_cast<int>(topic);
+  if (idx < 0 || idx >= kNumTopics)
+    throw std::out_of_range("topic_phrases: bad topic");
+  return kTopicPhrases[idx];
+}
+
+const std::vector<std::string_view>& language_words(Language language) {
+  const int idx = static_cast<int>(language);
+  if (idx < 0 || idx >= kNumLanguages)
+    throw std::out_of_range("language_words: bad language");
+  return *language_tables[idx];
+}
+
+const std::vector<std::string_view>& english_stopwords() {
+  return kEnglishStopwords;
+}
+
+std::string_view torhost_default_page() { return kTorHostPage; }
+
+std::string_view ssh_banner() { return kSshBanner; }
+
+std::string_view html_error_page() { return kErrorPage; }
+
+}  // namespace torsim::content

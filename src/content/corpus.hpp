@@ -1,0 +1,46 @@
+// Embedded corpora: per-topic keyword vocabularies and per-language
+// common-word lists. These power both the synthetic page generator
+// (population side) and the classifier training sets (measurement side)
+// — mirroring how the paper's authors used labelled training documents
+// with Mallet/uClassify and langdetect's built-in language profiles.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "content/topics.hpp"
+
+namespace torsim::content {
+
+/// Topic-specific vocabulary (content words a page about this topic
+/// disproportionately uses).
+const std::vector<std::string_view>& topic_keywords(Topic topic);
+
+/// Short multi-word phrases typical of the topic (used by the generator
+/// to make pages read less like bags of words).
+const std::vector<std::string_view>& topic_phrases(Topic topic);
+
+/// Common words of each language, drawn from its actual function/content
+/// words (UTF-8 for non-Latin scripts).
+const std::vector<std::string_view>& language_words(Language language);
+
+/// English function words shared by all English pages regardless of topic.
+const std::vector<std::string_view>& english_stopwords();
+
+/// The default landing page served by the TorHost free hosting service
+/// (the paper found 805 of these among English pages).
+std::string_view torhost_default_page();
+
+/// The onion address of the TorHost hosting service from the paper.
+inline constexpr std::string_view kTorHostOnion = "torhostg5s7pa2sn";
+
+/// The CN seen on 1,168 TorHost-hosted HTTPS certificates.
+inline constexpr std::string_view kTorHostCertCn = "esjqyk2khizsy43i.onion";
+
+/// An SSH protocol banner (what the crawler sees on port 22).
+std::string_view ssh_banner();
+
+/// An HTML-wrapped error page body (the paper excluded 73 of these).
+std::string_view html_error_page();
+
+}  // namespace torsim::content

@@ -1,0 +1,59 @@
+#include "content/html.hpp"
+
+#include "util/strings.hpp"
+
+namespace torsim::content {
+namespace {
+
+std::string remove_tags(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  bool in_tag = false;
+  for (char c : text) {
+    if (c == '<') {
+      in_tag = true;
+    } else if (c == '>') {
+      in_tag = false;
+    } else if (!in_tag) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string decode_entities(const std::string& text) {
+  std::string out = util::replace_all(text, "&lt;", "<");
+  out = util::replace_all(out, "&gt;", ">");
+  out = util::replace_all(out, "&quot;", "\"");
+  out = util::replace_all(out, "&#39;", "'");
+  out = util::replace_all(out, "&amp;", "&");
+  return out;
+}
+
+}  // namespace
+
+std::string wrap_html(std::string_view title, std::string_view body) {
+  std::string out = "<html><head><title>";
+  out += title;
+  out += "</title></head><body>";
+  out += body;
+  out += "</body></html>";
+  return out;
+}
+
+std::string strip_html(std::string_view html) {
+  constexpr std::string_view kBodyOpen = "<body>";
+  constexpr std::string_view kBodyClose = "</body>";
+  const std::size_t open = html.find(kBodyOpen);
+  if (open != std::string_view::npos) {
+    const std::size_t begin = open + kBodyOpen.size();
+    const std::size_t close = html.find(kBodyClose, begin);
+    const std::string_view inner =
+        close != std::string_view::npos ? html.substr(begin, close - begin)
+                                        : html.substr(begin);
+    return decode_entities(remove_tags(inner));
+  }
+  return decode_entities(remove_tags(html));
+}
+
+}  // namespace torsim::content

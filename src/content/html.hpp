@@ -1,0 +1,21 @@
+// Minimal HTML wrapping/stripping: synthetic services serve real HTML
+// documents and the crawler strips them back to text before the Sec. IV
+// pipeline — mirroring the paper's "we excluded all binary data" +
+// text-extraction step.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace torsim::content {
+
+/// Wraps plain text into a minimal HTML document. The body text is
+/// embedded verbatim, so strip_html(wrap_html(t, b)) == b.
+std::string wrap_html(std::string_view title, std::string_view body);
+
+/// Extracts the text content: if a <body> element exists, its inner
+/// text; otherwise the whole input with tags removed. Decodes the
+/// five basic entities (&amp; &lt; &gt; &quot; &#39;).
+std::string strip_html(std::string_view html);
+
+}  // namespace torsim::content

@@ -1,0 +1,126 @@
+#include "content/language_detector.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "content/corpus.hpp"
+
+namespace torsim::content {
+
+void LanguageDetector::extract_ngrams(std::string_view text,
+                                      std::vector<std::string>& out) {
+  // Byte-level n-grams, n = 1..3, over a lowercased, space-normalized
+  // copy. Byte n-grams make multi-byte UTF-8 scripts (Cyrillic, CJK,
+  // Arabic) highly distinctive without any Unicode machinery.
+  std::string norm;
+  norm.reserve(text.size() + 2);
+  norm.push_back(' ');
+  bool last_space = true;
+  for (char c : text) {
+    unsigned char uc = static_cast<unsigned char>(c);
+    if (uc < 0x80) {
+      if (std::isalpha(uc)) {
+        norm.push_back(static_cast<char>(std::tolower(uc)));
+        last_space = false;
+      } else if (!last_space) {
+        norm.push_back(' ');
+        last_space = true;
+      }
+    } else {
+      norm.push_back(c);
+      last_space = false;
+    }
+  }
+  if (!last_space) norm.push_back(' ');
+
+  for (std::size_t n = 1; n <= 3; ++n) {
+    if (norm.size() < n) continue;
+    for (std::size_t i = 0; i + n <= norm.size(); ++i) {
+      std::string gram = norm.substr(i, n);
+      if (gram.find_first_not_of(' ') == std::string::npos) continue;
+      out.push_back(std::move(gram));
+    }
+  }
+}
+
+LanguageDetector::LanguageDetector() {
+  profiles_.resize(kNumLanguages);
+  for (int li = 0; li < kNumLanguages; ++li) {
+    const Language lang = language_from_index(li);
+    // Training text: the language's corpus words joined by spaces. The
+    // English profile additionally trains on the topic vocabularies —
+    // onion pages are content-heavy, and a function-words-only profile
+    // under-scores them against other Latin-script languages (langdetect
+    // likewise ships profiles built from full Wikipedia text).
+    std::string training;
+    for (std::string_view w : language_words(lang)) {
+      training += w;
+      training += ' ';
+    }
+    if (lang == Language::kEnglish) {
+      for (int t = 0; t < kNumTopics; ++t) {
+        for (std::string_view w : topic_keywords(topic_from_index(t))) {
+          training += w;
+          training += ' ';
+        }
+      }
+    }
+    std::vector<std::string> grams;
+    extract_ngrams(training, grams);
+
+    std::unordered_map<std::string, double> counts;
+    for (const std::string& g : grams) counts[g] += 1.0;
+    const double total = static_cast<double>(grams.size());
+
+    // Relative frequencies with a *fixed* out-of-vocabulary penalty that
+    // is identical for every language. Per-language Laplace smoothing
+    // would reward tiny profiles (small vocabulary -> higher per-gram
+    // mass); a shared floor makes scores comparable across profiles of
+    // very different corpus sizes, as langdetect's normalized frequency
+    // profiles do.
+    constexpr double kOovProbability = 1e-5;
+    Profile& profile = profiles_[li];
+    for (auto& [gram, count] : counts) {
+      const double p = std::max(count / total, 2.0 * kOovProbability);
+      profile.log_prob[gram] = std::log(p);
+    }
+    profile.log_fallback = std::log(kOovProbability);
+  }
+}
+
+LanguageGuess LanguageDetector::detect(std::string_view text) const {
+  std::vector<std::string> grams;
+  extract_ngrams(text, grams);
+  if (grams.empty()) return {Language::kEnglish, 0.0};
+
+  std::vector<double> scores(kNumLanguages, 0.0);
+  for (int li = 0; li < kNumLanguages; ++li) {
+    const Profile& profile = profiles_[li];
+    double score = 0.0;
+    for (const std::string& g : grams) {
+      const auto it = profile.log_prob.find(g);
+      score += it != profile.log_prob.end() ? it->second
+                                            : profile.log_fallback;
+    }
+    scores[li] = score;
+  }
+
+  const auto best =
+      std::max_element(scores.begin(), scores.end()) - scores.begin();
+  // Posterior share via log-sum-exp, normalized per n-gram to keep the
+  // confidence scale comparable across document lengths.
+  const double scale = 1.0 / static_cast<double>(grams.size());
+  double denom = 0.0;
+  for (double s : scores)
+    denom += std::exp((s - scores[best]) * scale);
+  const double confidence = denom > 0.0 ? 1.0 / denom : 0.0;
+  return {language_from_index(static_cast<int>(best)), confidence};
+}
+
+const LanguageDetector& LanguageDetector::instance() {
+  static const LanguageDetector detector;
+  return detector;
+}
+
+}  // namespace torsim::content

@@ -1,0 +1,46 @@
+// Character n-gram naive-Bayes language detection — the same algorithm
+// family as the "Langdetect" library the paper used (Shuyo 2010), with
+// profiles built from the embedded per-language corpora.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "content/topics.hpp"
+
+namespace torsim::content {
+
+/// Detection result with the winning language's posterior share.
+struct LanguageGuess {
+  Language language = Language::kEnglish;
+  double confidence = 0.0;  ///< normalized posterior in [0, 1]
+};
+
+class LanguageDetector {
+ public:
+  /// Builds profiles (1..3-byte n-grams, add-one smoothing) from the
+  /// embedded corpora.
+  LanguageDetector();
+
+  /// Classifies text; uses n-gram log-likelihoods under each language
+  /// profile. Empty/too-short text falls back to English at confidence 0.
+  LanguageGuess detect(std::string_view text) const;
+
+  /// Shared trained instance (profiles are immutable after construction).
+  static const LanguageDetector& instance();
+
+ private:
+  struct Profile {
+    std::unordered_map<std::string, double> log_prob;
+    double log_fallback = -12.0;  ///< for unseen n-grams
+  };
+
+  static void extract_ngrams(std::string_view text,
+                             std::vector<std::string>& out);
+
+  std::vector<Profile> profiles_;  // indexed by Language
+};
+
+}  // namespace torsim::content

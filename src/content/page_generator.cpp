@@ -1,0 +1,89 @@
+#include "content/page_generator.hpp"
+
+#include "content/corpus.hpp"
+
+namespace torsim::content {
+
+std::string PageGenerator::generate(Topic topic, Language language,
+                                    int word_count, util::Rng& rng) const {
+  if (language == Language::kEnglish)
+    return generate_english(topic, word_count, rng);
+
+  const auto& lang_words = language_words(language);
+  const auto& keywords = topic_keywords(topic);
+  std::string page;
+  page.reserve(static_cast<std::size_t>(word_count) * 8);
+  for (int i = 0; i < word_count; ++i) {
+    if (!page.empty()) page += ' ';
+    if (rng.bernoulli(0.10)) {
+      page += keywords[rng.index(keywords.size())];
+    } else {
+      page += lang_words[rng.index(lang_words.size())];
+    }
+  }
+  return page;
+}
+
+std::string PageGenerator::generate_english(Topic topic, int word_count,
+                                            util::Rng& rng) const {
+  const auto& keywords = topic_keywords(topic);
+  const auto& phrases = topic_phrases(topic);
+  const auto& stopwords = english_stopwords();
+  std::string page;
+  page.reserve(static_cast<std::size_t>(word_count) * 8);
+  int words = 0;
+  while (words < word_count) {
+    if (!page.empty()) page += ' ';
+    const double roll = rng.uniform01();
+    if (roll < 0.05 && !phrases.empty()) {
+      const auto phrase = phrases[rng.index(phrases.size())];
+      page += phrase;
+      words += 3;  // phrases are three words
+    } else if (roll < 0.45) {
+      page += keywords[rng.index(keywords.size())];
+      ++words;
+    } else {
+      page += stopwords[rng.index(stopwords.size())];
+      ++words;
+    }
+  }
+  return page;
+}
+
+std::string PageGenerator::generate_english_noisy(
+    Topic topic, int word_count, util::Rng& rng,
+    double cross_topic_noise) const {
+  const auto& keywords = topic_keywords(topic);
+  const auto& stopwords = english_stopwords();
+  std::string page;
+  page.reserve(static_cast<std::size_t>(word_count) * 8);
+  for (int i = 0; i < word_count; ++i) {
+    if (!page.empty()) page += ' ';
+    const double roll = rng.uniform01();
+    if (roll < 0.55) {
+      page += stopwords[rng.index(stopwords.size())];
+    } else if (rng.bernoulli(cross_topic_noise)) {
+      // A content word borrowed from some other topic.
+      const int other =
+          static_cast<int>(rng.uniform_int(0, kNumTopics - 1));
+      const auto& noise = topic_keywords(topic_from_index(other));
+      page += noise[rng.index(noise.size())];
+    } else {
+      page += keywords[rng.index(keywords.size())];
+    }
+  }
+  return page;
+}
+
+std::string PageGenerator::generate_stub(util::Rng& rng) const {
+  const auto& stopwords = english_stopwords();
+  const int n = static_cast<int>(rng.uniform_int(1, 15));
+  std::string page;
+  for (int i = 0; i < n; ++i) {
+    if (!page.empty()) page += ' ';
+    page += stopwords[rng.index(stopwords.size())];
+  }
+  return page;
+}
+
+}  // namespace torsim::content

@@ -1,0 +1,40 @@
+// Synthetic page generator: produces the textual content of hidden
+// services in the simulated population. Pages are composed from the
+// embedded corpora so the measurement pipeline's classifiers face
+// realistic mixtures (topic keywords diluted by function words, plus
+// boilerplate phrases).
+#pragma once
+
+#include <string>
+
+#include "content/topics.hpp"
+#include "util/rng.hpp"
+
+namespace torsim::content {
+
+class PageGenerator {
+ public:
+  /// Generates a page about `topic` in `language` with roughly
+  /// `word_count` words. Non-English pages consist mostly of the target
+  /// language's words with a sprinkle of (Latin-script) topic keywords,
+  /// matching real multilingual onion pages.
+  std::string generate(Topic topic, Language language, int word_count,
+                       util::Rng& rng) const;
+
+  /// English page (the classifier's input domain).
+  std::string generate_english(Topic topic, int word_count,
+                               util::Rng& rng) const;
+
+  /// English page where a fraction `cross_topic_noise` of the content
+  /// words are drawn from *other* topics' vocabularies — real onion
+  /// pages mix subjects (a market sells drugs *and* counterfeits), which
+  /// is what makes the classification ablation non-trivial.
+  std::string generate_english_noisy(Topic topic, int word_count,
+                                     util::Rng& rng,
+                                     double cross_topic_noise) const;
+
+  /// A page with fewer than 20 words (the paper's exclusion class).
+  std::string generate_stub(util::Rng& rng) const;
+};
+
+}  // namespace torsim::content

@@ -1,0 +1,97 @@
+#include "content/pipeline.hpp"
+
+#include <map>
+
+#include "content/corpus.hpp"
+#include "util/strings.hpp"
+
+namespace torsim::content {
+
+std::vector<double> PipelineResult::topic_percentages() const {
+  std::vector<double> out(kNumTopics, 0.0);
+  double total = 0.0;
+  for (std::size_t c : topic_counts) total += static_cast<double>(c);
+  if (total == 0.0) return out;
+  for (int i = 0; i < kNumTopics; ++i)
+    out[i] = 100.0 * static_cast<double>(topic_counts[i]) / total;
+  return out;
+}
+
+std::vector<double> PipelineResult::language_shares() const {
+  std::vector<double> out(kNumLanguages, 0.0);
+  double total = 0.0;
+  for (std::size_t c : language_counts) total += static_cast<double>(c);
+  if (total == 0.0) return out;
+  for (int i = 0; i < kNumLanguages; ++i)
+    out[i] = static_cast<double>(language_counts[i]) / total;
+  return out;
+}
+
+ContentPipeline::ContentPipeline(const TopicClassifier& classifier,
+                                 const LanguageDetector& detector)
+    : classifier_(classifier), detector_(detector) {}
+
+PipelineResult ContentPipeline::run(
+    const std::vector<CrawlDestination>& destinations) const {
+  PipelineResult result;
+  result.destinations_total = destinations.size();
+
+  // Index port-80 page text per onion for the 443-duplicate rule.
+  std::map<std::string, const CrawlDestination*> port80_pages;
+  for (const CrawlDestination& d : destinations)
+    if (d.connected && d.port == net::kPortHttp) port80_pages[d.onion] = &d;
+
+  for (const CrawlDestination& d : destinations) {
+    if (!d.connected) continue;
+    ++result.connected;
+    result.port_counts.add(d.port);
+
+    // Rule 1: fewer than 20 words of text (SSH banners land here: the
+    // crawler spoke HTTP to port 22 and got a one-line banner back).
+    if (util::count_words(d.text) < 20) {
+      ++result.excluded_short;
+      if (d.port == net::kPortSsh ||
+          util::starts_with(d.text, "SSH-"))
+        ++result.excluded_ssh_banner;
+      continue;
+    }
+
+    // Rule 2: port-443 destination whose content is a copy of the same
+    // onion's port-80 page.
+    if (d.port == net::kPortHttps) {
+      const auto it = port80_pages.find(d.onion);
+      if (it != port80_pages.end() && it->second->text == d.text) {
+        ++result.excluded_dup443;
+        continue;
+      }
+    }
+
+    // Rule 3: error message embedded in an HTML page.
+    if (d.error_page) {
+      ++result.excluded_error;
+      continue;
+    }
+
+    ++result.classifiable;
+    const LanguageGuess lang = detector_.detect(d.text);
+    result.language_counts[static_cast<int>(lang.language)]++;
+    if (lang.language != Language::kEnglish) continue;
+    ++result.english;
+
+    // TorHost default placeholder pages are tallied separately, not
+    // topic-classified (the paper set 805 of them aside).
+    if (d.text == torhost_default_page()) {
+      ++result.torhost_default;
+      continue;
+    }
+
+    const TopicGuess topic = classifier_.classify(d.text);
+    result.topic_counts[static_cast<int>(topic.topic)]++;
+    ++result.classified;
+    result.services.push_back(
+        {d.onion, d.port, lang.language, topic.topic, topic.confidence});
+  }
+  return result;
+}
+
+}  // namespace torsim::content

@@ -1,0 +1,82 @@
+// The Sec. IV content-analysis pipeline: connect to every HTTP(S)
+// destination, apply the paper's exclusion rules, detect language, and
+// topic-classify the English pages.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "content/language_detector.hpp"
+#include "content/topic_classifier.hpp"
+#include "net/service.hpp"
+#include "stats/histogram.hpp"
+
+namespace torsim::content {
+
+/// One (onion, port) crawl target with what the crawler fetched.
+struct CrawlDestination {
+  std::string onion;          ///< 16-char address, no suffix
+  std::uint16_t port = 80;
+  bool connected = false;     ///< HTTP(S) connection succeeded
+  net::Protocol protocol = net::Protocol::kHttp;
+  std::string text;           ///< page text / banner after tag stripping
+  bool error_page = false;    ///< error message wrapped in HTML
+};
+
+/// Per-service classification output.
+struct ClassifiedService {
+  std::string onion;
+  std::uint16_t port = 80;
+  Language language = Language::kEnglish;
+  Topic topic = Topic::kOther;
+  double topic_confidence = 0.0;
+};
+
+/// Aggregate pipeline results: Table I, the language split, and Fig. 2.
+struct PipelineResult {
+  // Funnel counters, named after the paper's own accounting.
+  std::size_t destinations_total = 0;   ///< crawl targets attempted
+  std::size_t connected = 0;            ///< reachable over HTTP(S)
+  std::size_t excluded_short = 0;       ///< fewer than 20 words
+  std::size_t excluded_ssh_banner = 0;  ///< subset of short: SSH banners
+  std::size_t excluded_dup443 = 0;      ///< port-443 copy of port-80 page
+  std::size_t excluded_error = 0;       ///< HTML-wrapped error pages
+  std::size_t classifiable = 0;         ///< survived all exclusions
+  std::size_t english = 0;              ///< of classifiable
+  std::size_t torhost_default = 0;      ///< English TorHost placeholders
+  std::size_t classified = 0;           ///< topic-classified pages
+
+  /// Table I: onion-address counts keyed by port.
+  stats::Histogram<std::uint16_t> port_counts;
+
+  /// Language distribution over classifiable pages.
+  std::vector<std::size_t> language_counts =
+      std::vector<std::size_t>(kNumLanguages, 0);
+
+  /// Fig. 2: topic distribution over classified English pages.
+  std::vector<std::size_t> topic_counts =
+      std::vector<std::size_t>(kNumTopics, 0);
+
+  std::vector<ClassifiedService> services;
+
+  /// Fig. 2 percentages (topic_counts normalized to 100).
+  std::vector<double> topic_percentages() const;
+  /// Language shares over classifiable pages.
+  std::vector<double> language_shares() const;
+};
+
+class ContentPipeline {
+ public:
+  ContentPipeline(const TopicClassifier& classifier,
+                  const LanguageDetector& detector);
+
+  /// Runs the full Sec. IV pipeline over the crawl output.
+  PipelineResult run(const std::vector<CrawlDestination>& destinations) const;
+
+ private:
+  const TopicClassifier& classifier_;
+  const LanguageDetector& detector_;
+};
+
+}  // namespace torsim::content

@@ -1,0 +1,93 @@
+#include "content/topic_classifier.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "content/page_generator.hpp"
+#include "util/strings.hpp"
+
+namespace torsim::content {
+
+void TopicClassifier::train(const std::vector<LabeledDoc>& docs) {
+  if (docs.empty()) throw std::invalid_argument("TopicClassifier: no docs");
+
+  std::vector<double> class_count(kNumTopics, 0.0);
+  std::vector<std::unordered_map<std::string, double>> word_count(kNumTopics);
+  std::vector<double> total_words(kNumTopics, 0.0);
+
+  for (const LabeledDoc& doc : docs) {
+    const int cls = static_cast<int>(doc.topic);
+    class_count[cls] += 1.0;
+    for (const std::string& w : util::tokenize_words(doc.text)) {
+      word_count[cls][w] += 1.0;
+      total_words[cls] += 1.0;
+    }
+  }
+
+  // Shared vocabulary size for smoothing.
+  std::unordered_map<std::string, bool> vocab;
+  for (const auto& counts : word_count)
+    for (const auto& [w, c] : counts) vocab[w] = true;
+  const double v = static_cast<double>(vocab.size());
+
+  class_log_prior_.assign(kNumTopics, 0.0);
+  word_log_prob_.assign(kNumTopics, {});
+  log_fallback_.assign(kNumTopics, 0.0);
+  const double n_docs = static_cast<double>(docs.size());
+  for (int cls = 0; cls < kNumTopics; ++cls) {
+    class_log_prior_[cls] =
+        std::log((class_count[cls] + 1.0) / (n_docs + kNumTopics));
+    for (const auto& [w, c] : word_count[cls])
+      word_log_prob_[cls][w] = std::log((c + 1.0) / (total_words[cls] + v));
+    // A class with no training documents must never win: its tiny word
+    // total would otherwise give it the *highest* Laplace fallback.
+    log_fallback_[cls] = class_count[cls] > 0.0
+                             ? std::log(1.0 / (total_words[cls] + v))
+                             : -1e9;
+  }
+}
+
+TopicGuess TopicClassifier::classify(std::string_view text) const {
+  if (!trained()) throw std::logic_error("TopicClassifier: not trained");
+  const auto words = util::tokenize_words(text);
+  std::vector<double> scores(kNumTopics);
+  for (int cls = 0; cls < kNumTopics; ++cls) {
+    double score = class_log_prior_[cls];
+    for (const std::string& w : words) {
+      const auto it = word_log_prob_[cls].find(w);
+      score +=
+          it != word_log_prob_[cls].end() ? it->second : log_fallback_[cls];
+    }
+    scores[cls] = score;
+  }
+  const auto best =
+      std::max_element(scores.begin(), scores.end()) - scores.begin();
+  const double scale =
+      words.empty() ? 1.0 : 1.0 / static_cast<double>(words.size());
+  double denom = 0.0;
+  for (double s : scores) denom += std::exp((s - scores[best]) * scale);
+  TopicGuess guess;
+  guess.topic = topic_from_index(static_cast<int>(best));
+  guess.confidence = denom > 0.0 ? 1.0 / denom : 0.0;
+  return guess;
+}
+
+TopicClassifier TopicClassifier::make_default(util::Rng& rng,
+                                              int docs_per_topic,
+                                              int words_per_doc) {
+  PageGenerator generator;
+  std::vector<LabeledDoc> docs;
+  docs.reserve(static_cast<std::size_t>(docs_per_topic) * kNumTopics);
+  for (int t = 0; t < kNumTopics; ++t) {
+    const Topic topic = topic_from_index(t);
+    for (int i = 0; i < docs_per_topic; ++i)
+      docs.push_back(
+          {topic, generator.generate_english(topic, words_per_doc, rng)});
+  }
+  TopicClassifier classifier;
+  classifier.train(docs);
+  return classifier;
+}
+
+}  // namespace torsim::content

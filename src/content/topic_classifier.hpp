@@ -1,0 +1,52 @@
+// Multinomial naive-Bayes topic classification over bags of words —
+// the algorithm family behind the Mallet / uClassify tooling the paper
+// used for Fig. 2.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "content/topics.hpp"
+#include "util/rng.hpp"
+
+namespace torsim::content {
+
+/// A labelled training document.
+struct LabeledDoc {
+  Topic topic;
+  std::string text;
+};
+
+/// Classification result.
+struct TopicGuess {
+  Topic topic = Topic::kOther;
+  double confidence = 0.0;  ///< winning-class posterior share
+};
+
+class TopicClassifier {
+ public:
+  /// Trains from labelled documents (add-one smoothing, class priors
+  /// from label frequencies).
+  void train(const std::vector<LabeledDoc>& docs);
+
+  /// Classifies a document; requires train() first.
+  TopicGuess classify(std::string_view text) const;
+
+  bool trained() const { return !class_log_prior_.empty(); }
+
+  /// Convenience: trains on `docs_per_topic` synthetic documents per
+  /// topic produced by the page generator — the analogue of training
+  /// Mallet on a hand-labelled seed corpus.
+  static TopicClassifier make_default(util::Rng& rng,
+                                      int docs_per_topic = 40,
+                                      int words_per_doc = 120);
+
+ private:
+  std::vector<double> class_log_prior_;                 // [topic]
+  std::vector<std::unordered_map<std::string, double>> word_log_prob_;
+  std::vector<double> log_fallback_;                    // [topic]
+};
+
+}  // namespace torsim::content

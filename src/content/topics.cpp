@@ -1,0 +1,88 @@
+#include "content/topics.hpp"
+
+#include <stdexcept>
+
+namespace torsim::content {
+
+std::string_view topic_name(Topic topic) {
+  switch (topic) {
+    case Topic::kAdult: return "Adult";
+    case Topic::kDrugs: return "Drugs";
+    case Topic::kPolitics: return "Politics";
+    case Topic::kCounterfeit: return "Counterfeit";
+    case Topic::kWeapons: return "Weapons";
+    case Topic::kFaqsTutorials: return "FAQs,Tutorials";
+    case Topic::kSecurity: return "Security";
+    case Topic::kAnonymity: return "Anonymity";
+    case Topic::kHacking: return "Hacking";
+    case Topic::kSoftwareHardware: return "Software,Hardware";
+    case Topic::kArt: return "Art";
+    case Topic::kServices: return "Services";
+    case Topic::kGames: return "Games";
+    case Topic::kScience: return "Science";
+    case Topic::kDigitalLibs: return "Digital libs";
+    case Topic::kSports: return "Sports";
+    case Topic::kTechnology: return "Technology";
+    case Topic::kOther: return "Other";
+  }
+  throw std::invalid_argument("topic_name: bad topic");
+}
+
+Topic topic_from_index(int index) {
+  if (index < 0 || index >= kNumTopics)
+    throw std::out_of_range("topic_from_index: out of range");
+  return static_cast<Topic>(index);
+}
+
+const std::array<double, kNumTopics>& paper_topic_percentages() {
+  static const std::array<double, kNumTopics> kPercent = {
+      17, 15, 9, 8, 4, 4, 5, 8, 3, 7, 2, 4, 1, 1, 4, 1, 4, 3};
+  return kPercent;
+}
+
+std::string_view language_name(Language language) {
+  switch (language) {
+    case Language::kEnglish: return "English";
+    case Language::kGerman: return "German";
+    case Language::kRussian: return "Russian";
+    case Language::kPortuguese: return "Portuguese";
+    case Language::kSpanish: return "Spanish";
+    case Language::kFrench: return "French";
+    case Language::kPolish: return "Polish";
+    case Language::kJapanese: return "Japanese";
+    case Language::kItalian: return "Italian";
+    case Language::kCzech: return "Czech";
+    case Language::kArabic: return "Arabic";
+    case Language::kDutch: return "Dutch";
+    case Language::kBasque: return "Basque";
+    case Language::kChinese: return "Chinese";
+    case Language::kHungarian: return "Hungarian";
+    case Language::kBantu: return "Bantu";
+    case Language::kSwedish: return "Swedish";
+  }
+  throw std::invalid_argument("language_name: bad language");
+}
+
+Language language_from_index(int index) {
+  if (index < 0 || index >= kNumLanguages)
+    throw std::out_of_range("language_from_index: out of range");
+  return static_cast<Language>(index);
+}
+
+const std::array<double, kNumLanguages>& paper_language_shares() {
+  // English 84%; the remaining 16% split with a gentle decay over the 16
+  // minority languages (each < 3%, as the paper reports).
+  static const std::array<double, kNumLanguages> kShares = [] {
+    std::array<double, kNumLanguages> s{};
+    s[0] = 0.84;
+    const double weights[16] = {2.6, 2.2, 1.9, 1.6, 1.4, 1.2, 1.0, 0.9,
+                                0.7, 0.6, 0.5, 0.4, 0.3, 0.3, 0.2, 0.2};
+    double total = 0;
+    for (double w : weights) total += w;
+    for (int i = 0; i < 16; ++i) s[i + 1] = 0.16 * weights[i] / total;
+    return s;
+  }();
+  return kShares;
+}
+
+}  // namespace torsim::content

@@ -1,0 +1,74 @@
+// The paper's 18-category topic taxonomy (Fig. 2) and 17-language set.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace torsim::content {
+
+/// Fig. 2 categories, in the paper's display order.
+enum class Topic : int {
+  kAdult = 0,
+  kDrugs,
+  kPolitics,
+  kCounterfeit,
+  kWeapons,
+  kFaqsTutorials,
+  kSecurity,
+  kAnonymity,
+  kHacking,
+  kSoftwareHardware,
+  kArt,
+  kServices,
+  kGames,
+  kScience,
+  kDigitalLibs,
+  kSports,
+  kTechnology,
+  kOther,
+};
+
+inline constexpr int kNumTopics = 18;
+
+std::string_view topic_name(Topic topic);
+Topic topic_from_index(int index);
+
+/// Fig. 2 percentages, summing to 100, in Topic order.
+/// (Adult 17, Drugs 15, Politics 9, Counterfeit 8, Weapons 4,
+///  FAQs/Tutorials 4, Security 5, Anonymity 8, Hacking 3,
+///  Software/Hardware 7, Art 2, Services 4, Games 1, Science 1,
+///  Digital libs 4, Sports 1, Technology 4, Other 3.)
+const std::array<double, kNumTopics>& paper_topic_percentages();
+
+/// The 17 languages the paper found, English first (84%), the rest each
+/// below 3%.
+enum class Language : int {
+  kEnglish = 0,
+  kGerman,
+  kRussian,
+  kPortuguese,
+  kSpanish,
+  kFrench,
+  kPolish,
+  kJapanese,
+  kItalian,
+  kCzech,
+  kArabic,
+  kDutch,
+  kBasque,
+  kChinese,
+  kHungarian,
+  kBantu,
+  kSwedish,
+};
+
+inline constexpr int kNumLanguages = 17;
+
+std::string_view language_name(Language language);
+Language language_from_index(int index);
+
+/// The paper's language shares (English 0.84, the rest splitting the
+/// remaining 16%), in Language order, summing to 1.
+const std::array<double, kNumLanguages>& paper_language_shares();
+
+}  // namespace torsim::content

@@ -1,0 +1,59 @@
+// Surrogate identity keypairs.
+//
+// The live Tor network uses RSA-1024 identity keys; everything the
+// attacks in this paper touch (fingerprints, onion addresses, descriptor
+// IDs, HSDir ring positions) depends only on the SHA-1 digest of the
+// *serialized public key*, never on the key's algebraic structure.
+// We therefore model a keypair as 140 bytes of deterministic random
+// material standing in for the DER encoding of an RSA public key, and
+// hash that with real SHA-1. Brute-forcing a ring position ("key
+// grinding", which real attackers did against Silk Road) works exactly
+// as it does against the real network: regenerate keys until the
+// fingerprint lands where you want.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/sha1.hpp"
+#include "util/rng.hpp"
+
+namespace torsim::crypto {
+
+/// A 20-byte relay/service identity fingerprint: SHA1(public key bytes).
+using Fingerprint = Sha1Digest;
+
+/// Surrogate RSA-1024 keypair. Only the public part is modelled; the
+/// private part in real Tor signs descriptors, which our simulator
+/// treats as always-valid (signature failures are out of scope for the
+/// paper's measurements).
+class KeyPair {
+ public:
+  /// Generates a fresh keypair from the given RNG stream.
+  static KeyPair generate(util::Rng& rng);
+
+  /// Rebuilds a keypair from stored public-key bytes (for archives).
+  static KeyPair from_public_bytes(std::vector<std::uint8_t> bytes);
+
+  /// Serialized public key (surrogate for the DER encoding).
+  const std::vector<std::uint8_t>& public_bytes() const { return public_bytes_; }
+
+  /// SHA1 of the public key bytes — the relay fingerprint / hidden-service
+  /// permanent identifier.
+  const Fingerprint& fingerprint() const { return fingerprint_; }
+
+  /// Fingerprint as lowercase hex (directory-document rendering).
+  std::string fingerprint_hex() const;
+
+ private:
+  explicit KeyPair(std::vector<std::uint8_t> bytes);
+
+  std::vector<std::uint8_t> public_bytes_;
+  Fingerprint fingerprint_;
+};
+
+/// Number of bytes in the surrogate public key serialization.
+inline constexpr std::size_t kPublicKeyBytes = 140;
+
+}  // namespace torsim::crypto

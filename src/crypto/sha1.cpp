@@ -1,0 +1,139 @@
+#include "crypto/sha1.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "util/encoding.hpp"
+
+namespace torsim::crypto {
+namespace {
+
+constexpr std::uint32_t rotl32(std::uint32_t x, int k) {
+  return (x << k) | (x >> (32 - k));
+}
+
+}  // namespace
+
+Sha1::Sha1() { reset(); }
+
+void Sha1::reset() {
+  h_ = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
+  buffered_ = 0;
+  total_bits_ = 0;
+  finalized_ = false;
+}
+
+void Sha1::process_block(const std::uint8_t* block) {
+  std::uint32_t w[80];
+  for (int t = 0; t < 16; ++t) {
+    w[t] = static_cast<std::uint32_t>(block[t * 4]) << 24 |
+           static_cast<std::uint32_t>(block[t * 4 + 1]) << 16 |
+           static_cast<std::uint32_t>(block[t * 4 + 2]) << 8 |
+           static_cast<std::uint32_t>(block[t * 4 + 3]);
+  }
+  for (int t = 16; t < 80; ++t)
+    w[t] = rotl32(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
+
+  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int t = 0; t < 80; ++t) {
+    std::uint32_t f, k;
+    if (t < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999u;
+    } else if (t < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (t < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    const std::uint32_t temp = rotl32(a, 5) + f + e + k + w[t];
+    e = d;
+    d = c;
+    c = rotl32(b, 30);
+    b = a;
+    a = temp;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+void Sha1::update(std::span<const std::uint8_t> data) {
+  if (finalized_) throw std::logic_error("Sha1::update after finalize");
+  total_bits_ += static_cast<std::uint64_t>(data.size()) * 8;
+  std::size_t offset = 0;
+  if (buffered_ > 0) {
+    const std::size_t take = std::min(data.size(), buffer_.size() - buffered_);
+    std::memcpy(buffer_.data() + buffered_, data.data(), take);
+    buffered_ += take;
+    offset = take;
+    if (buffered_ == buffer_.size()) {
+      process_block(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  while (offset + 64 <= data.size()) {
+    process_block(data.data() + offset);
+    offset += 64;
+  }
+  if (offset < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
+    buffered_ = data.size() - offset;
+  }
+}
+
+void Sha1::update(std::string_view text) {
+  update(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+}
+
+Sha1Digest Sha1::finalize() {
+  if (finalized_) throw std::logic_error("Sha1::finalize called twice");
+  finalized_ = true;
+  const std::uint64_t bits = total_bits_;
+  // Padding: 0x80, zeros, 64-bit big-endian length.
+  std::uint8_t pad = 0x80;
+  buffer_[buffered_++] = pad;
+  if (buffered_ > 56) {
+    while (buffered_ < 64) buffer_[buffered_++] = 0;
+    process_block(buffer_.data());
+    buffered_ = 0;
+  }
+  while (buffered_ < 56) buffer_[buffered_++] = 0;
+  for (int i = 7; i >= 0; --i)
+    buffer_[buffered_++] = static_cast<std::uint8_t>(bits >> (8 * i));
+  process_block(buffer_.data());
+
+  Sha1Digest digest;
+  for (int i = 0; i < 5; ++i) {
+    digest[i * 4] = static_cast<std::uint8_t>(h_[i] >> 24);
+    digest[i * 4 + 1] = static_cast<std::uint8_t>(h_[i] >> 16);
+    digest[i * 4 + 2] = static_cast<std::uint8_t>(h_[i] >> 8);
+    digest[i * 4 + 3] = static_cast<std::uint8_t>(h_[i]);
+  }
+  return digest;
+}
+
+Sha1Digest sha1(std::span<const std::uint8_t> data) {
+  Sha1 hasher;
+  hasher.update(data);
+  return hasher.finalize();
+}
+
+Sha1Digest sha1(std::string_view text) {
+  Sha1 hasher;
+  hasher.update(text);
+  return hasher.finalize();
+}
+
+std::string sha1_hex(const Sha1Digest& digest) {
+  return util::hex_encode(std::span<const std::uint8_t>(digest));
+}
+
+}  // namespace torsim::crypto

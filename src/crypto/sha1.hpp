@@ -1,0 +1,53 @@
+// SHA-1 (FIPS 180-4), implemented from the specification.
+//
+// SHA-1 is cryptographically broken for collision resistance, but it is
+// the hash the 2013 Tor protocol used for relay fingerprints, onion
+// addresses, and v2 descriptor IDs — the ring arithmetic this paper's
+// attacks exploit depends on reproducing it exactly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace torsim::crypto {
+
+/// A 20-byte SHA-1 digest.
+using Sha1Digest = std::array<std::uint8_t, 20>;
+
+/// Incremental SHA-1 computation.
+class Sha1 {
+ public:
+  Sha1();
+
+  /// Absorbs more input.
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view text);
+
+  /// Finalizes and returns the digest. The object must not be reused
+  /// afterwards (call reset() to start over).
+  Sha1Digest finalize();
+
+  /// Restores the initial state.
+  void reset();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> h_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bits_ = 0;
+  bool finalized_ = false;
+};
+
+/// One-shot helpers.
+Sha1Digest sha1(std::span<const std::uint8_t> data);
+Sha1Digest sha1(std::string_view text);
+
+/// Lowercase-hex rendering of a digest.
+std::string sha1_hex(const Sha1Digest& digest);
+
+}  // namespace torsim::crypto

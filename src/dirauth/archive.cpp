@@ -1,0 +1,47 @@
+#include "dirauth/archive.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace torsim::dirauth {
+
+void ConsensusArchive::add(Consensus consensus) {
+  if (!consensuses_.empty() &&
+      consensus.valid_after() <= consensuses_.back().valid_after())
+    throw std::invalid_argument(
+        "ConsensusArchive::add: valid_after must increase");
+  consensuses_.push_back(std::move(consensus));
+}
+
+const Consensus* ConsensusArchive::consensus_at(util::UnixTime t) const {
+  const auto it = std::upper_bound(
+      consensuses_.begin(), consensuses_.end(), t,
+      [](util::UnixTime time, const Consensus& c) {
+        return time < c.valid_after();
+      });
+  if (it == consensuses_.begin()) return nullptr;
+  return &*std::prev(it);
+}
+
+std::vector<const Consensus*> ConsensusArchive::range(
+    util::UnixTime begin, util::UnixTime end) const {
+  std::vector<const Consensus*> out;
+  for (const Consensus& c : consensuses_)
+    if (c.valid_after() >= begin && c.valid_after() < end)
+      out.push_back(&c);
+  return out;
+}
+
+util::UnixTime ConsensusArchive::first_time() const {
+  if (consensuses_.empty())
+    throw std::logic_error("ConsensusArchive::first_time: empty archive");
+  return consensuses_.front().valid_after();
+}
+
+util::UnixTime ConsensusArchive::last_time() const {
+  if (consensuses_.empty())
+    throw std::logic_error("ConsensusArchive::last_time: empty archive");
+  return consensuses_.back().valid_after();
+}
+
+}  // namespace torsim::dirauth

@@ -1,0 +1,38 @@
+// Consensus archive: the full history of consensus documents, which the
+// Sec. VII tracking detector mines (the authors used three years of
+// public consensus archives from metrics.torproject.org).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "dirauth/consensus.hpp"
+
+namespace torsim::dirauth {
+
+class ConsensusArchive {
+ public:
+  /// Appends a consensus; valid_after must be strictly increasing.
+  void add(Consensus consensus);
+
+  std::size_t size() const { return consensuses_.size(); }
+  bool empty() const { return consensuses_.empty(); }
+
+  const Consensus& at(std::size_t index) const { return consensuses_[index]; }
+
+  /// The consensus in force at time `t` (latest with valid_after <= t),
+  /// or nullptr if `t` predates the archive.
+  const Consensus* consensus_at(util::UnixTime t) const;
+
+  /// All consensuses with valid_after in [begin, end).
+  std::vector<const Consensus*> range(util::UnixTime begin,
+                                      util::UnixTime end) const;
+
+  util::UnixTime first_time() const;
+  util::UnixTime last_time() const;
+
+ private:
+  std::vector<Consensus> consensuses_;
+};
+
+}  // namespace torsim::dirauth

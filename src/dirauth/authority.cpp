@@ -1,0 +1,76 @@
+#include "dirauth/authority.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "stats/descriptive.hpp"
+
+namespace torsim::dirauth {
+
+FlagSet Authority::compute_flags(const relay::Relay& relay,
+                                 double median_bandwidth,
+                                 util::UnixTime now) const {
+  FlagSet flags = 0;
+  if (!relay.online()) return flags;
+  flags = with_flag(flags, Flag::kRunning);
+  flags = with_flag(flags, Flag::kValid);
+  const util::Seconds uptime = relay.continuous_uptime(now);
+  const double bw = relay.config().bandwidth_kbps;
+  if (bw >= policy_.fast_min_bandwidth_kbps)
+    flags = with_flag(flags, Flag::kFast);
+  if (uptime >= policy_.stable_min_uptime)
+    flags = with_flag(flags, Flag::kStable);
+  if (uptime >= policy_.hsdir_min_uptime)
+    flags = with_flag(flags, Flag::kHSDir);
+  if (uptime >= policy_.guard_min_uptime &&
+      bw >= policy_.guard_bandwidth_median_fraction * median_bandwidth &&
+      relay.fractional_uptime(now) >= policy_.guard_min_fractional_uptime)
+    flags = with_flag(flags, Flag::kGuard);
+  return flags;
+}
+
+Consensus Authority::build_consensus(const relay::Registry& registry,
+                                     util::UnixTime now) const {
+  // Gather online relays grouped by IP.
+  std::unordered_map<net::Ipv4, std::vector<const relay::Relay*>> by_ip;
+  std::vector<double> bandwidths;
+  for (const relay::Relay& r : registry.all()) {
+    if (!r.online() || !r.authority_reachable()) continue;
+    by_ip[r.config().address].push_back(&r);
+    bandwidths.push_back(r.config().bandwidth_kbps);
+  }
+  const double median_bw =
+      bandwidths.empty() ? 0.0 : stats::median(bandwidths);
+
+  std::vector<ConsensusEntry> entries;
+  for (auto& [ip, relays] : by_ip) {
+    // Active = top max_relays_per_ip by measured bandwidth (ties broken
+    // by longer uptime, then lower id, for determinism).
+    std::sort(relays.begin(), relays.end(),
+              [now](const relay::Relay* a, const relay::Relay* b) {
+                if (a->config().bandwidth_kbps != b->config().bandwidth_kbps)
+                  return a->config().bandwidth_kbps > b->config().bandwidth_kbps;
+                const auto ua = a->continuous_uptime(now);
+                const auto ub = b->continuous_uptime(now);
+                if (ua != ub) return ua > ub;
+                return a->id() < b->id();
+              });
+    const std::size_t keep = std::min<std::size_t>(
+        relays.size(), static_cast<std::size_t>(policy_.max_relays_per_ip));
+    for (std::size_t i = 0; i < keep; ++i) {
+      const relay::Relay& r = *relays[i];
+      ConsensusEntry e;
+      e.relay = r.id();
+      e.fingerprint = r.fingerprint();
+      e.nickname = r.config().nickname;
+      e.address = r.config().address;
+      e.or_port = r.config().or_port;
+      e.bandwidth_kbps = r.config().bandwidth_kbps;
+      e.flags = compute_flags(r, median_bw, now);
+      entries.push_back(std::move(e));
+    }
+  }
+  return Consensus(now, std::move(entries));
+}
+
+}  // namespace torsim::dirauth

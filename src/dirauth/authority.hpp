@@ -1,0 +1,58 @@
+// The directory authority: monitors all running relays (including the
+// shadow relays that never make it into the consensus — the crux of the
+// harvesting flaw), assigns flags from observed uptime/bandwidth, applies
+// the 2-relays-per-IP rule, and publishes hourly consensuses.
+#pragma once
+
+#include <vector>
+
+#include "dirauth/consensus.hpp"
+#include "relay/registry.hpp"
+
+namespace torsim::dirauth {
+
+/// Flag-assignment policy. Defaults model the 2013 network rules the
+/// paper relies on (HSDir after 25 h; at most 2 relays per IP in the
+/// consensus, by descending measured bandwidth).
+struct AuthorityPolicy {
+  util::Seconds hsdir_min_uptime = 25 * util::kSecondsPerHour;
+  util::Seconds stable_min_uptime = 24 * util::kSecondsPerHour;
+  /// Guard requires this much continuous uptime...
+  util::Seconds guard_min_uptime = 8 * util::kSecondsPerDay;
+  /// ...and bandwidth at or above this fraction of the online median...
+  double guard_bandwidth_median_fraction = 1.0;
+  /// ...and a weighted fractional uptime at or above this (flappy
+  /// relays stay non-Guard even with a long current stretch).
+  double guard_min_fractional_uptime = 0.90;
+  double fast_min_bandwidth_kbps = 20.0;
+  int max_relays_per_ip = 2;
+};
+
+class Authority {
+ public:
+  explicit Authority(AuthorityPolicy policy = {}) : policy_(policy) {}
+
+  const AuthorityPolicy& policy() const { return policy_; }
+
+  /// Builds the consensus valid from `now`:
+  ///  1. Candidates = all online relays.
+  ///  2. Per IP, keep the `max_relays_per_ip` highest-bandwidth candidates
+  ///     ("active"); the rest become shadow relays, *still monitored*:
+  ///     their uptime keeps accruing, so when they later become active
+  ///     they immediately carry the flags their real run time earned —
+  ///     the property the shadowing attack exploits.
+  ///  3. Flags are computed from each relay's continuous uptime and
+  ///     bandwidth.
+  Consensus build_consensus(const relay::Registry& registry,
+                            util::UnixTime now) const;
+
+  /// Flags one relay would receive right now (used by tests and by the
+  /// harvester to decide when its shadows are "ripe").
+  FlagSet compute_flags(const relay::Relay& relay, double median_bandwidth,
+                        util::UnixTime now) const;
+
+ private:
+  AuthorityPolicy policy_;
+};
+
+}  // namespace torsim::dirauth

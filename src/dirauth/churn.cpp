@@ -1,0 +1,46 @@
+#include "dirauth/churn.hpp"
+
+#include <set>
+
+namespace torsim::dirauth {
+
+ChurnReport measure_churn(const ConsensusArchive& archive) {
+  ChurnReport report;
+  report.consensuses = archive.size();
+  if (archive.empty()) return report;
+
+  const auto fingerprints = [](const Consensus& c) {
+    std::set<crypto::Fingerprint> out;
+    for (const ConsensusEntry& e : c.entries()) out.insert(e.fingerprint);
+    return out;
+  };
+
+  report.hsdirs_first = archive.at(0).hsdir_count();
+  report.hsdirs_last = archive.at(archive.size() - 1).hsdir_count();
+  report.hsdir_series.reserve(archive.size());
+  for (std::size_t i = 0; i < archive.size(); ++i)
+    report.hsdir_series.push_back(archive.at(i).hsdir_count());
+
+  if (archive.size() < 2) return report;
+  double joins = 0.0, leaves = 0.0, survival = 0.0;
+  auto previous = fingerprints(archive.at(0));
+  for (std::size_t i = 1; i < archive.size(); ++i) {
+    const auto current = fingerprints(archive.at(i));
+    std::size_t stayed = 0;
+    for (const auto& fp : current)
+      if (previous.count(fp)) ++stayed;
+    joins += static_cast<double>(current.size() - stayed);
+    leaves += static_cast<double>(previous.size() - stayed);
+    if (!previous.empty())
+      survival += static_cast<double>(stayed) /
+                  static_cast<double>(previous.size());
+    previous = std::move(current);
+  }
+  const double intervals = static_cast<double>(archive.size() - 1);
+  report.mean_joins = joins / intervals;
+  report.mean_leaves = leaves / intervals;
+  report.mean_survival = survival / intervals;
+  return report;
+}
+
+}  // namespace torsim::dirauth

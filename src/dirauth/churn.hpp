@@ -1,0 +1,34 @@
+// Consensus churn statistics: how fast relays join and leave, and how
+// the HSDir population evolves — the background rates that both the
+// harvesting attack's coverage and the Sec. VII binomial test depend on
+// (the paper splits its analysis per year precisely because the HSDir
+// count more than doubled, 757 → 1,862).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dirauth/archive.hpp"
+
+namespace torsim::dirauth {
+
+struct ChurnReport {
+  std::size_t consensuses = 0;
+  /// Mean relays entering / leaving per consensus interval.
+  double mean_joins = 0.0;
+  double mean_leaves = 0.0;
+  /// Mean fraction of the previous consensus that survived.
+  double mean_survival = 0.0;
+  /// HSDir counts for the first and last consensus, plus the series.
+  std::size_t hsdirs_first = 0;
+  std::size_t hsdirs_last = 0;
+  std::vector<std::size_t> hsdir_series;
+};
+
+/// Computes join/leave/survival rates over consecutive consensuses,
+/// matching relays by fingerprint (a fingerprint switch therefore counts
+/// as one leave plus one join — which is how an archive analyst without
+/// ground truth perceives it).
+ChurnReport measure_churn(const ConsensusArchive& archive);
+
+}  // namespace torsim::dirauth

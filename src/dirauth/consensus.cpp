@@ -1,0 +1,73 @@
+#include "dirauth/consensus.hpp"
+
+#include <algorithm>
+
+namespace torsim::dirauth {
+
+Consensus::Consensus(util::UnixTime valid_after,
+                     std::vector<ConsensusEntry> entries)
+    : valid_after_(valid_after), entries_(std::move(entries)) {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const ConsensusEntry& a, const ConsensusEntry& b) {
+              return a.fingerprint < b.fingerprint;
+            });
+  for (std::size_t i = 0; i < entries_.size(); ++i)
+    if (has_flag(entries_[i].flags, Flag::kHSDir)) hsdir_indices_.push_back(i);
+}
+
+const ConsensusEntry* Consensus::find(
+    const crypto::Fingerprint& fingerprint) const {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), fingerprint,
+      [](const ConsensusEntry& e, const crypto::Fingerprint& fp) {
+        return e.fingerprint < fp;
+      });
+  if (it == entries_.end() || it->fingerprint != fingerprint) return nullptr;
+  return &*it;
+}
+
+const ConsensusEntry* Consensus::find_relay(relay::RelayId id) const {
+  for (const ConsensusEntry& e : entries_)
+    if (e.relay == id) return &e;
+  return nullptr;
+}
+
+std::vector<const ConsensusEntry*> Consensus::responsible_hsdirs(
+    const crypto::DescriptorId& descriptor_id) const {
+  std::vector<const ConsensusEntry*> out;
+  if (hsdir_indices_.empty()) return out;
+  // First HSDir whose fingerprint is strictly greater than the id,
+  // wrapping around the ring; then the next kHsDirsPerReplica - 1.
+  const auto greater = [&](std::size_t idx) {
+    return entries_[idx].fingerprint > descriptor_id;
+  };
+  std::size_t start = hsdir_indices_.size();
+  // hsdir_indices_ is in ascending fingerprint order; binary search the
+  // first index whose entry fingerprint exceeds descriptor_id.
+  std::size_t lo = 0, hi = hsdir_indices_.size();
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (greater(hsdir_indices_[mid]))
+      hi = mid;
+    else
+      lo = mid + 1;
+  }
+  start = lo;  // may equal size() -> wrap to 0
+  const std::size_t n = hsdir_indices_.size();
+  const std::size_t take =
+      std::min<std::size_t>(crypto::kHsDirsPerReplica, n);
+  for (std::size_t k = 0; k < take; ++k) {
+    const std::size_t idx = hsdir_indices_[(start + k) % n];
+    out.push_back(&entries_[idx]);
+  }
+  return out;
+}
+
+std::vector<const ConsensusEntry*> Consensus::with_flag(Flag flag) const {
+  std::vector<const ConsensusEntry*> out;
+  for (const ConsensusEntry& e : entries_)
+    if (has_flag(e.flags, flag)) out.push_back(&e);
+  return out;
+}
+
+}  // namespace torsim::dirauth

@@ -1,0 +1,75 @@
+// The network consensus: the hourly signed snapshot of active relays
+// that clients, hidden services, and attackers all compute from.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/digest.hpp"
+#include "crypto/keypair.hpp"
+#include "dirauth/flags.hpp"
+#include "net/ipv4.hpp"
+#include "relay/relay.hpp"
+#include "util/time.hpp"
+
+namespace torsim::dirauth {
+
+/// One router-status entry.
+struct ConsensusEntry {
+  /// Simulator ground-truth handle. The *protocol* never uses this (it
+  /// only sees fingerprints); it exists so experiments can join measured
+  /// results against ground truth.
+  relay::RelayId relay = relay::kInvalidRelayId;
+  crypto::Fingerprint fingerprint{};
+  std::string nickname;
+  net::Ipv4 address;
+  std::uint16_t or_port = 0;
+  double bandwidth_kbps = 0.0;
+  FlagSet flags = 0;
+};
+
+/// An hourly consensus document.
+class Consensus {
+ public:
+  Consensus() = default;
+  Consensus(util::UnixTime valid_after, std::vector<ConsensusEntry> entries);
+
+  util::UnixTime valid_after() const { return valid_after_; }
+
+  /// All entries, sorted ascending by fingerprint (the HSDir ring order).
+  const std::vector<ConsensusEntry>& entries() const { return entries_; }
+
+  std::size_t size() const { return entries_.size(); }
+
+  /// Indexes into entries() for relays carrying the HSDir flag, in ring
+  /// (fingerprint) order.
+  const std::vector<std::size_t>& hsdir_indices() const {
+    return hsdir_indices_;
+  }
+
+  std::size_t hsdir_count() const { return hsdir_indices_.size(); }
+
+  /// Entry lookup by fingerprint (nullptr if absent).
+  const ConsensusEntry* find(const crypto::Fingerprint& fingerprint) const;
+
+  /// Entry lookup by simulator relay id (nullptr if absent).
+  const ConsensusEntry* find_relay(relay::RelayId id) const;
+
+  /// The kHsDirsPerReplica HSDir entries whose fingerprints follow
+  /// `descriptor_id` clockwise on the ring (wrapping), in order — the
+  /// "responsible hidden service directories" for one replica.
+  std::vector<const ConsensusEntry*> responsible_hsdirs(
+      const crypto::DescriptorId& descriptor_id) const;
+
+  /// Entries with a given flag.
+  std::vector<const ConsensusEntry*> with_flag(Flag flag) const;
+
+ private:
+  util::UnixTime valid_after_ = 0;
+  std::vector<ConsensusEntry> entries_;       // sorted by fingerprint
+  std::vector<std::size_t> hsdir_indices_;    // ring order
+};
+
+}  // namespace torsim::dirauth

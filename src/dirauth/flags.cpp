@@ -1,0 +1,43 @@
+#include "dirauth/flags.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace torsim::dirauth {
+
+std::string flags_to_string(FlagSet set) {
+  std::string out;
+  const auto append = [&](Flag f, const char* name) {
+    if (!has_flag(set, f)) return;
+    if (!out.empty()) out += ' ';
+    out += name;
+  };
+  append(Flag::kExit, "Exit");
+  append(Flag::kFast, "Fast");
+  append(Flag::kGuard, "Guard");
+  append(Flag::kHSDir, "HSDir");
+  append(Flag::kRunning, "Running");
+  append(Flag::kStable, "Stable");
+  append(Flag::kValid, "Valid");
+  return out;
+}
+
+FlagSet flags_from_string(std::string_view text) {
+  FlagSet set = 0;
+  for (const std::string& name : util::split(text, ' ')) {
+    if (name.empty()) continue;
+    if (name == "Exit") set = with_flag(set, Flag::kExit);
+    else if (name == "Fast") set = with_flag(set, Flag::kFast);
+    else if (name == "Guard") set = with_flag(set, Flag::kGuard);
+    else if (name == "HSDir") set = with_flag(set, Flag::kHSDir);
+    else if (name == "Running") set = with_flag(set, Flag::kRunning);
+    else if (name == "Stable") set = with_flag(set, Flag::kStable);
+    else if (name == "Valid") set = with_flag(set, Flag::kValid);
+    else throw std::invalid_argument("flags_from_string: unknown flag '" +
+                                     name + "'");
+  }
+  return set;
+}
+
+}  // namespace torsim::dirauth

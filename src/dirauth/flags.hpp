@@ -1,0 +1,38 @@
+// Router status flags, as assigned by the directory authorities.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace torsim::dirauth {
+
+enum class Flag : std::uint16_t {
+  kRunning = 1u << 0,
+  kValid = 1u << 1,
+  kFast = 1u << 2,
+  kStable = 1u << 3,
+  kGuard = 1u << 4,
+  kHSDir = 1u << 5,
+  kExit = 1u << 6,
+};
+
+/// Bitmask of Flags.
+using FlagSet = std::uint16_t;
+
+constexpr FlagSet flag_bit(Flag f) { return static_cast<FlagSet>(f); }
+
+constexpr bool has_flag(FlagSet set, Flag f) {
+  return (set & flag_bit(f)) != 0;
+}
+
+constexpr FlagSet with_flag(FlagSet set, Flag f) { return set | flag_bit(f); }
+
+/// Space-separated directory-document rendering ("Fast Guard HSDir ...").
+std::string flags_to_string(FlagSet set);
+
+/// Inverse of flags_to_string; throws std::invalid_argument on an
+/// unknown flag name.
+FlagSet flags_from_string(std::string_view text);
+
+}  // namespace torsim::dirauth

@@ -1,0 +1,143 @@
+#include "dirspec/consensus_doc.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/encoding.hpp"
+#include "util/strings.hpp"
+
+namespace torsim::dirspec {
+namespace {
+
+constexpr std::string_view kVersionLine = "network-status-version 3";
+constexpr std::string_view kFooterLine = "directory-footer";
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& message) {
+  throw std::invalid_argument("consensus parse error at line " +
+                              std::to_string(line_no + 1) + ": " + message);
+}
+
+crypto::Fingerprint fingerprint_from_hex(std::string_view hex,
+                                         std::size_t line_no) {
+  std::vector<std::uint8_t> bytes;
+  try {
+    bytes = util::hex_decode(hex);
+  } catch (const std::invalid_argument&) {
+    fail(line_no, "bad fingerprint hex");
+  }
+  if (bytes.size() != 20) fail(line_no, "fingerprint must be 20 bytes");
+  crypto::Fingerprint fp;
+  std::copy(bytes.begin(), bytes.end(), fp.begin());
+  return fp;
+}
+
+}  // namespace
+
+std::string render_consensus(const dirauth::Consensus& consensus) {
+  std::string out;
+  out += kVersionLine;
+  out += '\n';
+  out += "valid-after " + util::format_utc(consensus.valid_after()) + '\n';
+  for (const dirauth::ConsensusEntry& e : consensus.entries()) {
+    out += "r " + e.nickname + ' ' +
+           util::hex_encode(std::span<const std::uint8_t>(e.fingerprint)) +
+           ' ' + e.address.to_string() + ' ' + std::to_string(e.or_port) +
+           '\n';
+    out += "s " + dirauth::flags_to_string(e.flags) + '\n';
+    char w[48];
+    std::snprintf(w, sizeof w, "w Bandwidth=%.0f\n", e.bandwidth_kbps);
+    out += w;
+  }
+  out += kFooterLine;
+  out += '\n';
+  return out;
+}
+
+dirauth::Consensus parse_consensus(std::string_view text) {
+  const auto lines = util::split(text, '\n');
+  std::size_t i = 0;
+  const auto current = [&]() -> std::string_view {
+    return i < lines.size() ? std::string_view(lines[i]) : std::string_view();
+  };
+
+  if (current() != kVersionLine) fail(i, "expected version line");
+  ++i;
+  if (!util::starts_with(current(), "valid-after "))
+    fail(i, "expected valid-after");
+  const util::UnixTime valid_after =
+      util::parse_utc(current().substr(12));
+  ++i;
+
+  std::vector<dirauth::ConsensusEntry> entries;
+  while (i < lines.size() && current() != kFooterLine) {
+    if (current().empty()) {
+      ++i;
+      continue;
+    }
+    if (!util::starts_with(current(), "r "))
+      fail(i, "expected router line");
+    const auto r_fields = util::split(current().substr(2), ' ');
+    if (r_fields.size() != 4) fail(i, "router line needs 4 fields");
+    dirauth::ConsensusEntry entry;
+    entry.nickname = r_fields[0];
+    entry.fingerprint = fingerprint_from_hex(r_fields[1], i);
+    try {
+      entry.address = net::Ipv4::parse(r_fields[2]);
+    } catch (const std::invalid_argument&) {
+      fail(i, "bad address");
+    }
+    const int port = std::atoi(r_fields[3].c_str());
+    if (port <= 0 || port > 65535) fail(i, "bad orport");
+    entry.or_port = static_cast<std::uint16_t>(port);
+    ++i;
+
+    if (!util::starts_with(current(), "s")) fail(i, "expected flags line");
+    try {
+      entry.flags = dirauth::flags_from_string(
+          current().size() > 1 ? current().substr(2) : std::string_view());
+    } catch (const std::invalid_argument& error) {
+      fail(i, error.what());
+    }
+    ++i;
+
+    if (!util::starts_with(current(), "w Bandwidth="))
+      fail(i, "expected bandwidth line");
+    entry.bandwidth_kbps = std::atof(std::string(current().substr(12)).c_str());
+    if (entry.bandwidth_kbps < 0) fail(i, "negative bandwidth");
+    ++i;
+
+    // Relay ids are simulator-internal and not serialized; parsed
+    // documents carry dense ids in file order (good enough for joining
+    // across documents by fingerprint/nickname).
+    entry.relay = static_cast<relay::RelayId>(entries.size());
+    entries.push_back(std::move(entry));
+  }
+  if (current() != kFooterLine) fail(i, "missing directory-footer");
+  return dirauth::Consensus(valid_after, std::move(entries));
+}
+
+std::string render_archive(const dirauth::ConsensusArchive& archive) {
+  std::string out;
+  for (std::size_t i = 0; i < archive.size(); ++i)
+    out += render_consensus(archive.at(i));
+  return out;
+}
+
+dirauth::ConsensusArchive parse_archive(std::string_view text) {
+  dirauth::ConsensusArchive archive;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t footer = text.find(kFooterLine, start);
+    if (footer == std::string_view::npos) {
+      if (util::trim(text.substr(start)).empty()) break;
+      throw std::invalid_argument("archive parse error: trailing garbage");
+    }
+    const std::size_t end = footer + kFooterLine.size();
+    archive.add(parse_consensus(text.substr(start, end - start)));
+    start = end;
+    while (start < text.size() && text[start] == '\n') ++start;
+  }
+  return archive;
+}
+
+}  // namespace torsim::dirspec

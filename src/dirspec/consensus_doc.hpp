@@ -1,0 +1,40 @@
+// Text rendering and parsing of consensus documents, following the
+// structure of Tor's dir-spec v3 network-status format (simplified to
+// the fields our simulator models). This is what lets experiments dump
+// simulated consensus archives to disk and re-load them — mirroring how
+// the paper's authors worked from the public metrics.torproject.org
+// archives rather than a live process.
+//
+// Format (one document):
+//   network-status-version 3
+//   valid-after 2013-02-04 10:00:00
+//   r <nickname> <fingerprint-hex> <ip> <orport>
+//   s <flags...>
+//   w Bandwidth=<kbps>
+//   ... (r/s/w triplet per relay) ...
+//   directory-footer
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "dirauth/archive.hpp"
+#include "dirauth/consensus.hpp"
+
+namespace torsim::dirspec {
+
+/// Renders one consensus to the text format above. Relay ids are not
+/// serialized (they are simulator-internal); parsing assigns fresh ones.
+std::string render_consensus(const dirauth::Consensus& consensus);
+
+/// Parses a consensus document. Throws std::invalid_argument with a
+/// line-numbered message on malformed input.
+dirauth::Consensus parse_consensus(std::string_view text);
+
+/// Renders an entire archive (documents separated by the footer line).
+std::string render_archive(const dirauth::ConsensusArchive& archive);
+
+/// Parses a multi-document archive dump.
+dirauth::ConsensusArchive parse_archive(std::string_view text);
+
+}  // namespace torsim::dirspec

@@ -1,0 +1,95 @@
+#include "dirspec/descriptor_doc.hpp"
+
+#include <stdexcept>
+
+#include "util/encoding.hpp"
+#include "util/strings.hpp"
+
+namespace torsim::dirspec {
+namespace {
+
+[[noreturn]] void fail(const std::string& message) {
+  throw std::invalid_argument("descriptor parse error: " + message);
+}
+
+std::string expect_line(const std::vector<std::string>& lines,
+                        std::size_t index, std::string_view prefix) {
+  if (index >= lines.size()) fail("truncated document");
+  if (!util::starts_with(lines[index], prefix))
+    fail("expected '" + std::string(prefix) + "'");
+  return lines[index].substr(prefix.size());
+}
+
+}  // namespace
+
+std::string render_descriptor(const hsdir::Descriptor& descriptor) {
+  std::string out;
+  out += "rendezvous-service-descriptor " +
+         util::base32_encode(
+             std::span<const std::uint8_t>(descriptor.descriptor_id)) +
+         '\n';
+  out += "version 2\n";
+  out += "permanent-key " +
+         util::hex_encode(
+             std::span<const std::uint8_t>(descriptor.service_public_key)) +
+         '\n';
+  out += "secret-id-part " + std::to_string(descriptor.time_period) + ':' +
+         std::to_string(descriptor.replica) + '\n';
+  out += "publication-time " + util::format_utc(descriptor.published) + '\n';
+  out += "introduction-points";
+  for (const auto& fp : descriptor.introduction_points)
+    out += ' ' + util::hex_encode(std::span<const std::uint8_t>(fp));
+  out += "\nsignature sim\n";
+  return out;
+}
+
+hsdir::Descriptor parse_descriptor(std::string_view text) {
+  const auto lines = util::split(text, '\n');
+  hsdir::Descriptor d;
+
+  const std::string id_b32 =
+      expect_line(lines, 0, "rendezvous-service-descriptor ");
+  const auto id_bytes = util::base32_decode(id_b32);
+  if (id_bytes.size() != 20) fail("descriptor id must be 20 bytes");
+  std::copy(id_bytes.begin(), id_bytes.end(), d.descriptor_id.begin());
+
+  if (expect_line(lines, 1, "version ") != "2") fail("unsupported version");
+
+  const std::string key_hex = expect_line(lines, 2, "permanent-key ");
+  d.service_public_key = util::hex_decode(key_hex);
+  if (d.service_public_key.empty()) fail("empty permanent key");
+
+  const std::string secret = expect_line(lines, 3, "secret-id-part ");
+  const auto parts = util::split(secret, ':');
+  if (parts.size() != 2) fail("bad secret-id-part");
+  d.time_period = static_cast<std::uint32_t>(std::stoul(parts[0]));
+  const int replica = std::stoi(parts[1]);
+  if (replica < 0 || replica >= crypto::kNumReplicas) fail("bad replica");
+  d.replica = static_cast<std::uint8_t>(replica);
+
+  d.published = util::parse_utc(expect_line(lines, 4, "publication-time "));
+
+  const std::string intro = expect_line(lines, 5, "introduction-points");
+  for (const std::string& fp_hex : util::split(intro, ' ')) {
+    if (fp_hex.empty()) continue;
+    const auto bytes = util::hex_decode(fp_hex);
+    if (bytes.size() != 20) fail("bad introduction-point fingerprint");
+    crypto::Fingerprint fp;
+    std::copy(bytes.begin(), bytes.end(), fp.begin());
+    d.introduction_points.push_back(fp);
+  }
+
+  expect_line(lines, 6, "signature sim");
+
+  // Integrity check standing in for the RSA signature: the descriptor id
+  // must be derivable from the embedded key + period + replica.
+  const auto key = crypto::KeyPair::from_public_bytes(d.service_public_key);
+  d.permanent_id = crypto::permanent_id_from_fingerprint(key.fingerprint());
+  const auto expected =
+      crypto::descriptor_id(d.permanent_id, d.time_period, d.replica);
+  if (expected != d.descriptor_id)
+    fail("descriptor id does not match permanent key (forged document?)");
+  return d;
+}
+
+}  // namespace torsim::dirspec

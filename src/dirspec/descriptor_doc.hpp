@@ -1,0 +1,27 @@
+// Text rendering/parsing of v2 hidden-service descriptors, after the
+// rend-spec v2 document format (simplified to the modelled fields):
+//
+//   rendezvous-service-descriptor <desc-id-base32>
+//   version 2
+//   permanent-key <pubkey-hex>
+//   secret-id-part <period>:<replica>
+//   publication-time 2013-02-04 10:00:00
+//   introduction-points <fp-hex> <fp-hex> ...
+//   signature sim
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "hsdir/descriptor.hpp"
+
+namespace torsim::dirspec {
+
+std::string render_descriptor(const hsdir::Descriptor& descriptor);
+
+/// Parses a descriptor document; validates that the embedded descriptor
+/// id matches the one recomputed from the permanent key, time period and
+/// replica (a forged document fails here, like a bad signature would).
+hsdir::Descriptor parse_descriptor(std::string_view text);
+
+}  // namespace torsim::dirspec

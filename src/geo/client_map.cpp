@@ -1,0 +1,31 @@
+#include "geo/client_map.hpp"
+
+namespace torsim::geo {
+
+std::vector<ClientMap::Row> ClientMap::rows() const {
+  std::vector<Row> out;
+  for (const auto& [code, count] : per_country.by_count_desc()) {
+    Row row;
+    row.code = code;
+    for (const Country& c : country_table())
+      if (c.code == code) row.name = c.name;
+    row.clients = count;
+    row.share = total_clients > 0 ? static_cast<double>(count) /
+                                        static_cast<double>(total_clients)
+                                  : 0.0;
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+ClientMap build_client_map(const std::vector<net::Ipv4>& clients,
+                           const GeoDatabase& db) {
+  ClientMap map;
+  for (const net::Ipv4& ip : clients) {
+    map.per_country.add(db.lookup(ip).code);
+    ++map.total_clients;
+  }
+  return map;
+}
+
+}  // namespace torsim::geo

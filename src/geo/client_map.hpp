@@ -1,0 +1,31 @@
+// Fig. 3: aggregate deanonymised client addresses into a per-country
+// "map" (we render a ranked country histogram rather than a bitmap).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geo/geoip.hpp"
+#include "stats/histogram.hpp"
+
+namespace torsim::geo {
+
+struct ClientMap {
+  stats::Histogram<std::string> per_country;  ///< country code -> clients
+  std::int64_t total_clients = 0;
+
+  /// Rows sorted by descending client count: (code, name, count, share).
+  struct Row {
+    std::string code;
+    std::string name;
+    std::int64_t clients = 0;
+    double share = 0.0;
+  };
+  std::vector<Row> rows() const;
+};
+
+/// Aggregates client IPs through the GeoIP database.
+ClientMap build_client_map(const std::vector<net::Ipv4>& clients,
+                           const GeoDatabase& db);
+
+}  // namespace torsim::geo

@@ -1,0 +1,107 @@
+#include "geo/geoip.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace torsim::geo {
+
+const std::vector<Country>& country_table() {
+  // Approximate shares of global internet users circa 2013; the weights
+  // need not be exact — they shape a plausible Fig. 3 client map.
+  static const std::vector<Country> kCountries = {
+      {"CN", "China", 22.0},         {"US", "United States", 10.5},
+      {"IN", "India", 6.5},          {"JP", "Japan", 4.2},
+      {"BR", "Brazil", 4.0},         {"RU", "Russia", 3.5},
+      {"DE", "Germany", 2.8},        {"ID", "Indonesia", 2.5},
+      {"GB", "United Kingdom", 2.4}, {"FR", "France", 2.2},
+      {"NG", "Nigeria", 2.0},        {"MX", "Mexico", 1.9},
+      {"IR", "Iran", 1.8},           {"KR", "South Korea", 1.7},
+      {"TR", "Turkey", 1.6},         {"IT", "Italy", 1.5},
+      {"PH", "Philippines", 1.4},    {"VN", "Vietnam", 1.4},
+      {"ES", "Spain", 1.3},          {"PL", "Poland", 1.1},
+      {"CA", "Canada", 1.1},         {"AR", "Argentina", 1.0},
+      {"CO", "Colombia", 0.9},       {"UA", "Ukraine", 0.8},
+      {"TH", "Thailand", 0.8},       {"EG", "Egypt", 0.8},
+      {"NL", "Netherlands", 0.7},    {"MY", "Malaysia", 0.7},
+      {"SA", "Saudi Arabia", 0.6},   {"ZA", "South Africa", 0.6},
+      {"PK", "Pakistan", 0.6},       {"AU", "Australia", 0.6},
+      {"TW", "Taiwan", 0.6},         {"VE", "Venezuela", 0.5},
+      {"RO", "Romania", 0.5},        {"SE", "Sweden", 0.4},
+      {"CZ", "Czechia", 0.3},        {"PT", "Portugal", 0.3},
+      {"CL", "Chile", 0.3},          {"HU", "Hungary", 0.3}};
+  return kCountries;
+}
+
+GeoDatabase GeoDatabase::standard(std::uint64_t seed) {
+  GeoDatabase db;
+  const auto& countries = country_table();
+  db.prefix_country_.assign(256, 0);
+  db.country_prefixes_.assign(countries.size(), {});
+
+  double total = 0.0;
+  for (const Country& c : countries) total += c.weight;
+
+  // Deal the 256 /8 prefixes: each country gets a contiguous-count quota
+  // proportional to weight (>= 1 each), assigned in a shuffled order.
+  std::vector<std::uint8_t> prefixes(256);
+  for (int i = 0; i < 256; ++i)
+    prefixes[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+  util::Rng rng(seed);
+  rng.shuffle(prefixes);
+
+  std::size_t cursor = 0;
+  for (std::size_t ci = 0; ci < countries.size(); ++ci) {
+    const auto quota = std::max<std::size_t>(
+        1, static_cast<std::size_t>(256.0 * countries[ci].weight / total));
+    for (std::size_t k = 0; k < quota && cursor < prefixes.size(); ++k) {
+      const std::uint8_t p = prefixes[cursor++];
+      db.prefix_country_[p] = static_cast<int>(ci);
+      db.country_prefixes_[ci].push_back(p);
+    }
+  }
+  // Leftover prefixes round-robin over the biggest countries.
+  std::size_t ci = 0;
+  while (cursor < prefixes.size()) {
+    const std::uint8_t p = prefixes[cursor++];
+    db.prefix_country_[p] = static_cast<int>(ci);
+    db.country_prefixes_[ci].push_back(p);
+    ci = (ci + 1) % std::min<std::size_t>(8, countries.size());
+  }
+  return db;
+}
+
+const Country& GeoDatabase::lookup(const net::Ipv4& address) const {
+  const std::uint8_t prefix =
+      static_cast<std::uint8_t>(address.value() >> 24);
+  return country_table()[static_cast<std::size_t>(
+      prefix_country_[prefix])];
+}
+
+net::Ipv4 GeoDatabase::sample_address(std::string_view country_code,
+                                      util::Rng& rng) const {
+  const auto& countries = country_table();
+  for (std::size_t ci = 0; ci < countries.size(); ++ci) {
+    if (countries[ci].code != country_code) continue;
+    if (country_prefixes_[ci].empty()) break;
+    const std::uint8_t prefix =
+        country_prefixes_[ci][rng.index(country_prefixes_[ci].size())];
+    const std::uint32_t host =
+        static_cast<std::uint32_t>(rng.uniform_int(1, 0xfffffe));
+    return net::Ipv4(static_cast<std::uint32_t>(prefix) << 24 | host);
+  }
+  throw std::invalid_argument("GeoDatabase::sample_address: unknown country");
+}
+
+net::Ipv4 GeoDatabase::sample_global(util::Rng& rng) const {
+  const auto& countries = country_table();
+  double total = 0.0;
+  for (const Country& c : countries) total += c.weight;
+  double roll = rng.uniform(0.0, total);
+  for (const Country& c : countries) {
+    roll -= c.weight;
+    if (roll <= 0.0) return sample_address(c.code, rng);
+  }
+  return sample_address(countries.front().code, rng);
+}
+
+}  // namespace torsim::geo

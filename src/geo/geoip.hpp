@@ -1,0 +1,51 @@
+// Synthetic GeoIP: the paper plotted deanonymised botnet-client IPs on a
+// world map (Fig. 3). We cannot ship a real GeoIP database, so we build
+// a deterministic synthetic one — /8 prefixes assigned to countries in
+// proportion to 2013-era internet population — and aggregate to country
+// level (the analytic step of Fig. 3 is IP -> location -> aggregate).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/ipv4.hpp"
+#include "util/rng.hpp"
+
+namespace torsim::geo {
+
+struct Country {
+  std::string code;    ///< ISO-3166 alpha-2
+  std::string name;
+  double weight = 0.0; ///< share of global internet users (approx. 2013)
+};
+
+/// The country table the synthetic database distributes over.
+const std::vector<Country>& country_table();
+
+class GeoDatabase {
+ public:
+  /// Builds the deterministic standard database: every /8 is assigned to
+  /// a country, countries receiving /8 counts proportional to weight.
+  static GeoDatabase standard(std::uint64_t seed = 2013);
+
+  /// Country for an address ("ZZ"/"unassigned" never occurs: every /8 is
+  /// mapped).
+  const Country& lookup(const net::Ipv4& address) const;
+
+  /// Samples an address inside the given country's space; throws
+  /// std::invalid_argument for unknown codes.
+  net::Ipv4 sample_address(std::string_view country_code,
+                           util::Rng& rng) const;
+
+  /// Samples a country according to the weights, then an address in it.
+  net::Ipv4 sample_global(util::Rng& rng) const;
+
+ private:
+  GeoDatabase() = default;
+  std::vector<int> prefix_country_;                 // [256] -> country idx
+  std::vector<std::vector<std::uint8_t>> country_prefixes_;
+};
+
+}  // namespace torsim::geo

@@ -1,0 +1,78 @@
+#include "hs/client.hpp"
+
+namespace torsim::hs {
+
+Client::Client(net::Ipv4 address, std::uint64_t rng_seed)
+    : address_(address), rng_(rng_seed) {}
+
+void Client::maintain(const dirauth::Consensus& consensus,
+                      util::UnixTime now) {
+  guard_manager_.maintain(consensus, rng_, now);
+}
+
+FetchOutcome Client::fetch_descriptor(std::string_view onion,
+                                      const dirauth::Consensus& consensus,
+                                      hsdir::DirectoryNetwork& dirnet,
+                                      util::UnixTime now,
+                                      std::span<const std::uint8_t> cookie) {
+  const auto permanent_id = crypto::parse_onion_address(onion);
+  const std::uint32_t period = crypto::time_period(now, permanent_id);
+
+  // Cache hit: a descriptor fetched earlier in the same time period is
+  // reused without touching the directories.
+  const std::string key(onion);
+  const auto cached = descriptor_cache_.find(key);
+  if (cached != descriptor_cache_.end() && cached->second.first == period) {
+    FetchOutcome outcome;
+    outcome.found = true;
+    outcome.from_cache = true;
+    outcome.descriptor_id = cached->second.second;
+    outcome.client_address = address_;
+    outcome.time = now;
+    return outcome;
+  }
+
+  const auto replica =
+      static_cast<std::uint8_t>(rng_.uniform_int(0, crypto::kNumReplicas - 1));
+  auto outcome = fetch_descriptor_id(
+      crypto::descriptor_id(permanent_id, period, replica, cookie), consensus,
+      dirnet, now);
+  if (outcome.found)
+    descriptor_cache_[key] = {period, outcome.descriptor_id};
+  return outcome;
+}
+
+FetchOutcome Client::fetch_descriptor_id(const crypto::DescriptorId& id,
+                                         const dirauth::Consensus& consensus,
+                                         hsdir::DirectoryNetwork& dirnet,
+                                         util::UnixTime now) {
+  FetchOutcome outcome;
+  outcome.descriptor_id = id;
+  outcome.client_address = address_;
+  outcome.time = now;
+
+  const auto guard = guard_manager_.pick(consensus, rng_);
+  if (guard) outcome.guard = guard->relay;
+
+  // Middle hop: any Fast relay that is neither the guard nor (later) the
+  // directory itself; the simplification of not excluding the HSDir is
+  // harmless at network scale.
+  const auto fast = consensus.with_flag(dirauth::Flag::kFast);
+  if (!fast.empty()) {
+    for (int tries = 0; tries < 8; ++tries) {
+      const auto* candidate = fast[rng_.index(fast.size())];
+      if (candidate->relay != outcome.guard) {
+        outcome.middle = candidate->relay;
+        break;
+      }
+    }
+  }
+
+  relay::RelayId hsdir = relay::kInvalidRelayId;
+  const auto descriptor = dirnet.fetch_from(consensus, id, now, hsdir);
+  outcome.hsdir = hsdir;
+  outcome.found = descriptor.has_value();
+  return outcome;
+}
+
+}  // namespace torsim::hs

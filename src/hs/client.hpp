@@ -1,0 +1,76 @@
+// A Tor client that fetches hidden-service descriptors. The fetch path
+// records which guard fronted the circuit and which HSDir answered —
+// exactly the two vantage points the Sec. VI deanonymisation attack
+// needs to control.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hs/guard_manager.hpp"
+#include "hsdir/directory_network.hpp"
+#include "net/ipv4.hpp"
+
+namespace torsim::hs {
+
+/// Outcome of one descriptor fetch.
+struct FetchOutcome {
+  bool found = false;
+  /// Served from the client's local descriptor cache — no directory was
+  /// contacted (so nothing for a measuring HSDir to log).
+  bool from_cache = false;
+  /// Descriptor id that was requested.
+  crypto::DescriptorId descriptor_id{};
+  /// The HSDir that served (or finally failed) the request.
+  relay::RelayId hsdir = relay::kInvalidRelayId;
+  /// The entry guard of the circuit used for the request.
+  relay::RelayId guard = relay::kInvalidRelayId;
+  /// The middle relay of the circuit.
+  relay::RelayId middle = relay::kInvalidRelayId;
+  /// Client source address — ground truth; visible to the guard only.
+  net::Ipv4 client_address;
+  util::UnixTime time = 0;
+};
+
+class Client {
+ public:
+  Client(net::Ipv4 address, std::uint64_t rng_seed);
+
+  const net::Ipv4& address() const { return address_; }
+  GuardManager& guards() { return guard_manager_; }
+  const GuardManager& guards() const { return guard_manager_; }
+
+  /// Refreshes guards against the consensus.
+  void maintain(const dirauth::Consensus& consensus, util::UnixTime now);
+
+  /// Fetches the descriptor for `onion` (16-char base32, no suffix).
+  /// Derives the current descriptor id for a random replica and asks the
+  /// responsible HSDirs through a guard-fronted circuit. For an
+  /// authenticated service, pass the shared `cookie`; without it the
+  /// derived id is wrong and the fetch fails.
+  FetchOutcome fetch_descriptor(std::string_view onion,
+                                const dirauth::Consensus& consensus,
+                                hsdir::DirectoryNetwork& dirnet,
+                                util::UnixTime now,
+                                std::span<const std::uint8_t> cookie = {});
+
+  /// Fetches a raw descriptor id (clients with stale/never-published ids
+  /// do this constantly — 80% of requests in the paper's HSDir logs).
+  FetchOutcome fetch_descriptor_id(const crypto::DescriptorId& id,
+                                   const dirauth::Consensus& consensus,
+                                   hsdir::DirectoryNetwork& dirnet,
+                                   util::UnixTime now);
+
+ private:
+  net::Ipv4 address_;
+  util::Rng rng_;
+  GuardManager guard_manager_;
+  /// onion -> (time period, fetched descriptor id): Tor caches a fetched
+  /// descriptor until its period rolls over.
+  std::map<std::string, std::pair<std::uint32_t, crypto::DescriptorId>>
+      descriptor_cache_;
+};
+
+}  // namespace torsim::hs

@@ -1,0 +1,53 @@
+// Entry-guard selection, per the 2013 design the paper's Sec. VI attack
+// leans on: each client keeps a set of three guards, uses a random one of
+// them as the first hop of every circuit, replaces guards that expire
+// (uniform 30–60 day lifetime) or become unreachable (resampling whenever
+// fewer than two remain reachable).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "dirauth/consensus.hpp"
+#include "util/rng.hpp"
+
+namespace torsim::hs {
+
+/// One guard slot.
+struct GuardSlot {
+  relay::RelayId relay = relay::kInvalidRelayId;
+  crypto::Fingerprint fingerprint{};
+  util::UnixTime chosen_at = 0;
+  util::UnixTime expires_at = 0;
+};
+
+struct GuardPolicy {
+  int set_size = 3;
+  util::Seconds min_lifetime = 30 * util::kSecondsPerDay;
+  util::Seconds max_lifetime = 60 * util::kSecondsPerDay;
+};
+
+class GuardManager {
+ public:
+  explicit GuardManager(GuardPolicy policy = {}) : policy_(policy) {}
+
+  /// Refreshes the guard set against the current consensus: drops expired
+  /// guards, and (re)samples from Guard-flagged relays whenever fewer
+  /// than two current guards are still listed in the consensus.
+  void maintain(const dirauth::Consensus& consensus, util::Rng& rng,
+                util::UnixTime now);
+
+  /// Picks the entry guard for a new circuit: a uniformly random member
+  /// of the guard set that is present in the consensus. Returns nullopt
+  /// if no guard is usable (caller should maintain() first).
+  std::optional<GuardSlot> pick(const dirauth::Consensus& consensus,
+                                util::Rng& rng) const;
+
+  const std::vector<GuardSlot>& guards() const { return guards_; }
+
+ private:
+  GuardPolicy policy_;
+  std::vector<GuardSlot> guards_;
+};
+
+}  // namespace torsim::hs

@@ -1,0 +1,98 @@
+#include "hs/rendezvous.hpp"
+
+namespace torsim::hs {
+
+const char* to_string(RendezvousFailure failure) {
+  switch (failure) {
+    case RendezvousFailure::kNone: return "none";
+    case RendezvousFailure::kNoDescriptor: return "no-descriptor";
+    case RendezvousFailure::kNoIntroPoints: return "no-intro-points";
+    case RendezvousFailure::kNoClientGuard: return "no-client-guard";
+    case RendezvousFailure::kNoServiceGuard: return "no-service-guard";
+    case RendezvousFailure::kIntroPointGone: return "intro-point-gone";
+    case RendezvousFailure::kNoRendezvousPoint: return "no-rendezvous-point";
+  }
+  return "?";
+}
+
+RendezvousOutcome rendezvous_connect(Client& client, ServiceHost& service,
+                                     const dirauth::Consensus& consensus,
+                                     hsdir::DirectoryNetwork& dirnet,
+                                     util::Rng& rng, util::UnixTime now,
+                                     std::span<const std::uint8_t> cookie) {
+  RendezvousOutcome outcome;
+
+  // Step 0: the client needs the descriptor (guard-fronted fetch).
+  outcome.fetch = client.fetch_descriptor(service.onion_address(), consensus,
+                                          dirnet, now, cookie);
+  if (!outcome.fetch.found) {
+    outcome.failure = RendezvousFailure::kNoDescriptor;
+    return outcome;
+  }
+
+  // Re-read the descriptor to get the introduction points (the fetch
+  // outcome intentionally carries only observable metadata).
+  relay::RelayId serving_hsdir = relay::kInvalidRelayId;
+  const auto descriptor = dirnet.fetch_from(
+      consensus, outcome.fetch.descriptor_id, now, serving_hsdir);
+  if (!descriptor || descriptor->introduction_points.empty()) {
+    outcome.failure = RendezvousFailure::kNoIntroPoints;
+    return outcome;
+  }
+
+  // Step 1: client circuit to the rendezvous point.
+  const auto client_guard = client.guards().pick(consensus, rng);
+  if (!client_guard) {
+    outcome.failure = RendezvousFailure::kNoClientGuard;
+    return outcome;
+  }
+  outcome.client_guard = client_guard->relay;
+
+  const auto fast = consensus.with_flag(dirauth::Flag::kFast);
+  if (fast.empty()) {
+    outcome.failure = RendezvousFailure::kNoRendezvousPoint;
+    return outcome;
+  }
+  outcome.rendezvous_point = fast[rng.index(fast.size())]->relay;
+  outcome.cookie = rng.next();
+  outcome.setup_cells += 3;  // EXTEND x2 + ESTABLISH_RENDEZVOUS
+
+  // Step 2: client circuit to an introduction point from the descriptor.
+  // Tor tries the advertised intro points in random order until one is
+  // still part of the network.
+  std::vector<crypto::Fingerprint> intro_order =
+      descriptor->introduction_points;
+  rng.shuffle(intro_order);
+  const dirauth::ConsensusEntry* intro_entry = nullptr;
+  for (const auto& intro_fp : intro_order) {
+    const dirauth::ConsensusEntry* candidate = consensus.find(intro_fp);
+    if (candidate != nullptr &&
+        has_flag(candidate->flags, dirauth::Flag::kRunning)) {
+      intro_entry = candidate;
+      break;
+    }
+    outcome.setup_cells += 2;  // wasted EXTEND attempts to a dead intro
+  }
+  if (intro_entry == nullptr) {
+    outcome.failure = RendezvousFailure::kIntroPointGone;
+    return outcome;
+  }
+  outcome.intro_point = intro_entry->relay;
+  outcome.setup_cells += 3;  // EXTEND x2 + INTRODUCE1
+
+  // Step 3/4: the service receives INTRODUCE2 over its intro circuit and
+  // builds a guard-fronted circuit to the rendezvous point.
+  const auto service_guard = service.guards().pick(consensus, rng);
+  if (!service_guard) {
+    outcome.failure = RendezvousFailure::kNoServiceGuard;
+    return outcome;
+  }
+  outcome.service_guard = service_guard->relay;
+  outcome.setup_cells += 4;  // INTRODUCE2 + EXTEND x2 + RENDEZVOUS1
+
+  outcome.setup_cells += 1;  // RENDEZVOUS2 back to the client
+  outcome.success = true;
+  return outcome;
+}
+
+}  // namespace torsim::hs

@@ -1,0 +1,80 @@
+#include "hs/service_host.hpp"
+
+namespace torsim::hs {
+
+ServiceHost::ServiceHost(crypto::KeyPair key, util::UnixTime created)
+    : key_(std::move(key)),
+      permanent_id_(crypto::permanent_id_from_fingerprint(key_.fingerprint())),
+      created_(created) {}
+
+ServiceHost ServiceHost::create(util::Rng& rng, util::UnixTime now) {
+  ServiceHost host(crypto::KeyPair::generate(rng), now);
+  host.set_address(net::Ipv4::random_public(rng));
+  return host;
+}
+
+std::string ServiceHost::onion_address() const {
+  return crypto::onion_address(permanent_id_);
+}
+
+std::vector<relay::RelayId> ServiceHost::maybe_publish(
+    const dirauth::Consensus& consensus, hsdir::DirectoryNetwork& dirnet,
+    util::Rng& rng, util::UnixTime now, bool force) {
+  if (!online_) return {};
+  const std::uint32_t period = crypto::time_period(now, permanent_id_);
+
+  // Fingerprints of the currently responsible HSDirs for both replicas.
+  std::vector<crypto::Fingerprint> responsible;
+  for (std::uint8_t replica = 0; replica < crypto::kNumReplicas; ++replica) {
+    const auto id = crypto::descriptor_id(permanent_id_, period, replica,
+                                          descriptor_cookie_);
+    for (const dirauth::ConsensusEntry* e : consensus.responsible_hsdirs(id))
+      responsible.push_back(e->fingerprint);
+  }
+  const bool ring_shifted = responsible != last_responsible_;
+  if (published_once_ && period == last_period_ && !ring_shifted && !force)
+    return {};
+
+  // Sample up to 3 introduction points among Fast relays.
+  intro_points_.clear();
+  const auto fast = consensus.with_flag(dirauth::Flag::kFast);
+  if (!fast.empty()) {
+    for (int i = 0; i < 3; ++i)
+      intro_points_.push_back(fast[rng.index(fast.size())]->fingerprint);
+  }
+
+  std::vector<hsdir::Descriptor> descriptors;
+  for (std::uint8_t replica = 0; replica < crypto::kNumReplicas; ++replica)
+    descriptors.push_back(hsdir::make_descriptor(key_, intro_points_, replica,
+                                                 now, descriptor_cookie_));
+
+  last_period_ = period;
+  published_once_ = true;
+  last_responsible_ = std::move(responsible);
+  const auto receivers = dirnet.publish(consensus, descriptors);
+
+  // Each upload rides its own guard-fronted circuit (when the service
+  // maintains guards; a guard-less service uploads unprotected, which is
+  // what made the original attack so effective against default setups).
+  publish_records_.clear();
+  for (const relay::RelayId hsdir : receivers) {
+    PublishRecord record;
+    record.hsdir = hsdir;
+    if (const auto guard = guard_manager_.pick(consensus, rng))
+      record.guard = guard->relay;
+    publish_records_.push_back(record);
+  }
+  return receivers;
+}
+
+std::vector<crypto::DescriptorId> ServiceHost::current_descriptor_ids(
+    util::UnixTime now) const {
+  const std::uint32_t period = crypto::time_period(now, permanent_id_);
+  std::vector<crypto::DescriptorId> ids;
+  for (std::uint8_t replica = 0; replica < crypto::kNumReplicas; ++replica)
+    ids.push_back(crypto::descriptor_id(permanent_id_, period, replica,
+                                        descriptor_cookie_));
+  return ids;
+}
+
+}  // namespace torsim::hs

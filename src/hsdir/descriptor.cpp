@@ -1,0 +1,27 @@
+#include "hsdir/descriptor.hpp"
+
+namespace torsim::hsdir {
+
+std::string Descriptor::onion_address() const {
+  const auto key = crypto::KeyPair::from_public_bytes(service_public_key);
+  return crypto::onion_address(
+      crypto::permanent_id_from_fingerprint(key.fingerprint()));
+}
+
+Descriptor make_descriptor(const crypto::KeyPair& key,
+                           std::vector<crypto::Fingerprint> intro_points,
+                           std::uint8_t replica, util::UnixTime now,
+                           std::span<const std::uint8_t> cookie) {
+  Descriptor d;
+  d.permanent_id = crypto::permanent_id_from_fingerprint(key.fingerprint());
+  d.time_period = crypto::time_period(now, d.permanent_id);
+  d.descriptor_id =
+      crypto::descriptor_id(d.permanent_id, d.time_period, replica, cookie);
+  d.service_public_key = key.public_bytes();
+  d.introduction_points = std::move(intro_points);
+  d.replica = replica;
+  d.published = now;
+  return d;
+}
+
+}  // namespace torsim::hsdir

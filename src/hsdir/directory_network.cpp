@@ -1,0 +1,40 @@
+#include "hsdir/directory_network.hpp"
+
+#include <algorithm>
+
+namespace torsim::hsdir {
+
+std::vector<relay::RelayId> DirectoryNetwork::publish(
+    const dirauth::Consensus& consensus,
+    const std::vector<Descriptor>& descriptors) {
+  std::vector<relay::RelayId> receivers;
+  for (const Descriptor& d : descriptors) {
+    for (const dirauth::ConsensusEntry* e :
+         consensus.responsible_hsdirs(d.descriptor_id)) {
+      store_for(e->relay).store(d);
+      receivers.push_back(e->relay);
+    }
+  }
+  std::sort(receivers.begin(), receivers.end());
+  receivers.erase(std::unique(receivers.begin(), receivers.end()),
+                  receivers.end());
+  return receivers;
+}
+
+std::optional<Descriptor> DirectoryNetwork::fetch_from(
+    const dirauth::Consensus& consensus, const crypto::DescriptorId& id,
+    util::UnixTime now, relay::RelayId& hsdir_relay) {
+  hsdir_relay = relay::kInvalidRelayId;
+  for (const dirauth::ConsensusEntry* e : consensus.responsible_hsdirs(id)) {
+    hsdir_relay = e->relay;
+    auto result = store_for(e->relay).fetch(id, now);
+    if (result) return result;
+  }
+  return std::nullopt;
+}
+
+void DirectoryNetwork::expire_all(util::UnixTime now) {
+  for (auto& [id, store] : stores_) store.expire(now);
+}
+
+}  // namespace torsim::hsdir

@@ -1,0 +1,54 @@
+// The distributed descriptor directory: one DescriptorStore per relay
+// that currently carries (or ever carried) the HSDir flag, addressed by
+// simulator relay id. Publish/fetch route via the consensus ring.
+#pragma once
+
+#include <unordered_map>
+
+#include "dirauth/consensus.hpp"
+#include "hsdir/store.hpp"
+
+namespace torsim::hsdir {
+
+class DirectoryNetwork {
+ public:
+  /// The store operated by relay `id` (created on first use).
+  DescriptorStore& store_for(relay::RelayId id) { return stores_[id]; }
+
+  const DescriptorStore* find_store(relay::RelayId id) const {
+    const auto it = stores_.find(id);
+    return it == stores_.end() ? nullptr : &it->second;
+  }
+
+  /// Publishes both replicas of `descriptor`'s service to their
+  /// responsible HSDirs under `consensus`. `descriptors` must hold
+  /// exactly the replicas to publish. Returns the relay ids that
+  /// received a copy (with duplicates removed).
+  std::vector<relay::RelayId> publish(
+      const dirauth::Consensus& consensus,
+      const std::vector<Descriptor>& descriptors);
+
+  /// Fetches `id` from one responsible HSDir under `consensus`;
+  /// `hsdir_relay` receives the id of the directory that answered (or
+  /// the last one tried). Tries the responsible set in the given
+  /// preference order (already shuffled by the caller if desired).
+  std::optional<Descriptor> fetch_from(
+      const dirauth::Consensus& consensus, const crypto::DescriptorId& id,
+      util::UnixTime now, relay::RelayId& hsdir_relay);
+
+  /// Runs expiry on every store.
+  void expire_all(util::UnixTime now);
+
+  /// Access to every store (harvester reads its own relays' stores).
+  const std::unordered_map<relay::RelayId, DescriptorStore>& stores() const {
+    return stores_;
+  }
+  std::unordered_map<relay::RelayId, DescriptorStore>& stores() {
+    return stores_;
+  }
+
+ private:
+  std::unordered_map<relay::RelayId, DescriptorStore> stores_;
+};
+
+}  // namespace torsim::hsdir

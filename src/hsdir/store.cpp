@@ -1,0 +1,36 @@
+#include "hsdir/store.hpp"
+
+namespace torsim::hsdir {
+
+void DescriptorStore::store(Descriptor descriptor) {
+  descriptors_[descriptor.descriptor_id] = std::move(descriptor);
+}
+
+std::optional<Descriptor> DescriptorStore::fetch(
+    const crypto::DescriptorId& id, util::UnixTime now) {
+  const auto it = descriptors_.find(id);
+  const bool found =
+      it != descriptors_.end() &&
+      now - it->second.published <= kDescriptorLifetime;
+  if (logging_) fetch_log_.push_back({id, now, found});
+  if (!found) return std::nullopt;
+  return it->second;
+}
+
+void DescriptorStore::expire(util::UnixTime now) {
+  for (auto it = descriptors_.begin(); it != descriptors_.end();) {
+    if (now - it->second.published > kDescriptorLifetime)
+      it = descriptors_.erase(it);
+    else
+      ++it;
+  }
+}
+
+std::vector<Descriptor> DescriptorStore::all_descriptors() const {
+  std::vector<Descriptor> out;
+  out.reserve(descriptors_.size());
+  for (const auto& [id, d] : descriptors_) out.push_back(d);
+  return out;
+}
+
+}  // namespace torsim::hsdir

@@ -1,0 +1,59 @@
+// The descriptor store one HSDir relay operates, including the fetch log
+// an attacker-controlled HSDir keeps (the data source for the paper's
+// popularity measurement, Sec. V).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "hsdir/descriptor.hpp"
+
+namespace torsim::hsdir {
+
+/// One descriptor-fetch request as logged by an HSDir operator.
+struct FetchRecord {
+  crypto::DescriptorId descriptor_id{};
+  util::UnixTime time = 0;
+  bool found = false;
+};
+
+/// How long an HSDir retains a descriptor after publication; HSDirs for
+/// the previous period erase descriptors once they rotate out.
+inline constexpr util::Seconds kDescriptorLifetime = 24 * util::kSecondsPerHour;
+
+class DescriptorStore {
+ public:
+  /// Stores (or refreshes) a descriptor.
+  void store(Descriptor descriptor);
+
+  /// Looks a descriptor up by id, honouring expiry at time `now`.
+  /// If logging is enabled the request is recorded either way.
+  std::optional<Descriptor> fetch(const crypto::DescriptorId& id,
+                                  util::UnixTime now);
+
+  /// Drops descriptors published more than kDescriptorLifetime before
+  /// `now` (the paper: directories "erase its descriptor from memory"
+  /// after the responsibility period).
+  void expire(util::UnixTime now);
+
+  /// Enables request logging (what a measuring/malicious HSDir does).
+  void enable_logging(bool enabled) { logging_ = enabled; }
+  bool logging_enabled() const { return logging_; }
+
+  const std::vector<FetchRecord>& fetch_log() const { return fetch_log_; }
+  void clear_fetch_log() { fetch_log_.clear(); }
+
+  /// Every descriptor currently held (the harvesting attack reads this
+  /// out of its own relays).
+  std::vector<Descriptor> all_descriptors() const;
+
+  std::size_t size() const { return descriptors_.size(); }
+
+ private:
+  std::map<crypto::DescriptorId, Descriptor> descriptors_;
+  std::vector<FetchRecord> fetch_log_;
+  bool logging_ = false;
+};
+
+}  // namespace torsim::hsdir

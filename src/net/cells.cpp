@@ -1,0 +1,45 @@
+#include "net/cells.hpp"
+
+namespace torsim::net {
+
+Circuit::Circuit(std::vector<std::uint32_t> hops) : hops_(std::move(hops)) {
+  if (hops_.empty())
+    throw std::invalid_argument("Circuit: need at least one hop");
+}
+
+void Circuit::transmit(int cells) {
+  if (cells < 0) throw std::invalid_argument("Circuit::transmit: cells < 0");
+  trace_.push_back(cells);
+}
+
+void Circuit::transmit_pattern(const CellTrace& pattern) {
+  for (int cells : pattern) transmit(cells);
+}
+
+const CellTrace& Circuit::observed_at(std::size_t index) const {
+  if (index >= hops_.size())
+    throw std::out_of_range("Circuit::observed_at: bad hop index");
+  return trace_;
+}
+
+const CellTrace* Circuit::observed_by(std::uint32_t node) const {
+  for (std::uint32_t hop : hops_)
+    if (hop == node) return &trace_;
+  return nullptr;
+}
+
+CellTrace background_cells(util::Rng& rng, int ticks) {
+  CellTrace trace(static_cast<std::size_t>(ticks));
+  for (int& cell : trace) {
+    const double roll = rng.uniform01();
+    if (roll < 0.55)
+      cell = 0;
+    else if (roll < 0.90)
+      cell = static_cast<int>(rng.uniform_int(1, 3));
+    else
+      cell = static_cast<int>(rng.uniform_int(4, 20));
+  }
+  return trace;
+}
+
+}  // namespace torsim::net

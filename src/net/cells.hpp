@@ -1,0 +1,59 @@
+// Cell-level view of a circuit: Tor moves fixed-size cells, and what a
+// relay can *observe* about a circuit it participates in is the timing
+// pattern of those cells — modelled here as cells-per-100ms-tick. Both
+// the traffic-signature attack (inject a distinctive pattern) and its
+// detection (match the pattern at the entry guard) operate on these
+// traces.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace torsim::net {
+
+/// Cells observed per 100 ms tick on one circuit.
+using CellTrace = std::vector<int>;
+
+/// A circuit through a sequence of nodes (front = entry guard). Cells
+/// transmitted in a tick are relayed through — and therefore observed
+/// by — every hop; the per-hop traces stay tick-aligned.
+class Circuit {
+ public:
+  /// `hops` are opaque node handles (the simulator's relay ids).
+  explicit Circuit(std::vector<std::uint32_t> hops);
+
+  const std::vector<std::uint32_t>& hops() const { return hops_; }
+
+  /// One tick carrying `cells` cells end-to-end (>= 0).
+  void transmit(int cells);
+
+  /// One silent tick.
+  void tick() { transmit(0); }
+
+  /// Transmits a multi-tick pattern.
+  void transmit_pattern(const CellTrace& pattern);
+
+  /// The trace as observed by hop `index` (0 = guard). In this model
+  /// every hop sees the same cell counts — Tor cells are fixed-size and
+  /// unbatched, which is exactly why timing signatures traverse the
+  /// whole circuit intact.
+  const CellTrace& observed_at(std::size_t index) const;
+
+  /// Trace observed by a specific node, or nullptr if it is not a hop.
+  const CellTrace* observed_by(std::uint32_t node) const;
+
+  std::size_t length_ticks() const { return trace_.size(); }
+
+ private:
+  std::vector<std::uint32_t> hops_;
+  CellTrace trace_;
+};
+
+/// Background descriptor-fetch-like traffic for `ticks` ticks: mostly
+/// 0–3 cells per tick with occasional bursts.
+CellTrace background_cells(util::Rng& rng, int ticks);
+
+}  // namespace torsim::net

@@ -1,0 +1,53 @@
+#include "net/ipv4.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace torsim::net {
+
+Ipv4 Ipv4::parse(std::string_view text) {
+  const auto parts = util::split(text, '.');
+  if (parts.size() != 4) throw std::invalid_argument("Ipv4::parse: need 4 octets");
+  std::uint32_t value = 0;
+  for (const auto& part : parts) {
+    if (part.empty() || part.size() > 3)
+      throw std::invalid_argument("Ipv4::parse: bad octet");
+    int octet = 0;
+    for (char c : part) {
+      if (c < '0' || c > '9')
+        throw std::invalid_argument("Ipv4::parse: non-digit");
+      octet = octet * 10 + (c - '0');
+    }
+    if (octet > 255) throw std::invalid_argument("Ipv4::parse: octet > 255");
+    value = value << 8 | static_cast<std::uint32_t>(octet);
+  }
+  return Ipv4(value);
+}
+
+Ipv4 Ipv4::random_public(util::Rng& rng) {
+  for (;;) {
+    const auto value = static_cast<std::uint32_t>(rng.next());
+    const std::uint8_t a = static_cast<std::uint8_t>(value >> 24);
+    const std::uint8_t b = static_cast<std::uint8_t>(value >> 16);
+    if (a == 0 || a == 10 || a == 127 || a >= 224) continue;
+    if (a == 169 && b == 254) continue;
+    if (a == 172 && b >= 16 && b < 32) continue;
+    if (a == 192 && b == 168) continue;
+    return Ipv4(value);
+  }
+}
+
+std::string Ipv4::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", value_ >> 24 & 0xff,
+                value_ >> 16 & 0xff, value_ >> 8 & 0xff, value_ & 0xff);
+  return buf;
+}
+
+std::string Endpoint::to_string() const {
+  return address.to_string() + ":" + std::to_string(port);
+}
+
+}  // namespace torsim::net

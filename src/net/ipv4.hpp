@@ -1,0 +1,57 @@
+// IPv4 addresses for simulated relays and clients.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "util/rng.hpp"
+
+namespace torsim::net {
+
+/// An IPv4 address stored as a host-order 32-bit integer.
+class Ipv4 {
+ public:
+  constexpr Ipv4() : value_(0) {}
+  constexpr explicit Ipv4(std::uint32_t value) : value_(value) {}
+  constexpr Ipv4(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                 std::uint8_t d)
+      : value_(static_cast<std::uint32_t>(a) << 24 |
+               static_cast<std::uint32_t>(b) << 16 |
+               static_cast<std::uint32_t>(c) << 8 | d) {}
+
+  /// Parses dotted-quad notation; throws std::invalid_argument on error.
+  static Ipv4 parse(std::string_view text);
+
+  /// Draws a random public-looking unicast address (avoids 0/8, 10/8,
+  /// 127/8, 169.254/16, 172.16/12, 192.168/16, 224/3).
+  static Ipv4 random_public(util::Rng& rng);
+
+  std::uint32_t value() const { return value_; }
+  std::string to_string() const;
+
+  auto operator<=>(const Ipv4&) const = default;
+
+ private:
+  std::uint32_t value_;
+};
+
+/// (address, port) pair.
+struct Endpoint {
+  Ipv4 address;
+  std::uint16_t port = 0;
+
+  auto operator<=>(const Endpoint&) const = default;
+  std::string to_string() const;
+};
+
+}  // namespace torsim::net
+
+template <>
+struct std::hash<torsim::net::Ipv4> {
+  std::size_t operator()(const torsim::net::Ipv4& ip) const noexcept {
+    return std::hash<std::uint32_t>{}(ip.value());
+  }
+};

@@ -1,0 +1,79 @@
+#include "net/service.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace torsim::net {
+
+const char* to_string(ConnectResult result) {
+  switch (result) {
+    case ConnectResult::kOpen: return "open";
+    case ConnectResult::kClosed: return "closed";
+    case ConnectResult::kTimeout: return "timeout";
+    case ConnectResult::kAbnormalClose: return "abnormal-close";
+  }
+  return "?";
+}
+
+const char* to_string(Protocol protocol) {
+  switch (protocol) {
+    case Protocol::kHttp: return "http";
+    case Protocol::kHttps: return "https";
+    case Protocol::kSsh: return "ssh";
+    case Protocol::kIrc: return "irc";
+    case Protocol::kTorChat: return "torchat";
+    case Protocol::kSkynetControl: return "skynet-control";
+    case Protocol::kBitcoinPool: return "bitcoin-pool";
+    case Protocol::kRawTcp: return "raw-tcp";
+  }
+  return "?";
+}
+
+bool TlsCertificate::common_name_is_public_dns() const {
+  // Heuristic the paper effectively applied: a CN with a dot that does not
+  // end in .onion is a public DNS name.
+  if (common_name.find('.') == std::string::npos) return false;
+  return !util::ends_with(common_name, ".onion");
+}
+
+void ServiceProfile::listen(std::uint16_t port, PortService service) {
+  ports_[port] = std::move(service);
+  abnormal_.erase(std::remove(abnormal_.begin(), abnormal_.end(), port),
+                  abnormal_.end());
+}
+
+void ServiceProfile::set_abnormal_close(std::uint16_t port) {
+  ports_.erase(port);
+  if (std::find(abnormal_.begin(), abnormal_.end(), port) == abnormal_.end())
+    abnormal_.push_back(port);
+}
+
+ConnectResult ServiceProfile::connect(std::uint16_t port) const {
+  if (std::find(abnormal_.begin(), abnormal_.end(), port) != abnormal_.end())
+    return ConnectResult::kAbnormalClose;
+  return ports_.count(port) ? ConnectResult::kOpen : ConnectResult::kClosed;
+}
+
+const PortService* ServiceProfile::service_at(std::uint16_t port) const {
+  auto it = ports_.find(port);
+  return it == ports_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::uint16_t> ServiceProfile::scannable_ports() const {
+  std::vector<std::uint16_t> out;
+  out.reserve(ports_.size() + abnormal_.size());
+  for (const auto& [port, service] : ports_) out.push_back(port);
+  out.insert(out.end(), abnormal_.begin(), abnormal_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::uint16_t> ServiceProfile::open_ports() const {
+  std::vector<std::uint16_t> out;
+  out.reserve(ports_.size());
+  for (const auto& [port, service] : ports_) out.push_back(port);
+  return out;
+}
+
+}  // namespace torsim::net

@@ -1,0 +1,116 @@
+// Observable behaviour of a (hidden) network service: what a port
+// scanner, TLS prober, or HTTP crawler sees when it connects. This is
+// the vocabulary that `scan/` and `content/` measure and that
+// `population/` synthesizes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace torsim::net {
+
+/// Well-known ports from the paper's Fig. 1.
+inline constexpr std::uint16_t kPortHttp = 80;
+inline constexpr std::uint16_t kPortHttps = 443;
+inline constexpr std::uint16_t kPortSsh = 22;
+inline constexpr std::uint16_t kPortIrc = 6667;
+inline constexpr std::uint16_t kPortTorChat = 11009;
+inline constexpr std::uint16_t kPortSkynet = 55080;
+inline constexpr std::uint16_t kPort4050 = 4050;
+inline constexpr std::uint16_t kPortHttpAlt = 8080;
+
+/// Result of a TCP connection attempt to one port.
+enum class ConnectResult {
+  kOpen,           ///< three-way handshake completed, service answered
+  kClosed,         ///< RST: nothing listening
+  kTimeout,        ///< no answer (filtered / service overloaded / offline)
+  kAbnormalClose,  ///< connection accepted then immediately torn down with
+                   ///< a non-standard error — the Skynet port-55080
+                   ///< signature the paper counts as "open"
+};
+
+const char* to_string(ConnectResult result);
+
+/// Application protocol spoken on an open port.
+enum class Protocol {
+  kHttp,
+  kHttps,
+  kSsh,
+  kIrc,
+  kTorChat,
+  kSkynetControl,
+  kBitcoinPool,
+  kRawTcp,
+};
+
+const char* to_string(Protocol protocol);
+
+/// An X.509 certificate as seen by the HTTPS prober (only the fields the
+/// paper's Sec. III certificate analysis uses).
+struct TlsCertificate {
+  std::string common_name;   ///< CN; may be an .onion or a public DNS name
+  bool self_signed = true;
+  bool matches_requested_host = false;  ///< CN == the .onion we connected to
+  /// True when the CN is a public DNS name — the deanonymising case the
+  /// paper found 34 of.
+  bool common_name_is_public_dns() const;
+};
+
+/// An HTTP response as served by the hidden service (an HTML document;
+/// binary resources are never generated, matching the paper's exclusion).
+struct HttpResponse {
+  int status = 200;
+  std::string body;              ///< the raw HTML document
+  bool error_page = false;       ///< error message wrapped in HTML
+  bool server_status_page = false;  ///< Apache mod_status exposed
+  /// Apache server-status metrics (only meaningful for the botnet C&C
+  /// hosts the paper fingerprinted through them).
+  double traffic_bytes_per_sec = 0.0;
+  double requests_per_sec = 0.0;
+  std::int64_t apache_uptime_seconds = 0;
+};
+
+/// Full description of one listening port.
+struct PortService {
+  Protocol protocol = Protocol::kRawTcp;
+  /// SSH/IRC banner or other first-line greeting (empty for HTTP).
+  std::string banner;
+  /// Response served on HTTP GET / (for kHttp/kHttps).
+  std::optional<HttpResponse> http;
+  /// Certificate presented (for kHttps).
+  std::optional<TlsCertificate> certificate;
+};
+
+/// The service surface of one host: which ports answer and how.
+class ServiceProfile {
+ public:
+  /// Registers a listening port. Overwrites any previous registration.
+  void listen(std::uint16_t port, PortService service);
+
+  /// Marks a port with the Skynet abnormal-close behaviour: connections
+  /// are accepted and instantly reset with a non-standard error message.
+  void set_abnormal_close(std::uint16_t port);
+
+  /// Result of connecting to `port` (host assumed reachable).
+  ConnectResult connect(std::uint16_t port) const;
+
+  /// The service behind an open port, or nullptr if not open.
+  const PortService* service_at(std::uint16_t port) const;
+
+  /// All ports that would report kOpen or kAbnormalClose to a scanner.
+  std::vector<std::uint16_t> scannable_ports() const;
+
+  /// All genuinely open ports.
+  std::vector<std::uint16_t> open_ports() const;
+
+  bool empty() const { return ports_.empty() && abnormal_.empty(); }
+
+ private:
+  std::map<std::uint16_t, PortService> ports_;
+  std::vector<std::uint16_t> abnormal_;
+};
+
+}  // namespace torsim::net

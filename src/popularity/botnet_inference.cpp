@@ -1,0 +1,110 @@
+#include "popularity/botnet_inference.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "net/service.hpp"
+
+namespace torsim::popularity {
+
+BotnetInferenceReport infer_botnet_infrastructure(
+    const ResolutionReport& ranking, const population::Population& pop,
+    const BotnetInferenceConfig& config) {
+  BotnetInferenceReport report;
+
+  // Step 1: probe the most popular addresses over HTTP, exactly as the
+  // paper did ("connecting to them at this port returned 503 Server
+  // errors. As a next step, we tried to retrieve server-status pages").
+  const std::size_t depth = std::min(config.probe_top, ranking.ranking.size());
+  for (std::size_t i = 0; i < depth; ++i) {
+    const RankedService& row = ranking.ranking[i];
+    const population::ServiceRecord* svc = pop.find(row.onion);
+    if (svc == nullptr) continue;
+    const net::PortService* web = svc->profile.service_at(net::kPortHttp);
+    if (web == nullptr || !web->http) continue;
+    const net::HttpResponse& http = *web->http;
+
+    ServiceFingerprint fp;
+    fp.onion = row.onion;
+    fp.requests_per_2h = row.requests;
+    fp.http_503 = http.status == 503;
+    fp.server_status_exposed = http.server_status_page;
+    fp.traffic_bytes_per_sec = http.traffic_bytes_per_sec;
+    fp.requests_per_sec = http.requests_per_sec;
+    fp.apache_uptime_seconds = http.apache_uptime_seconds;
+
+    // The C&C signature the paper keyed on.
+    if (fp.http_503 && fp.server_status_exposed &&
+        fp.traffic_bytes_per_sec >= config.min_traffic &&
+        fp.requests_per_sec >= config.min_requests_per_sec)
+      report.cnc_candidates.push_back(std::move(fp));
+  }
+
+  // Step 2: identical Apache uptimes => one physical machine ("they
+  // could be divided into two groups with exactly same uptime within
+  // each group").
+  std::map<std::int64_t, PhysicalServer> by_uptime;
+  for (const ServiceFingerprint& fp : report.cnc_candidates) {
+    PhysicalServer& server = by_uptime[fp.apache_uptime_seconds];
+    server.apache_uptime_seconds = fp.apache_uptime_seconds;
+    server.onions.push_back(fp.onion);
+    server.mean_traffic_bytes_per_sec += fp.traffic_bytes_per_sec;
+    server.mean_requests_per_sec += fp.requests_per_sec;
+  }
+  for (auto& [uptime, server] : by_uptime) {
+    const double n = static_cast<double>(server.onions.size());
+    server.mean_traffic_bytes_per_sec /= n;
+    server.mean_requests_per_sec /= n;
+    report.physical_servers.push_back(std::move(server));
+  }
+  std::sort(report.physical_servers.begin(), report.physical_servers.end(),
+            [](const PhysicalServer& a, const PhysicalServer& b) {
+              return a.onions.size() > b.onions.size();
+            });
+  return report;
+}
+
+CategoryShares category_shares(const ResolutionReport& ranking,
+                               const population::Population& pop) {
+  CategoryShares shares;
+  double botnet = 0, adult = 0, market = 0, other = 0;
+  for (const RankedService& row : ranking.ranking) {
+    shares.total_requests += row.requests;
+    const auto* svc = pop.find(row.onion);
+    const double r = static_cast<double>(row.requests);
+    if (svc == nullptr) {
+      other += r;
+      continue;
+    }
+    switch (svc->klass) {
+      case population::ServiceClass::kGoldnetCnC:
+      case population::ServiceClass::kSkynetCnC:
+      case population::ServiceClass::kSkynetBot:
+      case population::ServiceClass::kBitcoinMiner:
+        botnet += r;
+        break;
+      default:
+        if (svc->topic == content::Topic::kAdult)
+          adult += r;
+        else if (svc->label == "SilkRoad" ||
+                 svc->label == "BlackMarketReloaded" ||
+                 svc->label == "SilkroadPhishing" ||
+                 svc->topic == content::Topic::kDrugs ||
+                 svc->topic == content::Topic::kCounterfeit)
+          market += r;
+        else
+          other += r;
+        break;
+    }
+  }
+  const double total = botnet + adult + market + other;
+  if (total > 0) {
+    shares.botnet = botnet / total;
+    shares.adult = adult / total;
+    shares.market = market / total;
+    shares.other = other / total;
+  }
+  return shares;
+}
+
+}  // namespace torsim::popularity

@@ -1,0 +1,74 @@
+// Sec. V's detective work on the most popular services: the authors
+// noticed the top addresses returned 503s, exposed Apache server-status
+// pages with ~330 KB/s of almost-pure POST traffic, and that their
+// *identical server uptimes* betrayed a shared physical host — leading
+// to the "Goldnet" conclusion. This module reproduces that inference
+// over the simulated crawl: fingerprint popular services by their HTTP
+// behaviour, group them into physical servers by uptime, and classify
+// the clusters as botnet C&C infrastructure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "popularity/resolver.hpp"
+
+namespace torsim::popularity {
+
+/// Observable HTTP behaviour of one popular service.
+struct ServiceFingerprint {
+  std::string onion;
+  std::int64_t requests_per_2h = 0;
+  bool http_503 = false;
+  bool server_status_exposed = false;
+  double traffic_bytes_per_sec = 0.0;
+  double requests_per_sec = 0.0;
+  std::int64_t apache_uptime_seconds = 0;
+};
+
+/// A cluster of onion addresses inferred to share one physical server.
+struct PhysicalServer {
+  std::int64_t apache_uptime_seconds = 0;
+  std::vector<std::string> onions;
+  double mean_traffic_bytes_per_sec = 0.0;
+  double mean_requests_per_sec = 0.0;
+};
+
+struct BotnetInferenceReport {
+  /// Services among the ranking head that match the C&C fingerprint
+  /// (503 + server-status + heavy constant traffic).
+  std::vector<ServiceFingerprint> cnc_candidates;
+  /// Candidates grouped into physical servers by identical uptime.
+  std::vector<PhysicalServer> physical_servers;
+};
+
+struct BotnetInferenceConfig {
+  /// How deep into the popularity ranking to probe.
+  std::size_t probe_top = 50;
+  /// Traffic floor to call the behaviour "botnet-like" (bytes/sec).
+  double min_traffic = 100.0 * 1024.0;
+  double min_requests_per_sec = 3.0;
+};
+
+/// Probes the top of the popularity ranking against the population's
+/// observable service profiles and reproduces the Goldnet inference.
+BotnetInferenceReport infer_botnet_infrastructure(
+    const ResolutionReport& ranking, const population::Population& pop,
+    const BotnetInferenceConfig& config = {});
+
+/// The paper's headline conclusion, quantified: what fraction of all
+/// resolved client requests go to botnet C&C infrastructure, adult
+/// content, markets, and everything else.
+struct CategoryShares {
+  double botnet = 0.0;  ///< Goldnet + Skynet + bitcoin-pool + unknown C&C
+  double adult = 0.0;
+  double market = 0.0;  ///< SilkRoad / BlackMarketReloaded / phishing
+  double other = 0.0;
+  std::int64_t total_requests = 0;
+};
+
+CategoryShares category_shares(const ResolutionReport& ranking,
+                               const population::Population& pop);
+
+}  // namespace torsim::popularity

@@ -1,0 +1,96 @@
+#include "popularity/resolver.hpp"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+namespace torsim::popularity {
+
+DescriptorResolver::DescriptorResolver(ResolverConfig config)
+    : config_(config) {
+  if (config_.derive_from == 0)
+    config_.derive_from = util::make_utc(2013, 1, 28);
+  if (config_.derive_to == 0)
+    config_.derive_to = util::make_utc(2013, 2, 9);
+}
+
+void DescriptorResolver::build_dictionary(
+    const population::Population& pop) {
+  std::vector<std::string> onions;
+  onions.reserve(pop.size());
+  for (const population::ServiceRecord& svc : pop.services())
+    onions.push_back(svc.onion);
+  build_dictionary_from_onions(onions);
+}
+
+void DescriptorResolver::build_dictionary_from_onions(
+    const std::vector<std::string>& onions) {
+  dictionary_.clear();
+  for (const std::string& onion : onions) {
+    const auto pid = crypto::parse_onion_address(onion);
+    // One derivation per day in the window; the time-period function
+    // shifts per-service, so step by days and dedupe via the map.
+    for (util::UnixTime t = config_.derive_from; t < config_.derive_to;
+         t += util::kSecondsPerDay) {
+      const std::uint32_t period = crypto::time_period(t, pid);
+      for (std::uint8_t replica = 0; replica < crypto::kNumReplicas;
+           ++replica)
+        dictionary_[crypto::descriptor_id(pid, period, replica)] = onion;
+    }
+  }
+}
+
+ResolutionReport DescriptorResolver::resolve(
+    const RequestStream& stream) const {
+  return resolve_internal(stream, nullptr);
+}
+
+ResolutionReport DescriptorResolver::resolve(
+    const RequestStream& stream, const population::Population& pop) const {
+  return resolve_internal(stream, &pop);
+}
+
+ResolutionReport DescriptorResolver::resolve_internal(
+    const RequestStream& stream, const population::Population* pop) const {
+  ResolutionReport report;
+  report.total_requests = static_cast<std::int64_t>(stream.requests.size());
+
+  std::map<crypto::DescriptorId, std::int64_t> id_counts;
+  for (const DescriptorRequest& req : stream.requests)
+    ++id_counts[req.descriptor_id];
+  report.unique_descriptor_ids =
+      static_cast<std::int64_t>(id_counts.size());
+
+  std::unordered_map<std::string, std::int64_t> onion_counts;
+  for (const auto& [id, count] : id_counts) {
+    const auto it = dictionary_.find(id);
+    if (it == dictionary_.end()) continue;
+    ++report.resolved_descriptor_ids;
+    report.resolved_requests += count;
+    onion_counts[it->second] += count;
+  }
+  report.resolved_onions = static_cast<std::int64_t>(onion_counts.size());
+
+  report.ranking.reserve(onion_counts.size());
+  for (const auto& [onion, count] : onion_counts) {
+    RankedService row;
+    row.onion = onion;
+    row.requests = count;
+    if (pop != nullptr) {
+      if (const population::ServiceRecord* svc = pop->find(onion)) {
+        row.label = svc->label;
+        row.paper_alias = svc->paper_alias;
+        row.paper_rank = svc->paper_rank;
+      }
+    }
+    report.ranking.push_back(std::move(row));
+  }
+  std::sort(report.ranking.begin(), report.ranking.end(),
+            [](const RankedService& a, const RankedService& b) {
+              if (a.requests != b.requests) return a.requests > b.requests;
+              return a.onion < b.onion;
+            });
+  return report;
+}
+
+}  // namespace torsim::popularity

@@ -1,0 +1,90 @@
+// Sec. V: resolving logged descriptor IDs back to onion addresses.
+//
+// The descriptor ID is a one-way function of (onion, day, replica), so
+// the paper resolved its request log by deriving, for every harvested
+// onion address, the descriptor IDs of *every day between 28 Jan and
+// 8 Feb 2013* (to absorb client clock skew) and joining against the log.
+// We implement exactly that method.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "popularity/request_generator.hpp"
+
+namespace torsim::popularity {
+
+struct ResolverConfig {
+  /// Derivation window (paper: 28 Jan – 8 Feb 2013). Zero means default.
+  util::UnixTime derive_from = 0;
+  util::UnixTime derive_to = 0;
+};
+
+/// One row of the popularity ranking (Table II).
+struct RankedService {
+  std::string onion;
+  std::string label;        ///< ground-truth class label, if pinned
+  std::string paper_alias;  ///< Table II address this stands in for
+  std::int64_t requests = 0;
+  int paper_rank = 0;       ///< 0 when the service is not pinned
+};
+
+struct ResolutionReport {
+  std::int64_t total_requests = 0;
+  std::int64_t unique_descriptor_ids = 0;
+  std::int64_t resolved_descriptor_ids = 0;
+  std::int64_t resolved_onions = 0;
+  std::int64_t resolved_requests = 0;
+  /// Popularity ranking over resolved onions, descending by requests.
+  std::vector<RankedService> ranking;
+
+  double unresolved_request_share() const {
+    return total_requests > 0
+               ? 1.0 - static_cast<double>(resolved_requests) /
+                           static_cast<double>(total_requests)
+               : 0.0;
+  }
+};
+
+class DescriptorResolver {
+ public:
+  explicit DescriptorResolver(ResolverConfig config = {});
+
+  /// Builds the descriptor-id -> onion dictionary from the harvested
+  /// address database (all onions in the population — the harvest
+  /// collected addresses regardless of later availability).
+  void build_dictionary(const population::Population& pop);
+
+  /// Builds the dictionary from bare onion addresses — exactly the
+  /// paper's method: nothing but the harvested address list is needed
+  /// to derive every descriptor ID in the window.
+  void build_dictionary_from_onions(const std::vector<std::string>& onions);
+
+  /// Resolves a request stream and produces the ranking. `pop` (when
+  /// provided) only supplies ground-truth labels for the report.
+  ResolutionReport resolve(const RequestStream& stream,
+                           const population::Population& pop) const;
+  ResolutionReport resolve(const RequestStream& stream) const;
+
+  std::size_t dictionary_size() const { return dictionary_.size(); }
+
+  /// Resolves one descriptor id to its onion address, if known.
+  std::optional<std::string> resolve_id(
+      const crypto::DescriptorId& id) const {
+    const auto it = dictionary_.find(id);
+    if (it == dictionary_.end()) return std::nullopt;
+    return it->second;
+  }
+
+ private:
+  ResolutionReport resolve_internal(const RequestStream& stream,
+                                    const population::Population* pop) const;
+
+  ResolverConfig config_;
+  std::map<crypto::DescriptorId, std::string> dictionary_;
+};
+
+}  // namespace torsim::popularity

@@ -1,0 +1,44 @@
+// Request-rate time series: the paper observed that the Goldnet fronts'
+// traffic "remained constant at about 330 KBytes/sec and had about 10
+// client requests per second" — i.e. botnet C&C polling is steady,
+// unlike human browsing. This module buckets a resolved request stream
+// into sub-windows and measures per-service rate stability.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "popularity/resolver.hpp"
+
+namespace torsim::popularity {
+
+/// Per-service request counts across equal sub-windows.
+struct RateSeries {
+  std::string onion;
+  std::vector<std::int64_t> per_window;
+  double mean_rate = 0.0;  ///< requests per window
+  /// Coefficient of variation (stddev/mean); low for machine-steady
+  /// traffic, higher for bursty human traffic.
+  double cv = 0.0;
+};
+
+struct TimeSeriesReport {
+  int windows = 0;
+  util::Seconds window_length = 0;
+  /// Series for every resolved service with at least `min_requests`
+  /// total requests, descending by volume.
+  std::vector<RateSeries> series;
+};
+
+struct TimeSeriesConfig {
+  int windows = 6;
+  std::int64_t min_requests = 30;
+};
+
+/// Buckets the (resolved) requests of `stream` into sub-windows.
+TimeSeriesReport build_time_series(const RequestStream& stream,
+                                   const DescriptorResolver& resolver,
+                                   const TimeSeriesConfig& config = {});
+
+}  // namespace torsim::popularity

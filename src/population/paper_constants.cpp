@@ -1,0 +1,52 @@
+#include "population/paper_constants.hpp"
+
+namespace torsim::population {
+
+const PaperConstants& paper() {
+  static const PaperConstants constants;
+  return constants;
+}
+
+const std::vector<PopularService>& table2_rows() {
+  static const std::vector<PopularService> rows = {
+      {"uecbcfgfofuwkcrd.onion", 13714, "Goldnet", 1},
+      {"arloppepzch53w3i.onion", 11582, "Goldnet", 2},
+      {"pomyeasfnmtn544p.onion", 11315, "Goldnet", 3},
+      {"lqqciuwa5yzxewc3.onion", 7324, "Goldnet", 4},
+      {"eqlbyxrpd2wdjeig.onion", 7183, "Goldnet", 5},
+      {"onhiimfoqy4acjv4.onion", 6852, "Unknown", 6},
+      {"saxtca3ktuhcyqx3.onion", 6528, "Goldnet", 7},
+      {"qxc7mc24mj7m4e2o.onion", 4941, "Unknown", 8},
+      {"mwjjmmahc4cjjlqp.onion", 3746, "BcMine", 9},
+      {"mepogl2rljvj374e.onion", 3678, "Skynet", 10},
+      {"m3hjrfh4hlqc6wyx.onion", 2573, "Adult", 11},
+      {"ua4ttfm47jt32igm.onion", 1950, "Skynet", 12},
+      {"opva2pilsncvtwmh.onion", 1863, "Adult", 13},
+      {"nbo32el47o5clwzy.onion", 1665, "Adult", 14},
+      {"firelol5skg6efgh.onion", 1631, "Adult", 15},
+      {"niazgxzlrbpevgvq.onion", 1481, "Skynet", 16},
+      {"owbm3sjqdnndmydf.onion", 1326, "Skynet", 17},
+      {"silkroadvb5piz3r.onion", 1175, "SilkRoad", 18},
+      {"candy4ci6id24qkm.onion", 1094, "Adult", 19},
+      {"x3wyzqg6cfbqrwht.onion", 1021, "Skynet", 20},
+      {"4njzp3wzi6leo772.onion", 942, "Skynet", 21},
+      {"qdzjxwujdtxrjkrz.onion", 899, "Skynet", 22},
+      {"6tkpktox73usm5vq.onion", 898, "Skynet", 23},
+      {"kk2wajy64oip2abc.onion", 889, "Adult", 24},
+      {"gpt2u5hhaqvmnwhr.onion", 781, "Skynet", 25},
+      {"smouse2lbzrgeof4.onion", 746, "Unknown", 26},
+      {"xqz3u5drneuzhaeo.onion", 694, "FreedomHosting", 27},
+      {"f2ylgv2jochpzm4c.onion", 667, "Skynet", 28},
+      {"kdq2y44aaas2axyz.onion", 585, "Adult", 29},
+      {"4pms4sejqrrycxlq.onion", 542, "Adult", 30},
+      {"dkn255hz262ypmii.onion", 453, "SilkRoadWiki", 34},
+      {"dppmfxaacucguzpc.onion", 255, "TorDir", 47},
+      {"5onwnspjvuk7cwvk.onion", 172, "BlackMarketReloaded", 62},
+      {"3g2upl4pq6kufc4m.onion", 55, "DuckDuckGo", 157},
+      {"x7yxqg5v4j6yzhti.onion", 30, "OnionBookmarks", 250},
+      {"torhostg5s7pa2sn.onion", 10, "TorHost", 547},
+  };
+  return rows;
+}
+
+}  // namespace torsim::population

@@ -1,0 +1,90 @@
+// Every number the paper publishes about the February 2013 hidden-service
+// landscape, collected in one place. The population generator calibrates
+// against these; the benches print measured-vs-paper columns from them;
+// EXPERIMENTS.md is generated from the same source of truth.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace torsim::population {
+
+struct PortCount {
+  std::uint16_t port;
+  std::int64_t count;
+  std::string_view label;
+};
+
+struct PaperConstants {
+  // --- Sec. I / III: harvest & port scan -----------------------------
+  std::int64_t total_onions = 39824;          ///< harvested 4 Feb 2013
+  std::int64_t descriptors_at_scan = 24511;   ///< reachable 14–21 Feb
+  std::int64_t open_ports_total = 22007;
+  double port_coverage = 0.87;
+  std::int64_t unique_open_ports = 495;
+  std::int64_t harvest_ec2_instances = 58;
+
+  /// Fig. 1 (ports with count >= 50; the rest grouped as "other").
+  std::vector<PortCount> fig1_ports = {
+      {55080, 13854, "55080-Skynet"}, {80, 4027, "80-http"},
+      {443, 1366, "443-https"},       {22, 1238, "22-ssh"},
+      {11009, 385, "11009-TorChat"},  {4050, 138, "4050"},
+      {6667, 113, "6667-irc"},        {0, 886, "other"}};
+
+  // --- Sec. III: HTTPS certificates -----------------------------------
+  std::int64_t certs_selfsigned_mismatch = 1225;
+  std::int64_t certs_torhost_cn = 1168;  ///< CN = esjqyk2khizsy43i.onion
+  std::int64_t certs_public_dns_cn = 34; ///< deanonymising certificates
+
+  // --- Sec. IV: crawl & content (Table I, Fig. 2) ----------------------
+  std::int64_t crawl_destinations = 8153;  ///< non-55080 open ports
+  std::int64_t crawl_open = 7114;
+  std::int64_t crawl_connected = 6579;
+  /// Table I: onion addresses per port among connected destinations.
+  std::vector<PortCount> table1 = {{80, 3741, "http"},
+                                   {443, 1289, "https"},
+                                   {22, 1094, "ssh-banner"},
+                                   {8080, 4, "http-alt"},
+                                   {0, 451, "other"}};
+  std::int64_t excluded_short = 2348;
+  std::int64_t excluded_ssh_banners = 1092;
+  std::int64_t excluded_dup443 = 1108;
+  std::int64_t excluded_error_pages = 73;
+  std::int64_t classifiable = 3050;
+  double english_share = 0.84;
+  std::int64_t english_pages = 2618;
+  std::int64_t torhost_default_pages = 805;
+  std::int64_t classified_pages = 1813;
+  std::int64_t languages_found = 17;
+
+  // --- Sec. V: popularity (Table II) -----------------------------------
+  std::int64_t total_requests = 1031176;
+  std::int64_t unique_descriptor_ids = 29123;
+  std::int64_t resolved_descriptor_ids = 6113;
+  std::int64_t resolved_onions = 3140;
+  double nonexistent_request_share = 0.80;
+  double published_ever_requested_share = 0.10;
+
+  // --- Sec. VII: consensus (for tracking detection) --------------------
+  std::int64_t hsdirs_2011_feb = 757;
+  std::int64_t hsdirs_2013_oct = 1862;
+};
+
+/// Canonical instance.
+const PaperConstants& paper();
+
+/// One pinned row of Table II (the popularity ranking head and the
+/// named services deeper in the ranking).
+struct PopularService {
+  std::string_view paper_onion;  ///< address as printed in Table II
+  std::int64_t requests_per_2h;
+  std::string_view label;        ///< Goldnet / Skynet / SilkRoad / ...
+  int paper_rank;
+};
+
+/// All Table II rows the paper prints (head ranks 1..30 plus the named
+/// tail entries 34, 47, 62, 157, 250, 547).
+const std::vector<PopularService>& table2_rows();
+
+}  // namespace torsim::population

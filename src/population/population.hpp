@@ -1,0 +1,118 @@
+// The synthetic hidden-service population.
+//
+// The paper measured ~40k real services operated by strangers; we cannot
+// re-crawl 2013's Tor, so we synthesize a population whose *observable
+// surface* (ports, TLS certificates, page content, popularity, uptime
+// behaviour) is calibrated to the marginals the paper publishes, then run
+// the paper's measurement pipelines against it. `scale` shrinks the
+// population proportionally for tests (pinned head services are always
+// generated).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "content/page_generator.hpp"
+#include "content/topics.hpp"
+#include "crypto/digest.hpp"
+#include "crypto/keypair.hpp"
+#include "net/service.hpp"
+#include "population/paper_constants.hpp"
+#include "util/rng.hpp"
+
+namespace torsim::population {
+
+/// Behavioural class of a synthetic hidden service.
+enum class ServiceClass {
+  kSkynetBot,       ///< infected machine: only the 55080 abnormal-close
+  kSkynetCnC,       ///< Skynet command & control (popular, port 80)
+  kGoldnetCnC,      ///< the "Goldnet" botnet the paper discovered (503s)
+  kBitcoinMiner,    ///< Skynet bitcoin pooling server ("BcMine")
+  kWebSite,         ///< generic HTTP site (port 80, maybe 443)
+  kTorHostSite,     ///< hosted on TorHost (80+443, esjqyk CN cert)
+  kHttpsSite,       ///< independent HTTPS site
+  kSshHost,         ///< port 22 only
+  kTorChat,         ///< port 11009
+  kIrcServer,       ///< port 6667
+  kPort4050,        ///< the unexplained port-4050 cluster
+  kOtherPort,       ///< one of the ~487 rare ports
+  kNamed,           ///< pinned Table II services (SilkRoad, DuckDuckGo, …)
+  kDark,            ///< published but no open ports
+  kUnpublished,     ///< harvested address whose descriptor was gone
+};
+
+const char* to_string(ServiceClass klass);
+
+/// One synthetic hidden service.
+struct ServiceRecord {
+  std::size_t index = 0;
+  crypto::KeyPair key;
+  std::string onion;            ///< 16-char base32 (derived from key)
+  ServiceClass klass = ServiceClass::kDark;
+  std::string label;            ///< "Goldnet", "SilkRoad", "" for generic
+  std::string paper_alias;      ///< Table II address this service stands for
+  net::ServiceProfile profile;
+  content::Topic topic = content::Topic::kOther;
+  content::Language language = content::Language::kEnglish;
+
+  /// Descriptor published during the 14–21 Feb scan window.
+  bool published_at_scan = true;
+  /// Probability the host answers on a given scan day (captures the
+  /// churn that limited the paper to 87% port coverage).
+  double daily_availability = 0.95;
+  /// Still alive at the crawl two months later.
+  bool alive_at_crawl = true;
+  /// Expected descriptor fetches per 2-hour window (Table II scale);
+  /// 0 for the ~90% of published services nobody ever asked for.
+  double requests_per_2h = 0.0;
+  /// Ground-truth Table II rank for pinned services (0 = unpinned).
+  int paper_rank = 0;
+  /// Goldnet physical-server grouping (Apache uptime fingerprinting);
+  /// -1 for services that are not Goldnet fronts.
+  int physical_server = -1;
+
+  explicit ServiceRecord(crypto::KeyPair k) : key(std::move(k)) {}
+};
+
+struct PopulationConfig {
+  std::uint64_t seed = 42;
+  /// 1.0 reproduces the paper's full 39,824-service landscape; tests use
+  /// smaller scales. Pinned head services are generated at any scale.
+  double scale = 1.0;
+  /// Words per generated page (min/max).
+  int page_words_min = 60;
+  int page_words_max = 260;
+};
+
+class Population {
+ public:
+  /// Generates the full calibrated population.
+  static Population generate(const PopulationConfig& config);
+
+  const std::vector<ServiceRecord>& services() const { return services_; }
+  std::vector<ServiceRecord>& services() { return services_; }
+
+  std::size_t size() const { return services_.size(); }
+
+  /// Lookup by onion address (nullptr if unknown).
+  const ServiceRecord* find(const std::string& onion) const;
+
+  /// All services of a class.
+  std::vector<const ServiceRecord*> of_class(ServiceClass klass) const;
+
+  /// Count of services whose descriptor is published at scan time.
+  std::size_t published_count() const;
+
+  const PopulationConfig& config() const { return config_; }
+
+ private:
+  explicit Population(PopulationConfig config) : config_(config) {}
+
+  PopulationConfig config_;
+  std::vector<ServiceRecord> services_;
+  std::unordered_map<std::string, std::size_t> by_onion_;
+};
+
+}  // namespace torsim::population

@@ -1,0 +1,44 @@
+#include "relay/registry.hpp"
+
+#include <stdexcept>
+
+namespace torsim::relay {
+
+RelayId Registry::create(RelayConfig config, util::Rng& rng,
+                         util::UnixTime now) {
+  return create_with_key(std::move(config), crypto::KeyPair::generate(rng),
+                         now);
+}
+
+RelayId Registry::create_with_key(RelayConfig config, crypto::KeyPair key,
+                                  util::UnixTime now) {
+  const RelayId id = static_cast<RelayId>(relays_.size());
+  const net::Ipv4 address = config.address;
+  relays_.emplace_back(id, std::move(config), std::move(key), now);
+  by_address_[address].push_back(id);
+  return id;
+}
+
+Relay& Registry::get(RelayId id) {
+  if (id >= relays_.size()) throw std::out_of_range("Registry::get: bad id");
+  return relays_[id];
+}
+
+const Relay& Registry::get(RelayId id) const {
+  if (id >= relays_.size()) throw std::out_of_range("Registry::get: bad id");
+  return relays_[id];
+}
+
+std::vector<RelayId> Registry::online_ids() const {
+  std::vector<RelayId> out;
+  for (const Relay& r : relays_)
+    if (r.online()) out.push_back(r.id());
+  return out;
+}
+
+std::vector<RelayId> Registry::ids_at_address(const net::Ipv4& address) const {
+  auto it = by_address_.find(address);
+  return it == by_address_.end() ? std::vector<RelayId>{} : it->second;
+}
+
+}  // namespace torsim::relay

@@ -1,0 +1,46 @@
+// Owning container for all relays in a simulation.
+//
+// Relays live in a deque so handles stay valid as the population grows
+// (relay churn, attacker injections). Lookup is by dense RelayId; the
+// protocol-level fingerprint -> relay resolution lives in the consensus,
+// not here, because fingerprints rotate.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "relay/relay.hpp"
+
+namespace torsim::relay {
+
+class Registry {
+ public:
+  /// Creates a relay with a fresh identity key. Returns its id.
+  RelayId create(RelayConfig config, util::Rng& rng, util::UnixTime now);
+
+  /// Creates a relay with a caller-supplied keypair (attacker-ground keys).
+  RelayId create_with_key(RelayConfig config, crypto::KeyPair key,
+                          util::UnixTime now);
+
+  Relay& get(RelayId id);
+  const Relay& get(RelayId id) const;
+
+  std::size_t size() const { return relays_.size(); }
+
+  /// Iteration support (ids are 0..size()-1, allocation order).
+  std::deque<Relay>& all() { return relays_; }
+  const std::deque<Relay>& all() const { return relays_; }
+
+  /// All relays currently online.
+  std::vector<RelayId> online_ids() const;
+
+  /// All relay ids sharing the given IP address.
+  std::vector<RelayId> ids_at_address(const net::Ipv4& address) const;
+
+ private:
+  std::deque<Relay> relays_;
+  std::unordered_map<net::Ipv4, std::vector<RelayId>> by_address_;
+};
+
+}  // namespace torsim::relay

@@ -1,0 +1,51 @@
+#include "relay/relay.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace torsim::relay {
+
+Relay::Relay(RelayId id, RelayConfig config, crypto::KeyPair key,
+             util::UnixTime created)
+    : id_(id),
+      config_(std::move(config)),
+      key_(std::move(key)),
+      created_(created) {
+  identity_history_.push_back({key_.fingerprint(), created});
+}
+
+util::Seconds Relay::continuous_uptime(util::UnixTime now) const {
+  if (!online_) return 0;
+  if (now < online_since_)
+    throw std::invalid_argument("Relay::continuous_uptime: now precedes start");
+  return now - online_since_;
+}
+
+void Relay::set_online(bool online, util::UnixTime now) {
+  if (online == online_) return;
+  if (!online && now > online_since_) completed_online_ += now - online_since_;
+  online_ = online;
+  if (online) online_since_ = now;
+}
+
+double Relay::fractional_uptime(util::UnixTime now) const {
+  // Lifetime starts when the relay first came up, which may predate
+  // created_ for relays bootstrapped with past uptime.
+  const util::UnixTime birth = std::min(created_, online_since_);
+  const util::Seconds lifetime = std::max<util::Seconds>(1, now - birth);
+  util::Seconds online_total = completed_online_;
+  if (online_ && now > online_since_) online_total += now - online_since_;
+  return std::min(1.0, static_cast<double>(online_total) /
+                           static_cast<double>(lifetime));
+}
+
+void Relay::rotate_identity(util::Rng& rng, util::UnixTime now) {
+  install_identity(crypto::KeyPair::generate(rng), now);
+}
+
+void Relay::install_identity(crypto::KeyPair key, util::UnixTime now) {
+  key_ = std::move(key);
+  identity_history_.push_back({key_.fingerprint(), now});
+}
+
+}  // namespace torsim::relay

@@ -1,0 +1,117 @@
+// A simulated Tor relay.
+//
+// Relays carry an identity keypair (whose SHA-1 fingerprint determines
+// their HSDir ring position), an IP/port, an advertised bandwidth, and a
+// reachability state observed by the directory authorities. A relay can
+// rotate its identity key — legitimate operators do this rarely; trackers
+// do it aggressively to land on a target's descriptor ID (Sec. VII
+// detects exactly this).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/digest.hpp"
+#include "crypto/keypair.hpp"
+#include "net/ipv4.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace torsim::relay {
+
+/// Dense relay identifier, stable across fingerprint rotations — this is
+/// the simulator's own handle, *not* visible to the protocol (the
+/// protocol only ever sees fingerprints).
+using RelayId = std::uint32_t;
+
+inline constexpr RelayId kInvalidRelayId = 0xffffffffu;
+
+/// One fingerprint-rotation record, kept so the tracking detector can be
+/// validated against simulator ground truth.
+struct IdentityEpoch {
+  crypto::Fingerprint fingerprint;
+  util::UnixTime since;
+};
+
+/// Static configuration of a relay.
+struct RelayConfig {
+  std::string nickname;
+  net::Ipv4 address;
+  std::uint16_t or_port = 9001;
+  /// Advertised/measured bandwidth in KB/s; drives Guard/Fast flags and
+  /// the 2-per-IP active-relay election.
+  double bandwidth_kbps = 100.0;
+};
+
+class Relay {
+ public:
+  Relay(RelayId id, RelayConfig config, crypto::KeyPair key,
+        util::UnixTime created);
+
+  RelayId id() const { return id_; }
+  const RelayConfig& config() const { return config_; }
+  const crypto::KeyPair& key() const { return key_; }
+  const crypto::Fingerprint& fingerprint() const { return key_.fingerprint(); }
+  util::UnixTime created() const { return created_; }
+
+  bool online() const { return online_; }
+  /// When the current continuous-online stretch started (meaningful only
+  /// while online).
+  util::UnixTime online_since() const { return online_since_; }
+
+  /// Seconds of continuous uptime as of `now` (0 when offline). This is
+  /// the statistic the authorities use for the HSDir flag (>= 25 h).
+  util::Seconds continuous_uptime(util::UnixTime now) const;
+
+  /// Fraction of its lifetime this relay has been online — a simplified
+  /// weighted-fractional-uptime, which the real authorities require to
+  /// be high before granting Guard (a flapping relay never becomes a
+  /// guard no matter how long its current stretch).
+  double fractional_uptime(util::UnixTime now) const;
+
+  /// Brings the relay up/down; a down/up cycle resets continuous uptime.
+  void set_online(bool online, util::UnixTime now);
+
+  /// Whether the directory authorities can reach this relay. The
+  /// shadowing attack firewalls a *running* relay from the authorities:
+  /// it drops out of the consensus (its shadow takes the slot) while its
+  /// uptime keeps accruing and it keeps serving directory requests.
+  bool authority_reachable() const { return authority_reachable_; }
+  void set_authority_reachable(bool reachable) {
+    authority_reachable_ = reachable;
+  }
+
+  /// Replaces the identity key (a "fingerprint switch"). Records the old
+  /// and new epochs; does not reset uptime (the process keeps running —
+  /// Tor reloads keys on HUP, and attackers exploited exactly this by
+  /// republishing a new identity from a warm relay).
+  void rotate_identity(util::Rng& rng, util::UnixTime now);
+
+  /// Installs a specific keypair (used by attackers after grinding a key
+  /// that lands next to a victim's descriptor ID).
+  void install_identity(crypto::KeyPair key, util::UnixTime now);
+
+  /// All identity epochs, oldest first; the last one is current.
+  const std::vector<IdentityEpoch>& identity_history() const {
+    return identity_history_;
+  }
+
+  /// Number of fingerprint switches this relay ever performed.
+  std::size_t fingerprint_switches() const {
+    return identity_history_.size() - 1;
+  }
+
+ private:
+  RelayId id_;
+  RelayConfig config_;
+  crypto::KeyPair key_;
+  util::UnixTime created_;
+  bool online_ = false;
+  bool authority_reachable_ = true;
+  util::UnixTime online_since_ = 0;
+  util::Seconds completed_online_ = 0;  ///< closed online stretches
+  std::vector<IdentityEpoch> identity_history_;
+};
+
+}  // namespace torsim::relay

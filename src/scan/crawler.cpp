@@ -1,0 +1,63 @@
+#include "scan/crawler.hpp"
+
+#include "content/html.hpp"
+
+namespace torsim::scan {
+namespace {
+
+/// Whether an HTTP GET against this protocol yields any text.
+bool http_speaks(net::Protocol protocol) {
+  switch (protocol) {
+    case net::Protocol::kHttp:
+    case net::Protocol::kHttps:
+      return true;
+    case net::Protocol::kSsh:
+      return true;  // the SSH banner arrives before the protocol errors out
+    default:
+      return false;  // IRC/TorChat/raw sockets never answer an HTTP GET
+  }
+}
+
+}  // namespace
+
+CrawlReport Crawler::crawl(const population::Population& pop,
+                           const ScanReport& scan) const {
+  util::Rng rng(config_.seed);
+  CrawlReport report;
+
+  for (const PortObservation& obs : scan.observations) {
+    // The paper excluded the 55080 botnet signature from the crawl.
+    if (obs.port == net::kPortSkynet ||
+        obs.result == net::ConnectResult::kAbnormalClose)
+      continue;
+    ++report.destinations;
+
+    const population::ServiceRecord* svc = pop.find(obs.onion);
+    if (svc == nullptr || !svc->alive_at_crawl) continue;
+    ++report.still_open;
+
+    const net::PortService* ps = svc->profile.service_at(obs.port);
+    if (ps == nullptr) continue;
+    if (!http_speaks(ps->protocol)) continue;
+    if (!rng.bernoulli(config_.connect_success)) continue;
+    ++report.connected;
+
+    content::CrawlDestination dest;
+    dest.onion = obs.onion;
+    dest.port = obs.port;
+    dest.connected = true;
+    dest.protocol = ps->protocol;
+    if (ps->protocol == net::Protocol::kSsh) {
+      dest.text = ps->banner;
+    } else if (ps->http) {
+      // Tag-strip the HTML document down to text, as the paper's
+      // text-extraction step did before classification.
+      dest.text = content::strip_html(ps->http->body);
+      dest.error_page = ps->http->error_page;
+    }
+    report.pages.push_back(std::move(dest));
+  }
+  return report;
+}
+
+}  // namespace torsim::scan

@@ -1,0 +1,85 @@
+#include "scan/port_scanner.hpp"
+
+#include "scan/schedule.hpp"
+
+#include <algorithm>
+
+namespace torsim::scan {
+
+std::vector<std::pair<std::string, std::int64_t>> ScanReport::figure1(
+    std::int64_t threshold) const {
+  auto [kept, other] = open_ports.with_other_bucket(threshold);
+  std::vector<std::pair<std::string, std::int64_t>> rows;
+  rows.reserve(kept.size() + 1);
+  for (const auto& [port, count] : kept) {
+    std::string label = std::to_string(port);
+    switch (port) {
+      case net::kPortSkynet: label += "-Skynet"; break;
+      case net::kPortHttp: label += "-http"; break;
+      case net::kPortHttps: label += "-https"; break;
+      case net::kPortSsh: label += "-ssh"; break;
+      case net::kPortTorChat: label += "-TorChat"; break;
+      case net::kPortIrc: label += "-irc"; break;
+      default: break;
+    }
+    rows.emplace_back(std::move(label), count);
+  }
+  if (other > 0) rows.emplace_back("other", other);
+  return rows;
+}
+
+ScanReport PortScanner::scan(const population::Population& pop) const {
+  util::Rng rng(config_.seed);
+  ScanReport report;
+  std::int64_t true_open_total = 0;
+  const ScanSchedule schedule = ScanSchedule::contiguous(config_.scan_days);
+
+  for (const population::ServiceRecord& svc : pop.services()) {
+    if (!svc.published_at_scan) continue;
+    ++report.descriptors_available;
+    ++report.onions_scanned;
+
+    // Which scan days is this host up on? Drawn once per host so a host
+    // that died mid-window misses every range scanned after its death.
+    std::vector<bool> up(static_cast<std::size_t>(config_.scan_days));
+    for (int d = 0; d < config_.scan_days; ++d)
+      up[static_cast<std::size_t>(d)] = rng.bernoulli(svc.daily_availability);
+
+    bool any_open = false;
+    for (std::uint16_t port : svc.profile.scannable_ports()) {
+      ++true_open_total;
+      // Port ranges are partitioned across days: every host's port p is
+      // probed on the same day, as in a real range sweep.
+      const int day = schedule.day_for_port(port);
+      if (!up[static_cast<std::size_t>(day)]) continue;
+      if (rng.bernoulli(config_.probe_timeout_probability)) continue;
+
+      const net::ConnectResult result = svc.profile.connect(port);
+      if (result != net::ConnectResult::kOpen &&
+          result != net::ConnectResult::kAbnormalClose)
+        continue;
+      report.open_ports.add(port);
+      any_open = true;
+      PortObservation obs;
+      obs.onion = svc.onion;
+      obs.port = port;
+      obs.result = result;
+      obs.scan_day = day;
+      if (const net::PortService* ps = svc.profile.service_at(port))
+        obs.protocol = ps->protocol;
+      else
+        obs.protocol = net::Protocol::kSkynetControl;  // abnormal close
+      report.observations.push_back(std::move(obs));
+    }
+    if (any_open) ++report.onions_with_open_ports;
+  }
+
+  report.coverage =
+      true_open_total > 0
+          ? static_cast<double>(report.open_ports.total()) /
+                static_cast<double>(true_open_total)
+          : 0.0;
+  return report;
+}
+
+}  // namespace torsim::scan

@@ -1,0 +1,32 @@
+#include "scan/schedule.hpp"
+
+#include <stdexcept>
+
+namespace torsim::scan {
+
+ScanSchedule ScanSchedule::contiguous(int days) {
+  if (days <= 0) throw std::invalid_argument("ScanSchedule: days <= 0");
+  if (days > 65536) throw std::invalid_argument("ScanSchedule: too many days");
+  ScanSchedule schedule;
+  const std::uint32_t span = 65536u / static_cast<std::uint32_t>(days);
+  std::uint32_t lo = 0;
+  for (int d = 0; d < days; ++d) {
+    Range range;
+    range.lo = static_cast<std::uint16_t>(lo);
+    range.hi = d == days - 1
+                   ? 65535
+                   : static_cast<std::uint16_t>(lo + span - 1);
+    range.day = d;
+    schedule.ranges_.push_back(range);
+    lo += span;
+  }
+  return schedule;
+}
+
+int ScanSchedule::day_for_port(std::uint16_t port) const {
+  for (const Range& range : ranges_)
+    if (port >= range.lo && port <= range.hi) return range.day;
+  return 0;  // unreachable for contiguous schedules
+}
+
+}  // namespace torsim::scan

@@ -1,0 +1,34 @@
+// The multi-day scan plan: the paper "scanned different port ranges on
+// different days" between 14 and 21 Feb 2013. This type makes that plan
+// explicit — the 16-bit port space is partitioned into contiguous
+// ranges, one per scan day — so coverage loss from churn is attributable
+// to specific (range, day) cells.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace torsim::scan {
+
+class ScanSchedule {
+ public:
+  struct Range {
+    std::uint16_t lo = 0;   ///< inclusive
+    std::uint16_t hi = 0;   ///< inclusive
+    int day = 0;
+  };
+
+  /// Partitions [0, 65535] into `days` near-equal contiguous ranges.
+  static ScanSchedule contiguous(int days);
+
+  /// The day on which `port` gets probed.
+  int day_for_port(std::uint16_t port) const;
+
+  const std::vector<Range>& ranges() const { return ranges_; }
+  int days() const { return static_cast<int>(ranges_.size()); }
+
+ private:
+  std::vector<Range> ranges_;
+};
+
+}  // namespace torsim::scan

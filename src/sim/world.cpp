@@ -1,0 +1,116 @@
+#include "sim/world.hpp"
+
+#include <stdexcept>
+
+namespace torsim::sim {
+
+util::UnixTime default_start_time() {
+  return util::make_utc(2013, 2, 1, 0, 0, 0);
+}
+
+World::World(WorldConfig config)
+    : config_(config),
+      clock_(config.start != 0 ? config.start : default_start_time()),
+      rng_(config.seed),
+      authority_(config.authority_policy) {
+  bootstrap();
+}
+
+void World::bootstrap() {
+  const util::UnixTime start = clock_.now();
+  for (int i = 0; i < config_.honest_relays; ++i) {
+    relay::RelayConfig rc;
+    rc.nickname = "relay" + std::to_string(i);
+    rc.address = net::Ipv4::random_public(rng_);
+    rc.or_port = 9001;
+    rc.bandwidth_kbps = 50.0 + rng_.exponential(1.0 / 400.0);
+    const relay::RelayId id = registry_.create(rc, rng_, start - 1);
+
+    // Stagger bootstrap uptimes so the initial consensus already has a
+    // realistic flag mix.
+    util::Seconds uptime;
+    const double roll = rng_.uniform01();
+    if (roll < config_.bootstrap_guard_fraction) {
+      uptime = rng_.uniform_int(9, 200) * util::kSecondsPerDay;
+    } else if (roll <
+               config_.bootstrap_guard_fraction +
+                   config_.bootstrap_hsdir_fraction *
+                       (1.0 - config_.bootstrap_guard_fraction)) {
+      uptime = rng_.uniform_int(26, 24 * 8) * util::kSecondsPerHour;
+    } else {
+      uptime = rng_.uniform_int(0, 24) * util::kSecondsPerHour;
+    }
+    registry_.get(id).set_online(true, start - uptime);
+  }
+  churn_exempt_.assign(registry_.size(), false);
+  rebuild_consensus();
+}
+
+void World::apply_churn() {
+  const util::UnixTime now = clock_.now();
+  for (relay::Relay& r : registry_.all()) {
+    if (r.id() < churn_exempt_.size() && churn_exempt_[r.id()]) continue;
+    if (r.online()) {
+      if (rng_.bernoulli(config_.hourly_down_probability))
+        r.set_online(false, now);
+    } else {
+      if (rng_.bernoulli(config_.hourly_up_probability))
+        r.set_online(true, now);
+    }
+  }
+}
+
+void World::publish_services() {
+  for (auto& service : services_)
+    service->maybe_publish(consensus_, dirnet_, rng_, clock_.now());
+}
+
+void World::rebuild_consensus() {
+  consensus_ = authority_.build_consensus(registry_, clock_.now());
+  if (config_.record_archive) {
+    // Archive requires strictly increasing times; mid-hour rebuilds
+    // replace nothing and are simply not archived twice.
+    if (archive_.empty() || consensus_.valid_after() > archive_.last_time())
+      archive_.add(consensus_);
+  }
+  if (post_consensus_hook_) post_consensus_hook_(*this);
+}
+
+void World::step_hour() {
+  clock_.advance(util::kSecondsPerHour);
+  apply_churn();
+  rebuild_consensus();
+  publish_services();
+  dirnet_.expire_all(clock_.now());
+}
+
+void World::run_hours(int hours) {
+  for (int i = 0; i < hours; ++i) step_hour();
+}
+
+std::size_t World::add_service() {
+  return add_service(crypto::KeyPair::generate(rng_));
+}
+
+std::size_t World::add_service(crypto::KeyPair key) {
+  services_.push_back(
+      std::make_unique<hs::ServiceHost>(std::move(key), clock_.now()));
+  // Publish immediately so a service added mid-simulation is reachable
+  // without waiting for the next hour step.
+  services_.back()->maybe_publish(consensus_, dirnet_, rng_, clock_.now());
+  return services_.size() - 1;
+}
+
+void World::set_churn_exempt(relay::RelayId id, bool exempt) {
+  if (id >= registry_.size())
+    throw std::out_of_range("World::set_churn_exempt: bad relay id");
+  if (churn_exempt_.size() < registry_.size())
+    churn_exempt_.resize(registry_.size(), false);
+  churn_exempt_[id] = exempt;
+}
+
+bool World::churn_exempt(relay::RelayId id) const {
+  return id < churn_exempt_.size() && churn_exempt_[id];
+}
+
+}  // namespace torsim::sim

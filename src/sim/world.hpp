@@ -1,0 +1,121 @@
+// The simulation world: a deterministic, hour-stepped model of the Tor
+// network (relays + authorities + hidden services + descriptor
+// directories) that the measurement and attack experiments run against.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "dirauth/archive.hpp"
+#include "dirauth/authority.hpp"
+#include "hs/client.hpp"
+#include "hs/service_host.hpp"
+#include "hsdir/directory_network.hpp"
+#include "relay/registry.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace torsim::sim {
+
+struct WorldConfig {
+  std::uint64_t seed = 20130204;
+  /// Simulation start; defaults to the paper's harvest date.
+  util::UnixTime start = 0;  ///< 0 means "2013-02-01 00:00 UTC"
+  /// Honest relay population (the Feb 2013 network had ~3,600 relays,
+  /// ~1,300 of them HSDirs).
+  int honest_relays = 1300;
+  /// Fraction of honest relays bootstrapped with enough past uptime to
+  /// already hold the HSDir flag at start.
+  double bootstrap_hsdir_fraction = 0.75;
+  /// Fraction bootstrapped with enough uptime + bandwidth for Guard.
+  double bootstrap_guard_fraction = 0.35;
+  /// Hourly probability that an online honest relay goes down.
+  double hourly_down_probability = 0.01;
+  /// Hourly probability that an offline honest relay comes back.
+  double hourly_up_probability = 0.25;
+  /// Record every consensus into the archive (needed by trackdet runs;
+  /// costs memory on multi-year simulations, so it is switchable).
+  bool record_archive = true;
+  dirauth::AuthorityPolicy authority_policy{};
+};
+
+class World {
+ public:
+  explicit World(WorldConfig config);
+
+  /// Creates the honest relay population and publishes the first
+  /// consensus. Called by the constructor.
+  void bootstrap();
+
+  // --- time ---------------------------------------------------------
+  util::UnixTime now() const { return clock_.now(); }
+  const util::Clock& clock() const { return clock_; }
+
+  /// Advances one hour: applies honest-relay churn, rebuilds the
+  /// consensus, lets services republish, expires stale descriptors.
+  void step_hour();
+
+  /// Advances `hours` hours.
+  void run_hours(int hours);
+
+  // --- components ---------------------------------------------------
+  relay::Registry& registry() { return registry_; }
+  const relay::Registry& registry() const { return registry_; }
+  const dirauth::Authority& authority() const { return authority_; }
+  hsdir::DirectoryNetwork& directories() { return dirnet_; }
+  const dirauth::Consensus& consensus() const { return consensus_; }
+  const dirauth::ConsensusArchive& archive() const { return archive_; }
+  util::Rng& rng() { return rng_; }
+  const WorldConfig& config() const { return config_; }
+
+  // --- hidden services ----------------------------------------------
+  /// Adds a hidden service with a fresh key; returns its index.
+  std::size_t add_service();
+  /// Adds a hidden service with a caller-supplied key (population module
+  /// pins specific addresses); returns its index.
+  std::size_t add_service(crypto::KeyPair key);
+
+  hs::ServiceHost& service(std::size_t index) { return *services_[index]; }
+  const hs::ServiceHost& service(std::size_t index) const {
+    return *services_[index];
+  }
+  std::size_t service_count() const { return services_.size(); }
+
+  // --- honest relays ------------------------------------------------
+  /// Marks a relay as exempt from honest churn (attacker relays are
+  /// driven explicitly by the attack controller).
+  void set_churn_exempt(relay::RelayId id, bool exempt);
+  bool churn_exempt(relay::RelayId id) const;
+
+  /// Rebuilds the consensus immediately (used after an attacker flips
+  /// relays between consensus builds).
+  void rebuild_consensus();
+
+  /// Hook invoked after every consensus rebuild (attack controllers use
+  /// it to react to ring changes).
+  void set_post_consensus_hook(std::function<void(World&)> hook) {
+    post_consensus_hook_ = std::move(hook);
+  }
+
+ private:
+  void apply_churn();
+  void publish_services();
+
+  WorldConfig config_;
+  util::Clock clock_;
+  util::Rng rng_;
+  relay::Registry registry_;
+  dirauth::Authority authority_;
+  dirauth::Consensus consensus_;
+  dirauth::ConsensusArchive archive_;
+  hsdir::DirectoryNetwork dirnet_;
+  std::vector<std::unique_ptr<hs::ServiceHost>> services_;
+  std::vector<bool> churn_exempt_;
+  std::function<void(World&)> post_consensus_hook_;
+};
+
+/// The paper's reference start time: 2013-02-01 00:00:00 UTC.
+util::UnixTime default_start_time();
+
+}  // namespace torsim::sim

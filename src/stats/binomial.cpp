@@ -1,0 +1,58 @@
+#include "stats/binomial.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace torsim::stats {
+
+double binomial_mean(std::int64_t n, double p) {
+  if (n < 0) throw std::invalid_argument("binomial_mean: n < 0");
+  if (p < 0.0 || p > 1.0)
+    throw std::invalid_argument("binomial_mean: p outside [0,1]");
+  return static_cast<double>(n) * p;
+}
+
+double binomial_stddev(std::int64_t n, double p) {
+  if (n < 0) throw std::invalid_argument("binomial_stddev: n < 0");
+  if (p < 0.0 || p > 1.0)
+    throw std::invalid_argument("binomial_stddev: p outside [0,1]");
+  return std::sqrt(static_cast<double>(n) * p * (1.0 - p));
+}
+
+double binomial_three_sigma_threshold(std::int64_t n, double p) {
+  return binomial_mean(n, p) + 3.0 * binomial_stddev(n, p);
+}
+
+double log_choose(std::int64_t n, std::int64_t k) {
+  if (k < 0 || k > n) throw std::invalid_argument("log_choose: k outside [0,n]");
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double binomial_pmf(std::int64_t n, std::int64_t k, double p) {
+  if (k < 0 || k > n) return 0.0;
+  if (p <= 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p >= 1.0) return k == n ? 1.0 : 0.0;
+  const double log_pmf = log_choose(n, k) +
+                         static_cast<double>(k) * std::log(p) +
+                         static_cast<double>(n - k) * std::log1p(-p);
+  return std::exp(log_pmf);
+}
+
+double binomial_upper_tail(std::int64_t n, std::int64_t k, double p) {
+  if (k <= 0) return 1.0;
+  if (k > n) return 0.0;
+  double tail = 0.0;
+  for (std::int64_t i = k; i <= n; ++i) {
+    const double term = binomial_pmf(n, i, p);
+    tail += term;
+    // PMF decays fast past the mean; stop when terms stop mattering.
+    if (i > static_cast<std::int64_t>(static_cast<double>(n) * p) &&
+        term < 1e-18 * (tail + 1e-300))
+      break;
+  }
+  return tail > 1.0 ? 1.0 : tail;
+}
+
+}  // namespace torsim::stats

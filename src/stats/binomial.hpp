@@ -1,0 +1,29 @@
+// Binomial statistics for the Sec. VII suspicion test: a relay chosen as
+// responsible HSDir in `k` of `n` time periods with per-period probability
+// p = 6/N_hsdir is flagged when k > mu + 3*sigma.
+#pragma once
+
+#include <cstdint>
+
+namespace torsim::stats {
+
+/// Mean of Binomial(n, p).
+double binomial_mean(std::int64_t n, double p);
+
+/// Standard deviation of Binomial(n, p).
+double binomial_stddev(std::int64_t n, double p);
+
+/// The paper's suspicion threshold mu + 3*sigma.
+double binomial_three_sigma_threshold(std::int64_t n, double p);
+
+/// Exact binomial PMF via log-gamma (stable for large n).
+double binomial_pmf(std::int64_t n, std::int64_t k, double p);
+
+/// Upper tail P[X >= k] for X ~ Binomial(n, p); exact summation with
+/// early termination, stable for the n (~1000 periods) we use.
+double binomial_upper_tail(std::int64_t n, std::int64_t k, double p);
+
+/// log(n choose k) via lgamma.
+double log_choose(std::int64_t n, std::int64_t k);
+
+}  // namespace torsim::stats

@@ -1,0 +1,92 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace torsim::stats {
+
+double sum(std::span<const double> values) {
+  double total = 0.0;
+  double compensation = 0.0;
+  for (double v : values) {
+    const double y = v - compensation;
+    const double t = total + y;
+    compensation = (t - total) - y;
+    total = t;
+  }
+  return total;
+}
+
+double mean(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  return sum(values) / static_cast<double>(values.size());
+}
+
+double variance(std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  const double m = mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - m) * (v - m);
+  return acc / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) {
+  return std::sqrt(variance(values));
+}
+
+double sample_variance(std::span<const double> values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - m) * (v - m);
+  return acc / static_cast<double>(values.size() - 1);
+}
+
+double percentile(std::span<const double> values, double p) {
+  if (values.empty()) throw std::invalid_argument("percentile: empty input");
+  if (p < 0.0 || p > 100.0)
+    throw std::invalid_argument("percentile: p outside [0,100]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted[0];
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double median(std::span<const double> values) { return percentile(values, 50.0); }
+
+double min(std::span<const double> values) {
+  if (values.empty()) throw std::invalid_argument("min: empty input");
+  return *std::min_element(values.begin(), values.end());
+}
+
+double max(std::span<const double> values) {
+  if (values.empty()) throw std::invalid_argument("max: empty input");
+  return *std::max_element(values.begin(), values.end());
+}
+
+double chi_square_distance(std::span<const double> a,
+                           std::span<const double> b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("chi_square_distance: size mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double denom = a[i] + b[i];
+    if (denom > 0.0) acc += (a[i] - b[i]) * (a[i] - b[i]) / denom;
+  }
+  return 0.5 * acc;
+}
+
+std::vector<double> normalized(std::span<const double> values) {
+  std::vector<double> out(values.begin(), values.end());
+  const double total = sum(values);
+  if (total > 0.0)
+    for (double& v : out) v /= total;
+  return out;
+}
+
+}  // namespace torsim::stats

@@ -1,0 +1,21 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace torsim::stats {
+
+std::string bar_line(const std::string& label, std::int64_t count,
+                     std::int64_t total, int width) {
+  const double frac =
+      total > 0 ? static_cast<double>(count) / static_cast<double>(total) : 0.0;
+  const int bar = std::clamp(static_cast<int>(frac * width + 0.5), 0, width);
+  char head[64];
+  std::snprintf(head, sizeof head, "%-18s %8lld %5.1f%% ", label.c_str(),
+                static_cast<long long>(count), frac * 100.0);
+  std::string line(head);
+  line.append(static_cast<std::size_t>(bar), '#');
+  return line;
+}
+
+}  // namespace torsim::stats

@@ -1,0 +1,71 @@
+// Counting histogram over arbitrary keys, plus rendering helpers used by
+// the bench harnesses to print paper-style tables (Fig. 1, Fig. 2).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace torsim::stats {
+
+/// Ordered key -> count histogram.
+template <typename Key>
+class Histogram {
+ public:
+  void add(const Key& key, std::int64_t count = 1) { counts_[key] += count; }
+
+  std::int64_t count(const Key& key) const {
+    auto it = counts_.find(key);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  std::int64_t total() const {
+    std::int64_t t = 0;
+    for (const auto& [k, v] : counts_) t += v;
+    return t;
+  }
+
+  std::size_t distinct() const { return counts_.size(); }
+
+  const std::map<Key, std::int64_t>& entries() const { return counts_; }
+
+  /// Entries sorted by descending count (ties broken by key order).
+  std::vector<std::pair<Key, std::int64_t>> by_count_desc() const {
+    std::vector<std::pair<Key, std::int64_t>> v(counts_.begin(),
+                                                counts_.end());
+    std::stable_sort(v.begin(), v.end(), [](const auto& a, const auto& b) {
+      return a.second > b.second;
+    });
+    return v;
+  }
+
+  /// Groups every key whose count is below `threshold` into a single
+  /// "other" bucket, mirroring Fig. 1's "ports with count < 50" rule.
+  /// Returns (kept entries sorted desc, other_total).
+  std::pair<std::vector<std::pair<Key, std::int64_t>>, std::int64_t>
+  with_other_bucket(std::int64_t threshold) const {
+    std::vector<std::pair<Key, std::int64_t>> kept;
+    std::int64_t other = 0;
+    for (const auto& [k, v] : counts_) {
+      if (v >= threshold)
+        kept.emplace_back(k, v);
+      else
+        other += v;
+    }
+    std::stable_sort(kept.begin(), kept.end(), [](const auto& a, const auto& b) {
+      return a.second > b.second;
+    });
+    return {std::move(kept), other};
+  }
+
+ private:
+  std::map<Key, std::int64_t> counts_;
+};
+
+/// Renders a horizontal ASCII bar chart line: label, count, percentage bar.
+std::string bar_line(const std::string& label, std::int64_t count,
+                     std::int64_t total, int width = 40);
+
+}  // namespace torsim::stats

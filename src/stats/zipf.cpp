@@ -1,0 +1,44 @@
+#include "stats/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace torsim::stats {
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) : exponent_(s) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n == 0");
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t rank = 1; rank <= n; ++rank) {
+    acc += 1.0 / std::pow(static_cast<double>(rank), s);
+    cdf_[rank - 1] = acc;
+  }
+  for (double& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t ZipfSampler::sample(util::Rng& rng) const {
+  const double u = rng.uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin()) + 1;
+}
+
+double ZipfSampler::pmf(std::size_t rank) const {
+  if (rank == 0 || rank > cdf_.size())
+    throw std::out_of_range("ZipfSampler::pmf: rank out of range");
+  const double hi = cdf_[rank - 1];
+  const double lo = rank >= 2 ? cdf_[rank - 2] : 0.0;
+  return hi - lo;
+}
+
+std::vector<double> zipf_expected_counts(std::size_t n, double s,
+                                         std::int64_t draws) {
+  ZipfSampler sampler(n, s);
+  std::vector<double> out(n);
+  for (std::size_t rank = 1; rank <= n; ++rank)
+    out[rank - 1] = sampler.pmf(rank) * static_cast<double>(draws);
+  return out;
+}
+
+}  // namespace torsim::stats

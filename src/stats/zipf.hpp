@@ -1,0 +1,36 @@
+// Zipf / discrete power-law sampling, used to shape the popularity tail
+// of the synthetic hidden-service population (the head — Goldnet, Skynet,
+// Silk Road — is pinned explicitly from Table II).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace torsim::stats {
+
+/// Samples ranks 1..n with probability proportional to 1/rank^s.
+class ZipfSampler {
+ public:
+  /// Builds the CDF once; O(n) memory, O(log n) sampling.
+  ZipfSampler(std::size_t n, double s);
+
+  /// Returns a rank in [1, n].
+  std::size_t sample(util::Rng& rng) const;
+
+  /// Probability mass of the given rank.
+  double pmf(std::size_t rank) const;
+
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+  double exponent_;
+};
+
+/// Expected counts per rank when drawing `draws` Zipf(n, s) samples.
+std::vector<double> zipf_expected_counts(std::size_t n, double s,
+                                         std::int64_t draws);
+
+}  // namespace torsim::stats

@@ -1,0 +1,191 @@
+#include "trackdet/detector.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "stats/binomial.hpp"
+
+namespace torsim::trackdet {
+namespace {
+
+/// Strips trailing digits — campaign fleets are typically "nameN".
+std::string name_stem(const std::string& name) {
+  std::size_t end = name.size();
+  while (end > 0 && name[end - 1] >= '0' && name[end - 1] <= '9') --end;
+  return name.substr(0, end);
+}
+
+}  // namespace
+
+TrackingDetector::TrackingDetector(DetectorConfig config)
+    : config_(config) {}
+
+TrackingReport TrackingDetector::analyze(
+    const HsDirHistory& history, const crypto::PermanentId& target) const {
+  TrackingReport report;
+  report.snapshots = static_cast<std::int64_t>(history.snapshots.size());
+  if (history.snapshots.empty()) return report;
+
+  std::unordered_map<std::uint32_t, ServerStats> stats;
+  std::unordered_map<std::uint32_t, crypto::Fingerprint> last_fp;
+  std::unordered_map<std::uint32_t, bool> switched_this_period;
+  std::unordered_map<std::uint32_t, bool> seen_before;
+  std::unordered_map<std::uint32_t, std::int64_t> consecutive_run;
+  // Per-period responsibility membership, for clustering and the
+  // full-takeover rule.
+  struct PeriodResponsibility {
+    util::UnixTime time;
+    std::vector<std::uint32_t> servers;  // all 6 slots (duplicates kept)
+  };
+  std::vector<PeriodResponsibility> period_resp;
+
+  double hsdir_sum = 0.0;
+  bool first_snapshot = true;
+  for (const Snapshot& snap : history.snapshots) {
+    hsdir_sum += static_cast<double>(snap.size());
+    const std::uint32_t period = crypto::time_period(snap.time(), target);
+
+    // Track per-server appearance / fingerprint changes.
+    for (const SnapshotEntry& e : snap.entries()) {
+      ServerStats& s = stats[e.server];
+      s.server = e.server;
+      ++s.periods_observed;
+      auto it = last_fp.find(e.server);
+      const bool switched =
+          it != last_fp.end() && !(it->second == e.fingerprint);
+      if (switched) ++s.fingerprint_switches;
+      switched_this_period[e.server] = switched;
+      last_fp[e.server] = e.fingerprint;
+    }
+
+    // Responsible HSDirs for both replicas this period.
+    PeriodResponsibility pr;
+    pr.time = snap.time();
+    std::vector<std::uint32_t> responsible_now;
+    for (std::uint8_t replica = 0; replica < crypto::kNumReplicas;
+         ++replica) {
+      const auto desc_id = crypto::descriptor_id(target, period, replica);
+      for (const SnapshotEntry* e : snap.responsible(desc_id)) {
+        pr.servers.push_back(e->server);
+        responsible_now.push_back(e->server);
+        ServerStats& s = stats[e->server];
+        ++s.periods_responsible;
+        if (switched_this_period[e->server])
+          ++s.switches_before_responsible;
+        // "Responsible right when it first appeared" — meaningless on the
+        // archive's opening snapshot, where *everything* is new.
+        if (!first_snapshot && !seen_before[e->server])
+          s.responsible_on_first_appearance = true;
+        const double distance =
+            crypto::ring_distance(desc_id, e->fingerprint);
+        if (distance > 0.0) {
+          const double ratio = snap.average_gap() / distance;
+          s.max_ratio = std::max(s.max_ratio, ratio);
+        }
+      }
+    }
+    period_resp.push_back(std::move(pr));
+
+    // Consecutive-period runs.
+    std::sort(responsible_now.begin(), responsible_now.end());
+    responsible_now.erase(
+        std::unique(responsible_now.begin(), responsible_now.end()),
+        responsible_now.end());
+    for (auto& [server, run] : consecutive_run)
+      if (!std::binary_search(responsible_now.begin(), responsible_now.end(),
+                              server))
+        run = 0;
+    for (std::uint32_t server : responsible_now) {
+      std::int64_t& run = consecutive_run[server];
+      ++run;
+      ServerStats& s = stats[server];
+      s.max_consecutive_periods = std::max(s.max_consecutive_periods, run);
+    }
+
+    for (const SnapshotEntry& e : snap.entries()) seen_before[e.server] = true;
+    first_snapshot = false;
+  }
+
+  report.mean_hsdirs = hsdir_sum / static_cast<double>(report.snapshots);
+  const double p = 6.0 / report.mean_hsdirs;
+  report.suspicion_threshold =
+      stats::binomial_three_sigma_threshold(report.snapshots, p);
+
+  // Apply the rules.
+  for (auto& [server, s] : stats) {
+    if (s.periods_responsible == 0) continue;
+    SuspicionFlags flags;
+    flags.over_three_sigma = static_cast<double>(s.periods_responsible) >
+                             report.suspicion_threshold;
+    flags.switched_before_responsible =
+        s.switches_before_responsible >=
+        config_.min_switches_before_responsible;
+    flags.immediate_responsibility = s.responsible_on_first_appearance;
+    flags.positioned = s.max_ratio > config_.ratio_threshold;
+    flags.consecutive = s.max_consecutive_periods >= 2;
+    if (flags.count() < config_.min_flags) continue;
+    SuspiciousServer out;
+    out.stats = s;
+    out.flags = flags;
+    out.name = history.server(server).name;
+    out.truth_campaign = history.server(server).truth_campaign;
+    report.suspicious.push_back(std::move(out));
+  }
+  std::sort(report.suspicious.begin(), report.suspicious.end(),
+            [](const SuspiciousServer& a, const SuspiciousServer& b) {
+              if (a.flags.count() != b.flags.count())
+                return a.flags.count() > b.flags.count();
+              return a.stats.periods_responsible >
+                     b.stats.periods_responsible;
+            });
+
+  // Cluster suspicious servers by shared name stems.
+  std::map<std::string, CampaignCluster> clusters;
+  std::unordered_map<std::uint32_t, const SuspiciousServer*> suspicious_by_id;
+  for (const SuspiciousServer& s : report.suspicious)
+    suspicious_by_id[s.stats.server] = &s;
+  for (const SuspiciousServer& s : report.suspicious) {
+    const std::string stem = name_stem(s.name);
+    CampaignCluster& cluster = clusters[stem];
+    cluster.shared_prefix = stem;
+    cluster.servers.push_back(s.stats.server);
+    cluster.max_ratio = std::max(cluster.max_ratio, s.stats.max_ratio);
+  }
+  // Fill cluster time spans / coverage from the responsibility log.
+  for (const auto& pr : period_resp) {
+    std::map<std::string, int> cluster_slots;
+    for (std::uint32_t server : pr.servers) {
+      const auto it = suspicious_by_id.find(server);
+      if (it == suspicious_by_id.end()) continue;
+      ++cluster_slots[name_stem(it->second->name)];
+    }
+    bool all_six_suspicious =
+        pr.servers.size() >= 6;
+    int suspicious_slots = 0;
+    for (std::uint32_t server : pr.servers)
+      if (suspicious_by_id.count(server)) ++suspicious_slots;
+    if (all_six_suspicious &&
+        suspicious_slots == static_cast<int>(pr.servers.size()))
+      ++report.full_takeover_periods;
+    for (auto& [stem, slots] : cluster_slots) {
+      CampaignCluster& cluster = clusters[stem];
+      if (cluster.first_seen == 0) cluster.first_seen = pr.time;
+      cluster.last_seen = pr.time;
+      ++cluster.periods_covered;
+      if (slots >= 6) cluster.full_takeover = true;
+    }
+  }
+  // Clusters are the paper's evidence unit for *coordinated* campaigns:
+  // only name stems shared by at least two suspicious servers qualify
+  // (lone suspects remain in `suspicious`).
+  for (auto& [stem, cluster] : clusters)
+    if (cluster.servers.size() >= 2) report.clusters.push_back(cluster);
+  std::sort(report.clusters.begin(), report.clusters.end(),
+            [](const CampaignCluster& a, const CampaignCluster& b) {
+              return a.periods_covered > b.periods_covered;
+            });
+  return report;
+}
+
+}  // namespace torsim::trackdet

@@ -1,0 +1,40 @@
+// The paper's Silk Road case study as a ready-made scenario: a
+// 1 Feb 2011 – 31 Oct 2013 synthetic consensus history containing the
+// year-one "strange server" oddity and the three tracking episodes
+// Sec. VII reports:
+//   * the authors' own measurement relays (2012, fingerprint switches
+//     with distance ratios above 100),
+//   * the 21 May – 3 Jun 2013 campaign (name-sharing server set seizing
+//     1 of 6 slots, skipping 4 periods, ratios above 10,000),
+//   * the 31 Aug 2013 takeover (6 relays on 3 IPs holding all 6
+//     responsible slots for one period, a month before the FBI
+//     takedown).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trackdet/detector.hpp"
+#include "trackdet/history_simulator.hpp"
+
+namespace torsim::trackdet {
+
+/// The target stand-in for silkroadvb5piz3r.onion (a fixed synthetic
+/// permanent id; the real key is unknown).
+crypto::PermanentId silkroad_target();
+
+/// The three campaigns, with the paper's dates.
+std::vector<CampaignSpec> silkroad_campaigns();
+
+/// Convenience: simulate the full history and analyze it.
+struct SilkroadStudy {
+  HsDirHistory history;
+  TrackingReport report;
+  /// report restricted per calendar year (2011 / 2012 / 2013), matching
+  /// the paper's year-by-year analysis.
+  std::vector<TrackingReport> yearly;
+};
+
+SilkroadStudy run_silkroad_study(std::uint64_t seed = 7);
+
+}  // namespace torsim::trackdet

@@ -1,0 +1,93 @@
+#include "util/encoding.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace torsim::util {
+namespace {
+
+constexpr std::string_view kBase32Alphabet = "abcdefghijklmnopqrstuvwxyz234567";
+
+std::array<int, 256> build_base32_reverse() {
+  std::array<int, 256> rev{};
+  rev.fill(-1);
+  for (int i = 0; i < 32; ++i) {
+    rev[static_cast<unsigned char>(kBase32Alphabet[i])] = i;
+    rev[static_cast<unsigned char>(kBase32Alphabet[i] - 'a' + 'A')] = i;
+  }
+  return rev;
+}
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string base32_encode(std::span<const std::uint8_t> data) {
+  std::string out;
+  out.reserve((data.size() * 8 + 4) / 5);
+  std::uint32_t buffer = 0;
+  int bits = 0;
+  for (std::uint8_t byte : data) {
+    buffer = (buffer << 8) | byte;
+    bits += 8;
+    while (bits >= 5) {
+      out.push_back(kBase32Alphabet[(buffer >> (bits - 5)) & 0x1f]);
+      bits -= 5;
+    }
+  }
+  if (bits > 0) out.push_back(kBase32Alphabet[(buffer << (5 - bits)) & 0x1f]);
+  return out;
+}
+
+std::vector<std::uint8_t> base32_decode(std::string_view text) {
+  static const std::array<int, 256> rev = build_base32_reverse();
+  std::vector<std::uint8_t> out;
+  out.reserve(text.size() * 5 / 8);
+  std::uint32_t buffer = 0;
+  int bits = 0;
+  for (char c : text) {
+    const int v = rev[static_cast<unsigned char>(c)];
+    if (v < 0) throw std::invalid_argument("base32_decode: bad character");
+    buffer = (buffer << 5) | static_cast<std::uint32_t>(v);
+    bits += 5;
+    if (bits >= 8) {
+      out.push_back(static_cast<std::uint8_t>((buffer >> (bits - 8)) & 0xff));
+      bits -= 8;
+    }
+  }
+  if (bits > 0 && (buffer & ((1u << bits) - 1)) != 0)
+    throw std::invalid_argument("base32_decode: nonzero trailing bits");
+  return out;
+}
+
+std::string hex_encode(std::span<const std::uint8_t> data) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0xf]);
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> hex_decode(std::string_view text) {
+  if (text.size() % 2 != 0)
+    throw std::invalid_argument("hex_decode: odd length");
+  std::vector<std::uint8_t> out;
+  out.reserve(text.size() / 2);
+  for (std::size_t i = 0; i < text.size(); i += 2) {
+    const int hi = hex_digit(text[i]);
+    const int lo = hex_digit(text[i + 1]);
+    if (hi < 0 || lo < 0) throw std::invalid_argument("hex_decode: bad digit");
+    out.push_back(static_cast<std::uint8_t>(hi << 4 | lo));
+  }
+  return out;
+}
+
+}  // namespace torsim::util

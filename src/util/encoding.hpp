@@ -1,0 +1,30 @@
+// Encodings used by the Tor protocol surface:
+//  - base32 (RFC 4648 alphabet, lowercase, unpadded) for .onion addresses
+//    and descriptor IDs;
+//  - base16 (lowercase hex) for relay fingerprints in directory documents.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace torsim::util {
+
+/// Encodes bytes as lowercase unpadded RFC 4648 base32, exactly as Tor
+/// renders .onion addresses (10 bytes -> 16 chars).
+std::string base32_encode(std::span<const std::uint8_t> data);
+
+/// Decodes lowercase/uppercase base32; throws std::invalid_argument on any
+/// character outside the alphabet. The input length must be a multiple of
+/// 8 bits' worth of full bytes (i.e. leftover bits must be zero).
+std::vector<std::uint8_t> base32_decode(std::string_view text);
+
+/// Lowercase hex.
+std::string hex_encode(std::span<const std::uint8_t> data);
+
+/// Decodes hex (either case); throws std::invalid_argument on bad input.
+std::vector<std::uint8_t> hex_decode(std::string_view text);
+
+}  // namespace torsim::util

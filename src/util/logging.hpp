@@ -1,0 +1,53 @@
+// Minimal leveled logger. The simulator is deterministic and mostly
+// silent; logging exists for examples and debugging, defaulting to WARN.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace torsim::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line to stderr with a level prefix (thread-safe enough for our
+/// single-threaded simulator; serialised via a local mutex anyway).
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+}  // namespace torsim::util
+
+#define TORSIM_LOG(level)                                      \
+  if (static_cast<int>(level) < static_cast<int>(::torsim::util::log_level())) \
+    ;                                                          \
+  else                                                         \
+    ::torsim::util::detail::LogStream(level)
+
+#define TORSIM_DEBUG() TORSIM_LOG(::torsim::util::LogLevel::kDebug)
+#define TORSIM_INFO() TORSIM_LOG(::torsim::util::LogLevel::kInfo)
+#define TORSIM_WARN() TORSIM_LOG(::torsim::util::LogLevel::kWarn)
+#define TORSIM_ERROR() TORSIM_LOG(::torsim::util::LogLevel::kError)

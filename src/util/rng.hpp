@@ -1,0 +1,91 @@
+// Deterministic PRNG for the whole simulator.
+//
+// Every stochastic component takes an explicit `Rng&` (or derives a child
+// stream via `fork`), so a scenario seed fully determines the run. We use
+// xoshiro256** seeded via SplitMix64 — fast, well distributed, and easy to
+// reimplement for cross-checking.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace torsim::util {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** PRNG with convenience distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four lanes via SplitMix64 from one 64-bit seed.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Raw 64 uniformly distributed bits.
+  std::uint64_t next();
+
+  // UniformRandomBitGenerator interface (usable with <algorithm>).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next(); }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Poisson-distributed count with the given mean (>= 0).
+  /// Uses inversion for small means and PTRD-free normal approximation
+  /// for large means (fine for simulation purposes).
+  std::int64_t poisson(double mean);
+
+  /// Exponentially distributed waiting time with the given rate (> 0).
+  double exponential(double rate);
+
+  /// Standard normal via Box–Muller.
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Geometric: number of failures before first success, p in (0,1].
+  std::int64_t geometric(double p);
+
+  /// Picks a uniformly random element index for a container of size n (> 0).
+  std::size_t index(std::size_t n);
+
+  /// Picks a uniformly random element from a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    if (v.empty()) throw std::invalid_argument("Rng::pick: empty vector");
+    return v[index(v.size())];
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = index(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child stream; children with distinct labels
+  /// are decorrelated from the parent and from each other.
+  Rng fork(std::uint64_t label);
+
+  /// Fills `out` with random bytes (for surrogate key material).
+  void fill_bytes(std::uint8_t* out, std::size_t n);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace torsim::util

@@ -1,0 +1,110 @@
+#include "util/time.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace torsim::util {
+namespace {
+
+constexpr bool is_leap(int y) {
+  return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0;
+}
+
+constexpr int days_in_month(int y, int m) {
+  constexpr int kDays[12] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (m == 2 && is_leap(y)) return 29;
+  return kDays[m - 1];
+}
+
+// Days from 1970-01-01 to y-m-d (civil). Howard Hinnant's algorithm.
+constexpr std::int64_t days_from_civil(int y, int m, int d) {
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      static_cast<unsigned>((153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1);
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+}  // namespace
+
+UnixTime make_utc(int year, int month, int day, int hour, int minute,
+                  int second) {
+  if (year < 1970 || year > 9999) throw std::out_of_range("year out of range");
+  if (month < 1 || month > 12) throw std::out_of_range("month out of range");
+  if (day < 1 || day > days_in_month(year, month))
+    throw std::out_of_range("day out of range");
+  if (hour < 0 || hour > 23 || minute < 0 || minute > 59 || second < 0 ||
+      second > 59)
+    throw std::out_of_range("time-of-day out of range");
+  return days_from_civil(year, month, day) * kSecondsPerDay +
+         hour * kSecondsPerHour + minute * kSecondsPerMinute + second;
+}
+
+CivilTime civil_from_unix(UnixTime t) {
+  std::int64_t days = t / kSecondsPerDay;
+  std::int64_t rem = t % kSecondsPerDay;
+  if (rem < 0) {
+    rem += kSecondsPerDay;
+    --days;
+  }
+  // Inverse of days_from_civil (Howard Hinnant).
+  days += 719468;
+  const std::int64_t era = (days >= 0 ? days : days - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(days - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : -9);
+
+  CivilTime c;
+  c.year = static_cast<int>(y + (m <= 2 ? 1 : 0));
+  c.month = static_cast<int>(m);
+  c.day = static_cast<int>(d);
+  c.hour = static_cast<int>(rem / kSecondsPerHour);
+  c.minute = static_cast<int>(rem % kSecondsPerHour / kSecondsPerMinute);
+  c.second = static_cast<int>(rem % kSecondsPerMinute);
+  return c;
+}
+
+std::string format_utc(UnixTime t) {
+  const CivilTime c = civil_from_unix(t);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02d %02d:%02d:%02d", c.year,
+                c.month, c.day, c.hour, c.minute, c.second);
+  return buf;
+}
+
+UnixTime parse_utc(std::string_view text) {
+  // Strict "YYYY-MM-DD HH:MM:SS".
+  if (text.size() != 19 || text[4] != '-' || text[7] != '-' ||
+      text[10] != ' ' || text[13] != ':' || text[16] != ':')
+    throw std::invalid_argument("parse_utc: bad shape");
+  const auto number = [&](std::size_t pos, std::size_t len) {
+    int value = 0;
+    for (std::size_t i = pos; i < pos + len; ++i) {
+      const char c = text[i];
+      if (c < '0' || c > '9')
+        throw std::invalid_argument("parse_utc: non-digit");
+      value = value * 10 + (c - '0');
+    }
+    return value;
+  };
+  return make_utc(number(0, 4), number(5, 2), number(8, 2), number(11, 2),
+                  number(14, 2), number(17, 2));
+}
+
+void Clock::advance(Seconds dt) {
+  if (dt < 0) throw std::invalid_argument("Clock::advance: negative dt");
+  now_ += dt;
+}
+
+void Clock::set(UnixTime t) {
+  if (t < now_) throw std::invalid_argument("Clock::set: time went backwards");
+  now_ = t;
+}
+
+}  // namespace torsim::util

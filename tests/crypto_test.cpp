@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "crypto/digest.hpp"
+#include "crypto/keypair.hpp"
+#include "crypto/sha1.hpp"
+#include "util/encoding.hpp"
+
+namespace torsim::crypto {
+namespace {
+
+// ---------------------------------------------------------------------
+// SHA-1 against FIPS 180-4 / RFC 3174 vectors
+// ---------------------------------------------------------------------
+
+TEST(Sha1Test, EmptyString) {
+  EXPECT_EQ(sha1_hex(sha1("")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1Test, Abc) {
+  EXPECT_EQ(sha1_hex(sha1("abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1Test, TwoBlockMessage) {
+  EXPECT_EQ(
+      sha1_hex(sha1("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+      "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1Test, QuickBrownFox) {
+  EXPECT_EQ(sha1_hex(sha1("The quick brown fox jumps over the lazy dog")),
+            "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12");
+}
+
+TEST(Sha1Test, MillionAs) {
+  Sha1 hasher;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) hasher.update(chunk);
+  EXPECT_EQ(sha1_hex(hasher.finalize()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1Test, IncrementalMatchesOneShot) {
+  const std::string msg = "the quick brown fox jumps over the lazy dog etc";
+  for (std::size_t cut = 0; cut <= msg.size(); ++cut) {
+    Sha1 hasher;
+    hasher.update(std::string_view(msg).substr(0, cut));
+    hasher.update(std::string_view(msg).substr(cut));
+    EXPECT_EQ(hasher.finalize(), sha1(msg)) << "cut=" << cut;
+  }
+}
+
+TEST(Sha1Test, BlockBoundaryLengths) {
+  // 55/56/57, 63/64/65 bytes exercise the padding edge cases.
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 128u}) {
+    const std::string msg(len, 'x');
+    Sha1 incremental;
+    for (char c : msg) incremental.update(std::string_view(&c, 1));
+    EXPECT_EQ(incremental.finalize(), sha1(msg)) << "len=" << len;
+  }
+}
+
+TEST(Sha1Test, ResetAllowsReuse) {
+  Sha1 hasher;
+  hasher.update("garbage");
+  (void)hasher.finalize();
+  hasher.reset();
+  hasher.update("abc");
+  EXPECT_EQ(sha1_hex(hasher.finalize()),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1Test, UseAfterFinalizeThrows) {
+  Sha1 hasher;
+  hasher.update("abc");
+  (void)hasher.finalize();
+  EXPECT_THROW(hasher.update("x"), std::logic_error);
+  EXPECT_THROW(hasher.finalize(), std::logic_error);
+}
+
+// ---------------------------------------------------------------------
+// KeyPair
+// ---------------------------------------------------------------------
+
+TEST(KeyPairTest, DeterministicFromSeed) {
+  util::Rng a(99), b(99);
+  EXPECT_EQ(KeyPair::generate(a).fingerprint(),
+            KeyPair::generate(b).fingerprint());
+}
+
+TEST(KeyPairTest, DistinctKeysDistinctFingerprints) {
+  util::Rng rng(100);
+  const auto k1 = KeyPair::generate(rng);
+  const auto k2 = KeyPair::generate(rng);
+  EXPECT_NE(k1.fingerprint(), k2.fingerprint());
+}
+
+TEST(KeyPairTest, FingerprintIsSha1OfPublicBytes) {
+  util::Rng rng(101);
+  const auto key = KeyPair::generate(rng);
+  EXPECT_EQ(key.fingerprint(),
+            sha1(std::span<const std::uint8_t>(key.public_bytes())));
+  EXPECT_EQ(key.public_bytes().size(), kPublicKeyBytes);
+}
+
+TEST(KeyPairTest, FromPublicBytesRoundTrip) {
+  util::Rng rng(102);
+  const auto key = KeyPair::generate(rng);
+  const auto rebuilt = KeyPair::from_public_bytes(key.public_bytes());
+  EXPECT_EQ(rebuilt.fingerprint(), key.fingerprint());
+  EXPECT_THROW(KeyPair::from_public_bytes({}), std::invalid_argument);
+}
+
+TEST(KeyPairTest, FingerprintHexIs40Chars) {
+  util::Rng rng(103);
+  EXPECT_EQ(KeyPair::generate(rng).fingerprint_hex().size(), 40u);
+}
+
+// ---------------------------------------------------------------------
+// Onion addresses & descriptor IDs (rend-spec v2)
+// ---------------------------------------------------------------------
+
+TEST(DigestTest, OnionAddressShape) {
+  util::Rng rng(104);
+  const auto key = KeyPair::generate(rng);
+  const auto id = permanent_id_from_fingerprint(key.fingerprint());
+  const std::string onion = onion_address(id);
+  EXPECT_EQ(onion.size(), 16u);
+  for (char c : onion)
+    EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '2' && c <= '7')) << onion;
+  EXPECT_EQ(onion_address_full(id), onion + ".onion");
+}
+
+TEST(DigestTest, ParseOnionRoundTrip) {
+  util::Rng rng(105);
+  const auto key = KeyPair::generate(rng);
+  const auto id = permanent_id_from_fingerprint(key.fingerprint());
+  EXPECT_EQ(parse_onion_address(onion_address(id)), id);
+  EXPECT_EQ(parse_onion_address(onion_address_full(id)), id);
+}
+
+TEST(DigestTest, ParseOnionRejectsBadInput) {
+  EXPECT_THROW(parse_onion_address("tooshort"), std::invalid_argument);
+  EXPECT_THROW(parse_onion_address("0123456789abcdef"),  // '0' not base32
+               std::invalid_argument);
+}
+
+TEST(DigestTest, KnownOnionFromTable2) {
+  // Decoding a real Table II address and re-encoding must round-trip
+  // (sanity for the base32 alphabet against real-world onions).
+  const auto id = parse_onion_address("silkroadvb5piz3r.onion");
+  EXPECT_EQ(onion_address(id), "silkroadvb5piz3r");
+}
+
+TEST(DigestTest, TimePeriodMatchesSpecFormula) {
+  PermanentId id{};
+  id[0] = 0;  // no offset
+  EXPECT_EQ(time_period(86400 * 100 + 5, id), 100u);
+  id[0] = 255;
+  // offset = 255*86400/256 = 86062 -> pushes over the boundary
+  EXPECT_EQ(time_period(86400 * 100 + 400, id), 101u);
+}
+
+TEST(DigestTest, TimePeriodRotatesDaily) {
+  util::Rng rng(106);
+  const auto key = KeyPair::generate(rng);
+  const auto id = permanent_id_from_fingerprint(key.fingerprint());
+  const util::UnixTime t = util::make_utc(2013, 2, 4);
+  EXPECT_EQ(time_period(t, id) + 1, time_period(t + util::kSecondsPerDay, id));
+}
+
+TEST(DigestTest, SecondsUntilRotationConsistent) {
+  util::Rng rng(107);
+  for (int i = 0; i < 20; ++i) {
+    const auto key = KeyPair::generate(rng);
+    const auto id = permanent_id_from_fingerprint(key.fingerprint());
+    const util::UnixTime t = util::make_utc(2013, 2, 4, 13, 22, 7);
+    const auto remaining = seconds_until_rotation(t, id);
+    EXPECT_GT(remaining, 0);
+    EXPECT_LE(remaining, util::kSecondsPerDay);
+    EXPECT_EQ(time_period(t, id), time_period(t + remaining - 1, id));
+    EXPECT_EQ(time_period(t, id) + 1, time_period(t + remaining, id));
+  }
+}
+
+TEST(DigestTest, DescriptorIdDependsOnAllInputs) {
+  util::Rng rng(108);
+  const auto key = KeyPair::generate(rng);
+  const auto id = permanent_id_from_fingerprint(key.fingerprint());
+  const auto d0 = descriptor_id(id, 15000, 0);
+  EXPECT_EQ(d0, descriptor_id(id, 15000, 0));  // deterministic
+  EXPECT_NE(d0, descriptor_id(id, 15000, 1));  // replica matters
+  EXPECT_NE(d0, descriptor_id(id, 15001, 0));  // period matters
+  const auto other = KeyPair::generate(rng);
+  EXPECT_NE(d0, descriptor_id(
+                    permanent_id_from_fingerprint(other.fingerprint()), 15000,
+                    0));  // identity matters
+}
+
+TEST(DigestTest, DescriptorIdMatchesManualSpecComputation) {
+  util::Rng rng(109);
+  const auto key = KeyPair::generate(rng);
+  const auto id = permanent_id_from_fingerprint(key.fingerprint());
+  const std::uint32_t period = 15741;
+  const std::uint8_t replica = 1;
+  // Manual: SHA1(id || SHA1(INT4(period) || replica)).
+  std::vector<std::uint8_t> inner = {
+      static_cast<std::uint8_t>(period >> 24),
+      static_cast<std::uint8_t>(period >> 16),
+      static_cast<std::uint8_t>(period >> 8),
+      static_cast<std::uint8_t>(period), replica};
+  const auto secret = sha1(std::span<const std::uint8_t>(inner));
+  std::vector<std::uint8_t> outer(id.begin(), id.end());
+  outer.insert(outer.end(), secret.begin(), secret.end());
+  EXPECT_EQ(descriptor_id(id, period, replica),
+            sha1(std::span<const std::uint8_t>(outer)));
+}
+
+// ---------------------------------------------------------------------
+// U160 ring arithmetic
+// ---------------------------------------------------------------------
+
+Sha1Digest digest_from_hex(std::string_view hex) {
+  const auto bytes = util::hex_decode(hex);
+  Sha1Digest d{};
+  std::copy(bytes.begin(), bytes.end(), d.begin());
+  return d;
+}
+
+TEST(U160Test, OrderingMatchesBigEndianBytes) {
+  const auto lo = digest_from_hex("0000000000000000000000000000000000000001");
+  const auto hi = digest_from_hex("8000000000000000000000000000000000000000");
+  EXPECT_LT(U160(lo), U160(hi));
+  EXPECT_GT(U160(hi), U160(lo));
+  EXPECT_EQ(U160(lo), U160(lo));
+}
+
+TEST(U160Test, DigestRoundTrip) {
+  util::Rng rng(110);
+  for (int i = 0; i < 50; ++i) {
+    Sha1Digest d;
+    rng.fill_bytes(d.data(), d.size());
+    EXPECT_EQ(U160(d).to_digest(), d);
+  }
+}
+
+TEST(U160Test, RingDistanceSimple) {
+  const auto a = digest_from_hex("0000000000000000000000000000000000000005");
+  const auto b = digest_from_hex("000000000000000000000000000000000000000a");
+  EXPECT_DOUBLE_EQ(ring_distance(a, b), 5.0);
+}
+
+TEST(U160Test, RingDistanceWrapsAround) {
+  const auto a = digest_from_hex("ffffffffffffffffffffffffffffffffffffffff");
+  const auto b = digest_from_hex("0000000000000000000000000000000000000004");
+  EXPECT_DOUBLE_EQ(ring_distance(a, b), 5.0);  // wraps through zero
+}
+
+TEST(U160Test, DistancesAreComplementary) {
+  util::Rng rng(111);
+  const double ring = std::ldexp(1.0, 160);
+  for (int i = 0; i < 20; ++i) {
+    Sha1Digest a, b;
+    rng.fill_bytes(a.data(), a.size());
+    rng.fill_bytes(b.data(), b.size());
+    if (a == b) continue;
+    const double ab = ring_distance(a, b);
+    const double ba = ring_distance(b, a);
+    EXPECT_NEAR((ab + ba) / ring, 1.0, 1e-9);
+  }
+}
+
+TEST(U160Test, AddInverseOfDistance) {
+  util::Rng rng(112);
+  for (int i = 0; i < 20; ++i) {
+    Sha1Digest a, b;
+    rng.fill_bytes(a.data(), a.size());
+    rng.fill_bytes(b.data(), b.size());
+    const U160 ua(a), ub(b);
+    const U160 diff = ub.ring_distance_from(ua);
+    EXPECT_EQ(ua.add(diff), ub);
+  }
+}
+
+TEST(U160Test, FromU64) {
+  EXPECT_DOUBLE_EQ(U160::from_u64(12345).to_double(), 12345.0);
+  EXPECT_LT(U160::from_u64(1), U160::from_u64(2));
+}
+
+}  // namespace
+}  // namespace torsim::crypto

@@ -1,0 +1,264 @@
+#include <gtest/gtest.h>
+
+#include "dirauth/authority.hpp"
+#include "dirspec/consensus_doc.hpp"
+#include "dirspec/descriptor_doc.hpp"
+#include "relay/registry.hpp"
+#include "sim/world.hpp"
+
+namespace torsim::dirspec {
+namespace {
+
+constexpr util::UnixTime kT0 = 1359676800;
+
+dirauth::Consensus sample_consensus(int relays = 12) {
+  util::Rng rng(1);
+  relay::Registry registry;
+  dirauth::Authority authority;
+  for (int i = 0; i < relays; ++i) {
+    relay::RelayConfig rc;
+    rc.nickname = "node" + std::to_string(i);
+    rc.address = net::Ipv4::random_public(rng);
+    rc.bandwidth_kbps = 100.0 + i;
+    const auto id = registry.create(rc, rng, kT0 - 30 * 3600);
+    registry.get(id).set_online(true, kT0 - 30 * 3600);
+  }
+  return authority.build_consensus(registry, kT0);
+}
+
+// ---------------------------------------------------------------------
+// time parsing (added for dirspec)
+// ---------------------------------------------------------------------
+
+TEST(ParseUtcTest, RoundTrip) {
+  for (util::UnixTime t : {0L, 1359936000L, 1696204800L}) {
+    EXPECT_EQ(util::parse_utc(util::format_utc(t)), t);
+  }
+}
+
+TEST(ParseUtcTest, RejectsMalformed) {
+  EXPECT_THROW(util::parse_utc("2013-02-04"), std::invalid_argument);
+  EXPECT_THROW(util::parse_utc("2013/02/04 10:00:00"), std::invalid_argument);
+  EXPECT_THROW(util::parse_utc("2013-13-04 10:00:00"), std::out_of_range);
+  EXPECT_THROW(util::parse_utc("2013-02-04 10:00:0x"), std::invalid_argument);
+}
+
+TEST(FlagsFromStringTest, RoundTrip) {
+  dirauth::FlagSet set = 0;
+  set = with_flag(set, dirauth::Flag::kFast);
+  set = with_flag(set, dirauth::Flag::kHSDir);
+  set = with_flag(set, dirauth::Flag::kRunning);
+  EXPECT_EQ(dirauth::flags_from_string(dirauth::flags_to_string(set)), set);
+  EXPECT_EQ(dirauth::flags_from_string(""), 0);
+  EXPECT_THROW(dirauth::flags_from_string("Bogus"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// consensus documents
+// ---------------------------------------------------------------------
+
+TEST(ConsensusDocTest, RenderContainsExpectedLines) {
+  const auto consensus = sample_consensus(3);
+  const auto text = render_consensus(consensus);
+  EXPECT_NE(text.find("network-status-version 3"), std::string::npos);
+  EXPECT_NE(text.find("valid-after 2013-02-01 00:00:00"), std::string::npos);
+  EXPECT_NE(text.find("directory-footer"), std::string::npos);
+  EXPECT_NE(text.find("w Bandwidth="), std::string::npos);
+}
+
+TEST(ConsensusDocTest, RoundTripPreservesEverything) {
+  const auto consensus = sample_consensus();
+  const auto parsed = parse_consensus(render_consensus(consensus));
+  EXPECT_EQ(parsed.valid_after(), consensus.valid_after());
+  ASSERT_EQ(parsed.size(), consensus.size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    const auto& a = parsed.entries()[i];
+    const auto& b = consensus.entries()[i];
+    EXPECT_EQ(a.fingerprint, b.fingerprint);
+    EXPECT_EQ(a.nickname, b.nickname);
+    EXPECT_EQ(a.address, b.address);
+    EXPECT_EQ(a.or_port, b.or_port);
+    EXPECT_EQ(a.flags, b.flags);
+    EXPECT_NEAR(a.bandwidth_kbps, b.bandwidth_kbps, 0.5);
+  }
+  EXPECT_EQ(parsed.hsdir_count(), consensus.hsdir_count());
+}
+
+TEST(ConsensusDocTest, RoundTripPreservesRingSemantics) {
+  const auto consensus = sample_consensus(20);
+  const auto parsed = parse_consensus(render_consensus(consensus));
+  crypto::DescriptorId id{};
+  id[0] = 0x5a;
+  const auto a = consensus.responsible_hsdirs(id);
+  const auto b = parsed.responsible_hsdirs(id);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a[i]->fingerprint, b[i]->fingerprint);
+}
+
+TEST(ConsensusDocTest, ParseErrorsCarryLineNumbers) {
+  try {
+    parse_consensus("network-status-version 3\nvalid-after nonsense\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& error) {
+    // parse_utc throws its own message here; any exception is fine as
+    // long as parsing fails loudly.
+    SUCCEED();
+  }
+  EXPECT_THROW(parse_consensus("bogus"), std::invalid_argument);
+  EXPECT_THROW(parse_consensus("network-status-version 3\n"
+                               "valid-after 2013-02-01 00:00:00\n"
+                               "r only three fields\n"),
+               std::invalid_argument);
+}
+
+TEST(ConsensusDocTest, ParseRejectsMissingFooter) {
+  const auto consensus = sample_consensus(2);
+  auto text = render_consensus(consensus);
+  text = text.substr(0, text.find("directory-footer"));
+  EXPECT_THROW(parse_consensus(text), std::invalid_argument);
+}
+
+TEST(ConsensusDocTest, ArchiveRoundTrip) {
+  sim::WorldConfig wc;
+  wc.seed = 3;
+  wc.honest_relays = 40;
+  sim::World world(wc);
+  world.run_hours(5);
+  const auto text = render_archive(world.archive());
+  const auto parsed = parse_archive(text);
+  ASSERT_EQ(parsed.size(), world.archive().size());
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    EXPECT_EQ(parsed.at(i).valid_after(), world.archive().at(i).valid_after());
+    EXPECT_EQ(parsed.at(i).size(), world.archive().at(i).size());
+  }
+}
+
+TEST(ConsensusDocTest, EmptyArchiveParses) {
+  EXPECT_EQ(parse_archive("").size(), 0u);
+  EXPECT_EQ(parse_archive("\n\n").size(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// descriptor documents
+// ---------------------------------------------------------------------
+
+TEST(DescriptorDocTest, RoundTrip) {
+  util::Rng rng(4);
+  const auto key = crypto::KeyPair::generate(rng);
+  std::vector<crypto::Fingerprint> intro;
+  for (int i = 0; i < 3; ++i) {
+    crypto::Fingerprint fp;
+    rng.fill_bytes(fp.data(), fp.size());
+    intro.push_back(fp);
+  }
+  const auto original = hsdir::make_descriptor(key, intro, 1, kT0);
+  const auto parsed = parse_descriptor(render_descriptor(original));
+  EXPECT_EQ(parsed.descriptor_id, original.descriptor_id);
+  EXPECT_EQ(parsed.permanent_id, original.permanent_id);
+  EXPECT_EQ(parsed.service_public_key, original.service_public_key);
+  EXPECT_EQ(parsed.introduction_points, original.introduction_points);
+  EXPECT_EQ(parsed.replica, original.replica);
+  EXPECT_EQ(parsed.time_period, original.time_period);
+  EXPECT_EQ(parsed.published, original.published);
+  EXPECT_EQ(parsed.onion_address(), original.onion_address());
+}
+
+TEST(DescriptorDocTest, NoIntroPointsRoundTrip) {
+  util::Rng rng(5);
+  const auto key = crypto::KeyPair::generate(rng);
+  const auto original = hsdir::make_descriptor(key, {}, 0, kT0);
+  const auto parsed = parse_descriptor(render_descriptor(original));
+  EXPECT_TRUE(parsed.introduction_points.empty());
+}
+
+TEST(DescriptorDocTest, DetectsForgedDescriptorId) {
+  util::Rng rng(6);
+  const auto key = crypto::KeyPair::generate(rng);
+  auto descriptor = hsdir::make_descriptor(key, {}, 0, kT0);
+  // Tamper: claim a different descriptor id.
+  descriptor.descriptor_id[0] ^= 0xff;
+  EXPECT_THROW(parse_descriptor(render_descriptor(descriptor)),
+               std::invalid_argument);
+}
+
+TEST(DescriptorDocTest, DetectsWrongReplica) {
+  util::Rng rng(7);
+  const auto key = crypto::KeyPair::generate(rng);
+  auto descriptor = hsdir::make_descriptor(key, {}, 0, kT0);
+  auto text = render_descriptor(descriptor);
+  // Flip the replica field only: id check must fail.
+  const auto pos = text.find(":0\n");
+  ASSERT_NE(pos, std::string::npos);
+  text[pos + 1] = '1';
+  EXPECT_THROW(parse_descriptor(text), std::invalid_argument);
+}
+
+TEST(DescriptorDocTest, RejectsTruncated) {
+  EXPECT_THROW(parse_descriptor(""), std::invalid_argument);
+  EXPECT_THROW(parse_descriptor("rendezvous-service-descriptor abc\n"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace torsim::dirspec
+
+namespace torsim::dirspec {
+namespace {
+
+// ---------------------------------------------------------------------
+// mutation robustness: random single-byte corruptions of a rendered
+// document must never crash the parser — they either parse to something
+// (benign field change) or throw invalid_argument.
+// ---------------------------------------------------------------------
+
+class ParserMutationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParserMutationTest, ConsensusParserNeverCrashes) {
+  const auto consensus = sample_consensus(6);
+  const std::string text = render_consensus(consensus);
+  util::Rng rng(9000 + static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = text;
+    const auto pos = rng.index(mutated.size());
+    mutated[pos] = static_cast<char>(rng.uniform_int(32, 126));
+    try {
+      const auto parsed = parse_consensus(mutated);
+      // If it parsed, basic invariants still hold.
+      for (std::size_t i = 1; i < parsed.size(); ++i)
+        EXPECT_LE(parsed.entries()[i - 1].fingerprint,
+                  parsed.entries()[i].fingerprint);
+    } catch (const std::invalid_argument&) {
+      // Rejection is the expected outcome for most mutations.
+    } catch (const std::out_of_range&) {
+      // e.g. a corrupted date field.
+    }
+  }
+}
+
+TEST_P(ParserMutationTest, DescriptorParserNeverCrashes) {
+  util::Rng key_rng(9100 + static_cast<std::uint64_t>(GetParam()));
+  const auto key = crypto::KeyPair::generate(key_rng);
+  const auto descriptor = hsdir::make_descriptor(key, {}, 0, kT0);
+  const std::string text = render_descriptor(descriptor);
+  util::Rng rng(9200 + static_cast<std::uint64_t>(GetParam()));
+  int accepted = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = text;
+    const auto pos = rng.index(mutated.size());
+    mutated[pos] = static_cast<char>(rng.uniform_int(32, 126));
+    try {
+      (void)parse_descriptor(mutated);
+      ++accepted;
+    } catch (const std::exception&) {
+    }
+  }
+  // The embedded integrity check (descriptor id vs permanent key) makes
+  // almost every content mutation detectable.
+  EXPECT_LT(accepted, 40);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserMutationTest, ::testing::Range(0, 3));
+
+}  // namespace
+}  // namespace torsim::dirspec

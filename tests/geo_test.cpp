@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "geo/client_map.hpp"
+#include "geo/geoip.hpp"
+
+namespace torsim::geo {
+namespace {
+
+TEST(GeoDatabaseTest, CountryTableSane) {
+  const auto& countries = country_table();
+  EXPECT_GE(countries.size(), 30u);
+  for (const auto& c : countries) {
+    EXPECT_EQ(c.code.size(), 2u);
+    EXPECT_FALSE(c.name.empty());
+    EXPECT_GT(c.weight, 0.0);
+  }
+}
+
+TEST(GeoDatabaseTest, EveryPrefixMapsToACountry) {
+  const auto db = GeoDatabase::standard();
+  for (int a = 0; a < 256; ++a) {
+    const net::Ipv4 ip(static_cast<std::uint32_t>(a) << 24 | 1);
+    EXPECT_FALSE(db.lookup(ip).code.empty());
+  }
+}
+
+TEST(GeoDatabaseTest, SampleAddressRoundTrips) {
+  const auto db = GeoDatabase::standard();
+  util::Rng rng(1);
+  for (const char* code : {"US", "CN", "DE", "BR", "RU"}) {
+    for (int i = 0; i < 50; ++i) {
+      const auto ip = db.sample_address(code, rng);
+      EXPECT_EQ(db.lookup(ip).code, code) << ip.to_string();
+    }
+  }
+}
+
+TEST(GeoDatabaseTest, UnknownCountryThrows) {
+  const auto db = GeoDatabase::standard();
+  util::Rng rng(2);
+  EXPECT_THROW(db.sample_address("XX", rng), std::invalid_argument);
+}
+
+TEST(GeoDatabaseTest, GlobalSamplingFollowsWeights) {
+  const auto db = GeoDatabase::standard();
+  util::Rng rng(3);
+  int china = 0, hungary = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto& country = db.lookup(db.sample_global(rng));
+    if (country.code == "CN") ++china;
+    if (country.code == "HU") ++hungary;
+  }
+  // China (22%) must dwarf Hungary (0.3%).
+  EXPECT_GT(china, 10 * std::max(1, hungary));
+  EXPECT_NEAR(static_cast<double>(china) / n, 0.22, 0.04);
+}
+
+TEST(GeoDatabaseTest, DeterministicForSeed) {
+  const auto a = GeoDatabase::standard(5);
+  const auto b = GeoDatabase::standard(5);
+  for (int p = 0; p < 256; ++p) {
+    const net::Ipv4 ip(static_cast<std::uint32_t>(p) << 24 | 7);
+    EXPECT_EQ(a.lookup(ip).code, b.lookup(ip).code);
+  }
+}
+
+TEST(ClientMapTest, AggregatesByCountry) {
+  const auto db = GeoDatabase::standard();
+  util::Rng rng(4);
+  std::vector<net::Ipv4> clients;
+  for (int i = 0; i < 100; ++i) clients.push_back(db.sample_address("US", rng));
+  for (int i = 0; i < 50; ++i) clients.push_back(db.sample_address("DE", rng));
+  const auto map = build_client_map(clients, db);
+  EXPECT_EQ(map.total_clients, 150);
+  EXPECT_EQ(map.per_country.count("US"), 100);
+  EXPECT_EQ(map.per_country.count("DE"), 50);
+  const auto rows = map.rows();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].code, "US");
+  EXPECT_EQ(rows[0].name, "United States");
+  EXPECT_NEAR(rows[0].share, 2.0 / 3.0, 1e-9);
+}
+
+TEST(ClientMapTest, EmptyInputYieldsEmptyMap) {
+  const auto db = GeoDatabase::standard();
+  const auto map = build_client_map({}, db);
+  EXPECT_EQ(map.total_clients, 0);
+  EXPECT_TRUE(map.rows().empty());
+}
+
+}  // namespace
+}  // namespace torsim::geo

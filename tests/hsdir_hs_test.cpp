@@ -1,0 +1,561 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dirauth/authority.hpp"
+#include "hs/client.hpp"
+#include "hs/guard_manager.hpp"
+#include "hs/service_host.hpp"
+#include "hsdir/directory_network.hpp"
+#include "relay/registry.hpp"
+
+namespace torsim {
+namespace {
+
+constexpr util::UnixTime kT0 = 1359676800;  // 2013-02-01
+
+// Builds a small all-HSDir consensus world fragment.
+struct MiniNet {
+  relay::Registry registry;
+  dirauth::Authority authority;
+  dirauth::Consensus consensus;
+  hsdir::DirectoryNetwork dirnet;
+  util::Rng rng{20130204};
+
+  explicit MiniNet(int relays = 30, util::Seconds pre_uptime = 0) {
+    const util::Seconds uptime =
+        pre_uptime != 0 ? pre_uptime : 30 * util::kSecondsPerHour;
+    for (int i = 0; i < relays; ++i) {
+      relay::RelayConfig rc;
+      rc.nickname = "n" + std::to_string(i);
+      rc.address = net::Ipv4::random_public(rng);
+      rc.bandwidth_kbps = 100.0;
+      const auto id = registry.create(rc, rng, kT0 - uptime);
+      registry.get(id).set_online(true, kT0 - uptime);
+    }
+    consensus = authority.build_consensus(registry, kT0);
+  }
+};
+
+// ---------------------------------------------------------------------
+// Descriptor
+// ---------------------------------------------------------------------
+
+TEST(DescriptorTest, MakeDescriptorFieldsConsistent) {
+  util::Rng rng(21);
+  const auto key = crypto::KeyPair::generate(rng);
+  const auto d = hsdir::make_descriptor(key, {}, 1, kT0);
+  EXPECT_EQ(d.replica, 1);
+  EXPECT_EQ(d.published, kT0);
+  EXPECT_EQ(d.permanent_id,
+            crypto::permanent_id_from_fingerprint(key.fingerprint()));
+  EXPECT_EQ(d.time_period, crypto::time_period(kT0, d.permanent_id));
+  EXPECT_EQ(d.descriptor_id,
+            crypto::descriptor_id(d.permanent_id, d.time_period, 1));
+}
+
+TEST(DescriptorTest, OnionAddressRecoverableFromDescriptor) {
+  // The core of the harvesting attack: the descriptor embeds the public
+  // key, from which the onion address is derivable.
+  util::Rng rng(22);
+  const auto key = crypto::KeyPair::generate(rng);
+  const auto d = hsdir::make_descriptor(key, {}, 0, kT0);
+  EXPECT_EQ(d.onion_address(),
+            crypto::onion_address(
+                crypto::permanent_id_from_fingerprint(key.fingerprint())));
+}
+
+// ---------------------------------------------------------------------
+// DescriptorStore
+// ---------------------------------------------------------------------
+
+TEST(DescriptorStoreTest, StoreAndFetch) {
+  util::Rng rng(23);
+  hsdir::DescriptorStore store;
+  const auto key = crypto::KeyPair::generate(rng);
+  const auto d = hsdir::make_descriptor(key, {}, 0, kT0);
+  store.store(d);
+  EXPECT_EQ(store.size(), 1u);
+  const auto fetched = store.fetch(d.descriptor_id, kT0 + 60);
+  ASSERT_TRUE(fetched.has_value());
+  EXPECT_EQ(fetched->descriptor_id, d.descriptor_id);
+  crypto::DescriptorId missing{};
+  EXPECT_FALSE(store.fetch(missing, kT0).has_value());
+}
+
+TEST(DescriptorStoreTest, ExpiryAfter24Hours) {
+  util::Rng rng(24);
+  hsdir::DescriptorStore store;
+  const auto key = crypto::KeyPair::generate(rng);
+  const auto d = hsdir::make_descriptor(key, {}, 0, kT0);
+  store.store(d);
+  EXPECT_TRUE(store.fetch(d.descriptor_id, kT0 + 24 * 3600).has_value());
+  EXPECT_FALSE(store.fetch(d.descriptor_id, kT0 + 24 * 3600 + 1).has_value());
+  store.expire(kT0 + 25 * 3600);
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(DescriptorStoreTest, FetchLogRecordsHitsAndMisses) {
+  util::Rng rng(25);
+  hsdir::DescriptorStore store;
+  store.enable_logging(true);
+  const auto key = crypto::KeyPair::generate(rng);
+  const auto d = hsdir::make_descriptor(key, {}, 0, kT0);
+  store.store(d);
+  (void)store.fetch(d.descriptor_id, kT0 + 1);
+  crypto::DescriptorId missing{};
+  (void)store.fetch(missing, kT0 + 2);
+  ASSERT_EQ(store.fetch_log().size(), 2u);
+  EXPECT_TRUE(store.fetch_log()[0].found);
+  EXPECT_FALSE(store.fetch_log()[1].found);
+  EXPECT_EQ(store.fetch_log()[1].time, kT0 + 2);
+  store.clear_fetch_log();
+  EXPECT_TRUE(store.fetch_log().empty());
+}
+
+TEST(DescriptorStoreTest, NoLoggingByDefault) {
+  util::Rng rng(26);
+  hsdir::DescriptorStore store;
+  crypto::DescriptorId id{};
+  (void)store.fetch(id, kT0);
+  EXPECT_TRUE(store.fetch_log().empty());
+}
+
+// ---------------------------------------------------------------------
+// DirectoryNetwork + ServiceHost
+// ---------------------------------------------------------------------
+
+TEST(DirectoryNetworkTest, PublishPlacesAtResponsibleHsdirs) {
+  MiniNet net;
+  util::Rng rng(27);
+  auto host = hs::ServiceHost::create(rng, kT0);
+  const auto receivers =
+      host.maybe_publish(net.consensus, net.dirnet, rng, kT0);
+  // 2 replicas x 3 HSDirs, possibly overlapping.
+  EXPECT_GE(receivers.size(), 3u);
+  EXPECT_LE(receivers.size(), 6u);
+  // Every receiver is indeed responsible for one of the descriptor ids.
+  const auto ids = host.current_descriptor_ids(kT0);
+  for (const auto relay_id : receivers) {
+    bool responsible = false;
+    for (const auto& id : ids)
+      for (const auto* e : net.consensus.responsible_hsdirs(id))
+        responsible |= e->relay == relay_id;
+    EXPECT_TRUE(responsible);
+  }
+}
+
+TEST(DirectoryNetworkTest, FetchFindsPublishedDescriptor) {
+  MiniNet net;
+  util::Rng rng(28);
+  auto host = hs::ServiceHost::create(rng, kT0);
+  host.maybe_publish(net.consensus, net.dirnet, rng, kT0);
+  for (const auto& id : host.current_descriptor_ids(kT0)) {
+    relay::RelayId hsdir;
+    const auto d = net.dirnet.fetch_from(net.consensus, id, kT0 + 10, hsdir);
+    ASSERT_TRUE(d.has_value());
+    EXPECT_EQ(d->onion_address(), host.onion_address());
+    EXPECT_NE(hsdir, relay::kInvalidRelayId);
+  }
+}
+
+TEST(ServiceHostTest, NoRepublishWithinPeriodWhenRingStable) {
+  MiniNet net;
+  util::Rng rng(29);
+  auto host = hs::ServiceHost::create(rng, kT0);
+  EXPECT_FALSE(host.maybe_publish(net.consensus, net.dirnet, rng, kT0).empty());
+  EXPECT_TRUE(host.maybe_publish(net.consensus, net.dirnet, rng, kT0 + 60)
+                  .empty());  // same period, same ring
+  EXPECT_FALSE(
+      host.maybe_publish(net.consensus, net.dirnet, rng, kT0 + 60, true)
+          .empty());  // forced
+}
+
+TEST(ServiceHostTest, RepublishesWhenPeriodRolls) {
+  MiniNet net;
+  util::Rng rng(30);
+  auto host = hs::ServiceHost::create(rng, kT0);
+  host.maybe_publish(net.consensus, net.dirnet, rng, kT0);
+  const auto rotation =
+      crypto::seconds_until_rotation(kT0, host.permanent_id());
+  EXPECT_FALSE(host.maybe_publish(net.consensus, net.dirnet, rng,
+                                  kT0 + rotation)
+                   .empty());
+  EXPECT_EQ(host.last_published_period(),
+            crypto::time_period(kT0 + rotation, host.permanent_id()));
+}
+
+TEST(ServiceHostTest, RepublishesWhenResponsibleSetChanges) {
+  MiniNet net;
+  util::Rng rng(31);
+  auto host = hs::ServiceHost::create(rng, kT0);
+  host.maybe_publish(net.consensus, net.dirnet, rng, kT0);
+
+  // A new relay lands exactly after the descriptor id: responsible set
+  // changes mid-period -> service must re-upload.
+  const auto ids = host.current_descriptor_ids(kT0);
+  crypto::KeyPair positioned = crypto::KeyPair::generate(rng);
+  for (int tries = 0; tries < 200000; ++tries) {
+    const double d = crypto::ring_distance(ids[0], positioned.fingerprint());
+    if (d < std::ldexp(1.0, 160) / 1e6) break;
+    positioned = crypto::KeyPair::generate(rng);
+  }
+  relay::RelayConfig rc;
+  rc.nickname = "interloper";
+  rc.address = net::Ipv4(6, 6, 6, 6);
+  const auto id = net.registry.create_with_key(
+      rc, std::move(positioned), kT0 - 30 * util::kSecondsPerHour);
+  net.registry.get(id).set_online(true, kT0 - 30 * util::kSecondsPerHour);
+  net.consensus = net.authority.build_consensus(net.registry, kT0 + 3600);
+
+  const auto receivers =
+      host.maybe_publish(net.consensus, net.dirnet, rng, kT0 + 3600);
+  EXPECT_FALSE(receivers.empty());
+}
+
+TEST(ServiceHostTest, OfflineServiceDoesNotPublish) {
+  MiniNet net;
+  util::Rng rng(32);
+  auto host = hs::ServiceHost::create(rng, kT0);
+  host.set_online(false);
+  EXPECT_TRUE(host.maybe_publish(net.consensus, net.dirnet, rng, kT0).empty());
+}
+
+// ---------------------------------------------------------------------
+// GuardManager
+// ---------------------------------------------------------------------
+
+TEST(GuardManagerTest, PicksThreeGuardsFromConsensus) {
+  MiniNet net(40, 10 * util::kSecondsPerDay);  // uptime enough for Guard
+  util::Rng rng(33);
+  hs::GuardManager manager;
+  manager.maintain(net.consensus, rng, kT0);
+  EXPECT_EQ(manager.guards().size(), 3u);
+  for (const auto& g : manager.guards()) {
+    const auto* e = net.consensus.find(g.fingerprint);
+    ASSERT_NE(e, nullptr);
+    EXPECT_TRUE(has_flag(e->flags, dirauth::Flag::kGuard));
+    EXPECT_GE(g.expires_at - g.chosen_at, 30 * util::kSecondsPerDay);
+    EXPECT_LE(g.expires_at - g.chosen_at, 60 * util::kSecondsPerDay);
+  }
+}
+
+TEST(GuardManagerTest, GuardsAreDistinct) {
+  MiniNet net(40, 10 * util::kSecondsPerDay);
+  util::Rng rng(34);
+  hs::GuardManager manager;
+  manager.maintain(net.consensus, rng, kT0);
+  const auto& guards = manager.guards();
+  for (std::size_t i = 0; i < guards.size(); ++i)
+    for (std::size_t j = i + 1; j < guards.size(); ++j)
+      EXPECT_NE(guards[i].relay, guards[j].relay);
+}
+
+TEST(GuardManagerTest, ExpiredGuardsReplaced) {
+  MiniNet net(40, 10 * util::kSecondsPerDay);
+  util::Rng rng(35);
+  hs::GuardManager manager;
+  manager.maintain(net.consensus, rng, kT0);
+  const auto old_guards = manager.guards();
+  manager.maintain(net.consensus, rng, kT0 + 61 * util::kSecondsPerDay);
+  EXPECT_EQ(manager.guards().size(), 3u);
+  for (const auto& g : manager.guards())
+    EXPECT_GT(g.chosen_at, old_guards[0].chosen_at);
+}
+
+TEST(GuardManagerTest, NoGuardFlaggedRelaysNoGuards) {
+  MiniNet net(10, 2 * util::kSecondsPerHour);  // too young for Guard flag
+  util::Rng rng(36);
+  hs::GuardManager manager;
+  manager.maintain(net.consensus, rng, kT0);
+  EXPECT_TRUE(manager.guards().empty());
+  EXPECT_FALSE(manager.pick(net.consensus, rng).has_value());
+}
+
+TEST(GuardManagerTest, PickReturnsMemberOfSet) {
+  MiniNet net(40, 10 * util::kSecondsPerDay);
+  util::Rng rng(37);
+  hs::GuardManager manager;
+  manager.maintain(net.consensus, rng, kT0);
+  for (int i = 0; i < 20; ++i) {
+    const auto pick = manager.pick(net.consensus, rng);
+    ASSERT_TRUE(pick.has_value());
+    bool member = false;
+    for (const auto& g : manager.guards()) member |= g.relay == pick->relay;
+    EXPECT_TRUE(member);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------
+
+TEST(ClientTest, FetchSucceedsForPublishedService) {
+  MiniNet net(40, 10 * util::kSecondsPerDay);
+  util::Rng rng(38);
+  auto host = hs::ServiceHost::create(rng, kT0);
+  host.maybe_publish(net.consensus, net.dirnet, rng, kT0);
+
+  hs::Client client(net::Ipv4(100, 1, 2, 3), 999);
+  client.maintain(net.consensus, kT0);
+  const auto outcome = client.fetch_descriptor(host.onion_address(),
+                                               net.consensus, net.dirnet,
+                                               kT0 + 30);
+  EXPECT_TRUE(outcome.found);
+  EXPECT_NE(outcome.guard, relay::kInvalidRelayId);
+  EXPECT_NE(outcome.hsdir, relay::kInvalidRelayId);
+  EXPECT_EQ(outcome.client_address, net::Ipv4(100, 1, 2, 3));
+}
+
+TEST(ClientTest, FetchFailsForUnknownOnion) {
+  MiniNet net(40, 10 * util::kSecondsPerDay);
+  util::Rng rng(39);
+  hs::Client client(net::Ipv4(100, 1, 2, 4), 1000);
+  client.maintain(net.consensus, kT0);
+  // A valid-looking but never-published address.
+  const auto key = crypto::KeyPair::generate(rng);
+  const auto onion = crypto::onion_address(
+      crypto::permanent_id_from_fingerprint(key.fingerprint()));
+  const auto outcome =
+      client.fetch_descriptor(onion, net.consensus, net.dirnet, kT0 + 30);
+  EXPECT_FALSE(outcome.found);
+}
+
+TEST(ClientTest, FetchAfterRotationFailsUntilRepublish) {
+  MiniNet net(40, 10 * util::kSecondsPerDay);
+  util::Rng rng(40);
+  auto host = hs::ServiceHost::create(rng, kT0);
+  host.maybe_publish(net.consensus, net.dirnet, rng, kT0);
+  const auto rotation =
+      crypto::seconds_until_rotation(kT0, host.permanent_id());
+
+  hs::Client client(net::Ipv4(100, 1, 2, 5), 1001);
+  client.maintain(net.consensus, kT0);
+  // After the period rolls, the *new* descriptor ids are not yet
+  // published.
+  const auto outcome = client.fetch_descriptor(
+      host.onion_address(), net.consensus, net.dirnet, kT0 + rotation + 1);
+  EXPECT_FALSE(outcome.found);
+  // Service republients, then the fetch succeeds.
+  host.maybe_publish(net.consensus, net.dirnet, rng, kT0 + rotation + 2);
+  const auto retry = client.fetch_descriptor(
+      host.onion_address(), net.consensus, net.dirnet, kT0 + rotation + 3);
+  EXPECT_TRUE(retry.found);
+}
+
+}  // namespace
+}  // namespace torsim
+
+namespace torsim {
+namespace {
+
+TEST(ClientTest, FetchCircuitHasMiddleRelay) {
+  MiniNet net(40, 10 * util::kSecondsPerDay);
+  util::Rng rng(60);
+  auto host = hs::ServiceHost::create(rng, kT0);
+  host.maybe_publish(net.consensus, net.dirnet, rng, kT0);
+  hs::Client client(net::Ipv4(100, 1, 2, 6), 1002);
+  client.maintain(net.consensus, kT0);
+  const auto outcome = client.fetch_descriptor(
+      host.onion_address(), net.consensus, net.dirnet, kT0 + 30);
+  EXPECT_NE(outcome.middle, relay::kInvalidRelayId);
+  EXPECT_NE(outcome.middle, outcome.guard);
+}
+
+}  // namespace
+}  // namespace torsim
+
+namespace torsim {
+namespace {
+
+// ---------------------------------------------------------------------
+// authenticated ("stealth") hidden services
+// ---------------------------------------------------------------------
+
+TEST(StealthServiceTest, CookieChangesDescriptorIds) {
+  util::Rng rng(70);
+  const auto key = crypto::KeyPair::generate(rng);
+  const auto pid = crypto::permanent_id_from_fingerprint(key.fingerprint());
+  const std::vector<std::uint8_t> cookie = {1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_NE(crypto::descriptor_id(pid, 15000, 0),
+            crypto::descriptor_id(pid, 15000, 0, cookie));
+  // Different cookies, different ids.
+  const std::vector<std::uint8_t> other = {9, 9, 9};
+  EXPECT_NE(crypto::descriptor_id(pid, 15000, 0, cookie),
+            crypto::descriptor_id(pid, 15000, 0, other));
+  // Same cookie, deterministic.
+  EXPECT_EQ(crypto::descriptor_id(pid, 15000, 0, cookie),
+            crypto::descriptor_id(pid, 15000, 0, cookie));
+}
+
+TEST(StealthServiceTest, AuthorizedClientFetches) {
+  MiniNet net(40, 10 * util::kSecondsPerDay);
+  util::Rng rng(71);
+  auto host = hs::ServiceHost::create(rng, kT0);
+  const std::vector<std::uint8_t> cookie = {0xde, 0xad, 0xbe, 0xef};
+  host.set_descriptor_cookie(cookie);
+  host.maybe_publish(net.consensus, net.dirnet, rng, kT0);
+
+  hs::Client client(net::Ipv4(100, 2, 3, 4), 2001);
+  client.maintain(net.consensus, kT0);
+  const auto with_cookie = client.fetch_descriptor(
+      host.onion_address(), net.consensus, net.dirnet, kT0 + 10, cookie);
+  EXPECT_TRUE(with_cookie.found);
+}
+
+TEST(StealthServiceTest, UnauthorizedClientCannotDeriveId) {
+  MiniNet net(40, 10 * util::kSecondsPerDay);
+  util::Rng rng(72);
+  auto host = hs::ServiceHost::create(rng, kT0);
+  host.set_descriptor_cookie({0xde, 0xad, 0xbe, 0xef});
+  host.maybe_publish(net.consensus, net.dirnet, rng, kT0);
+
+  hs::Client client(net::Ipv4(100, 2, 3, 5), 2002);
+  client.maintain(net.consensus, kT0);
+  // Knows the onion address but not the cookie.
+  const auto without = client.fetch_descriptor(
+      host.onion_address(), net.consensus, net.dirnet, kT0 + 10);
+  EXPECT_FALSE(without.found);
+  const auto wrong = client.fetch_descriptor(
+      host.onion_address(), net.consensus, net.dirnet, kT0 + 10,
+      std::vector<std::uint8_t>{1, 2, 3});
+  EXPECT_FALSE(wrong.found);
+}
+
+TEST(StealthServiceTest, MeasuringHsdirCannotResolveCookieRequests) {
+  // The Sec. V resolver derives descriptor IDs from harvested onion
+  // addresses; an authenticated service's requests stay unresolvable —
+  // one mechanism behind the paper's 80% unresolved request IDs.
+  MiniNet net(40, 10 * util::kSecondsPerDay);
+  util::Rng rng(73);
+  auto host = hs::ServiceHost::create(rng, kT0);
+  const std::vector<std::uint8_t> cookie = {7, 7, 7, 7};
+  host.set_descriptor_cookie(cookie);
+  host.maybe_publish(net.consensus, net.dirnet, rng, kT0);
+
+  // The analyst's derivation (onion-only) misses the service's actual
+  // published ids.
+  const auto pid = host.permanent_id();
+  const auto period = crypto::time_period(kT0, pid);
+  const auto actual_ids = host.current_descriptor_ids(kT0);
+  for (std::uint8_t replica = 0; replica < 2; ++replica) {
+    const auto derived = crypto::descriptor_id(pid, period, replica);
+    for (const auto& actual : actual_ids) EXPECT_NE(derived, actual);
+  }
+}
+
+}  // namespace
+}  // namespace torsim
+
+namespace torsim {
+namespace {
+
+TEST(GuardManagerTest, SamplingIsBandwidthWeighted) {
+  // One guard candidate carries 50x the bandwidth of each of the others;
+  // across many clients it should appear in guard sets far more often
+  // than 1/N.
+  util::Rng rng(80);
+  relay::Registry registry;
+  dirauth::Authority authority;
+  const util::UnixTime past = kT0 - 10 * util::kSecondsPerDay;
+  relay::RelayId fat = 0;
+  for (int i = 0; i < 20; ++i) {
+    relay::RelayConfig rc;
+    rc.nickname = "g" + std::to_string(i);
+    rc.address = net::Ipv4::random_public(rng);
+    rc.bandwidth_kbps = i == 0 ? 5000.0 : 100.0;
+    const auto id = registry.create(rc, rng, past);
+    registry.get(id).set_online(true, past);
+    if (i == 0) fat = id;
+  }
+  // Median bandwidth is 100, so everyone qualifies for Guard.
+  const auto consensus = authority.build_consensus(registry, kT0);
+  ASSERT_EQ(consensus.with_flag(dirauth::Flag::kGuard).size(), 20u);
+
+  int fat_selected = 0;
+  const int clients = 300;
+  for (int c = 0; c < clients; ++c) {
+    hs::GuardManager manager;
+    util::Rng client_rng(1000 + static_cast<std::uint64_t>(c));
+    manager.maintain(consensus, client_rng, kT0);
+    for (const auto& g : manager.guards())
+      if (g.relay == fat) ++fat_selected;
+  }
+  // Uniform sampling would give ~3/20 = 45 of 300; bandwidth weighting
+  // (5000 of 6900 total) pushes the fat guard into nearly every set.
+  EXPECT_GT(fat_selected, 200);
+}
+
+}  // namespace
+}  // namespace torsim
+
+namespace torsim {
+namespace {
+
+TEST(ClientCacheTest, SecondFetchSamePeriodServedFromCache) {
+  MiniNet net(40, 10 * util::kSecondsPerDay);
+  util::Rng rng(90);
+  auto host = hs::ServiceHost::create(rng, kT0);
+  host.maybe_publish(net.consensus, net.dirnet, rng, kT0);
+  for (auto& [id, store] : net.dirnet.stores()) store.enable_logging(true);
+
+  hs::Client client(net::Ipv4(100, 9, 9, 9), 3001);
+  client.maintain(net.consensus, kT0);
+  const auto first = client.fetch_descriptor(host.onion_address(),
+                                             net.consensus, net.dirnet,
+                                             kT0 + 10);
+  ASSERT_TRUE(first.found);
+  EXPECT_FALSE(first.from_cache);
+  std::size_t logged_after_first = 0;
+  for (const auto& [id, store] : net.dirnet.stores())
+    logged_after_first += store.fetch_log().size();
+
+  const auto second = client.fetch_descriptor(host.onion_address(),
+                                              net.consensus, net.dirnet,
+                                              kT0 + 600);
+  EXPECT_TRUE(second.found);
+  EXPECT_TRUE(second.from_cache);
+  EXPECT_EQ(second.descriptor_id, first.descriptor_id);
+  // No additional directory request was made.
+  std::size_t logged_after_second = 0;
+  for (const auto& [id, store] : net.dirnet.stores())
+    logged_after_second += store.fetch_log().size();
+  EXPECT_EQ(logged_after_second, logged_after_first);
+}
+
+TEST(ClientCacheTest, CacheExpiresWithPeriod) {
+  MiniNet net(40, 10 * util::kSecondsPerDay);
+  util::Rng rng(91);
+  auto host = hs::ServiceHost::create(rng, kT0);
+  host.maybe_publish(net.consensus, net.dirnet, rng, kT0);
+  hs::Client client(net::Ipv4(100, 9, 9, 10), 3002);
+  client.maintain(net.consensus, kT0);
+  ASSERT_TRUE(client.fetch_descriptor(host.onion_address(), net.consensus,
+                                      net.dirnet, kT0 + 10)
+                  .found);
+  const auto rotation =
+      crypto::seconds_until_rotation(kT0, host.permanent_id());
+  // New period: the cache must not serve the stale descriptor.
+  const auto stale = client.fetch_descriptor(
+      host.onion_address(), net.consensus, net.dirnet, kT0 + rotation + 5);
+  EXPECT_FALSE(stale.from_cache);
+  EXPECT_FALSE(stale.found);  // service has not republished yet
+}
+
+TEST(ClientCacheTest, FailedFetchNotCached) {
+  MiniNet net(40, 10 * util::kSecondsPerDay);
+  util::Rng rng(92);
+  const auto key = crypto::KeyPair::generate(rng);
+  const auto onion = crypto::onion_address(
+      crypto::permanent_id_from_fingerprint(key.fingerprint()));
+  hs::Client client(net::Ipv4(100, 9, 9, 11), 3003);
+  client.maintain(net.consensus, kT0);
+  EXPECT_FALSE(
+      client.fetch_descriptor(onion, net.consensus, net.dirnet, kT0).found);
+  const auto again =
+      client.fetch_descriptor(onion, net.consensus, net.dirnet, kT0 + 60);
+  EXPECT_FALSE(again.from_cache);
+}
+
+}  // namespace
+}  // namespace torsim

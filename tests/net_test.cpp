@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "net/ipv4.hpp"
+#include "net/service.hpp"
+
+namespace torsim::net {
+namespace {
+
+// ---------------------------------------------------------------------
+// Ipv4
+// ---------------------------------------------------------------------
+
+TEST(Ipv4Test, ParseAndPrint) {
+  EXPECT_EQ(Ipv4::parse("1.2.3.4").to_string(), "1.2.3.4");
+  EXPECT_EQ(Ipv4::parse("255.255.255.255").value(), 0xffffffffu);
+  EXPECT_EQ(Ipv4::parse("0.0.0.0").value(), 0u);
+  EXPECT_EQ(Ipv4(192, 168, 1, 1).to_string(), "192.168.1.1");
+}
+
+TEST(Ipv4Test, ParseRejectsMalformed) {
+  EXPECT_THROW(Ipv4::parse("1.2.3"), std::invalid_argument);
+  EXPECT_THROW(Ipv4::parse("1.2.3.4.5"), std::invalid_argument);
+  EXPECT_THROW(Ipv4::parse("1.2.3.256"), std::invalid_argument);
+  EXPECT_THROW(Ipv4::parse("a.b.c.d"), std::invalid_argument);
+  EXPECT_THROW(Ipv4::parse("1..3.4"), std::invalid_argument);
+  EXPECT_THROW(Ipv4::parse("1.2.3.1234"), std::invalid_argument);
+}
+
+TEST(Ipv4Test, Ordering) {
+  EXPECT_LT(Ipv4::parse("1.2.3.4"), Ipv4::parse("1.2.3.5"));
+  EXPECT_EQ(Ipv4::parse("9.8.7.6"), Ipv4(9, 8, 7, 6));
+}
+
+TEST(Ipv4Test, RandomPublicAvoidsReservedRanges) {
+  util::Rng rng(71);
+  for (int i = 0; i < 2000; ++i) {
+    const Ipv4 ip = Ipv4::random_public(rng);
+    const auto a = ip.value() >> 24;
+    const auto b = ip.value() >> 16 & 0xff;
+    EXPECT_NE(a, 0u);
+    EXPECT_NE(a, 10u);
+    EXPECT_NE(a, 127u);
+    EXPECT_LT(a, 224u);
+    EXPECT_FALSE(a == 169 && b == 254);
+    EXPECT_FALSE(a == 172 && b >= 16 && b < 32);
+    EXPECT_FALSE(a == 192 && b == 168);
+  }
+}
+
+TEST(Ipv4Test, EndpointToString) {
+  Endpoint e{Ipv4(1, 2, 3, 4), 443};
+  EXPECT_EQ(e.to_string(), "1.2.3.4:443");
+}
+
+// ---------------------------------------------------------------------
+// TlsCertificate
+// ---------------------------------------------------------------------
+
+TEST(TlsCertificateTest, PublicDnsHeuristic) {
+  TlsCertificate cert;
+  cert.common_name = "mail.example.com";
+  EXPECT_TRUE(cert.common_name_is_public_dns());
+  cert.common_name = "esjqyk2khizsy43i.onion";
+  EXPECT_FALSE(cert.common_name_is_public_dns());
+  cert.common_name = "localhost";
+  EXPECT_FALSE(cert.common_name_is_public_dns());
+}
+
+// ---------------------------------------------------------------------
+// ServiceProfile
+// ---------------------------------------------------------------------
+
+TEST(ServiceProfileTest, ClosedByDefault) {
+  ServiceProfile profile;
+  EXPECT_TRUE(profile.empty());
+  EXPECT_EQ(profile.connect(80), ConnectResult::kClosed);
+  EXPECT_EQ(profile.service_at(80), nullptr);
+}
+
+TEST(ServiceProfileTest, ListenOpensPort) {
+  ServiceProfile profile;
+  PortService web;
+  web.protocol = Protocol::kHttp;
+  profile.listen(80, web);
+  EXPECT_EQ(profile.connect(80), ConnectResult::kOpen);
+  ASSERT_NE(profile.service_at(80), nullptr);
+  EXPECT_EQ(profile.service_at(80)->protocol, Protocol::kHttp);
+  EXPECT_EQ(profile.connect(81), ConnectResult::kClosed);
+}
+
+TEST(ServiceProfileTest, SkynetAbnormalClose) {
+  ServiceProfile profile;
+  profile.set_abnormal_close(kPortSkynet);
+  EXPECT_EQ(profile.connect(kPortSkynet), ConnectResult::kAbnormalClose);
+  // Abnormal ports show up for scanners but carry no service.
+  EXPECT_EQ(profile.service_at(kPortSkynet), nullptr);
+  EXPECT_EQ(profile.scannable_ports(),
+            std::vector<std::uint16_t>{kPortSkynet});
+  EXPECT_TRUE(profile.open_ports().empty());
+}
+
+TEST(ServiceProfileTest, ListenOverridesAbnormal) {
+  ServiceProfile profile;
+  profile.set_abnormal_close(55080);
+  PortService svc;
+  profile.listen(55080, svc);
+  EXPECT_EQ(profile.connect(55080), ConnectResult::kOpen);
+  profile.set_abnormal_close(55080);
+  EXPECT_EQ(profile.connect(55080), ConnectResult::kAbnormalClose);
+}
+
+TEST(ServiceProfileTest, ScannablePortsSorted) {
+  ServiceProfile profile;
+  profile.listen(443, {});
+  profile.listen(80, {});
+  profile.set_abnormal_close(55080);
+  EXPECT_EQ(profile.scannable_ports(),
+            (std::vector<std::uint16_t>{80, 443, 55080}));
+}
+
+TEST(ServiceProfileTest, ToStringCoverage) {
+  EXPECT_STREQ(to_string(ConnectResult::kOpen), "open");
+  EXPECT_STREQ(to_string(ConnectResult::kAbnormalClose), "abnormal-close");
+  EXPECT_STREQ(to_string(Protocol::kHttps), "https");
+  EXPECT_STREQ(to_string(Protocol::kSkynetControl), "skynet-control");
+}
+
+}  // namespace
+}  // namespace torsim::net
+
+// ---------------------------------------------------------------------
+// cell-level circuits
+// ---------------------------------------------------------------------
+#include "net/cells.hpp"
+
+namespace torsim::net {
+namespace {
+
+TEST(CircuitTest, RequiresAtLeastOneHop) {
+  EXPECT_THROW(Circuit({}), std::invalid_argument);
+}
+
+TEST(CircuitTest, AllHopsObserveSameTrace) {
+  Circuit circuit({1, 2, 3});
+  circuit.transmit(5);
+  circuit.tick();
+  circuit.transmit(2);
+  for (std::size_t hop = 0; hop < 3; ++hop)
+    EXPECT_EQ(circuit.observed_at(hop), (CellTrace{5, 0, 2}));
+  EXPECT_THROW(circuit.observed_at(3), std::out_of_range);
+}
+
+TEST(CircuitTest, ObservedByNode) {
+  Circuit circuit({10, 20, 30});
+  circuit.transmit(1);
+  EXPECT_NE(circuit.observed_by(20), nullptr);
+  EXPECT_EQ(circuit.observed_by(99), nullptr);
+  EXPECT_EQ(*circuit.observed_by(10), (CellTrace{1}));
+}
+
+TEST(CircuitTest, TransmitPattern) {
+  Circuit circuit({1});
+  circuit.transmit_pattern({3, 0, 7});
+  EXPECT_EQ(circuit.length_ticks(), 3u);
+  EXPECT_EQ(circuit.observed_at(0), (CellTrace{3, 0, 7}));
+  EXPECT_THROW(circuit.transmit(-1), std::invalid_argument);
+}
+
+TEST(CircuitTest, BackgroundCellsShape) {
+  util::Rng rng(5);
+  const auto trace = background_cells(rng, 500);
+  EXPECT_EQ(trace.size(), 500u);
+  int zeros = 0;
+  for (int c : trace) {
+    EXPECT_GE(c, 0);
+    EXPECT_LE(c, 20);
+    zeros += c == 0;
+  }
+  // Bursty-but-mostly-quiet: roughly half the ticks are silent.
+  EXPECT_NEAR(static_cast<double>(zeros) / 500.0, 0.55, 0.08);
+}
+
+}  // namespace
+}  // namespace torsim::net

@@ -1,0 +1,231 @@
+// Parameterized property sweeps over the protocol-critical invariants:
+// the HSDir ring, descriptor rotation, consensus construction, and the
+// world simulation loop.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dirspec/consensus_doc.hpp"
+#include "sim/world.hpp"
+#include "trackdet/history.hpp"
+
+namespace torsim {
+namespace {
+
+// ---------------------------------------------------------------------
+// Ring invariants across ring sizes
+// ---------------------------------------------------------------------
+
+class RingPropertyTest : public ::testing::TestWithParam<int> {};
+
+trackdet::Snapshot random_ring(int size, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<trackdet::SnapshotEntry> entries(
+      static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) {
+    rng.fill_bytes(entries[static_cast<std::size_t>(i)].fingerprint.data(),
+                   20);
+    entries[static_cast<std::size_t>(i)].server =
+        static_cast<std::uint32_t>(i);
+  }
+  return trackdet::Snapshot(0, std::move(entries));
+}
+
+TEST_P(RingPropertyTest, ResponsibleSetSizeIsMinOfThreeAndRing) {
+  const int n = GetParam();
+  const auto ring = random_ring(n, 1000 + static_cast<std::uint64_t>(n));
+  util::Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    crypto::DescriptorId id;
+    rng.fill_bytes(id.data(), id.size());
+    EXPECT_EQ(ring.responsible(id).size(),
+              static_cast<std::size_t>(std::min(3, n)));
+  }
+}
+
+TEST_P(RingPropertyTest, ResponsibleAreDistinctAndConsecutive) {
+  const int n = GetParam();
+  if (n < 3) GTEST_SKIP() << "needs >= 3 relays";
+  const auto ring = random_ring(n, 2000 + static_cast<std::uint64_t>(n));
+  util::Rng rng(2);
+  for (int trial = 0; trial < 20; ++trial) {
+    crypto::DescriptorId id;
+    rng.fill_bytes(id.data(), id.size());
+    const auto responsible = ring.responsible(id);
+    // Distinct servers.
+    std::set<std::uint32_t> servers;
+    for (const auto* e : responsible) servers.insert(e->server);
+    EXPECT_EQ(servers.size(), 3u);
+    // Consecutive in ring order: no other entry's fingerprint falls
+    // strictly between the id and the last responsible fingerprint
+    // (travelling clockwise) unless it is one of the responsible three.
+    const double span =
+        crypto::ring_distance(id, responsible.back()->fingerprint);
+    for (const auto& e : ring.entries()) {
+      const double d = crypto::ring_distance(id, e.fingerprint);
+      if (d > 0 && d < span) {
+        EXPECT_TRUE(servers.count(e.server))
+            << "entry inside responsible arc but not responsible";
+      }
+    }
+  }
+}
+
+TEST_P(RingPropertyTest, EveryRelayResponsibleForSomeId) {
+  const int n = GetParam();
+  if (n < 3 || n > 64) GTEST_SKIP() << "coverage check for small rings";
+  const auto ring = random_ring(n, 3000 + static_cast<std::uint64_t>(n));
+  // An id placed just before each fingerprint makes that relay first
+  // responsible.
+  for (const auto& e : ring.entries()) {
+    crypto::U160 just_before =
+        crypto::U160(e.fingerprint)
+            .ring_distance_from(crypto::U160::from_u64(1));
+    const auto responsible = ring.responsible(just_before.to_digest());
+    ASSERT_FALSE(responsible.empty());
+    EXPECT_EQ(responsible[0]->server, e.server);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RingSizes, RingPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 10, 50, 200, 1000));
+
+// ---------------------------------------------------------------------
+// Descriptor rotation properties across many services
+// ---------------------------------------------------------------------
+
+class RotationPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RotationPropertyTest, ExactlyOneRotationPerDay) {
+  util::Rng rng(4000 + static_cast<std::uint64_t>(GetParam()));
+  const auto key = crypto::KeyPair::generate(rng);
+  const auto id = crypto::permanent_id_from_fingerprint(key.fingerprint());
+  const util::UnixTime start = util::make_utc(2013, 2, 1);
+  // Over 10 days, the period increments exactly once per 86400 s.
+  int rotations = 0;
+  std::uint32_t prev = crypto::time_period(start, id);
+  for (util::UnixTime t = start; t < start + 10 * util::kSecondsPerDay;
+       t += util::kSecondsPerHour) {
+    const auto period = crypto::time_period(t, id);
+    EXPECT_GE(period, prev);
+    EXPECT_LE(period - prev, 1u);
+    rotations += period != prev;
+    prev = period;
+  }
+  EXPECT_EQ(rotations, 10);
+}
+
+TEST_P(RotationPropertyTest, ReplicasNeverCollide) {
+  util::Rng rng(5000 + static_cast<std::uint64_t>(GetParam()));
+  const auto key = crypto::KeyPair::generate(rng);
+  const auto id = crypto::permanent_id_from_fingerprint(key.fingerprint());
+  for (std::uint32_t period = 15000; period < 15030; ++period)
+    EXPECT_NE(crypto::descriptor_id(id, period, 0),
+              crypto::descriptor_id(id, period, 1));
+}
+
+TEST_P(RotationPropertyTest, DescriptorIdsLookUniform) {
+  // Descriptor ids across services/periods should scatter over the ring
+  // (no clustering in the top byte).
+  util::Rng rng(6000 + static_cast<std::uint64_t>(GetParam()));
+  std::set<int> top_bytes;
+  for (int i = 0; i < 64; ++i) {
+    const auto key = crypto::KeyPair::generate(rng);
+    const auto id = crypto::permanent_id_from_fingerprint(key.fingerprint());
+    top_bytes.insert(crypto::descriptor_id(id, 15000, 0)[0]);
+  }
+  EXPECT_GT(top_bytes.size(), 40u);  // near-uniform over 256 buckets
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RotationPropertyTest,
+                         ::testing::Range(0, 5));
+
+// ---------------------------------------------------------------------
+// World invariants over simulated time
+// ---------------------------------------------------------------------
+
+class WorldInvariantTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WorldInvariantTest, ConsensusInvariantsHoldEveryHour) {
+  sim::WorldConfig config;
+  config.seed = GetParam();
+  config.honest_relays = 120;
+  sim::World world(config);
+
+  for (int hour = 0; hour < 30; ++hour) {
+    world.step_hour();
+    const auto& consensus = world.consensus();
+
+    // Sorted by fingerprint.
+    for (std::size_t i = 1; i < consensus.size(); ++i)
+      ASSERT_LT(consensus.entries()[i - 1].fingerprint,
+                consensus.entries()[i].fingerprint);
+
+    std::map<std::uint32_t, int> per_ip;
+    for (const auto& e : consensus.entries()) {
+      // Per-IP cap.
+      ASSERT_LE(++per_ip[e.address.value()], 2);
+      // Everyone listed is Running; the underlying relay is online and
+      // reachable.
+      ASSERT_TRUE(has_flag(e.flags, dirauth::Flag::kRunning));
+      const auto& relay = world.registry().get(e.relay);
+      ASSERT_TRUE(relay.online());
+      ASSERT_TRUE(relay.authority_reachable());
+      // HSDir implies >= 25 h continuous uptime.
+      if (has_flag(e.flags, dirauth::Flag::kHSDir))
+        ASSERT_GE(relay.continuous_uptime(world.now()),
+                  25 * util::kSecondsPerHour);
+      // Fingerprint in the consensus is the relay's current identity.
+      ASSERT_EQ(e.fingerprint, relay.fingerprint());
+    }
+  }
+  // Archive strictly increasing.
+  for (std::size_t i = 1; i < world.archive().size(); ++i)
+    ASSERT_LT(world.archive().at(i - 1).valid_after(),
+              world.archive().at(i).valid_after());
+}
+
+TEST_P(WorldInvariantTest, PublishedDescriptorsAlwaysFetchable) {
+  sim::WorldConfig config;
+  config.seed = GetParam() + 100;
+  config.honest_relays = 150;
+  sim::World world(config);
+  std::vector<std::size_t> services;
+  for (int i = 0; i < 5; ++i) services.push_back(world.add_service());
+
+  for (int hour = 0; hour < 50; ++hour) {
+    world.step_hour();
+    for (const auto index : services) {
+      const auto ids =
+          world.service(index).current_descriptor_ids(world.now());
+      for (const auto& id : ids) {
+        relay::RelayId hsdir;
+        const auto d = world.directories().fetch_from(world.consensus(), id,
+                                                      world.now(), hsdir);
+        ASSERT_TRUE(d.has_value())
+            << "hour " << hour << ": published descriptor unreachable";
+        ASSERT_EQ(d->onion_address(), world.service(index).onion_address());
+      }
+    }
+  }
+}
+
+TEST_P(WorldInvariantTest, ConsensusDocumentsRoundTripEveryHour) {
+  sim::WorldConfig config;
+  config.seed = GetParam() + 200;
+  config.honest_relays = 60;
+  sim::World world(config);
+  for (int hour = 0; hour < 10; ++hour) {
+    world.step_hour();
+    const auto parsed = dirspec::parse_consensus(
+        dirspec::render_consensus(world.consensus()));
+    ASSERT_EQ(parsed.size(), world.consensus().size());
+    ASSERT_EQ(parsed.hsdir_count(), world.consensus().hsdir_count());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorldInvariantTest,
+                         ::testing::Values(11u, 22u, 33u));
+
+}  // namespace
+}  // namespace torsim

@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include "hs/rendezvous.hpp"
+#include "sim/world.hpp"
+
+namespace torsim::hs {
+namespace {
+
+struct RendezvousFixture {
+  sim::World world;
+  std::size_t service_index;
+  Client client{net::Ipv4(203, 0, 113, 9), 4242};
+
+  explicit RendezvousFixture(std::uint64_t seed = 99)
+      : world([&] {
+          sim::WorldConfig config;
+          config.seed = seed;
+          config.honest_relays = 200;
+          return config;
+        }()) {
+    service_index = world.add_service();
+    world.service(service_index)
+        .maintain_guards(world.consensus(), world.rng(), world.now());
+    client.maintain(world.consensus(), world.now());
+  }
+
+  ServiceHost& service() { return world.service(service_index); }
+
+  RendezvousOutcome connect() {
+    return rendezvous_connect(client, service(), world.consensus(),
+                              world.directories(), world.rng(), world.now());
+  }
+};
+
+TEST(RendezvousTest, SuccessfulConnection) {
+  RendezvousFixture fx;
+  const auto outcome = fx.connect();
+  ASSERT_TRUE(outcome.success) << to_string(outcome.failure);
+  EXPECT_EQ(outcome.failure, RendezvousFailure::kNone);
+  EXPECT_NE(outcome.client_guard, relay::kInvalidRelayId);
+  EXPECT_NE(outcome.service_guard, relay::kInvalidRelayId);
+  EXPECT_NE(outcome.intro_point, relay::kInvalidRelayId);
+  EXPECT_NE(outcome.rendezvous_point, relay::kInvalidRelayId);
+  EXPECT_NE(outcome.cookie, 0u);
+  EXPECT_GE(outcome.setup_cells, 10);
+}
+
+TEST(RendezvousTest, GuardsFrontBothSides) {
+  RendezvousFixture fx;
+  const auto outcome = fx.connect();
+  ASSERT_TRUE(outcome.success);
+  // Both first hops carry the Guard flag in the consensus.
+  for (const auto id : {outcome.client_guard, outcome.service_guard}) {
+    const auto* entry = fx.world.consensus().find_relay(id);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_TRUE(has_flag(entry->flags, dirauth::Flag::kGuard));
+  }
+}
+
+TEST(RendezvousTest, IntroPointComesFromDescriptor) {
+  RendezvousFixture fx;
+  const auto outcome = fx.connect();
+  ASSERT_TRUE(outcome.success);
+  const auto* entry = fx.world.consensus().find_relay(outcome.intro_point);
+  ASSERT_NE(entry, nullptr);
+  bool advertised = false;
+  for (const auto& fp : fx.service().introduction_points())
+    advertised |= fp == entry->fingerprint;
+  EXPECT_TRUE(advertised);
+}
+
+TEST(RendezvousTest, FailsWithoutDescriptor) {
+  RendezvousFixture fx;
+  // Advance past the period boundary without letting the service
+  // republish: the new descriptor ids are nowhere.
+  fx.service().set_online(false);
+  fx.world.run_hours(30);
+  fx.client.maintain(fx.world.consensus(), fx.world.now());
+  const auto outcome = fx.connect();
+  EXPECT_FALSE(outcome.success);
+  EXPECT_EQ(outcome.failure, RendezvousFailure::kNoDescriptor);
+}
+
+TEST(RendezvousTest, FailsWithoutClientGuard) {
+  RendezvousFixture fx;
+  Client fresh(net::Ipv4(203, 0, 113, 10), 1);  // never maintained
+  const auto outcome = rendezvous_connect(
+      fresh, fx.service(), fx.world.consensus(), fx.world.directories(),
+      fx.world.rng(), fx.world.now());
+  EXPECT_FALSE(outcome.success);
+  EXPECT_EQ(outcome.failure, RendezvousFailure::kNoClientGuard);
+}
+
+TEST(RendezvousTest, FailsWithoutServiceGuard) {
+  sim::WorldConfig config;
+  config.seed = 101;
+  config.honest_relays = 200;
+  sim::World world(config);
+  const auto index = world.add_service();  // guards never maintained
+  Client client(net::Ipv4(203, 0, 113, 11), 2);
+  client.maintain(world.consensus(), world.now());
+  const auto outcome = rendezvous_connect(
+      client, world.service(index), world.consensus(), world.directories(),
+      world.rng(), world.now());
+  EXPECT_FALSE(outcome.success);
+  EXPECT_EQ(outcome.failure, RendezvousFailure::kNoServiceGuard);
+}
+
+TEST(RendezvousTest, ReconnectsAfterDescriptorRotation) {
+  RendezvousFixture fx;
+  // A day later the world has stepped (services republish each hour
+  // step) — connection must still work.
+  fx.world.run_hours(26);
+  fx.client.maintain(fx.world.consensus(), fx.world.now());
+  fx.service().maintain_guards(fx.world.consensus(), fx.world.rng(),
+                               fx.world.now());
+  const auto outcome = fx.connect();
+  EXPECT_TRUE(outcome.success) << to_string(outcome.failure);
+}
+
+TEST(RendezvousTest, ManyConnectionsUseVariedRelays) {
+  RendezvousFixture fx;
+  std::set<relay::RelayId> rps, intros;
+  for (int i = 0; i < 30; ++i) {
+    const auto outcome = fx.connect();
+    ASSERT_TRUE(outcome.success);
+    rps.insert(outcome.rendezvous_point);
+    intros.insert(outcome.intro_point);
+  }
+  EXPECT_GT(rps.size(), 10u);    // RP is freshly random per attempt
+  EXPECT_LE(intros.size(), 3u);  // intro points come from the descriptor
+  EXPECT_GE(intros.size(), 1u);
+}
+
+TEST(RendezvousTest, CookiesAreUnique) {
+  RendezvousFixture fx;
+  std::set<std::uint64_t> cookies;
+  for (int i = 0; i < 20; ++i) {
+    const auto outcome = fx.connect();
+    ASSERT_TRUE(outcome.success);
+    cookies.insert(outcome.cookie);
+  }
+  EXPECT_EQ(cookies.size(), 20u);
+}
+
+TEST(RendezvousTest, FailureNamesComplete) {
+  EXPECT_STREQ(to_string(RendezvousFailure::kNone), "none");
+  EXPECT_STREQ(to_string(RendezvousFailure::kNoDescriptor), "no-descriptor");
+  EXPECT_STREQ(to_string(RendezvousFailure::kIntroPointGone),
+               "intro-point-gone");
+  EXPECT_STREQ(to_string(RendezvousFailure::kNoRendezvousPoint),
+               "no-rendezvous-point");
+}
+
+}  // namespace
+}  // namespace torsim::hs
+
+namespace torsim::hs {
+namespace {
+
+TEST(RendezvousTest, RetriesDeadIntroPoints) {
+  RendezvousFixture fx(777);
+  // Kill every relay currently advertised as an intro point except one,
+  // then rebuild the consensus: the connect must fall through to the
+  // survivor.
+  const auto intros = fx.service().introduction_points();
+  ASSERT_GE(intros.size(), 2u);
+  for (std::size_t i = 0; i + 1 < intros.size(); ++i) {
+    const auto* entry = fx.world.consensus().find(intros[i]);
+    if (entry != nullptr)
+      fx.world.registry().get(entry->relay).set_online(false,
+                                                       fx.world.now());
+  }
+  fx.world.rebuild_consensus();
+  fx.client.maintain(fx.world.consensus(), fx.world.now());
+
+  int successes = 0;
+  for (int i = 0; i < 10; ++i) {
+    const auto outcome = fx.connect();
+    if (outcome.success) {
+      ++successes;
+      // The survivor intro point served the introduction.
+      const auto* entry =
+          fx.world.consensus().find_relay(outcome.intro_point);
+      ASSERT_NE(entry, nullptr);
+      EXPECT_EQ(entry->fingerprint, intros.back());
+    }
+  }
+  EXPECT_GE(successes, 8);  // descriptor fetch may still occasionally miss
+}
+
+TEST(RendezvousTest, AllIntroPointsDeadFails) {
+  RendezvousFixture fx(778);
+  for (const auto& fp : fx.service().introduction_points()) {
+    const auto* entry = fx.world.consensus().find(fp);
+    if (entry != nullptr)
+      fx.world.registry().get(entry->relay).set_online(false,
+                                                       fx.world.now());
+  }
+  fx.world.rebuild_consensus();
+  fx.client.maintain(fx.world.consensus(), fx.world.now());
+  const auto outcome = fx.connect();
+  EXPECT_FALSE(outcome.success);
+  EXPECT_EQ(outcome.failure, RendezvousFailure::kIntroPointGone);
+}
+
+// ---------------------------------------------------------------------
+// failure injection: the protocol under heavy churn
+// ---------------------------------------------------------------------
+
+TEST(RendezvousTest, SurvivesHeavyChurn) {
+  sim::WorldConfig config;
+  config.seed = 779;
+  config.honest_relays = 250;
+  config.hourly_down_probability = 0.08;  // brutal churn
+  config.hourly_up_probability = 0.5;
+  sim::World world(config);
+  const auto index = world.add_service();
+  Client client(net::Ipv4(203, 0, 113, 50), 7);
+
+  int successes = 0, attempts = 0;
+  for (int hour = 0; hour < 48; ++hour) {
+    world.step_hour();
+    world.service(index).maintain_guards(world.consensus(), world.rng(),
+                                         world.now());
+    client.maintain(world.consensus(), world.now());
+    const auto outcome =
+        rendezvous_connect(client, world.service(index), world.consensus(),
+                           world.directories(), world.rng(), world.now());
+    ++attempts;
+    successes += outcome.success;
+  }
+  // Churn breaks individual attempts but the protocol self-heals as the
+  // service republishes and guards resample.
+  EXPECT_GT(successes, attempts / 2);
+}
+
+}  // namespace
+}  // namespace torsim::hs
+
+namespace torsim::hs {
+namespace {
+
+TEST(RendezvousTest, StealthServiceRequiresCookie) {
+  sim::WorldConfig config;
+  config.seed = 880;
+  config.honest_relays = 200;
+  sim::World world(config);
+
+  auto service = ServiceHost::create(world.rng(), world.now());
+  const std::vector<std::uint8_t> cookie = {1, 2, 3, 4};
+  service.set_descriptor_cookie(cookie);
+  service.maintain_guards(world.consensus(), world.rng(), world.now());
+  service.maybe_publish(world.consensus(), world.directories(), world.rng(),
+                        world.now(), true);
+
+  Client member(net::Ipv4(203, 0, 113, 70), 5);
+  member.maintain(world.consensus(), world.now());
+  const auto authed = rendezvous_connect(member, service, world.consensus(),
+                                         world.directories(), world.rng(),
+                                         world.now(), cookie);
+  EXPECT_TRUE(authed.success) << to_string(authed.failure);
+
+  Client outsider(net::Ipv4(203, 0, 113, 71), 6);
+  outsider.maintain(world.consensus(), world.now());
+  const auto blind = rendezvous_connect(outsider, service, world.consensus(),
+                                        world.directories(), world.rng(),
+                                        world.now());
+  EXPECT_FALSE(blind.success);
+  EXPECT_EQ(blind.failure, RendezvousFailure::kNoDescriptor);
+}
+
+}  // namespace
+}  // namespace torsim::hs

@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/binomial.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/histogram.hpp"
+#include "stats/zipf.hpp"
+#include "util/rng.hpp"
+
+namespace torsim::stats {
+namespace {
+
+// ---------------------------------------------------------------------
+// descriptive
+// ---------------------------------------------------------------------
+
+TEST(DescriptiveTest, SumMeanBasics) {
+  const std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(sum(v), 10.0);
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(DescriptiveTest, KahanSumStaysAccurate) {
+  std::vector<double> v(1000000, 0.1);
+  EXPECT_NEAR(sum(v), 100000.0, 1e-6);
+}
+
+TEST(DescriptiveTest, VarianceAndStddev) {
+  const std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(variance(v), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(v), 2.0);
+  EXPECT_NEAR(sample_variance(v), 4.0 * 8 / 7, 1e-12);
+  EXPECT_DOUBLE_EQ(sample_variance(std::vector<double>{1.0}), 0.0);
+}
+
+TEST(DescriptiveTest, PercentileAndMedian) {
+  const std::vector<double> v = {5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(median(v), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(std::vector<double>{7.0}, 50), 7.0);
+  EXPECT_THROW(percentile(std::vector<double>{}, 50), std::invalid_argument);
+  EXPECT_THROW(percentile(v, -1), std::invalid_argument);
+  EXPECT_THROW(percentile(v, 101), std::invalid_argument);
+}
+
+TEST(DescriptiveTest, MinMax) {
+  const std::vector<double> v = {3, -1, 7};
+  EXPECT_DOUBLE_EQ(min(v), -1.0);
+  EXPECT_DOUBLE_EQ(max(v), 7.0);
+  EXPECT_THROW(min(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(max(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(DescriptiveTest, ChiSquareDistance) {
+  const std::vector<double> a = {1, 0, 3};
+  EXPECT_DOUBLE_EQ(chi_square_distance(a, a), 0.0);
+  const std::vector<double> b = {0, 1, 3};
+  EXPECT_DOUBLE_EQ(chi_square_distance(a, b), 1.0);  // 0.5*(1 + 1 + 0)
+  EXPECT_THROW(chi_square_distance(a, std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(DescriptiveTest, Normalized) {
+  const std::vector<double> v = {1, 1, 2};
+  const auto n = normalized(v);
+  EXPECT_DOUBLE_EQ(n[0], 0.25);
+  EXPECT_DOUBLE_EQ(n[2], 0.5);
+  const std::vector<double> zeros = {0, 0};
+  EXPECT_EQ(normalized(zeros), zeros);  // no-op, no NaN
+}
+
+// ---------------------------------------------------------------------
+// binomial (the Sec. VII suspicion test)
+// ---------------------------------------------------------------------
+
+TEST(BinomialTest, MeanAndStddev) {
+  EXPECT_DOUBLE_EQ(binomial_mean(100, 0.3), 30.0);
+  EXPECT_DOUBLE_EQ(binomial_stddev(100, 0.5), 5.0);
+  EXPECT_THROW(binomial_mean(-1, 0.5), std::invalid_argument);
+  EXPECT_THROW(binomial_stddev(10, 1.5), std::invalid_argument);
+}
+
+TEST(BinomialTest, ThreeSigmaThreshold) {
+  // The paper's numbers: a year of periods (n=365) with N_hsdir ~ 1000
+  // relays -> p = 0.006, mu = 2.19, sigma = 1.47, threshold ~ 6.6.
+  const double threshold = binomial_three_sigma_threshold(365, 6.0 / 1000.0);
+  EXPECT_NEAR(threshold, 365 * 0.006 + 3 * std::sqrt(365 * 0.006 * 0.994),
+              1e-9);
+  EXPECT_GT(threshold, 6.0);
+  EXPECT_LT(threshold, 7.5);
+}
+
+TEST(BinomialTest, PmfSumsToOne) {
+  for (double p : {0.01, 0.3, 0.9}) {
+    double total = 0;
+    for (int k = 0; k <= 50; ++k) total += binomial_pmf(50, k, p);
+    EXPECT_NEAR(total, 1.0, 1e-9) << p;
+  }
+}
+
+TEST(BinomialTest, PmfEdgeCases) {
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, -1, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 11, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(10, 10, 1.0), 1.0);
+  EXPECT_NEAR(binomial_pmf(4, 2, 0.5), 6.0 / 16.0, 1e-12);
+}
+
+TEST(BinomialTest, UpperTailMonotone) {
+  double prev = 1.1;
+  for (int k = 0; k <= 20; ++k) {
+    const double tail = binomial_upper_tail(20, k, 0.3);
+    EXPECT_LE(tail, prev + 1e-12);
+    prev = tail;
+  }
+  EXPECT_DOUBLE_EQ(binomial_upper_tail(20, 0, 0.3), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_upper_tail(20, 21, 0.3), 0.0);
+}
+
+TEST(BinomialTest, TailBeyondThreeSigmaIsSmall) {
+  const std::int64_t n = 1000;
+  const double p = 0.006;
+  const auto threshold = static_cast<std::int64_t>(
+      std::ceil(binomial_three_sigma_threshold(n, p)));
+  EXPECT_LT(binomial_upper_tail(n, threshold, p), 0.01);
+}
+
+TEST(BinomialTest, LogChoose) {
+  EXPECT_NEAR(std::exp(log_choose(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_choose(10, 0)), 1.0, 1e-9);
+  EXPECT_THROW(log_choose(5, 6), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// histogram
+// ---------------------------------------------------------------------
+
+TEST(HistogramTest, BasicCounting) {
+  Histogram<int> h;
+  h.add(80);
+  h.add(80);
+  h.add(443, 5);
+  EXPECT_EQ(h.count(80), 2);
+  EXPECT_EQ(h.count(443), 5);
+  EXPECT_EQ(h.count(22), 0);
+  EXPECT_EQ(h.total(), 7);
+  EXPECT_EQ(h.distinct(), 2u);
+}
+
+TEST(HistogramTest, ByCountDesc) {
+  Histogram<std::string> h;
+  h.add("a", 1);
+  h.add("b", 5);
+  h.add("c", 3);
+  const auto rows = h.by_count_desc();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].first, "b");
+  EXPECT_EQ(rows[1].first, "c");
+  EXPECT_EQ(rows[2].first, "a");
+}
+
+TEST(HistogramTest, OtherBucket) {
+  Histogram<int> h;
+  h.add(1, 100);
+  h.add(2, 60);
+  h.add(3, 10);
+  h.add(4, 5);
+  const auto [kept, other] = h.with_other_bucket(50);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_EQ(kept[0].second, 100);
+  EXPECT_EQ(other, 15);
+}
+
+TEST(HistogramTest, BarLine) {
+  const std::string line = bar_line("80-http", 50, 100, 10);
+  EXPECT_NE(line.find("80-http"), std::string::npos);
+  EXPECT_NE(line.find("50.0%"), std::string::npos);
+  EXPECT_EQ(std::count(line.begin(), line.end(), '#'), 5);
+  const std::string zero = bar_line("x", 0, 0);
+  EXPECT_EQ(std::count(zero.begin(), zero.end(), '#'), 0);
+}
+
+// ---------------------------------------------------------------------
+// zipf
+// ---------------------------------------------------------------------
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfSampler sampler(100, 1.0);
+  double total = 0;
+  for (std::size_t r = 1; r <= 100; ++r) total += sampler.pmf(r);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, PmfDecreasing) {
+  ZipfSampler sampler(50, 0.8);
+  for (std::size_t r = 2; r <= 50; ++r)
+    EXPECT_LT(sampler.pmf(r), sampler.pmf(r - 1));
+}
+
+TEST(ZipfTest, SampleRange) {
+  ZipfSampler sampler(10, 1.2);
+  util::Rng rng(61);
+  for (int i = 0; i < 1000; ++i) {
+    const auto r = sampler.sample(rng);
+    EXPECT_GE(r, 1u);
+    EXPECT_LE(r, 10u);
+  }
+}
+
+TEST(ZipfTest, EmpiricalMatchesPmf) {
+  ZipfSampler sampler(20, 1.0);
+  util::Rng rng(67);
+  std::vector<int> counts(21, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[sampler.sample(rng)];
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, sampler.pmf(1), 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, sampler.pmf(2), 0.01);
+}
+
+TEST(ZipfTest, ExpectedCounts) {
+  const auto expected = zipf_expected_counts(10, 1.0, 1000);
+  EXPECT_EQ(expected.size(), 10u);
+  double total = 0;
+  for (double e : expected) total += e;
+  EXPECT_NEAR(total, 1000.0, 1e-6);
+  EXPECT_GT(expected[0], expected[9]);
+}
+
+TEST(ZipfTest, RejectsEmpty) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+  ZipfSampler sampler(5, 1.0);
+  EXPECT_THROW(sampler.pmf(0), std::out_of_range);
+  EXPECT_THROW(sampler.pmf(6), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace torsim::stats

@@ -1,0 +1,471 @@
+// torsim — command-line driver for every experiment in the reproduction.
+//
+//   torsim scan        [--scale S] [--seed N] [--csv FILE]   Fig. 1
+//   torsim crawl       [--scale S] [--seed N]                Table I
+//   torsim classify    [--scale S] [--seed N] [--csv FILE]   Fig. 2
+//   torsim popularity  [--scale S] [--seed N] [--csv FILE]   Table II
+//   torsim botnet      [--scale S] [--seed N]                Goldnet inference
+//   torsim harvest     [--ips N] [--relays M] [--seed N]     Sec. II attack
+//   torsim trackdet    [--seed N] [--csv FILE]               Sec. VII
+//   torsim consensus   [--hours N] [--out FILE]              dir-spec dump
+//   torsim geoip IP [IP...]                                  GeoIP lookups
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "attack/harvester.hpp"
+#include "content/pipeline.hpp"
+#include "dirspec/consensus_doc.hpp"
+#include "geo/client_map.hpp"
+#include "popularity/botnet_inference.hpp"
+#include "popularity/request_generator.hpp"
+#include "popularity/resolver.hpp"
+#include "scan/cert_analysis.hpp"
+#include "scan/crawler.hpp"
+#include "scan/port_scanner.hpp"
+#include "sim/world.hpp"
+#include "stats/histogram.hpp"
+#include "trackdet/scenario.hpp"
+#include "util/csv.hpp"
+
+namespace {
+
+using namespace torsim;
+
+struct Options {
+  double scale = 0.1;
+  std::uint64_t seed = 20130204;
+  std::string csv;
+  std::string out;
+  int ips = 10;
+  int relays = 12;
+  int hours = 6;
+  std::vector<std::string> positional;
+};
+
+Options parse_options(int argc, char** argv, int first) {
+  Options opt;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc)
+        throw std::invalid_argument("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--scale") opt.scale = std::stod(next());
+    else if (arg == "--seed") opt.seed = std::stoull(next());
+    else if (arg == "--csv") opt.csv = next();
+    else if (arg == "--out") opt.out = next();
+    else if (arg == "--ips") opt.ips = std::stoi(next());
+    else if (arg == "--relays") opt.relays = std::stoi(next());
+    else if (arg == "--hours") opt.hours = std::stoi(next());
+    else if (!arg.empty() && arg[0] == '-')
+      throw std::invalid_argument("unknown option " + arg);
+    else opt.positional.push_back(arg);
+  }
+  return opt;
+}
+
+population::Population make_population(const Options& opt) {
+  population::PopulationConfig config;
+  config.seed = opt.seed;
+  config.scale = opt.scale;
+  return population::Population::generate(config);
+}
+
+int cmd_scan(const Options& opt) {
+  const auto pop = make_population(opt);
+  scan::PortScanner scanner(scan::ScanConfig{.seed = opt.seed + 1,
+                                             .scan_days = 8,
+                                             .probe_timeout_probability =
+                                                 0.02});
+  const auto report = scanner.scan(pop);
+  std::printf("scanned %lld onions (descriptors available), found %lld open "
+              "ports on %lld of them (coverage %.0f%%)\n",
+              static_cast<long long>(report.onions_scanned),
+              static_cast<long long>(report.total_open_ports()),
+              static_cast<long long>(report.onions_with_open_ports),
+              report.coverage * 100);
+  const auto rows =
+      report.figure1(static_cast<std::int64_t>(50 * opt.scale));
+  for (const auto& [label, count] : rows)
+    std::printf("%s\n",
+                stats::bar_line(label, count, report.total_open_ports(), 40)
+                    .c_str());
+  if (!opt.csv.empty()) {
+    util::CsvWriter csv(opt.csv);
+    csv.row({"port", "count"});
+    for (const auto& [port, count] : report.open_ports.entries())
+      csv.typed_row(port, count);
+    std::printf("wrote %zu rows to %s\n", csv.rows_written(),
+                opt.csv.c_str());
+  }
+  return 0;
+}
+
+int cmd_crawl(const Options& opt) {
+  const auto pop = make_population(opt);
+  scan::PortScanner scanner;
+  const auto scan_report = scanner.scan(pop);
+  scan::Crawler crawler;
+  const auto crawl = crawler.crawl(pop, scan_report);
+  std::printf("destinations %lld -> still open %lld -> connected %lld\n",
+              static_cast<long long>(crawl.destinations),
+              static_cast<long long>(crawl.still_open),
+              static_cast<long long>(crawl.connected));
+  std::map<std::uint16_t, int> per_port;
+  for (const auto& page : crawl.pages) ++per_port[page.port];
+  std::printf("per-port (Table I):\n");
+  for (const auto& [port, count] : per_port)
+    if (count >= 3 || port == 8080)
+      std::printf("  %-6u %d\n", port, count);
+  const auto certs = scan::analyse_certificates(pop, scan_report);
+  std::printf("certificates: %lld seen, %lld CN-mismatch (%lld TorHost), "
+              "%lld public-DNS\n",
+              static_cast<long long>(certs.certificates_seen),
+              static_cast<long long>(certs.selfsigned_mismatch),
+              static_cast<long long>(certs.torhost_cn),
+              static_cast<long long>(certs.public_dns_cn));
+  return 0;
+}
+
+int cmd_classify(const Options& opt) {
+  const auto pop = make_population(opt);
+  scan::PortScanner scanner;
+  const auto scan_report = scanner.scan(pop);
+  scan::Crawler crawler;
+  const auto crawl = crawler.crawl(pop, scan_report);
+  util::Rng rng(opt.seed + 2);
+  const auto classifier = content::TopicClassifier::make_default(rng);
+  content::ContentPipeline pipeline(classifier,
+                                    content::LanguageDetector::instance());
+  const auto result = pipeline.run(crawl.pages);
+  std::printf("classifiable %zu, English %zu (%.0f%%), TorHost defaults %zu, "
+              "classified %zu\n",
+              result.classifiable, result.english,
+              100.0 * result.language_shares()[0], result.torhost_default,
+              result.classified);
+  const auto pct = result.topic_percentages();
+  for (int i = 0; i < content::kNumTopics; ++i)
+    std::printf("  %-20s %5.1f%%\n",
+                std::string(content::topic_name(content::topic_from_index(i)))
+                    .c_str(),
+                pct[i]);
+  if (!opt.csv.empty()) {
+    util::CsvWriter csv(opt.csv);
+    csv.row({"topic", "count", "percent"});
+    for (int i = 0; i < content::kNumTopics; ++i)
+      csv.typed_row(content::topic_name(content::topic_from_index(i)),
+                    result.topic_counts[i], pct[i]);
+    std::printf("wrote %zu rows to %s\n", csv.rows_written(),
+                opt.csv.c_str());
+  }
+  return 0;
+}
+
+int cmd_popularity(const Options& opt) {
+  const auto pop = make_population(opt);
+  popularity::RequestGenerator generator(
+      popularity::RequestGeneratorConfig{.seed = opt.seed + 3});
+  const auto stream = generator.generate(pop);
+  popularity::DescriptorResolver resolver;
+  resolver.build_dictionary(pop);
+  const auto report = resolver.resolve(stream, pop);
+  std::printf("%lld requests, %lld unique ids, %lld resolved to %lld onions "
+              "(unresolved share %.2f)\n",
+              static_cast<long long>(report.total_requests),
+              static_cast<long long>(report.unique_descriptor_ids),
+              static_cast<long long>(report.resolved_descriptor_ids),
+              static_cast<long long>(report.resolved_onions),
+              report.unresolved_request_share());
+  for (std::size_t i = 0; i < report.ranking.size() && i < 20; ++i) {
+    const auto& row = report.ranking[i];
+    std::printf("  %2zu  %-7lld %s %s\n", i + 1,
+                static_cast<long long>(row.requests), row.onion.c_str(),
+                row.label.empty() ? "" : ("[" + row.label + "]").c_str());
+  }
+  if (!opt.csv.empty()) {
+    util::CsvWriter csv(opt.csv);
+    csv.row({"rank", "onion", "requests", "label", "paper_rank"});
+    for (std::size_t i = 0; i < report.ranking.size(); ++i)
+      csv.typed_row(i + 1, report.ranking[i].onion,
+                    report.ranking[i].requests, report.ranking[i].label,
+                    report.ranking[i].paper_rank);
+    std::printf("wrote %zu rows to %s\n", csv.rows_written(),
+                opt.csv.c_str());
+  }
+  return 0;
+}
+
+int cmd_botnet(const Options& opt) {
+  const auto pop = make_population(opt);
+  popularity::RequestGenerator generator(
+      popularity::RequestGeneratorConfig{.seed = opt.seed + 3});
+  const auto stream = generator.generate(pop);
+  popularity::DescriptorResolver resolver;
+  resolver.build_dictionary(pop);
+  const auto ranking = resolver.resolve(stream, pop);
+  const auto report = popularity::infer_botnet_infrastructure(ranking, pop);
+  std::printf("C&C-fingerprint candidates among top of ranking: %zu\n",
+              report.cnc_candidates.size());
+  for (const auto& server : report.physical_servers) {
+    std::printf("  physical server (Apache uptime %lld s): %zu onions, "
+                "%.0f KB/s, %.1f req/s\n",
+                static_cast<long long>(server.apache_uptime_seconds),
+                server.onions.size(),
+                server.mean_traffic_bytes_per_sec / 1024.0,
+                server.mean_requests_per_sec);
+    for (const auto& onion : server.onions)
+      std::printf("    %s.onion\n", onion.c_str());
+  }
+  return 0;
+}
+
+int cmd_harvest(const Options& opt) {
+  sim::WorldConfig wc;
+  wc.seed = opt.seed;
+  wc.honest_relays = 300;
+  sim::World world(wc);
+  std::set<std::string> truth;
+  for (int i = 0; i < 80; ++i)
+    truth.insert(world.service(world.add_service()).onion_address());
+  attack::HarvesterConfig hc;
+  hc.num_ips = opt.ips;
+  hc.relays_per_ip = opt.relays;
+  attack::ShadowHarvester harvester(hc);
+  harvester.deploy(world);
+  const auto report = harvester.run(world, 24);
+  std::size_t hits = 0;
+  for (const auto& onion : report.onions) hits += truth.count(onion);
+  std::printf("%d IPs x %d relays -> %d ring positions, %zu/%zu onions "
+              "(%.0f%%), %lld fetches logged\n",
+              opt.ips, opt.relays, report.positions_used, hits, truth.size(),
+              100.0 * static_cast<double>(hits) /
+                  static_cast<double>(truth.size()),
+              static_cast<long long>(report.fetch_requests_logged));
+  return 0;
+}
+
+int cmd_trackdet(const Options& opt) {
+  const auto study = trackdet::run_silkroad_study(opt.seed);
+  std::printf("%lld daily snapshots, threshold %.1f, takeover periods %lld\n",
+              static_cast<long long>(study.report.snapshots),
+              study.report.suspicion_threshold,
+              static_cast<long long>(study.report.full_takeover_periods));
+  for (const auto& cluster : study.report.clusters)
+    std::printf("  cluster '%s*': %zu servers, %lld periods, ratio %.0f%s\n",
+                cluster.shared_prefix.c_str(), cluster.servers.size(),
+                static_cast<long long>(cluster.periods_covered),
+                cluster.max_ratio,
+                cluster.full_takeover ? " [TAKEOVER]" : "");
+  if (!opt.csv.empty()) {
+    util::CsvWriter csv(opt.csv);
+    csv.row({"server", "responsible_periods", "fp_switches", "max_ratio",
+             "flags", "truth_campaign"});
+    for (const auto& s : study.report.suspicious)
+      csv.typed_row(s.name, s.stats.periods_responsible,
+                    s.stats.fingerprint_switches, s.stats.max_ratio,
+                    s.flags.count(), s.truth_campaign);
+    std::printf("wrote %zu rows to %s\n", csv.rows_written(),
+                opt.csv.c_str());
+  }
+  return 0;
+}
+
+int cmd_consensus(const Options& opt) {
+  sim::WorldConfig wc;
+  wc.seed = opt.seed;
+  wc.honest_relays = 100;
+  sim::World world(wc);
+  world.run_hours(opt.hours);
+  const auto text = dirspec::render_archive(world.archive());
+  if (opt.out.empty()) {
+    std::fputs(text.c_str(), stdout);
+  } else {
+    std::FILE* f = std::fopen(opt.out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", opt.out.c_str());
+      return 1;
+    }
+    std::fputs(text.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote %zu consensuses to %s\n", world.archive().size(),
+                opt.out.c_str());
+  }
+  return 0;
+}
+
+int cmd_report(const Options& opt) {
+  // Full pipeline at the requested scale, emitted as a measured-vs-paper
+  // markdown report (the generator behind EXPERIMENTS.md).
+  const auto pop = make_population(opt);
+  scan::PortScanner scanner;
+  const auto scan_report = scanner.scan(pop);
+  const auto certs = scan::analyse_certificates(pop, scan_report);
+  scan::Crawler crawler;
+  const auto crawl = crawler.crawl(pop, scan_report);
+  util::Rng rng(opt.seed + 2);
+  const auto classifier = content::TopicClassifier::make_default(rng);
+  content::ContentPipeline pipeline(classifier,
+                                    content::LanguageDetector::instance());
+  const auto content_report = pipeline.run(crawl.pages);
+  popularity::RequestGenerator generator(
+      popularity::RequestGeneratorConfig{.seed = opt.seed + 3});
+  const auto stream = generator.generate(pop);
+  popularity::DescriptorResolver resolver;
+  resolver.build_dictionary(pop);
+  const auto resolution = resolver.resolve(stream, pop);
+
+  const auto& paper = population::paper();
+  const double s = opt.scale;
+  std::string out;
+  char line[256];
+  const auto row = [&](const std::string& label, double measured,
+                       double paper_val) {
+    std::snprintf(line, sizeof line, "| %s | %.0f | %.0f | %.2f |\n",
+                  label.c_str(), measured, paper_val * s,
+                  paper_val * s != 0 ? measured / (paper_val * s) : 0.0);
+    out += line;
+  };
+  std::snprintf(line, sizeof line,
+                "# torsim generated report (scale %.2f, seed %llu)\n\n", s,
+                static_cast<unsigned long long>(opt.seed));
+  out += line;
+  out += "## Fig. 1 / Sec. III\n\n| quantity | measured | paper(scaled) | "
+         "ratio |\n|---|---|---|---|\n";
+  row("descriptors available",
+      static_cast<double>(scan_report.descriptors_available),
+      static_cast<double>(paper.descriptors_at_scan));
+  row("open ports", static_cast<double>(scan_report.total_open_ports()),
+      static_cast<double>(paper.open_ports_total));
+  for (const auto& pc : paper.fig1_ports) {
+    if (pc.port == 0) continue;
+    row(std::string(pc.label),
+        static_cast<double>(scan_report.open_ports.count(pc.port)),
+        static_cast<double>(pc.count));
+  }
+  row("CN-mismatch certs", static_cast<double>(certs.selfsigned_mismatch),
+      static_cast<double>(paper.certs_selfsigned_mismatch));
+  row("public-DNS certs", static_cast<double>(certs.public_dns_cn),
+      static_cast<double>(paper.certs_public_dns_cn));
+
+  out += "\n## Table I / Sec. IV\n\n| quantity | measured | paper(scaled) | "
+         "ratio |\n|---|---|---|---|\n";
+  row("crawl destinations", static_cast<double>(crawl.destinations),
+      static_cast<double>(paper.crawl_destinations));
+  row("connected", static_cast<double>(crawl.connected),
+      static_cast<double>(paper.crawl_connected));
+  row("classifiable", static_cast<double>(content_report.classifiable),
+      static_cast<double>(paper.classifiable));
+  row("english", static_cast<double>(content_report.english),
+      static_cast<double>(paper.english_pages));
+  row("classified", static_cast<double>(content_report.classified),
+      static_cast<double>(paper.classified_pages));
+
+  out += "\n## Fig. 2 topics (% of classified)\n\n| topic | measured | paper "
+         "|\n|---|---|---|\n";
+  const auto pct = content_report.topic_percentages();
+  for (int i = 0; i < content::kNumTopics; ++i) {
+    std::snprintf(line, sizeof line, "| %s | %.1f | %.0f |\n",
+                  std::string(content::topic_name(
+                                  content::topic_from_index(i)))
+                      .c_str(),
+                  pct[i], content::paper_topic_percentages()[i]);
+    out += line;
+  }
+
+  out += "\n## Table II / Sec. V\n\n| quantity | measured | paper(scaled) | "
+         "ratio |\n|---|---|---|---|\n";
+  row("unique descriptor ids",
+      static_cast<double>(resolution.unique_descriptor_ids),
+      static_cast<double>(paper.unique_descriptor_ids));
+  row("resolved ids", static_cast<double>(resolution.resolved_descriptor_ids),
+      static_cast<double>(paper.resolved_descriptor_ids));
+  row("resolved onions", static_cast<double>(resolution.resolved_onions),
+      static_cast<double>(paper.resolved_onions));
+  std::snprintf(line, sizeof line,
+                "\nunresolved request share: measured %.2f, paper %.2f\n",
+                resolution.unresolved_request_share(),
+                paper.nonexistent_request_share);
+  out += line;
+
+  if (opt.out.empty()) {
+    std::fputs(out.c_str(), stdout);
+  } else {
+    std::FILE* f = std::fopen(opt.out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s", opt.out.c_str());
+      return 1;
+    }
+    std::fputs(out.c_str(), f);
+    std::fclose(f);
+    std::printf("wrote report to %s\n", opt.out.c_str());
+  }
+  return 0;
+}
+
+int cmd_geoip(const Options& opt) {
+  if (opt.positional.empty()) {
+    std::fprintf(stderr, "usage: torsim geoip IP [IP...]\n");
+    return 1;
+  }
+  const auto db = geo::GeoDatabase::standard();
+  for (const auto& text : opt.positional) {
+    const auto ip = net::Ipv4::parse(text);
+    const auto& country = db.lookup(ip);
+    std::printf("%-16s %s (%s)\n", ip.to_string().c_str(),
+                country.name.c_str(), country.code.c_str());
+  }
+  return 0;
+}
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "torsim — Tor hidden-service landscape reproduction "
+      "(Biryukov et al., ICDCS 2014)\n\n"
+      "commands:\n"
+      "  scan        port-scan the synthetic landscape (Fig. 1)\n"
+      "  crawl       crawl HTTP(S) destinations (Table I + certificates)\n"
+      "  classify    language + topic classification (Fig. 2)\n"
+      "  popularity  request resolution and ranking (Table II)\n"
+      "  botnet      Goldnet infrastructure inference\n"
+      "  harvest     shadow-relay onion harvesting (Sec. II)\n"
+      "  trackdet    Silk Road tracking detection (Sec. VII)\n"
+      "  consensus   dump a dir-spec consensus archive\n"
+      "  report      full-pipeline measured-vs-paper markdown report\n"
+      "  geoip       look up synthetic GeoIP for addresses\n\n"
+      "options: --scale S --seed N --csv FILE --out FILE --ips N "
+      "--relays M --hours N\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  try {
+    const Options opt = parse_options(argc, argv, 2);
+    if (command == "scan") return cmd_scan(opt);
+    if (command == "crawl") return cmd_crawl(opt);
+    if (command == "classify") return cmd_classify(opt);
+    if (command == "popularity") return cmd_popularity(opt);
+    if (command == "botnet") return cmd_botnet(opt);
+    if (command == "harvest") return cmd_harvest(opt);
+    if (command == "trackdet") return cmd_trackdet(opt);
+    if (command == "consensus") return cmd_consensus(opt);
+    if (command == "report") return cmd_report(opt);
+    if (command == "geoip") return cmd_geoip(opt);
+    usage();
+    return 1;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}
