@@ -24,18 +24,33 @@ void BM_PopulationGenerate(benchmark::State& state) {
 }
 BENCHMARK(BM_PopulationGenerate)->Unit(benchmark::kMillisecond);
 
+// Serial-vs-parallel sweep: the argument is the `threads` knob
+// (1 = legacy serial path). Results are bit-identical across arguments;
+// only wall-clock changes, so BENCH_*.json records the speedup curve.
 void BM_FullPortScan(benchmark::State& state) {
   const auto& pop = bench::full_population();
+  const int threads = static_cast<int>(state.range(0));
+  std::int64_t open_total = -1;
   for (auto _ : state) {
     scan::PortScanner scanner(scan::ScanConfig{.seed = 2,
                                                .scan_days = 8,
                                                .probe_timeout_probability =
-                                                   0.02});
+                                                   0.02,
+                                               .threads = threads});
     auto report = scanner.scan(pop);
-    benchmark::DoNotOptimize(report.open_ports.total());
+    open_total = report.open_ports.total();
+    benchmark::DoNotOptimize(open_total);
   }
+  // Cross-argument determinism check, recorded in the JSON counters.
+  state.counters["open_ports"] = static_cast<double>(open_total);
 }
-BENCHMARK(BM_FullPortScan)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FullPortScan)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->ArgName("threads")
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void print_figure1() {
   const auto& report = bench::full_scan();

@@ -61,16 +61,29 @@ void BM_DetectLanguage(benchmark::State& state) {
 }
 BENCHMARK(BM_DetectLanguage);
 
+// Serial-vs-parallel sweep: the argument is the `threads` knob of the
+// per-page classification fan-out. Results are bit-identical across
+// arguments; BENCH_*.json records the wall-clock speedup.
 void BM_FullContentPipeline(benchmark::State& state) {
-  content::ContentPipeline pipeline(shared_classifier(),
-                                    content::LanguageDetector::instance());
+  content::ContentPipeline pipeline(
+      shared_classifier(), content::LanguageDetector::instance(),
+      {.threads = static_cast<int>(state.range(0))});
   const auto& pages = bench::full_crawl().pages;
+  std::size_t classified = 0;
   for (auto _ : state) {
     auto result = pipeline.run(pages);
-    benchmark::DoNotOptimize(result.classified);
+    classified = result.classified;
+    benchmark::DoNotOptimize(classified);
   }
+  state.counters["classified"] = static_cast<double>(classified);
 }
-BENCHMARK(BM_FullContentPipeline)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FullContentPipeline)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->ArgName("threads")
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void print_figure2() {
   const auto& result = full_pipeline_result();

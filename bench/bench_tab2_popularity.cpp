@@ -48,15 +48,30 @@ void BM_GenerateRequests(benchmark::State& state) {
 }
 BENCHMARK(BM_GenerateRequests)->Unit(benchmark::kMillisecond);
 
+// Serial-vs-parallel sweep over the multi-day descriptor-ID derivation
+// (the Sec. V dictionary): the argument is the `threads` knob. The
+// dictionary is bit-identical across arguments; BENCH_*.json records
+// the wall-clock speedup.
 void BM_BuildDictionary(benchmark::State& state) {
   const auto& pop = bench::full_population();
+  const int threads = static_cast<int>(state.range(0));
+  std::size_t dict_size = 0;
   for (auto _ : state) {
-    popularity::DescriptorResolver resolver;
+    popularity::DescriptorResolver resolver(
+        popularity::ResolverConfig{.threads = threads});
     resolver.build_dictionary(pop);
-    benchmark::DoNotOptimize(resolver.dictionary_size());
+    dict_size = resolver.dictionary_size();
+    benchmark::DoNotOptimize(dict_size);
   }
+  state.counters["dictionary_size"] = static_cast<double>(dict_size);
 }
-BENCHMARK(BM_BuildDictionary)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BuildDictionary)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->ArgName("threads")
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_ResolveStream(benchmark::State& state) {
   const auto& fixture = full_resolution();

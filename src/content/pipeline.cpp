@@ -3,6 +3,7 @@
 #include <map>
 
 #include "content/corpus.hpp"
+#include "util/parallel.hpp"
 #include "util/strings.hpp"
 
 namespace torsim::content {
@@ -28,32 +29,55 @@ std::vector<double> PipelineResult::language_shares() const {
 }
 
 ContentPipeline::ContentPipeline(const TopicClassifier& classifier,
-                                 const LanguageDetector& detector)
-    : classifier_(classifier), detector_(detector) {}
+                                 const LanguageDetector& detector,
+                                 PipelineConfig config)
+    : classifier_(classifier), detector_(detector), config_(config) {}
+
+namespace {
+
+/// Where one destination leaves the Sec. IV funnel. Computed
+/// independently per page, then tallied in input order.
+struct PageOutcome {
+  enum class Stage {
+    kNotConnected,
+    kShort,
+    kDup443,
+    kError,
+    kNonEnglish,
+    kTorHostDefault,
+    kClassified,
+  };
+  Stage stage = Stage::kNotConnected;
+  bool ssh_banner = false;
+  Language language = Language::kEnglish;
+  TopicGuess topic;
+};
+
+}  // namespace
 
 PipelineResult ContentPipeline::run(
     const std::vector<CrawlDestination>& destinations) const {
   PipelineResult result;
   result.destinations_total = destinations.size();
 
-  // Index port-80 page text per onion for the 443-duplicate rule.
+  // Index port-80 page text per onion for the 443-duplicate rule
+  // (read-only once the fan-out starts).
   std::map<std::string, const CrawlDestination*> port80_pages;
   for (const CrawlDestination& d : destinations)
     if (d.connected && d.port == net::kPortHttp) port80_pages[d.onion] = &d;
 
-  for (const CrawlDestination& d : destinations) {
-    if (!d.connected) continue;
-    ++result.connected;
-    result.port_counts.add(d.port);
+  const auto classify_one = [&](std::size_t index) {
+    PageOutcome out;
+    const CrawlDestination& d = destinations[index];
+    if (!d.connected) return out;
 
     // Rule 1: fewer than 20 words of text (SSH banners land here: the
     // crawler spoke HTTP to port 22 and got a one-line banner back).
     if (util::count_words(d.text) < 20) {
-      ++result.excluded_short;
-      if (d.port == net::kPortSsh ||
-          util::starts_with(d.text, "SSH-"))
-        ++result.excluded_ssh_banner;
-      continue;
+      out.stage = PageOutcome::Stage::kShort;
+      out.ssh_banner =
+          d.port == net::kPortSsh || util::starts_with(d.text, "SSH-");
+      return out;
     }
 
     // Rule 2: port-443 destination whose content is a copy of the same
@@ -61,35 +85,79 @@ PipelineResult ContentPipeline::run(
     if (d.port == net::kPortHttps) {
       const auto it = port80_pages.find(d.onion);
       if (it != port80_pages.end() && it->second->text == d.text) {
-        ++result.excluded_dup443;
-        continue;
+        out.stage = PageOutcome::Stage::kDup443;
+        return out;
       }
     }
 
     // Rule 3: error message embedded in an HTML page.
     if (d.error_page) {
-      ++result.excluded_error;
-      continue;
+      out.stage = PageOutcome::Stage::kError;
+      return out;
     }
 
-    ++result.classifiable;
     const LanguageGuess lang = detector_.detect(d.text);
-    result.language_counts[static_cast<int>(lang.language)]++;
-    if (lang.language != Language::kEnglish) continue;
-    ++result.english;
+    out.language = lang.language;
+    if (lang.language != Language::kEnglish) {
+      out.stage = PageOutcome::Stage::kNonEnglish;
+      return out;
+    }
 
     // TorHost default placeholder pages are tallied separately, not
     // topic-classified (the paper set 805 of them aside).
     if (d.text == torhost_default_page()) {
-      ++result.torhost_default;
-      continue;
+      out.stage = PageOutcome::Stage::kTorHostDefault;
+      return out;
     }
 
-    const TopicGuess topic = classifier_.classify(d.text);
-    result.topic_counts[static_cast<int>(topic.topic)]++;
-    ++result.classified;
-    result.services.push_back(
-        {d.onion, d.port, lang.language, topic.topic, topic.confidence});
+    out.stage = PageOutcome::Stage::kClassified;
+    out.topic = classifier_.classify(d.text);
+    return out;
+  };
+
+  const std::vector<PageOutcome> outcomes = util::parallel_map(
+      destinations.size(), config_.threads, classify_one);
+
+  // Ordered reduction: walk the funnel counters in input order.
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const PageOutcome& out = outcomes[i];
+    const CrawlDestination& d = destinations[i];
+    if (out.stage == PageOutcome::Stage::kNotConnected) continue;
+    ++result.connected;
+    result.port_counts.add(d.port);
+    switch (out.stage) {
+      case PageOutcome::Stage::kNotConnected:
+        break;
+      case PageOutcome::Stage::kShort:
+        ++result.excluded_short;
+        if (out.ssh_banner) ++result.excluded_ssh_banner;
+        break;
+      case PageOutcome::Stage::kDup443:
+        ++result.excluded_dup443;
+        break;
+      case PageOutcome::Stage::kError:
+        ++result.excluded_error;
+        break;
+      case PageOutcome::Stage::kNonEnglish:
+        ++result.classifiable;
+        result.language_counts[static_cast<int>(out.language)]++;
+        break;
+      case PageOutcome::Stage::kTorHostDefault:
+        ++result.classifiable;
+        result.language_counts[static_cast<int>(out.language)]++;
+        ++result.english;
+        ++result.torhost_default;
+        break;
+      case PageOutcome::Stage::kClassified:
+        ++result.classifiable;
+        result.language_counts[static_cast<int>(out.language)]++;
+        ++result.english;
+        result.topic_counts[static_cast<int>(out.topic.topic)]++;
+        ++result.classified;
+        result.services.push_back({d.onion, d.port, out.language,
+                                   out.topic.topic, out.topic.confidence});
+        break;
+    }
   }
   return result;
 }

@@ -66,10 +66,18 @@ struct PipelineResult {
   std::vector<double> language_shares() const;
 };
 
+struct PipelineConfig {
+  /// Worker threads for the per-page language + topic classification
+  /// fan-out; <= 0 = one per hardware thread, 1 = legacy serial path.
+  /// Output is bit-identical for every value (see docs/concurrency.md).
+  int threads = 0;
+};
+
 class ContentPipeline {
  public:
   ContentPipeline(const TopicClassifier& classifier,
-                  const LanguageDetector& detector);
+                  const LanguageDetector& detector,
+                  PipelineConfig config = {});
 
   /// Runs the full Sec. IV pipeline over the crawl output.
   PipelineResult run(const std::vector<CrawlDestination>& destinations) const;
@@ -77,6 +85,7 @@ class ContentPipeline {
  private:
   const TopicClassifier& classifier_;
   const LanguageDetector& detector_;
+  PipelineConfig config_;
 };
 
 }  // namespace torsim::content

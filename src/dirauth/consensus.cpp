@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/parallel.hpp"
+
 namespace torsim::dirauth {
 
 Consensus::Consensus(util::UnixTime valid_after,
@@ -61,6 +63,14 @@ std::vector<const ConsensusEntry*> Consensus::responsible_hsdirs(
     out.push_back(&entries_[idx]);
   }
   return out;
+}
+
+std::vector<std::vector<const ConsensusEntry*>>
+Consensus::responsible_hsdirs_batch(
+    const std::vector<crypto::DescriptorId>& ids, int threads) const {
+  return util::parallel_map(ids.size(), threads, [&](std::size_t i) {
+    return responsible_hsdirs(ids[i]);
+  });
 }
 
 std::vector<const ConsensusEntry*> Consensus::with_flag(Flag flag) const {

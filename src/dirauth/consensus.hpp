@@ -63,6 +63,13 @@ class Consensus {
   std::vector<const ConsensusEntry*> responsible_hsdirs(
       const crypto::DescriptorId& descriptor_id) const;
 
+  /// Batched ring lookup: responsible_hsdirs for every id, in input
+  /// order, fanned out across up to `threads` workers (<= 0 = one per
+  /// hardware thread). Lookups are pure reads of this consensus, so the
+  /// result is identical to the serial loop for every thread count.
+  std::vector<std::vector<const ConsensusEntry*>> responsible_hsdirs_batch(
+      const std::vector<crypto::DescriptorId>& ids, int threads = 0) const;
+
   /// Entries with a given flag.
   std::vector<const ConsensusEntry*> with_flag(Flag flag) const;
 

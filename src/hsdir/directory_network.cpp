@@ -7,11 +7,19 @@ namespace torsim::hsdir {
 std::vector<relay::RelayId> DirectoryNetwork::publish(
     const dirauth::Consensus& consensus,
     const std::vector<Descriptor>& descriptors) {
+  // Ring lookups are pure and fan out across threads; the store writes
+  // stay serial and commit in descriptor order, so the directory state
+  // is identical to the serial publish.
+  std::vector<crypto::DescriptorId> ids;
+  ids.reserve(descriptors.size());
+  for (const Descriptor& d : descriptors) ids.push_back(d.descriptor_id);
+  const auto responsible =
+      consensus.responsible_hsdirs_batch(ids, config_.threads);
+
   std::vector<relay::RelayId> receivers;
-  for (const Descriptor& d : descriptors) {
-    for (const dirauth::ConsensusEntry* e :
-         consensus.responsible_hsdirs(d.descriptor_id)) {
-      store_for(e->relay).store(d);
+  for (std::size_t i = 0; i < descriptors.size(); ++i) {
+    for (const dirauth::ConsensusEntry* e : responsible[i]) {
+      store_for(e->relay).store(descriptors[i]);
       receivers.push_back(e->relay);
     }
   }

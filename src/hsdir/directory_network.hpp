@@ -10,8 +10,20 @@
 
 namespace torsim::hsdir {
 
+struct DirectoryNetworkConfig {
+  /// Worker threads for batched responsible-HSDir ring lookups during
+  /// publish; <= 0 = one per hardware thread, 1 = legacy serial path.
+  /// Store contents are bit-identical for every value (lookups fan
+  /// out; store writes stay serial, in input order).
+  int threads = 0;
+};
+
 class DirectoryNetwork {
  public:
+  DirectoryNetwork() = default;
+  explicit DirectoryNetwork(DirectoryNetworkConfig config)
+      : config_(config) {}
+
   /// The store operated by relay `id` (created on first use).
   DescriptorStore& store_for(relay::RelayId id) { return stores_[id]; }
 
@@ -48,6 +60,7 @@ class DirectoryNetwork {
   }
 
  private:
+  DirectoryNetworkConfig config_;
   std::unordered_map<relay::RelayId, DescriptorStore> stores_;
 };
 

@@ -4,6 +4,8 @@
 #include <set>
 #include <unordered_map>
 
+#include "util/parallel.hpp"
+
 namespace torsim::popularity {
 
 DescriptorResolver::DescriptorResolver(ResolverConfig config)
@@ -26,8 +28,12 @@ void DescriptorResolver::build_dictionary(
 void DescriptorResolver::build_dictionary_from_onions(
     const std::vector<std::string>& onions) {
   dictionary_.clear();
-  for (const std::string& onion : onions) {
-    const auto pid = crypto::parse_onion_address(onion);
+  // The SHA-1 derivations per onion are independent: fan them out, then
+  // insert in onion order so duplicate-id collisions resolve exactly as
+  // the serial loop would (last writer in input order wins).
+  const auto derive_one = [&](std::size_t index) {
+    const auto pid = crypto::parse_onion_address(onions[index]);
+    std::vector<crypto::DescriptorId> ids;
     // One derivation per day in the window; the time-period function
     // shifts per-service, so step by days and dedupe via the map.
     for (util::UnixTime t = config_.derive_from; t < config_.derive_to;
@@ -35,9 +41,15 @@ void DescriptorResolver::build_dictionary_from_onions(
       const std::uint32_t period = crypto::time_period(t, pid);
       for (std::uint8_t replica = 0; replica < crypto::kNumReplicas;
            ++replica)
-        dictionary_[crypto::descriptor_id(pid, period, replica)] = onion;
+        ids.push_back(crypto::descriptor_id(pid, period, replica));
     }
-  }
+    return ids;
+  };
+  const std::vector<std::vector<crypto::DescriptorId>> derived =
+      util::parallel_map(onions.size(), config_.threads, derive_one);
+  for (std::size_t i = 0; i < derived.size(); ++i)
+    for (const crypto::DescriptorId& id : derived[i])
+      dictionary_[id] = onions[i];
 }
 
 ResolutionReport DescriptorResolver::resolve(

@@ -21,6 +21,11 @@ struct ResolverConfig {
   /// Derivation window (paper: 28 Jan – 8 Feb 2013). Zero means default.
   util::UnixTime derive_from = 0;
   util::UnixTime derive_to = 0;
+  /// Worker threads for the per-onion multi-day descriptor-ID
+  /// derivation; <= 0 = one per hardware thread, 1 = legacy serial
+  /// path. The dictionary is bit-identical for every value (see
+  /// docs/concurrency.md).
+  int threads = 0;
 };
 
 /// One row of the popularity ranking (Table II).

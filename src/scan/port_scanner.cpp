@@ -1,6 +1,7 @@
 #include "scan/port_scanner.hpp"
 
 #include "scan/schedule.hpp"
+#include "util/parallel.hpp"
 
 #include <algorithm>
 
@@ -28,16 +29,32 @@ std::vector<std::pair<std::string, std::int64_t>> ScanReport::figure1(
   return rows;
 }
 
-ScanReport PortScanner::scan(const population::Population& pop) const {
-  util::Rng rng(config_.seed);
-  ScanReport report;
-  std::int64_t true_open_total = 0;
-  const ScanSchedule schedule = ScanSchedule::contiguous(config_.scan_days);
+namespace {
 
-  for (const population::ServiceRecord& svc : pop.services()) {
-    if (!svc.published_at_scan) continue;
-    ++report.descriptors_available;
-    ++report.onions_scanned;
+/// Per-service sweep result, computed independently per task and merged
+/// in service order (the ordered reduction).
+struct ServiceSweep {
+  bool scanned = false;
+  std::int64_t true_open = 0;
+  std::vector<PortObservation> observations;
+};
+
+}  // namespace
+
+ScanReport PortScanner::scan(const population::Population& pop) const {
+  // Each service draws from its own child stream keyed by its index in
+  // the population, so the draws are identical no matter which thread
+  // sweeps it or in what order.
+  const util::Rng base(config_.seed);
+  const ScanSchedule schedule = ScanSchedule::contiguous(config_.scan_days);
+  const auto& services = pop.services();
+
+  const auto sweep_one = [&](std::size_t index) {
+    ServiceSweep out;
+    const population::ServiceRecord& svc = services[index];
+    if (!svc.published_at_scan) return out;
+    out.scanned = true;
+    util::Rng rng = base.child(index);
 
     // Which scan days is this host up on? Drawn once per host so a host
     // that died mid-window misses every range scanned after its death.
@@ -45,9 +62,8 @@ ScanReport PortScanner::scan(const population::Population& pop) const {
     for (int d = 0; d < config_.scan_days; ++d)
       up[static_cast<std::size_t>(d)] = rng.bernoulli(svc.daily_availability);
 
-    bool any_open = false;
     for (std::uint16_t port : svc.profile.scannable_ports()) {
-      ++true_open_total;
+      ++out.true_open;
       // Port ranges are partitioned across days: every host's port p is
       // probed on the same day, as in a real range sweep.
       const int day = schedule.day_for_port(port);
@@ -58,8 +74,6 @@ ScanReport PortScanner::scan(const population::Population& pop) const {
       if (result != net::ConnectResult::kOpen &&
           result != net::ConnectResult::kAbnormalClose)
         continue;
-      report.open_ports.add(port);
-      any_open = true;
       PortObservation obs;
       obs.onion = svc.onion;
       obs.port = port;
@@ -69,9 +83,27 @@ ScanReport PortScanner::scan(const population::Population& pop) const {
         obs.protocol = ps->protocol;
       else
         obs.protocol = net::Protocol::kSkynetControl;  // abnormal close
+      out.observations.push_back(std::move(obs));
+    }
+    return out;
+  };
+
+  std::vector<ServiceSweep> sweeps =
+      util::parallel_map(services.size(), config_.threads, sweep_one);
+
+  // Ordered reduction: commit per-service results in population order.
+  ScanReport report;
+  std::int64_t true_open_total = 0;
+  for (ServiceSweep& sweep : sweeps) {
+    if (!sweep.scanned) continue;
+    ++report.descriptors_available;
+    ++report.onions_scanned;
+    true_open_total += sweep.true_open;
+    if (!sweep.observations.empty()) ++report.onions_with_open_ports;
+    for (PortObservation& obs : sweep.observations) {
+      report.open_ports.add(obs.port);
       report.observations.push_back(std::move(obs));
     }
-    if (any_open) ++report.onions_with_open_ports;
   }
 
   report.coverage =

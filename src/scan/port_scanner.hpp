@@ -28,6 +28,10 @@ struct ScanConfig {
   /// Probability that a probe to an up service still times out
   /// (overloaded circuits — "persistently getting timeout errors").
   double probe_timeout_probability = 0.02;
+  /// Worker threads for the per-service sweep fan-out; <= 0 = one per
+  /// hardware thread, 1 = legacy serial path. Output is bit-identical
+  /// for every value (see docs/concurrency.md).
+  int threads = 0;
 };
 
 /// One per-destination observation.

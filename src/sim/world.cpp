@@ -12,7 +12,8 @@ World::World(WorldConfig config)
     : config_(config),
       clock_(config.start != 0 ? config.start : default_start_time()),
       rng_(config.seed),
-      authority_(config.authority_policy) {
+      authority_(config.authority_policy),
+      dirnet_(hsdir::DirectoryNetworkConfig{.threads = config.threads}) {
   bootstrap();
 }
 

@@ -38,6 +38,10 @@ struct WorldConfig {
   /// costs memory on multi-year simulations, so it is switchable).
   bool record_archive = true;
   dirauth::AuthorityPolicy authority_policy{};
+  /// Worker threads for the descriptor-publish ring-lookup fan-out;
+  /// <= 0 = one per hardware thread, 1 = legacy serial path. Results
+  /// are bit-identical for every value (see docs/concurrency.md).
+  int threads = 0;
 };
 
 class World {

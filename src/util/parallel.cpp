@@ -1,0 +1,166 @@
+#include "util/parallel.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace torsim::util {
+namespace {
+
+thread_local bool tls_in_parallel = false;
+
+/// RAII guard for the in-parallel-region flag (save/restore, so serial
+/// sub-loops inside a parallel region keep the outer flag intact).
+struct RegionGuard {
+  bool prev = tls_in_parallel;
+  RegionGuard() { tls_in_parallel = true; }
+  ~RegionGuard() { tls_in_parallel = prev; }
+};
+
+}  // namespace
+
+int resolve_threads(int threads) {
+  if (threads > 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+bool in_parallel_region() { return tls_in_parallel; }
+
+ThreadPool::ThreadPool(int threads) : size_(resolve_threads(threads)) {
+  workers_.reserve(static_cast<std::size_t>(size_ - 1));
+  for (int i = 0; i < size_ - 1; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(std::max(resolve_threads(0), 4));
+  return pool;
+}
+
+void ThreadPool::work(const std::function<void(std::size_t)>& body) {
+  RegionGuard guard;
+  std::size_t lo;
+  while ((lo = next_.fetch_add(chunk_, std::memory_order_relaxed)) < n_) {
+    const std::size_t hi = std::min(lo + chunk_, n_);
+    for (std::size_t i = lo; i < hi; ++i) {
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!error_ || i < error_index_) {
+          error_ = std::current_exception();
+          error_index_ = i;
+        }
+        break;  // indexes after a throw in this chunk are skipped
+      }
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* body = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] {
+        return shutdown_ || (job_open_ && generation_ != seen);
+      });
+      if (shutdown_) return;
+      seen = generation_;
+      if (participants_ >= max_participants_) continue;  // job is full
+      ++participants_;
+      ++active_;
+      body = body_;
+    }
+    work(*body);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::run(std::size_t n, int max_threads,
+                     const std::function<void(std::size_t)>& body) {
+  if (tls_in_parallel)
+    throw std::logic_error(
+        "ThreadPool::run: nested parallel regions are not supported; "
+        "run inner call sites with threads = 1");
+  if (n == 0) return;
+  const int cap = (max_threads <= 0 || max_threads > size_)
+                      ? size_
+                      : max_threads;
+  if (cap <= 1 || n == 1) {
+    // Serial fast path: identical results by construction.
+    RegionGuard guard;
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  // Only one top-level job at a time; concurrent external callers queue.
+  std::lock_guard<std::mutex> job_lock(jobs_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    body_ = &body;
+    n_ = n;
+    // ~8 chunks per participant balances dynamic scheduling against
+    // claim traffic; chunking never affects results, only timing.
+    chunk_ = std::max<std::size_t>(
+        1, n / (static_cast<std::size_t>(cap) * 8));
+    next_.store(0, std::memory_order_relaxed);
+    max_participants_ = cap;
+    participants_ = 1;  // the caller
+    error_ = nullptr;
+    error_index_ = 0;
+    ++generation_;
+    job_open_ = true;
+  }
+  cv_.notify_all();
+
+  work(body);  // the caller participates
+
+  std::unique_lock<std::mutex> lock(mu_);
+  job_open_ = false;  // no further joins (all indexes claimed by now)
+  done_cv_.wait(lock, [&] { return active_ == 0; });
+  body_ = nullptr;
+  if (error_) std::rethrow_exception(error_);
+}
+
+void parallel_for(std::size_t n, int threads,
+                  const std::function<void(std::size_t)>& body) {
+  const int resolved = resolve_threads(threads);
+  if (resolved <= 1) {
+    // Legacy serial path: no pool, plain loop on the caller. Running a
+    // threads = 1 call site inside a parallel region is fine — that is
+    // the documented way to nest. Marking the region here too keeps
+    // nesting rejection independent of the outer loop's thread count.
+    RegionGuard guard;
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  if (tls_in_parallel)
+    throw std::logic_error(
+        "parallel_for: nested parallel regions are not supported; "
+        "run inner call sites with threads = 1");
+  if (n < kMinParallelGrain) {
+    // Too little work to amortise pool dispatch; still marks the region
+    // so nesting is rejected identically on every path.
+    RegionGuard guard;
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  ThreadPool::shared().run(n, resolved, body);
+}
+
+}  // namespace torsim::util

@@ -126,6 +126,19 @@ Rng Rng::fork(std::uint64_t label) {
   return Rng(splitmix64(state));
 }
 
+Rng Rng::child(std::uint64_t label) const {
+  // Hash the full parent state and the label through a SplitMix64
+  // chain; reading (not stepping) the state keeps this a pure function
+  // of (parent, label).
+  std::uint64_t state = label * 0xd1342543de82ef95ULL + 0x9e3779b97f4a7c15ULL;
+  std::uint64_t seed = splitmix64(state);
+  for (const std::uint64_t lane : s_) {
+    state ^= lane;
+    seed ^= splitmix64(state);
+  }
+  return Rng(seed);
+}
+
 void Rng::fill_bytes(std::uint8_t* out, std::size_t n) {
   std::size_t i = 0;
   while (i + 8 <= n) {

@@ -78,8 +78,18 @@ class Rng {
   }
 
   /// Derives an independent child stream; children with distinct labels
-  /// are decorrelated from the parent and from each other.
+  /// are decorrelated from the parent and from each other. Advances the
+  /// parent, so successive fork(label) calls with the same label yield
+  /// different children.
   Rng fork(std::uint64_t label);
+
+  /// Derives an independent child stream as a pure function of the
+  /// current state and `label`: does not advance the parent, so the
+  /// result is identical no matter how many children are derived, in
+  /// what order, or from which thread. This is the derivation the
+  /// parallel call sites use (`base.child(index)` per task) to keep
+  /// parallel runs bit-identical to serial ones — see util/parallel.hpp.
+  Rng child(std::uint64_t label) const;
 
   /// Fills `out` with random bytes (for surrogate key material).
   void fill_bytes(std::uint8_t* out, std::size_t n);

@@ -34,6 +34,22 @@ TEST(Sha1Test, QuickBrownFox) {
             "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12");
 }
 
+TEST(Sha1Test, FourBlockMessage) {
+  // FIPS 180-4 / RFC 6234 896-bit two-through-four-block vector.
+  EXPECT_EQ(sha1_hex(sha1(
+                "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn"
+                "hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu")),
+            "a49b2446a02c645bf419f995b67091253a04a259");
+}
+
+TEST(Sha1Test, RepeatedEightByteBlocks) {
+  // RFC 3174 test case 4: "01234567" repeated 80 times (640 bytes).
+  std::string msg;
+  for (int i = 0; i < 80; ++i) msg += "01234567";
+  EXPECT_EQ(sha1_hex(sha1(msg)),
+            "dea356a2cddd90c7a7ecedc5ebb563934f460452");
+}
+
 TEST(Sha1Test, MillionAs) {
   Sha1 hasher;
   const std::string chunk(1000, 'a');
@@ -78,6 +94,37 @@ TEST(Sha1Test, UseAfterFinalizeThrows) {
   (void)hasher.finalize();
   EXPECT_THROW(hasher.update("x"), std::logic_error);
   EXPECT_THROW(hasher.finalize(), std::logic_error);
+}
+
+// ---------------------------------------------------------------------
+// Base32 round-trip properties (the onion-address codec)
+// ---------------------------------------------------------------------
+
+TEST(Base32PropertyTest, RoundTripRandomBytes) {
+  util::Rng rng(20130404);
+  for (int round = 0; round < 500; ++round) {
+    const auto len = static_cast<std::size_t>(rng.uniform_int(0, 64));
+    std::vector<std::uint8_t> data(len);
+    if (len > 0) rng.fill_bytes(data.data(), len);
+    const std::string encoded = util::base32_encode(data);
+    EXPECT_EQ(encoded.size(), (len * 8 + 4) / 5) << "len=" << len;
+    for (char c : encoded)
+      EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= '2' && c <= '7'))
+          << encoded;
+    EXPECT_EQ(util::base32_decode(encoded), data) << "len=" << len;
+  }
+}
+
+TEST(Base32PropertyTest, UppercaseDecodesToSameBytes) {
+  util::Rng rng(20130405);
+  for (int round = 0; round < 100; ++round) {
+    std::vector<std::uint8_t> data(10);  // onion-address payload size
+    rng.fill_bytes(data.data(), data.size());
+    std::string upper = util::base32_encode(data);
+    for (char& c : upper)
+      if (c >= 'a' && c <= 'z') c = static_cast<char>(c - 'a' + 'A');
+    EXPECT_EQ(util::base32_decode(upper), data);
+  }
 }
 
 // ---------------------------------------------------------------------

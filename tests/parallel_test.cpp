@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace torsim::util {
+namespace {
+
+// ---------------------------------------------------------------------
+// resolve_threads
+// ---------------------------------------------------------------------
+
+TEST(ResolveThreadsTest, PositivePassesThrough) {
+  EXPECT_EQ(resolve_threads(1), 1);
+  EXPECT_EQ(resolve_threads(4), 4);
+  EXPECT_EQ(resolve_threads(128), 128);
+}
+
+TEST(ResolveThreadsTest, NonPositiveMeansHardware) {
+  const int hw = resolve_threads(0);
+  EXPECT_GE(hw, 1);
+  EXPECT_EQ(resolve_threads(-1), hw);
+  EXPECT_EQ(resolve_threads(-100), hw);
+}
+
+// ---------------------------------------------------------------------
+// parallel_for / parallel_map basics
+// ---------------------------------------------------------------------
+
+TEST(ParallelForTest, EveryIndexRunsExactlyOnce) {
+  // n >= kMinParallelGrain so the shared pool actually dispatches.
+  const std::size_t n = 4 * kMinParallelGrain;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(n, 4, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_EQ(hits[i].load(), 1) << "i=" << i;
+}
+
+TEST(ParallelForTest, ZeroTasksIsNoOp) {
+  bool ran = false;
+  parallel_for(0, 4, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelForTest, SmallBatchRunsBelowGrainThreshold) {
+  // n < kMinParallelGrain takes the inline path, but results must be
+  // complete and ordered just the same.
+  const std::size_t n = kMinParallelGrain - 1;
+  std::vector<int> hits(n, 0);
+  parallel_for(n, 4, [&](std::size_t i) { ++hits[i]; });
+  EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                          [](int h) { return h == 1; }));
+}
+
+TEST(ParallelMapTest, OrderedReduction) {
+  const std::size_t n = 500;
+  const auto out =
+      parallel_map(n, 4, [](std::size_t i) { return i * i + 7; });
+  ASSERT_EQ(out.size(), n);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(out[i], i * i + 7);
+}
+
+TEST(ParallelMapTest, ThreadsOneMatchesThreadsFour) {
+  const std::size_t n = 300;
+  const auto fn = [](std::size_t i) {
+    // A per-index child stream: the pattern every call site uses.
+    Rng rng = Rng(1234).child(i);
+    return rng.next() ^ (i << 32);
+  };
+  EXPECT_EQ(parallel_map(n, 1, fn), parallel_map(n, 4, fn));
+}
+
+TEST(ParallelMapTest, MatchesSerialTransform) {
+  const std::size_t n = 400;
+  std::vector<std::size_t> indexes(n);
+  std::iota(indexes.begin(), indexes.end(), std::size_t{0});
+  const auto fn = [](std::size_t i) {
+    return std::to_string(i * 31 % 97) + ":" + std::to_string(i);
+  };
+  std::vector<std::string> serial(n);
+  std::transform(indexes.begin(), indexes.end(), serial.begin(), fn);
+  EXPECT_EQ(parallel_map(n, 4, fn), serial);
+}
+
+TEST(ParallelMapTest, PropertyRandomWorkloadsMatchSerial) {
+  // Randomized workload shapes: size, thread count, and per-index work
+  // drawn from a seeded Rng; every shape must equal the serial
+  // std::transform over indexes.
+  Rng meta(20130214);
+  for (int round = 0; round < 25; ++round) {
+    const auto n = static_cast<std::size_t>(meta.uniform_int(0, 700));
+    const int threads = static_cast<int>(meta.uniform_int(1, 8));
+    const std::uint64_t salt = meta.next();
+    const auto fn = [salt](std::size_t i) {
+      Rng rng = Rng(salt).child(i);
+      // Variable per-index work so chunks finish out of order.
+      const int spins = static_cast<int>(rng.uniform_int(1, 50));
+      std::uint64_t acc = salt;
+      for (int s = 0; s < spins; ++s) acc ^= rng.next();
+      return acc;
+    };
+    std::vector<std::uint64_t> serial(n);
+    for (std::size_t i = 0; i < n; ++i) serial[i] = fn(i);
+    EXPECT_EQ(parallel_map(n, threads, fn), serial)
+        << "round=" << round << " n=" << n << " threads=" << threads;
+  }
+}
+
+TEST(ParallelForTest, ThreadsBeyondPoolSizeClamped) {
+  // More threads than the pool owns must still complete every index.
+  const std::size_t n = 4 * kMinParallelGrain;
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(n, 1000, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(hits[i].load(), 1);
+}
+
+// ---------------------------------------------------------------------
+// Exception propagation
+// ---------------------------------------------------------------------
+
+TEST(ParallelForTest, LowestThrowingIndexWinsParallel) {
+  const std::size_t n = 10 * kMinParallelGrain;
+  try {
+    parallel_for(n, 4, [](std::size_t i) {
+      if (i % 100 == 17) throw std::runtime_error(std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    // Serial would throw at i == 17 first; parallel must agree.
+    EXPECT_STREQ(e.what(), "17");
+  }
+}
+
+TEST(ParallelForTest, LowestThrowingIndexWinsSerial) {
+  try {
+    parallel_for(64, 1, [](std::size_t i) {
+      if (i >= 17) throw std::runtime_error(std::to_string(i));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "17");
+  }
+}
+
+TEST(ParallelForTest, ExceptionTypePreserved) {
+  EXPECT_THROW(
+      parallel_for(4 * kMinParallelGrain, 4,
+                   [](std::size_t i) {
+                     if (i == 3) throw std::out_of_range("boom");
+                   }),
+      std::out_of_range);
+}
+
+TEST(ParallelForTest, PoolUsableAfterException) {
+  const std::size_t n = 4 * kMinParallelGrain;
+  EXPECT_THROW(parallel_for(n, 4,
+                            [](std::size_t) {
+                              throw std::runtime_error("x");
+                            }),
+               std::runtime_error);
+  // The failed job must not poison the shared pool.
+  const auto out = parallel_map(n, 4, [](std::size_t i) { return i; });
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(out[i], i);
+}
+
+// ---------------------------------------------------------------------
+// Nested-use rejection
+// ---------------------------------------------------------------------
+
+TEST(ParallelForTest, NestedParallelInsideParallelThrows) {
+  std::atomic<int> nested_throws{0};
+  parallel_for(kMinParallelGrain, 4, [&](std::size_t) {
+    try {
+      parallel_for(kMinParallelGrain, 4, [](std::size_t) {});
+    } catch (const std::logic_error&) {
+      nested_throws.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  EXPECT_EQ(nested_throws.load(), kMinParallelGrain);
+}
+
+TEST(ParallelForTest, NestedParallelInsideSerialRegionThrowsToo) {
+  // The rejection must not depend on the outer loop's thread count,
+  // or a threads=1 configuration would hide the nesting bug.
+  int nested_throws = 0;
+  parallel_for(8, 1, [&](std::size_t) {
+    try {
+      parallel_for(kMinParallelGrain, 4, [](std::size_t) {});
+    } catch (const std::logic_error&) {
+      ++nested_throws;
+    }
+  });
+  EXPECT_EQ(nested_throws, 8);
+}
+
+TEST(ParallelForTest, NestedSerialInsideParallelIsAllowed) {
+  // threads = 1 inner call sites are the documented way to nest.
+  std::vector<std::atomic<int>> hits(kMinParallelGrain);
+  parallel_for(kMinParallelGrain, 4, [&](std::size_t i) {
+    parallel_for(4, 1, [&](std::size_t) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  for (std::size_t i = 0; i < kMinParallelGrain; ++i)
+    EXPECT_EQ(hits[i].load(), 4);
+}
+
+TEST(ParallelForTest, RegionFlagRestoredAfterNestedSerialLoop) {
+  // A serial sub-loop inside a parallel region must not clear the outer
+  // region flag when it returns.
+  std::atomic<int> still_inside{0};
+  parallel_for(kMinParallelGrain, 4, [&](std::size_t) {
+    parallel_for(2, 1, [](std::size_t) {});
+    if (in_parallel_region())
+      still_inside.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(still_inside.load(), kMinParallelGrain);
+}
+
+TEST(ParallelForTest, RegionFlagClearedOutside) {
+  EXPECT_FALSE(in_parallel_region());
+  parallel_for(kMinParallelGrain, 4, [](std::size_t) {
+    EXPECT_TRUE(in_parallel_region());
+  });
+  EXPECT_FALSE(in_parallel_region());
+}
+
+// ---------------------------------------------------------------------
+// ThreadPool direct
+// ---------------------------------------------------------------------
+
+TEST(ThreadPoolTest, SizeCountsCaller) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3);
+  ThreadPool inline_pool(1);
+  EXPECT_EQ(inline_pool.size(), 1);
+}
+
+TEST(ThreadPoolTest, SharedPoolAtLeastFour) {
+  // Sized for explicit threads=4 runs even in single-core containers.
+  EXPECT_GE(ThreadPool::shared().size(), 4);
+}
+
+TEST(ThreadPoolTest, SizeOnePoolRunsInline) {
+  ThreadPool pool(1);
+  std::vector<int> hits(100, 0);
+  const std::thread::id caller = std::this_thread::get_id();
+  pool.run(hits.size(), 0, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    ++hits[i];
+  });
+  EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                          [](int h) { return h == 1; }));
+}
+
+TEST(ThreadPoolTest, ConcurrentExternalCallersSerialize) {
+  // Top-level run() from several external threads must queue, not corrupt
+  // each other's job state.
+  ThreadPool pool(4);
+  constexpr int kCallers = 4;
+  constexpr std::size_t kN = 512;
+  std::vector<std::vector<int>> hits(kCallers, std::vector<int>(kN, 0));
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c)
+    callers.emplace_back([&, c] {
+      pool.run(kN, 0, [&, c](std::size_t i) { ++hits[c][i]; });
+    });
+  for (auto& t : callers) t.join();
+  for (int c = 0; c < kCallers; ++c)
+    for (std::size_t i = 0; i < kN; ++i)
+      ASSERT_EQ(hits[c][i], 1) << "caller=" << c << " i=" << i;
+}
+
+}  // namespace
+}  // namespace torsim::util

@@ -43,6 +43,8 @@ struct Options {
   int ips = 10;
   int relays = 12;
   int hours = 6;
+  /// Fan-out worker threads; 0 = one per hardware thread, 1 = serial.
+  int threads = 0;
   std::vector<std::string> positional;
 };
 
@@ -62,6 +64,7 @@ Options parse_options(int argc, char** argv, int first) {
     else if (arg == "--ips") opt.ips = std::stoi(next());
     else if (arg == "--relays") opt.relays = std::stoi(next());
     else if (arg == "--hours") opt.hours = std::stoi(next());
+    else if (arg == "--threads") opt.threads = std::stoi(next());
     else if (!arg.empty() && arg[0] == '-')
       throw std::invalid_argument("unknown option " + arg);
     else opt.positional.push_back(arg);
@@ -81,7 +84,8 @@ int cmd_scan(const Options& opt) {
   scan::PortScanner scanner(scan::ScanConfig{.seed = opt.seed + 1,
                                              .scan_days = 8,
                                              .probe_timeout_probability =
-                                                 0.02});
+                                                 0.02,
+                                             .threads = opt.threads});
   const auto report = scanner.scan(pop);
   std::printf("scanned %lld onions (descriptors available), found %lld open "
               "ports on %lld of them (coverage %.0f%%)\n",
@@ -108,7 +112,7 @@ int cmd_scan(const Options& opt) {
 
 int cmd_crawl(const Options& opt) {
   const auto pop = make_population(opt);
-  scan::PortScanner scanner;
+  scan::PortScanner scanner(scan::ScanConfig{.threads = opt.threads});
   const auto scan_report = scanner.scan(pop);
   scan::Crawler crawler;
   const auto crawl = crawler.crawl(pop, scan_report);
@@ -134,14 +138,15 @@ int cmd_crawl(const Options& opt) {
 
 int cmd_classify(const Options& opt) {
   const auto pop = make_population(opt);
-  scan::PortScanner scanner;
+  scan::PortScanner scanner(scan::ScanConfig{.threads = opt.threads});
   const auto scan_report = scanner.scan(pop);
   scan::Crawler crawler;
   const auto crawl = crawler.crawl(pop, scan_report);
   util::Rng rng(opt.seed + 2);
   const auto classifier = content::TopicClassifier::make_default(rng);
   content::ContentPipeline pipeline(classifier,
-                                    content::LanguageDetector::instance());
+                                    content::LanguageDetector::instance(),
+                                    {.threads = opt.threads});
   const auto result = pipeline.run(crawl.pages);
   std::printf("classifiable %zu, English %zu (%.0f%%), TorHost defaults %zu, "
               "classified %zu\n",
@@ -171,7 +176,8 @@ int cmd_popularity(const Options& opt) {
   popularity::RequestGenerator generator(
       popularity::RequestGeneratorConfig{.seed = opt.seed + 3});
   const auto stream = generator.generate(pop);
-  popularity::DescriptorResolver resolver;
+  popularity::DescriptorResolver resolver(
+      popularity::ResolverConfig{.threads = opt.threads});
   resolver.build_dictionary(pop);
   const auto report = resolver.resolve(stream, pop);
   std::printf("%lld requests, %lld unique ids, %lld resolved to %lld onions "
@@ -205,7 +211,8 @@ int cmd_botnet(const Options& opt) {
   popularity::RequestGenerator generator(
       popularity::RequestGeneratorConfig{.seed = opt.seed + 3});
   const auto stream = generator.generate(pop);
-  popularity::DescriptorResolver resolver;
+  popularity::DescriptorResolver resolver(
+      popularity::ResolverConfig{.threads = opt.threads});
   resolver.build_dictionary(pop);
   const auto ranking = resolver.resolve(stream, pop);
   const auto report = popularity::infer_botnet_infrastructure(ranking, pop);
@@ -228,6 +235,7 @@ int cmd_harvest(const Options& opt) {
   sim::WorldConfig wc;
   wc.seed = opt.seed;
   wc.honest_relays = 300;
+  wc.threads = opt.threads;
   sim::World world(wc);
   std::set<std::string> truth;
   for (int i = 0; i < 80; ++i)
@@ -279,6 +287,7 @@ int cmd_consensus(const Options& opt) {
   sim::WorldConfig wc;
   wc.seed = opt.seed;
   wc.honest_relays = 100;
+  wc.threads = opt.threads;
   sim::World world(wc);
   world.run_hours(opt.hours);
   const auto text = dirspec::render_archive(world.archive());
@@ -302,7 +311,7 @@ int cmd_report(const Options& opt) {
   // Full pipeline at the requested scale, emitted as a measured-vs-paper
   // markdown report (the generator behind EXPERIMENTS.md).
   const auto pop = make_population(opt);
-  scan::PortScanner scanner;
+  scan::PortScanner scanner(scan::ScanConfig{.threads = opt.threads});
   const auto scan_report = scanner.scan(pop);
   const auto certs = scan::analyse_certificates(pop, scan_report);
   scan::Crawler crawler;
@@ -310,12 +319,14 @@ int cmd_report(const Options& opt) {
   util::Rng rng(opt.seed + 2);
   const auto classifier = content::TopicClassifier::make_default(rng);
   content::ContentPipeline pipeline(classifier,
-                                    content::LanguageDetector::instance());
+                                    content::LanguageDetector::instance(),
+                                    {.threads = opt.threads});
   const auto content_report = pipeline.run(crawl.pages);
   popularity::RequestGenerator generator(
       popularity::RequestGeneratorConfig{.seed = opt.seed + 3});
   const auto stream = generator.generate(pop);
-  popularity::DescriptorResolver resolver;
+  popularity::DescriptorResolver resolver(
+      popularity::ResolverConfig{.threads = opt.threads});
   resolver.build_dictionary(pop);
   const auto resolution = resolver.resolve(stream, pop);
 
@@ -439,7 +450,9 @@ void usage() {
       "  report      full-pipeline measured-vs-paper markdown report\n"
       "  geoip       look up synthetic GeoIP for addresses\n\n"
       "options: --scale S --seed N --csv FILE --out FILE --ips N "
-      "--relays M --hours N\n");
+      "--relays M --hours N --threads T\n"
+      "  --threads T   fan-out workers (0 = one per hardware thread,\n"
+      "                1 = serial; results are identical either way)\n");
 }
 
 }  // namespace
