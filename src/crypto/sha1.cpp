@@ -66,6 +66,9 @@ void Sha1::process_block(const std::uint8_t* block) {
 
 void Sha1::update(std::span<const std::uint8_t> data) {
   if (finalized_) throw std::logic_error("Sha1::update after finalize");
+  // An empty span may carry data() == nullptr; passing that to memcpy is
+  // undefined even with length 0.
+  if (data.empty()) return;
   total_bits_ += static_cast<std::uint64_t>(data.size()) * 8;
   std::size_t offset = 0;
   if (buffered_ > 0) {

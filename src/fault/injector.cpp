@@ -1,0 +1,118 @@
+#include "fault/injector.hpp"
+
+namespace torsim::fault {
+namespace {
+
+// Decision sites: distinct labels so the streams behind different fault
+// kinds are decorrelated even for identical event keys.
+constexpr std::uint64_t kSiteConnect = 0xC0;
+constexpr std::uint64_t kSiteFlaky = 0xF1;
+constexpr std::uint64_t kSiteOutage = 0xF2;
+constexpr std::uint64_t kSitePublishLoss = 0xD1;
+constexpr std::uint64_t kSitePublishDelay = 0xD2;
+constexpr std::uint64_t kSiteCircuit = 0xE1;
+
+}  // namespace
+
+const char* to_string(ConnectFault fault) {
+  switch (fault) {
+    case ConnectFault::kNone: return "none";
+    case ConnectFault::kDrop: return "drop";
+    case ConnectFault::kTimeout: return "timeout";
+    case ConnectFault::kCorrupt: return "corrupt";
+  }
+  return "?";
+}
+
+const char* to_string(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kConnectDrop: return "connect-drop";
+    case FailureKind::kConnectTimeout: return "connect-timeout";
+    case FailureKind::kConnectCorrupt: return "connect-corrupt";
+    case FailureKind::kHsdirUnresponsive: return "hsdir-unresponsive";
+    case FailureKind::kPublishLost: return "publish-lost";
+    case FailureKind::kPublishDelayed: return "publish-delayed";
+    case FailureKind::kCircuitStall: return "circuit-stall";
+    case FailureKind::kRetriesExhausted: return "retries-exhausted";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(plan), base_(plan.seed), enabled_(plan.enabled()) {}
+
+double FaultInjector::draw(std::uint64_t site, std::uint64_t a,
+                           std::uint64_t b, std::uint64_t c) const {
+  return base_.child(site).child(a).child(b).child(c).uniform01();
+}
+
+ConnectFault FaultInjector::connect_fault(std::uint64_t key,
+                                          std::uint64_t detail,
+                                          int attempt) const {
+  if (!enabled_) return ConnectFault::kNone;
+  // One draw, threshold bands: scaling the rates up can only move an
+  // event from kNone into a fault band, never between runs' events.
+  const double u =
+      draw(kSiteConnect, key, detail, static_cast<std::uint64_t>(attempt));
+  if (u < plan_.connect_drop_rate) return ConnectFault::kDrop;
+  if (u < plan_.connect_drop_rate + plan_.connect_timeout_rate)
+    return ConnectFault::kTimeout;
+  if (u < plan_.connect_drop_rate + plan_.connect_timeout_rate +
+              plan_.connect_corrupt_rate)
+    return ConnectFault::kCorrupt;
+  return ConnectFault::kNone;
+}
+
+bool FaultInjector::hsdir_unresponsive(std::uint64_t relay_key,
+                                       util::UnixTime now) const {
+  if (!enabled_) return false;
+  if (plan_.hsdir_flaky_fraction <= 0 || plan_.hsdir_outage_rate <= 0)
+    return false;
+  if (draw(kSiteFlaky, relay_key, 0, 0) >= plan_.hsdir_flaky_fraction)
+    return false;
+  const auto window = static_cast<std::uint64_t>(
+      now / (plan_.hsdir_outage_window > 0 ? plan_.hsdir_outage_window : 1));
+  return draw(kSiteOutage, relay_key, window, 0) < plan_.hsdir_outage_rate;
+}
+
+bool FaultInjector::publish_lost(std::uint64_t descriptor_key,
+                                 std::uint64_t relay_key, int attempt) const {
+  if (!enabled_ || plan_.publish_loss_rate <= 0) return false;
+  return base_.child(kSitePublishLoss)
+             .child(descriptor_key)
+             .child(relay_key)
+             .child(static_cast<std::uint64_t>(attempt))
+             .uniform01() < plan_.publish_loss_rate;
+}
+
+bool FaultInjector::publish_delayed(std::uint64_t descriptor_key,
+                                    std::uint64_t relay_key) const {
+  if (!enabled_ || plan_.publish_delay_rate <= 0) return false;
+  return draw(kSitePublishDelay, descriptor_key, relay_key, 0) <
+         plan_.publish_delay_rate;
+}
+
+bool FaultInjector::circuit_stalled(std::uint64_t key, std::uint64_t detail,
+                                    int attempt) const {
+  if (!enabled_ || plan_.circuit_stall_rate <= 0) return false;
+  return draw(kSiteCircuit, key, detail, static_cast<std::uint64_t>(attempt)) <
+         plan_.circuit_stall_rate;
+}
+
+std::uint64_t FaultInjector::key_of(std::string_view text) {
+  return key_of(reinterpret_cast<const std::uint8_t*>(text.data()),
+                text.size());
+}
+
+std::uint64_t FaultInjector::key_of(const std::uint8_t* data,
+                                    std::size_t size) {
+  // FNV-1a, 64-bit: stable across platforms and runs.
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace torsim::fault

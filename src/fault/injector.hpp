@@ -1,0 +1,120 @@
+// Deterministic fault injection.
+//
+// A FaultInjector turns a FaultPlan into per-event fault decisions that
+// are *pure functions of (plan seed, site, event keys)* — they consult
+// no mutable state and draw nothing from the scenario RNG. Two
+// consequences, both load-bearing:
+//
+//   1. **Serial equivalence.** A decision does not depend on when, in
+//      what order, or on which thread it is queried, so fault-injected
+//      parallel runs stay bit-identical to serial ones (the same
+//      contract as util/parallel.hpp — see docs/concurrency.md).
+//   2. **Monotone coupling.** Every decision burns exactly one uniform
+//      draw per event key and compares it against rate thresholds.
+//      The draw is independent of the rates, so raising a rate strictly
+//      grows the set of faulted events: sweeping a rate from 0% to 50%
+//      degrades coverage monotonically instead of reshuffling the run.
+//
+// See docs/fault-injection.md for the taxonomy and the contract.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "util/rng.hpp"
+
+namespace torsim::fault {
+
+/// What happened to one attempted connection.
+enum class ConnectFault {
+  kNone,     ///< connection behaves as the service profile dictates
+  kDrop,     ///< RST — reads as closed, not worth retrying
+  kTimeout,  ///< no answer — retryable
+  kCorrupt,  ///< answered, payload garbled
+};
+
+const char* to_string(ConnectFault fault);
+
+/// Typed failure taxonomy surfaced by the instrumented components —
+/// every injected fault either retries to success or ends up as one of
+/// these (never a silent drop).
+enum class FailureKind {
+  kConnectDrop,        ///< probe/visit refused (injected RST)
+  kConnectTimeout,     ///< probe/visit timed out after final retry
+  kConnectCorrupt,     ///< payload arrived garbled
+  kHsdirUnresponsive,  ///< directory skipped during an outage window
+  kPublishLost,        ///< descriptor upload lost after final retry
+  kPublishDelayed,     ///< descriptor indexed late by the directory
+  kCircuitStall,       ///< circuit stalled mid-establishment
+  kRetriesExhausted,   ///< bounded retry gave up (terminal outcome)
+};
+
+const char* to_string(FailureKind kind);
+
+/// One typed failure, as logged by the component that observed it.
+struct FailureRecord {
+  FailureKind kind = FailureKind::kConnectTimeout;
+  /// Site-specific subject (service index, relay id, string-key hash).
+  std::uint64_t key = 0;
+  /// Site-specific detail (port, descriptor-id prefix, window index).
+  std::uint64_t detail = 0;
+  /// 1-based attempt that observed the failure.
+  int attempt = 1;
+
+  bool operator==(const FailureRecord&) const = default;
+};
+
+using FailureLog = std::vector<FailureRecord>;
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  const FaultPlan& plan() const { return plan_; }
+  const RetryPolicy& retry() const { return plan_.retry; }
+  bool enabled() const { return enabled_; }
+
+  /// Fault decision for connection attempt `attempt` to subject
+  /// (`key`, `detail`) — e.g. (service index, port) for a scan probe or
+  /// (onion hash, port) for a crawl visit.
+  ConnectFault connect_fault(std::uint64_t key, std::uint64_t detail,
+                             int attempt) const;
+
+  /// True when directory `relay_key` is unresponsive at sim-time `now`
+  /// (flaky directory inside one of its outage windows). Constant
+  /// within a window of `plan.hsdir_outage_window` seconds.
+  bool hsdir_unresponsive(std::uint64_t relay_key, util::UnixTime now) const;
+
+  /// True when the upload of descriptor `descriptor_key` to directory
+  /// `relay_key` is lost on try `attempt`.
+  bool publish_lost(std::uint64_t descriptor_key, std::uint64_t relay_key,
+                    int attempt) const;
+
+  /// True when that upload (once it succeeds) is indexed late.
+  bool publish_delayed(std::uint64_t descriptor_key,
+                       std::uint64_t relay_key) const;
+
+  /// True when circuit establishment attempt `attempt` for subject
+  /// (`key`, `detail`) stalls at the cell level.
+  bool circuit_stalled(std::uint64_t key, std::uint64_t detail,
+                       int attempt) const;
+
+  /// Stable 64-bit key for string subjects (onion addresses).
+  static std::uint64_t key_of(std::string_view text);
+  /// Stable 64-bit key for binary subjects (descriptor ids).
+  static std::uint64_t key_of(const std::uint8_t* data, std::size_t size);
+
+ private:
+  /// The one uniform draw behind every decision: a pure function of
+  /// (plan seed, site, a, b, c).
+  double draw(std::uint64_t site, std::uint64_t a, std::uint64_t b,
+              std::uint64_t c) const;
+
+  FaultPlan plan_;
+  util::Rng base_;
+  bool enabled_ = false;
+};
+
+}  // namespace torsim::fault

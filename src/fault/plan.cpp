@@ -1,0 +1,133 @@
+#include "fault/plan.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <vector>
+
+#include "util/strings.hpp"
+
+namespace torsim::fault {
+
+util::Seconds RetryPolicy::backoff_before(int attempt) const {
+  if (attempt < 2) return 0;
+  double backoff = static_cast<double>(base_backoff);
+  for (int i = 2; i < attempt; ++i) backoff *= backoff_multiplier;
+  return static_cast<util::Seconds>(std::llround(backoff));
+}
+
+util::Seconds RetryPolicy::total_backoff(int attempts) const {
+  util::Seconds total = 0;
+  for (int a = 2; a <= attempts; ++a) total += backoff_before(a);
+  return total;
+}
+
+bool FaultPlan::enabled() const {
+  return connect_drop_rate > 0 || connect_timeout_rate > 0 ||
+         connect_corrupt_rate > 0 ||
+         (hsdir_flaky_fraction > 0 && hsdir_outage_rate > 0) ||
+         publish_loss_rate > 0 || publish_delay_rate > 0 ||
+         circuit_stall_rate > 0;
+}
+
+FaultPlan FaultPlan::profile(std::string_view name) {
+  FaultPlan plan;
+  if (name == "none" || name.empty()) return plan;
+  if (name == "mild") {
+    plan.connect_drop_rate = 0.01;
+    plan.connect_timeout_rate = 0.03;
+    plan.hsdir_flaky_fraction = 0.05;
+    plan.hsdir_outage_rate = 0.25;
+    plan.publish_loss_rate = 0.02;
+    plan.circuit_stall_rate = 0.02;
+    return plan;
+  }
+  if (name == "moderate") {
+    plan.connect_drop_rate = 0.03;
+    plan.connect_timeout_rate = 0.10;
+    plan.connect_corrupt_rate = 0.01;
+    plan.hsdir_flaky_fraction = 0.15;
+    plan.hsdir_outage_rate = 0.5;
+    plan.publish_loss_rate = 0.05;
+    plan.publish_delay_rate = 0.05;
+    plan.circuit_stall_rate = 0.05;
+    return plan;
+  }
+  if (name == "severe") {
+    plan.connect_drop_rate = 0.10;
+    plan.connect_timeout_rate = 0.25;
+    plan.connect_corrupt_rate = 0.03;
+    plan.hsdir_flaky_fraction = 0.35;
+    plan.hsdir_outage_rate = 0.75;
+    plan.publish_loss_rate = 0.15;
+    plan.publish_delay_rate = 0.10;
+    plan.circuit_stall_rate = 0.15;
+    plan.retry.max_attempts = 4;
+    return plan;
+  }
+  throw std::invalid_argument("unknown fault profile '" + std::string(name) +
+                              "' (none|mild|moderate|severe or key=value list)");
+}
+
+namespace {
+
+double parse_rate(const std::string& key, const std::string& value) {
+  std::size_t consumed = 0;
+  double rate = 0;
+  try {
+    rate = std::stod(value, &consumed);
+  } catch (const std::exception&) {
+    consumed = std::string::npos;
+  }
+  if (consumed != value.size() || rate < 0.0 || rate > 1.0)
+    throw std::invalid_argument("fault rate '" + key + "=" + value +
+                                "' must be a number in [0,1]");
+  return rate;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(std::string_view spec) {
+  if (spec.find('=') == std::string_view::npos) return profile(spec);
+  FaultPlan plan;
+  for (const std::string& item : util::split(spec, ',')) {
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    if (eq == std::string::npos)
+      throw std::invalid_argument("fault spec item '" + item +
+                                  "' is not key=value");
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (key == "drop") plan.connect_drop_rate = parse_rate(key, value);
+    else if (key == "timeout") plan.connect_timeout_rate = parse_rate(key, value);
+    else if (key == "corrupt") plan.connect_corrupt_rate = parse_rate(key, value);
+    else if (key == "hsdir-flaky") plan.hsdir_flaky_fraction = parse_rate(key, value);
+    else if (key == "hsdir-outage") plan.hsdir_outage_rate = parse_rate(key, value);
+    else if (key == "publish-loss") plan.publish_loss_rate = parse_rate(key, value);
+    else if (key == "publish-delay") plan.publish_delay_rate = parse_rate(key, value);
+    else if (key == "stall") plan.circuit_stall_rate = parse_rate(key, value);
+    else if (key == "retries") plan.retry.max_attempts = std::stoi(value);
+    else if (key == "seed") plan.seed = std::stoull(value);
+    else
+      throw std::invalid_argument("unknown fault spec key '" + key + "'");
+  }
+  if (plan.retry.max_attempts < 1)
+    throw std::invalid_argument("fault spec: retries must be >= 1");
+  return plan;
+}
+
+std::string FaultPlan::describe() const {
+  if (!enabled()) return "faults: none";
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "faults: drop=%.2f timeout=%.2f corrupt=%.2f "
+                "hsdir=%.2fx%.2f publish-loss=%.2f publish-delay=%.2f "
+                "stall=%.2f retries=%d seed=%llu",
+                connect_drop_rate, connect_timeout_rate, connect_corrupt_rate,
+                hsdir_flaky_fraction, hsdir_outage_rate, publish_loss_rate,
+                publish_delay_rate, circuit_stall_rate, retry.max_attempts,
+                static_cast<unsigned long long>(seed));
+  return line;
+}
+
+}  // namespace torsim::fault

@@ -1,0 +1,98 @@
+// Fault plans: the declarative description of how the simulated network
+// misbehaves during a run. The paper's measurements survived a hostile
+// substrate — relay churn, scan timeouts, descriptor expiry, unreachable
+// services (87% port coverage in Fig. 1, 80% unresolvable requests in
+// Table II) — and a FaultPlan lets every pipeline be re-run against a
+// quantified dose of exactly those failure modes. A plan is pure data;
+// `fault::FaultInjector` turns it into deterministic per-event decisions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/time.hpp"
+
+namespace torsim::fault {
+
+/// Bounded retry with exponential backoff, shared by every component
+/// that retries a faulted operation (descriptor fetches, publishes,
+/// probe re-sends, rendezvous establishment). Backoff is *accounted*
+/// sim-time — the simulator does not sleep, it records the cost.
+struct RetryPolicy {
+  /// Total tries including the first (1 = no retry).
+  int max_attempts = 3;
+  /// Backoff before the second try.
+  util::Seconds base_backoff = 2;
+  /// Multiplier per further try (exponential backoff).
+  double backoff_multiplier = 2.0;
+
+  /// Backoff charged before try `attempt` (attempt >= 2; 0 otherwise).
+  util::Seconds backoff_before(int attempt) const;
+  /// Total backoff charged across `attempts` tries.
+  util::Seconds total_backoff(int attempts) const;
+};
+
+/// All fault rates a run can be subjected to. Every rate defaults to 0:
+/// a default-constructed plan is the exact no-fault behaviour, bit for
+/// bit. Rates are probabilities in [0, 1] applied per event by
+/// FaultInjector; all decisions are threshold-coupled (one uniform draw
+/// per event key, faulted iff draw < rate), so raising a rate can only
+/// grow the set of faulted events — headline metrics degrade
+/// monotonically in every rate, never chaotically.
+struct FaultPlan {
+  /// Seed for the decision streams; independent of the scenario seed so
+  /// the same landscape can be swept under many fault plans.
+  std::uint64_t seed = 0xfa017;
+
+  // --- connection-level faults (scan probes, crawl visits) ----------
+  /// Connection dropped with a RST: reads as "closed" (definitive — the
+  /// scanner does not retry a refused port).
+  double connect_drop_rate = 0.0;
+  /// Connection times out: no answer (retryable).
+  double connect_timeout_rate = 0.0;
+  /// Connection succeeds but the payload arrives garbled.
+  double connect_corrupt_rate = 0.0;
+
+  // --- HSDir faults -------------------------------------------------
+  /// Fraction of directories that are flaky (have outage windows).
+  double hsdir_flaky_fraction = 0.0;
+  /// Probability a flaky directory is unresponsive in a given window.
+  double hsdir_outage_rate = 0.0;
+  /// Width of one outage window of sim-time.
+  util::Seconds hsdir_outage_window = util::kSecondsPerHour;
+
+  // --- descriptor publish faults ------------------------------------
+  /// One replica upload to one directory is silently lost.
+  double publish_loss_rate = 0.0;
+  /// Upload arrives but the directory indexes it late.
+  double publish_delay_rate = 0.0;
+  /// How late a delayed upload becomes fetchable.
+  util::Seconds publish_delay = 2 * util::kSecondsPerHour;
+
+  // --- circuit faults -----------------------------------------------
+  /// A circuit stalls at the cell level mid-establishment (rendezvous /
+  /// introduction circuits; retryable).
+  double circuit_stall_rate = 0.0;
+
+  RetryPolicy retry{};
+
+  /// True when any rate is non-zero (a disabled plan injects nothing
+  /// and costs nothing on the hot paths).
+  bool enabled() const;
+
+  /// Named profiles: "none", "mild", "moderate", "severe".
+  static FaultPlan profile(std::string_view name);
+
+  /// Parses a profile name or a comma-separated key=value spec, e.g.
+  ///   "drop=0.1,timeout=0.05,hsdir-flaky=0.2,hsdir-outage=0.5,
+  ///    publish-loss=0.1,publish-delay=0.2,stall=0.1,corrupt=0.01,
+  ///    retries=4,seed=7"
+  /// Throws std::invalid_argument on unknown keys or bad values.
+  static FaultPlan parse(std::string_view spec);
+
+  /// One-line human summary (CLI banners, logs).
+  std::string describe() const;
+};
+
+}  // namespace torsim::fault

@@ -2,6 +2,15 @@
 
 namespace torsim::hs {
 
+const char* to_string(FetchFailure failure) {
+  switch (failure) {
+    case FetchFailure::kNone: return "none";
+    case FetchFailure::kNotFound: return "not-found";
+    case FetchFailure::kDirsUnresponsive: return "dirs-unresponsive";
+  }
+  return "?";
+}
+
 Client::Client(net::Ipv4 address, std::uint64_t rng_seed)
     : address_(address), rng_(rng_seed) {}
 
@@ -51,27 +60,55 @@ FetchOutcome Client::fetch_descriptor_id(const crypto::DescriptorId& id,
   outcome.client_address = address_;
   outcome.time = now;
 
-  const auto guard = guard_manager_.pick(consensus, rng_);
-  if (guard) outcome.guard = guard->relay;
+  const fault::FaultInjector* injector = dirnet.fault_injector();
+  const int max_attempts =
+      injector != nullptr && injector->enabled()
+          ? injector->retry().max_attempts
+          : 1;
 
-  // Middle hop: any Fast relay that is neither the guard nor (later) the
-  // directory itself; the simplification of not excluding the HSDir is
-  // harmless at network scale.
-  const auto fast = consensus.with_flag(dirauth::Flag::kFast);
-  if (!fast.empty()) {
-    for (int tries = 0; tries < 8; ++tries) {
-      const auto* candidate = fast[rng_.index(fast.size())];
-      if (candidate->relay != outcome.guard) {
-        outcome.middle = candidate->relay;
-        break;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    outcome.attempts = attempt;
+    if (attempt > 1)
+      outcome.backoff_spent += injector->retry().backoff_before(attempt);
+
+    // Each try is a fresh guard-fronted circuit.
+    const auto guard = guard_manager_.pick(consensus, rng_);
+    if (guard) outcome.guard = guard->relay;
+
+    // Middle hop: any Fast relay that is neither the guard nor (later)
+    // the directory itself; the simplification of not excluding the
+    // HSDir is harmless at network scale.
+    const auto fast = consensus.with_flag(dirauth::Flag::kFast);
+    if (!fast.empty()) {
+      for (int tries = 0; tries < 8; ++tries) {
+        const auto* candidate = fast[rng_.index(fast.size())];
+        if (candidate->relay != outcome.guard) {
+          outcome.middle = candidate->relay;
+          break;
+        }
       }
     }
-  }
 
-  relay::RelayId hsdir = relay::kInvalidRelayId;
-  const auto descriptor = dirnet.fetch_from(consensus, id, now, hsdir);
-  outcome.hsdir = hsdir;
-  outcome.found = descriptor.has_value();
+    relay::RelayId hsdir = relay::kInvalidRelayId;
+    hsdir::FetchTrace trace;
+    const auto descriptor =
+        dirnet.fetch_from(consensus, id, now + outcome.backoff_spent, hsdir,
+                          &trace);
+    outcome.hsdir = hsdir;
+    if (descriptor) {
+      outcome.found = true;
+      outcome.failure = FetchFailure::kNone;
+      return outcome;
+    }
+    if (trace.dirs_tried > 0) {
+      // At least one responsible directory answered and does not hold
+      // the id — a definitive miss, retrying cannot change it.
+      outcome.failure = FetchFailure::kNotFound;
+      return outcome;
+    }
+    // Every responsible directory was unresponsive: retryable.
+    outcome.failure = FetchFailure::kDirsUnresponsive;
+  }
   return outcome;
 }
 

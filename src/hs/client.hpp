@@ -15,12 +15,28 @@
 
 namespace torsim::hs {
 
+/// Why a descriptor fetch ultimately failed (typed — a fetch never just
+/// silently returns "not found" when the directories were down).
+enum class FetchFailure {
+  kNone,                ///< fetch succeeded
+  kNotFound,            ///< every responsible dir answered: nobody holds it
+  kDirsUnresponsive,    ///< outage windows ate every attempt (retried out)
+};
+
+const char* to_string(FetchFailure failure);
+
 /// Outcome of one descriptor fetch.
 struct FetchOutcome {
   bool found = false;
   /// Served from the client's local descriptor cache — no directory was
   /// contacted (so nothing for a measuring HSDir to log).
   bool from_cache = false;
+  /// Typed failure cause when !found.
+  FetchFailure failure = FetchFailure::kNone;
+  /// Tries spent (1 = first try succeeded / nothing was retryable).
+  int attempts = 1;
+  /// Exponential-backoff sim-time charged by the retries.
+  util::Seconds backoff_spent = 0;
   /// Descriptor id that was requested.
   crypto::DescriptorId descriptor_id{};
   /// The HSDir that served (or finally failed) the request.
@@ -58,6 +74,10 @@ class Client {
 
   /// Fetches a raw descriptor id (clients with stale/never-published ids
   /// do this constantly — 80% of requests in the paper's HSDir logs).
+  /// When `dirnet` carries an active fault injector, a fetch that found
+  /// every responsible directory unresponsive is retried on a fresh
+  /// circuit with bounded exponential backoff (the injector's
+  /// RetryPolicy); exhaustion surfaces as kDirsUnresponsive.
   FetchOutcome fetch_descriptor_id(const crypto::DescriptorId& id,
                                    const dirauth::Consensus& consensus,
                                    hsdir::DirectoryNetwork& dirnet,

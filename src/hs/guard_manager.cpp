@@ -30,6 +30,16 @@ void GuardManager::maintain(const dirauth::Consensus& consensus,
   if (static_cast<int>(guards_.size()) >= policy_.set_size && reachable >= 2)
     return;
 
+  // Resampling: guards that fell out of the consensus must actually be
+  // dropped, or a full set of dead guards would block the top-up below
+  // and wedge pick() forever.
+  if (reachable < 2)
+    guards_.erase(std::remove_if(guards_.begin(), guards_.end(),
+                                 [&](const GuardSlot& g) {
+                                   return !listed(consensus, g);
+                                 }),
+                  guards_.end());
+
   auto candidates = consensus.with_flag(dirauth::Flag::kGuard);
   if (candidates.empty()) return;
   // Bandwidth-weighted sampling (Tor weights path selection by consensus

@@ -32,6 +32,9 @@ enum class RendezvousFailure {
   kNoServiceGuard,      ///< service has no usable guard
   kIntroPointGone,      ///< chosen intro point left the consensus
   kNoRendezvousPoint,   ///< no Fast relay available as RP
+  kRendezvousTimeout,   ///< RP establishment stalled on every retry
+  kIntroTimeout,        ///< intro circuits stalled to every live intro point
+  kServiceCircuitTimeout,  ///< the service's RP circuit stalled out
 };
 
 const char* to_string(RendezvousFailure failure);
@@ -50,6 +53,10 @@ struct RendezvousOutcome {
   /// Protocol cells spent on establishment (setup overhead the paper's
   /// traffic-signature rides on top of).
   int setup_cells = 0;
+  /// Tries spent establishing the client's RP circuit (1 = no stall).
+  int rp_attempts = 1;
+  /// Exponential-backoff sim-time charged by stall retries.
+  util::Seconds backoff_spent = 0;
 };
 
 /// Runs the whole protocol between `client` and `service` against the

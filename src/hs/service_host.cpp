@@ -1,5 +1,7 @@
 #include "hs/service_host.hpp"
 
+#include <algorithm>
+
 namespace torsim::hs {
 
 ServiceHost::ServiceHost(crypto::KeyPair key, util::UnixTime created)
@@ -25,11 +27,14 @@ std::vector<relay::RelayId> ServiceHost::maybe_publish(
 
   // Fingerprints of the currently responsible HSDirs for both replicas.
   std::vector<crypto::Fingerprint> responsible;
+  std::vector<relay::RelayId> responsible_relays;
   for (std::uint8_t replica = 0; replica < crypto::kNumReplicas; ++replica) {
     const auto id = crypto::descriptor_id(permanent_id_, period, replica,
                                           descriptor_cookie_);
-    for (const dirauth::ConsensusEntry* e : consensus.responsible_hsdirs(id))
+    for (const dirauth::ConsensusEntry* e : consensus.responsible_hsdirs(id)) {
       responsible.push_back(e->fingerprint);
+      responsible_relays.push_back(e->relay);
+    }
   }
   const bool ring_shifted = responsible != last_responsible_;
   if (published_once_ && period == last_period_ && !ring_shifted && !force)
@@ -52,6 +57,16 @@ std::vector<relay::RelayId> ServiceHost::maybe_publish(
   published_once_ = true;
   last_responsible_ = std::move(responsible);
   const auto receivers = dirnet.publish(consensus, descriptors);
+
+  // Typed outcome: directories the upload never reached despite the
+  // network's bounded retries (receivers is deduplicated, so compare
+  // against the deduplicated responsible set).
+  std::sort(responsible_relays.begin(), responsible_relays.end());
+  responsible_relays.erase(
+      std::unique(responsible_relays.begin(), responsible_relays.end()),
+      responsible_relays.end());
+  last_publish_lost_ =
+      static_cast<int>(responsible_relays.size() - receivers.size());
 
   // Each upload rides its own guard-fronted circuit (when the service
   // maintains guards; a guard-less service uploads unprotected, which is

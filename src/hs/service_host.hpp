@@ -92,6 +92,12 @@ class ServiceHost {
     return publish_records_;
   }
 
+  /// Responsible directories the most recent publication failed to
+  /// reach even after the directory network's bounded upload retries
+  /// (0 without fault injection). The typed records live in
+  /// DirectoryNetwork::failure_log() as kPublishLost.
+  int last_publish_lost() const { return last_publish_lost_; }
+
  private:
   crypto::KeyPair key_;
   crypto::PermanentId permanent_id_;
@@ -99,6 +105,7 @@ class ServiceHost {
   bool online_ = true;
   std::uint32_t last_period_ = 0;
   bool published_once_ = false;
+  int last_publish_lost_ = 0;
   std::vector<crypto::Fingerprint> last_responsible_;
   std::vector<crypto::Fingerprint> intro_points_;
   std::vector<std::uint8_t> descriptor_cookie_;

@@ -23,6 +23,10 @@ struct Descriptor {
   std::uint8_t replica = 0;
   std::uint32_t time_period = 0;
   util::UnixTime published = 0;
+  /// Simulator-internal (not part of the wire format): a directory that
+  /// indexed the upload late serves it only from this time on. 0 means
+  /// immediately visible — see fault::FaultPlan::publish_delay_rate.
+  util::UnixTime visible_after = 0;
 
   /// Onion address recoverable from the embedded public key — this is how
   /// the harvesting attack turns collected descriptors into addresses.

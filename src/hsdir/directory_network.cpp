@@ -18,7 +18,38 @@ std::vector<relay::RelayId> DirectoryNetwork::publish(
 
   std::vector<relay::RelayId> receivers;
   for (std::size_t i = 0; i < descriptors.size(); ++i) {
+    const std::uint64_t descriptor_key = fault::FaultInjector::key_of(
+        descriptors[i].descriptor_id.data(), descriptors[i].descriptor_id.size());
     for (const dirauth::ConsensusEntry* e : responsible[i]) {
+      if (injector_ != nullptr && injector_->enabled()) {
+        // Bounded per-directory retry: an upload lost in transit is
+        // re-sent up to max_attempts times; a directory that drops all
+        // of them simply never receives this replica (typed, not
+        // silent).
+        const int max_attempts = injector_->retry().max_attempts;
+        int attempt = 1;
+        bool delivered = false;
+        for (; attempt <= max_attempts; ++attempt) {
+          if (!injector_->publish_lost(descriptor_key, e->relay, attempt)) {
+            delivered = true;
+            break;
+          }
+        }
+        if (!delivered) {
+          failure_log_.push_back({fault::FailureKind::kPublishLost,
+                                  descriptor_key, e->relay, max_attempts});
+          continue;
+        }
+        Descriptor copy = descriptors[i];
+        if (injector_->publish_delayed(descriptor_key, e->relay)) {
+          copy.visible_after = copy.published + injector_->plan().publish_delay;
+          failure_log_.push_back({fault::FailureKind::kPublishDelayed,
+                                  descriptor_key, e->relay, attempt});
+        }
+        store_for(e->relay).store(std::move(copy));
+        receivers.push_back(e->relay);
+        continue;
+      }
       store_for(e->relay).store(descriptors[i]);
       receivers.push_back(e->relay);
     }
@@ -31,9 +62,22 @@ std::vector<relay::RelayId> DirectoryNetwork::publish(
 
 std::optional<Descriptor> DirectoryNetwork::fetch_from(
     const dirauth::Consensus& consensus, const crypto::DescriptorId& id,
-    util::UnixTime now, relay::RelayId& hsdir_relay) {
+    util::UnixTime now, relay::RelayId& hsdir_relay, FetchTrace* trace) {
   hsdir_relay = relay::kInvalidRelayId;
   for (const dirauth::ConsensusEntry* e : consensus.responsible_hsdirs(id)) {
+    if (injector_ != nullptr && injector_->hsdir_unresponsive(e->relay, now)) {
+      // The directory is inside an outage window: the request circuit
+      // gets no answer, the client moves on to the next responsible
+      // dir. Logged typed; not recorded in the store's own fetch log
+      // (an unresponsive dir logs nothing, which is exactly why the
+      // paper's measuring HSDirs undercount during outages).
+      if (trace != nullptr) ++trace->dirs_unresponsive;
+      failure_log_.push_back(
+          {fault::FailureKind::kHsdirUnresponsive,
+           fault::FaultInjector::key_of(id.data(), id.size()), e->relay, 1});
+      continue;
+    }
+    if (trace != nullptr) ++trace->dirs_tried;
     hsdir_relay = e->relay;
     auto result = store_for(e->relay).fetch(id, now);
     if (result) return result;

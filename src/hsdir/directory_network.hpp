@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "dirauth/consensus.hpp"
+#include "fault/injector.hpp"
 #include "hsdir/store.hpp"
 
 namespace torsim::hsdir {
@@ -16,6 +17,14 @@ struct DirectoryNetworkConfig {
   /// Store contents are bit-identical for every value (lookups fan
   /// out; store writes stay serial, in input order).
   int threads = 0;
+};
+
+/// What one fetch_from() walk over the responsible set observed —
+/// callers (hs::Client) use it to decide whether a miss is retryable
+/// (directories were down) or definitive (nobody holds the id).
+struct FetchTrace {
+  int dirs_tried = 0;
+  int dirs_unresponsive = 0;
 };
 
 class DirectoryNetwork {
@@ -32,10 +41,22 @@ class DirectoryNetwork {
     return it == stores_.end() ? nullptr : &it->second;
   }
 
+  /// Installs (or clears) the fault injector consulted by publish and
+  /// fetch paths. The injector must outlive this network; sim::World
+  /// owns both. No injector = the exact legacy behaviour.
+  void set_fault_injector(const fault::FaultInjector* injector) {
+    injector_ = injector;
+  }
+  const fault::FaultInjector* fault_injector() const { return injector_; }
+
   /// Publishes both replicas of `descriptor`'s service to their
   /// responsible HSDirs under `consensus`. `descriptors` must hold
   /// exactly the replicas to publish. Returns the relay ids that
-  /// received a copy (with duplicates removed).
+  /// received a copy (with duplicates removed). Under an active fault
+  /// plan, each per-directory upload is retried (bounded, exponential
+  /// backoff) when lost; uploads still lost after the final attempt
+  /// are surfaced in failure_log() as kPublishLost, and delayed
+  /// uploads are stored but only fetchable after the delay.
   std::vector<relay::RelayId> publish(
       const dirauth::Consensus& consensus,
       const std::vector<Descriptor>& descriptors);
@@ -44,12 +65,19 @@ class DirectoryNetwork {
   /// `hsdir_relay` receives the id of the directory that answered (or
   /// the last one tried). Tries the responsible set in the given
   /// preference order (already shuffled by the caller if desired).
+  /// Directories inside an injected outage window are skipped and
+  /// counted in `trace` (when given) so callers can retry.
   std::optional<Descriptor> fetch_from(
       const dirauth::Consensus& consensus, const crypto::DescriptorId& id,
-      util::UnixTime now, relay::RelayId& hsdir_relay);
+      util::UnixTime now, relay::RelayId& hsdir_relay,
+      FetchTrace* trace = nullptr);
 
   /// Runs expiry on every store.
   void expire_all(util::UnixTime now);
+
+  /// Typed failures observed by publish/fetch since the last clear.
+  const fault::FailureLog& failure_log() const { return failure_log_; }
+  void clear_failure_log() { failure_log_.clear(); }
 
   /// Access to every store (harvester reads its own relays' stores).
   const std::unordered_map<relay::RelayId, DescriptorStore>& stores() const {
@@ -62,6 +90,8 @@ class DirectoryNetwork {
  private:
   DirectoryNetworkConfig config_;
   std::unordered_map<relay::RelayId, DescriptorStore> stores_;
+  const fault::FaultInjector* injector_ = nullptr;
+  fault::FailureLog failure_log_;
 };
 
 }  // namespace torsim::hsdir

@@ -11,7 +11,8 @@ std::optional<Descriptor> DescriptorStore::fetch(
   const auto it = descriptors_.find(id);
   const bool found =
       it != descriptors_.end() &&
-      now - it->second.published <= kDescriptorLifetime;
+      now - it->second.published <= kDescriptorLifetime &&
+      now >= it->second.visible_after;
   if (logging_) fetch_log_.push_back({id, now, found});
   if (!found) return std::nullopt;
   return it->second;

@@ -1,5 +1,7 @@
 #include "scan/crawler.hpp"
 
+#include <algorithm>
+
 #include "content/html.hpp"
 
 namespace torsim::scan {
@@ -23,6 +25,13 @@ bool http_speaks(net::Protocol protocol) {
 CrawlReport Crawler::crawl(const population::Population& pop,
                            const ScanReport& scan) const {
   util::Rng rng(config_.seed);
+  const fault::FaultInjector injector(config_.faults);
+  const int fault_attempts =
+      injector.enabled() ? injector.retry().max_attempts : 1;
+  const int revisits = std::max(1, config_.revisit_attempts);
+  // Crawl probes must not re-draw the scan's fault decisions for the
+  // same (onion, port): tag the key with a crawl epoch.
+  constexpr std::uint64_t kCrawlEpoch = 0x10000;
   CrawlReport report;
 
   for (const PortObservation& obs : scan.observations) {
@@ -39,7 +48,65 @@ CrawlReport Crawler::crawl(const population::Population& pop,
     const net::PortService* ps = svc->profile.service_at(obs.port);
     if (ps == nullptr) continue;
     if (!http_speaks(ps->protocol)) continue;
-    if (!rng.bernoulli(config_.connect_success)) continue;
+
+    // Circuit-build success, re-visited up to `revisit_attempts` times.
+    // With the default of 1 this is the exact legacy draw sequence.
+    bool built = false;
+    for (int visit = 1; visit <= revisits; ++visit) {
+      if (rng.bernoulli(config_.connect_success)) {
+        if (visit > 1) ++report.recovered_by_revisit;
+        built = true;
+        break;
+      }
+    }
+    if (!built) {
+      ++report.failed_timeout;
+      continue;
+    }
+
+    // Injected connection faults on the established circuit.
+    bool corrupted = false;
+    if (injector.enabled()) {
+      const std::uint64_t key = fault::FaultInjector::key_of(obs.onion);
+      const std::uint64_t detail = kCrawlEpoch | obs.port;
+      bool reached = false;
+      bool dropped = false;
+      for (int attempt = 1; attempt <= fault_attempts; ++attempt) {
+        const fault::ConnectFault f = injector.connect_fault(key, detail,
+                                                             attempt);
+        if (f == fault::ConnectFault::kNone) {
+          if (attempt > 1) ++report.recovered_by_revisit;
+          reached = true;
+          break;
+        }
+        if (f == fault::ConnectFault::kDrop) {
+          report.failures.push_back({fault::FailureKind::kConnectDrop, key,
+                                     detail, attempt});
+          ++report.failed_closed;
+          dropped = true;
+          break;
+        }
+        if (f == fault::ConnectFault::kCorrupt) {
+          report.failures.push_back({fault::FailureKind::kConnectCorrupt, key,
+                                     detail, attempt});
+          if (attempt > 1) ++report.recovered_by_revisit;
+          ++report.corrupt_pages;
+          corrupted = true;
+          reached = true;
+          break;
+        }
+        report.failures.push_back({fault::FailureKind::kConnectTimeout, key,
+                                   detail, attempt});
+      }
+      if (!reached) {
+        if (!dropped) {
+          report.failures.push_back({fault::FailureKind::kRetriesExhausted,
+                                     key, detail, fault_attempts});
+          ++report.failed_timeout;
+        }
+        continue;
+      }
+    }
     ++report.connected;
 
     content::CrawlDestination dest;
@@ -54,6 +121,10 @@ CrawlReport Crawler::crawl(const population::Population& pop,
       // text-extraction step did before classification.
       dest.text = content::strip_html(ps->http->body);
       dest.error_page = ps->http->error_page;
+    }
+    if (corrupted) {
+      // The transfer died mid-stream: keep the first half of the text.
+      dest.text.resize(dest.text.size() / 2);
     }
     report.pages.push_back(std::move(dest));
   }

@@ -19,6 +19,12 @@ struct CrawlConfig {
   /// Probability a live destination answers the crawler (circuit
   /// build failures etc.).
   double connect_success = 0.975;
+  /// Injected connection faults (default: none); see
+  /// docs/fault-injection.md.
+  fault::FaultPlan faults{};
+  /// How many times a destination is visited before the crawler gives
+  /// up on circuit-build failures (1 = single visit, legacy behaviour).
+  int revisit_attempts = 1;
 };
 
 struct CrawlReport {
@@ -29,6 +35,20 @@ struct CrawlReport {
   /// Destinations that answered over HTTP(S) ("6,579").
   std::int64_t connected = 0;
   std::vector<content::CrawlDestination> pages;
+
+  // -- Split failure accounting (timeouts vs closed) --------------------
+  /// HTTP-capable destinations that never answered: circuit-build
+  /// failures plus injected timeouts that exhausted their retries.
+  std::int64_t failed_timeout = 0;
+  /// Destinations that actively refused (injected connection drops).
+  std::int64_t failed_closed = 0;
+  /// Pages fetched through an injected corruption: connected, but the
+  /// text arrived truncated/garbled.
+  std::int64_t corrupt_pages = 0;
+  /// Destinations that failed at least once but answered on a re-visit.
+  std::int64_t recovered_by_revisit = 0;
+  /// Typed record of every injected fault hit during the crawl.
+  fault::FailureLog failures;
 };
 
 class Crawler {

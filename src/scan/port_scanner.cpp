@@ -37,6 +37,11 @@ struct ServiceSweep {
   bool scanned = false;
   std::int64_t true_open = 0;
   std::vector<PortObservation> observations;
+  std::vector<std::uint16_t> timeout_ports;
+  std::vector<std::uint16_t> closed_ports;
+  std::int64_t corrupt = 0;
+  std::int64_t recovered = 0;
+  fault::FailureLog failures;
 };
 
 }  // namespace
@@ -44,9 +49,14 @@ struct ServiceSweep {
 ScanReport PortScanner::scan(const population::Population& pop) const {
   // Each service draws from its own child stream keyed by its index in
   // the population, so the draws are identical no matter which thread
-  // sweeps it or in what order.
+  // sweeps it or in what order. The fault injector never touches these
+  // streams: its decisions are pure functions of (plan seed, probe key),
+  // so raising a fault rate cannot reshuffle the base scenario.
   const util::Rng base(config_.seed);
   const ScanSchedule schedule = ScanSchedule::contiguous(config_.scan_days);
+  const fault::FaultInjector injector(config_.faults);
+  const int max_attempts =
+      injector.enabled() ? injector.retry().max_attempts : 1;
   const auto& services = pop.services();
 
   const auto sweep_one = [&](std::size_t index) {
@@ -55,6 +65,7 @@ ScanReport PortScanner::scan(const population::Population& pop) const {
     if (!svc.published_at_scan) return out;
     out.scanned = true;
     util::Rng rng = base.child(index);
+    const std::uint64_t onion_key = fault::FaultInjector::key_of(svc.onion);
 
     // Which scan days is this host up on? Drawn once per host so a host
     // that died mid-window misses every range scanned after its death.
@@ -67,13 +78,65 @@ ScanReport PortScanner::scan(const population::Population& pop) const {
       // Port ranges are partitioned across days: every host's port p is
       // probed on the same day, as in a real range sweep.
       const int day = schedule.day_for_port(port);
-      if (!up[static_cast<std::size_t>(day)]) continue;
-      if (rng.bernoulli(config_.probe_timeout_probability)) continue;
+      if (!up[static_cast<std::size_t>(day)]) {
+        out.timeout_ports.push_back(port);  // host down == probe timeout
+        continue;
+      }
+      if (rng.bernoulli(config_.probe_timeout_probability)) {
+        out.timeout_ports.push_back(port);  // overloaded circuit
+        continue;
+      }
+
+      // Injected connection faults, bounded retries per the plan.
+      bool probe_alive = true;
+      bool corrupted = false;
+      if (injector.enabled()) {
+        bool timed_out = true;
+        for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+          const fault::ConnectFault f =
+              injector.connect_fault(onion_key, port, attempt);
+          if (f == fault::ConnectFault::kNone) {
+            timed_out = false;
+            if (attempt > 1) ++out.recovered;
+            break;
+          }
+          if (f == fault::ConnectFault::kDrop) {
+            // A RST is definitive: the scanner records closed and moves
+            // on instead of retrying.
+            out.failures.push_back({fault::FailureKind::kConnectDrop,
+                                    onion_key, port, attempt});
+            out.closed_ports.push_back(port);
+            timed_out = false;
+            probe_alive = false;
+            break;
+          }
+          if (f == fault::ConnectFault::kCorrupt) {
+            out.failures.push_back({fault::FailureKind::kConnectCorrupt,
+                                    onion_key, port, attempt});
+            if (attempt > 1) ++out.recovered;
+            ++out.corrupt;
+            corrupted = true;
+            timed_out = false;
+            break;
+          }
+          out.failures.push_back({fault::FailureKind::kConnectTimeout,
+                                  onion_key, port, attempt});
+        }
+        if (timed_out) {
+          out.failures.push_back({fault::FailureKind::kRetriesExhausted,
+                                  onion_key, port, max_attempts});
+          out.timeout_ports.push_back(port);
+          probe_alive = false;
+        }
+      }
+      if (!probe_alive) continue;
 
       const net::ConnectResult result = svc.profile.connect(port);
       if (result != net::ConnectResult::kOpen &&
-          result != net::ConnectResult::kAbnormalClose)
+          result != net::ConnectResult::kAbnormalClose) {
+        out.closed_ports.push_back(port);
         continue;
+      }
       PortObservation obs;
       obs.onion = svc.onion;
       obs.port = port;
@@ -83,6 +146,8 @@ ScanReport PortScanner::scan(const population::Population& pop) const {
         obs.protocol = ps->protocol;
       else
         obs.protocol = net::Protocol::kSkynetControl;  // abnormal close
+      if (corrupted && obs.protocol != net::Protocol::kSkynetControl)
+        obs.protocol = net::Protocol::kRawTcp;  // banner was garbage
       out.observations.push_back(std::move(obs));
     }
     return out;
@@ -104,6 +169,18 @@ ScanReport PortScanner::scan(const population::Population& pop) const {
       report.open_ports.add(obs.port);
       report.observations.push_back(std::move(obs));
     }
+    for (std::uint16_t port : sweep.timeout_ports) {
+      report.timeout_ports.add(port);
+      ++report.probe_timeouts;
+    }
+    for (std::uint16_t port : sweep.closed_ports) {
+      report.closed_ports.add(port);
+      ++report.probes_closed;
+    }
+    report.probes_corrupt += sweep.corrupt;
+    report.probes_recovered += sweep.recovered;
+    report.failures.insert(report.failures.end(), sweep.failures.begin(),
+                           sweep.failures.end());
   }
 
   report.coverage =

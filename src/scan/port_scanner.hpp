@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/injector.hpp"
 #include "net/service.hpp"
 #include "population/population.hpp"
 #include "stats/histogram.hpp"
@@ -32,6 +33,10 @@ struct ScanConfig {
   /// hardware thread, 1 = legacy serial path. Output is bit-identical
   /// for every value (see docs/concurrency.md).
   int threads = 0;
+  /// Injected connection faults (default: none). Probes hit by a
+  /// retryable fault are re-tried under the plan's RetryPolicy; see
+  /// docs/fault-injection.md.
+  fault::FaultPlan faults{};
 };
 
 /// One per-destination observation.
@@ -56,6 +61,24 @@ struct ScanReport {
   std::int64_t onions_with_open_ports = 0;
   /// Fraction of truly-open ports the scan detected.
   double coverage = 0.0;
+
+  // -- Split probe-failure accounting (timeouts vs closed, previously
+  //    conflated into silent misses) ------------------------------------
+  /// Ports whose probe timed out: host down on the scan day, overloaded
+  /// circuit, or an injected timeout that exhausted its retries.
+  stats::Histogram<std::uint16_t> timeout_ports;
+  /// Ports that answered with a clean close (including injected drops).
+  stats::Histogram<std::uint16_t> closed_ports;
+  std::int64_t probe_timeouts = 0;   ///< == timeout_ports.total()
+  std::int64_t probes_closed = 0;    ///< == closed_ports.total()
+  /// Probes whose reply came back garbled by an injected corruption
+  /// (still counted open — the TCP handshake completed).
+  std::int64_t probes_corrupt = 0;
+  /// Probes that failed at least once but succeeded on a retry.
+  std::int64_t probes_recovered = 0;
+  /// Typed record of every injected fault hit during the sweep, in
+  /// population order (deterministic across thread counts).
+  fault::FailureLog failures;
 
   std::int64_t total_open_ports() const { return open_ports.total(); }
   std::int64_t unique_ports() const {

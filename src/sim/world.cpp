@@ -14,6 +14,10 @@ World::World(WorldConfig config)
       rng_(config.seed),
       authority_(config.authority_policy),
       dirnet_(hsdir::DirectoryNetworkConfig{.threads = config.threads}) {
+  if (config_.faults.enabled()) {
+    injector_ = std::make_unique<fault::FaultInjector>(config_.faults);
+    dirnet_.set_fault_injector(injector_.get());
+  }
   bootstrap();
 }
 

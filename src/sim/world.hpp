@@ -9,6 +9,7 @@
 
 #include "dirauth/archive.hpp"
 #include "dirauth/authority.hpp"
+#include "fault/injector.hpp"
 #include "hs/client.hpp"
 #include "hs/service_host.hpp"
 #include "hsdir/directory_network.hpp"
@@ -42,6 +43,10 @@ struct WorldConfig {
   /// <= 0 = one per hardware thread, 1 = legacy serial path. Results
   /// are bit-identical for every value (see docs/concurrency.md).
   int threads = 0;
+  /// Injected directory/circuit faults (default: none). When enabled the
+  /// world owns a FaultInjector and wires it into the directory network;
+  /// see docs/fault-injection.md.
+  fault::FaultPlan faults{};
 };
 
 class World {
@@ -72,6 +77,10 @@ class World {
   const dirauth::ConsensusArchive& archive() const { return archive_; }
   util::Rng& rng() { return rng_; }
   const WorldConfig& config() const { return config_; }
+  /// The world's fault injector, or nullptr when the plan is all-zero.
+  const fault::FaultInjector* fault_injector() const {
+    return injector_.get();
+  }
 
   // --- hidden services ----------------------------------------------
   /// Adds a hidden service with a fresh key; returns its index.
@@ -113,6 +122,9 @@ class World {
   dirauth::Authority authority_;
   dirauth::Consensus consensus_;
   dirauth::ConsensusArchive archive_;
+  /// Owned behind a pointer so the address handed to the directory
+  /// network stays stable if the World is moved.
+  std::unique_ptr<fault::FaultInjector> injector_;
   hsdir::DirectoryNetwork dirnet_;
   std::vector<std::unique_ptr<hs::ServiceHost>> services_;
   std::vector<bool> churn_exempt_;

@@ -260,5 +260,142 @@ TEST_P(ParserMutationTest, DescriptorParserNeverCrashes) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ParserMutationTest, ::testing::Range(0, 3));
 
+// ---------------------------------------------------------------------
+// structural robustness: truncation at every line boundary, reordered
+// keyword lines, and corrupted base16/base32 fields must all surface as
+// parse errors (or benign parses), never UB or a crash.
+// ---------------------------------------------------------------------
+
+std::vector<std::size_t> line_starts(const std::string& text) {
+  std::vector<std::size_t> starts{0};
+  for (std::size_t i = 0; i < text.size(); ++i)
+    if (text[i] == '\n' && i + 1 < text.size()) starts.push_back(i + 1);
+  return starts;
+}
+
+TEST(ParserTruncationTest, ConsensusTruncatedAtEveryLineBoundary) {
+  const std::string text = render_consensus(sample_consensus(5));
+  for (std::size_t start : line_starts(text)) {
+    if (start == 0) continue;
+    const std::string truncated = text.substr(0, start);
+    try {
+      // A prefix that happens to end right after the footer is a valid
+      // document; every other truncation must throw.
+      (void)parse_consensus(truncated);
+      EXPECT_NE(truncated.find("directory-footer"), std::string::npos);
+    } catch (const std::invalid_argument&) {
+    }
+  }
+}
+
+TEST(ParserTruncationTest, DescriptorTruncatedAtEveryLineBoundary) {
+  util::Rng rng(41);
+  const auto key = crypto::KeyPair::generate(rng);
+  crypto::Fingerprint fp;
+  rng.fill_bytes(fp.data(), fp.size());
+  const std::string text =
+      render_descriptor(hsdir::make_descriptor(key, {fp}, 0, kT0));
+  const auto starts = line_starts(text);
+  for (std::size_t i = 1; i < starts.size(); ++i) {
+    // Dropping any suffix of lines loses a required keyword: the parser
+    // must reject every strict prefix.
+    EXPECT_THROW((void)parse_descriptor(text.substr(0, starts[i])),
+                 std::invalid_argument)
+        << "prefix of " << i << " lines";
+  }
+}
+
+TEST(ParserReorderTest, ConsensusKeywordLinesReordered) {
+  const std::string text = render_consensus(sample_consensus(5));
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const auto nl = text.find('\n', pos);
+    lines.push_back(text.substr(pos, nl - pos));
+    pos = nl == std::string::npos ? text.size() : nl + 1;
+  }
+  util::Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto shuffled = lines;
+    // Swap two random lines — keyword order is part of the grammar.
+    const auto a = rng.index(shuffled.size());
+    const auto b = rng.index(shuffled.size());
+    std::swap(shuffled[a], shuffled[b]);
+    std::string doc;
+    for (const auto& line : shuffled) doc += line + "\n";
+    try {
+      const auto parsed = parse_consensus(doc);
+      // A benign swap (e.g. a==b) must still yield a sane document.
+      EXPECT_LE(parsed.size(), lines.size());
+    } catch (const std::invalid_argument&) {
+    } catch (const std::out_of_range&) {
+    }
+  }
+}
+
+TEST(ParserCorruptionTest, CorruptedBase16FingerprintRejected) {
+  const auto consensus = sample_consensus(4);
+  const std::string text = render_consensus(consensus);
+  // The "r <nick> <fp-hex> ..." router lines carry base16 fingerprints;
+  // replace hex digits with non-hex garbage.
+  const auto r_pos = text.find("\nr ");
+  ASSERT_NE(r_pos, std::string::npos);
+  const auto fp_pos = text.find(' ', text.find(' ', r_pos + 1) + 1) + 1;
+  for (const char garbage : {'!', 'z', 'G', '~'}) {
+    std::string corrupted = text;
+    corrupted[fp_pos] = garbage;
+    EXPECT_THROW((void)parse_consensus(corrupted), std::invalid_argument)
+        << garbage;
+  }
+}
+
+TEST(ParserCorruptionTest, CorruptedBase32DescriptorIdRejected) {
+  util::Rng rng(43);
+  const auto key = crypto::KeyPair::generate(rng);
+  const std::string text =
+      render_descriptor(hsdir::make_descriptor(key, {}, 0, kT0));
+  const auto id_pos = text.find(' ') + 1;  // after the leading keyword
+  // '0', '1', '8', '9' and punctuation are outside the base32 alphabet.
+  for (const char garbage : {'0', '1', '8', '9', '!', '_'}) {
+    std::string corrupted = text;
+    corrupted[id_pos] = garbage;
+    EXPECT_THROW((void)parse_descriptor(corrupted), std::invalid_argument)
+        << garbage;
+  }
+}
+
+TEST(ParserRoundTripTest, SeededDescriptorRoundTripProperty) {
+  // Property: for any generated descriptor (random key, intro count,
+  // replica, publication time), render -> parse is the identity.
+  util::Rng rng(44);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto key = crypto::KeyPair::generate(rng);
+    std::vector<crypto::Fingerprint> intro(rng.uniform_int(0, 5));
+    for (auto& fp : intro) rng.fill_bytes(fp.data(), fp.size());
+    const auto replica =
+        static_cast<std::uint8_t>(rng.uniform_int(0, 1));
+    const util::UnixTime published =
+        kT0 + rng.uniform_int(0, 72) * util::kSecondsPerHour;
+    const auto original =
+        hsdir::make_descriptor(key, intro, replica, published);
+    const auto parsed = parse_descriptor(render_descriptor(original));
+    EXPECT_EQ(parsed.descriptor_id, original.descriptor_id);
+    EXPECT_EQ(parsed.introduction_points, original.introduction_points);
+    EXPECT_EQ(parsed.replica, original.replica);
+    EXPECT_EQ(parsed.published, original.published);
+  }
+}
+
+TEST(ParserRoundTripTest, SeededConsensusRoundTripProperty) {
+  for (int relays : {1, 2, 7, 19}) {
+    const auto consensus = sample_consensus(relays);
+    const auto parsed = parse_consensus(render_consensus(consensus));
+    ASSERT_EQ(parsed.size(), consensus.size()) << relays;
+    for (std::size_t i = 0; i < parsed.size(); ++i)
+      EXPECT_EQ(parsed.entries()[i].fingerprint,
+                consensus.entries()[i].fingerprint);
+  }
+}
+
 }  // namespace
 }  // namespace torsim::dirspec

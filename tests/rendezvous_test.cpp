@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "hs/rendezvous.hpp"
 #include "sim/world.hpp"
 
@@ -240,6 +242,131 @@ TEST(RendezvousTest, SurvivesHeavyChurn) {
 
 namespace torsim::hs {
 namespace {
+
+// ---------------------------------------------------------------------
+// injected circuit stalls: typed timeout outcomes (satellite of the
+// fault-injection engine; the full storm lives in chaos_scenario_test)
+// ---------------------------------------------------------------------
+
+struct StallFixture {
+  sim::World world;
+  std::size_t service_index;
+  Client client{net::Ipv4(203, 0, 113, 9), 4242};
+
+  explicit StallFixture(double stall_rate, int retries)
+      : world([&] {
+          sim::WorldConfig config;
+          config.seed = 99;
+          config.honest_relays = 200;
+          config.faults.circuit_stall_rate = stall_rate;
+          config.faults.retry.max_attempts = retries;
+          return config;
+        }()) {
+    service_index = world.add_service();
+    world.service(service_index)
+        .maintain_guards(world.consensus(), world.rng(), world.now());
+    client.maintain(world.consensus(), world.now());
+  }
+
+  RendezvousOutcome connect() {
+    return rendezvous_connect(client, world.service(service_index),
+                              world.consensus(), world.directories(),
+                              world.rng(), world.now());
+  }
+};
+
+TEST(RendezvousFaultTest, TotalStallExhaustsRpRetries) {
+  StallFixture fx(1.0, 3);
+  const auto outcome = fx.connect();
+  EXPECT_FALSE(outcome.success);
+  EXPECT_EQ(outcome.failure, RendezvousFailure::kRendezvousTimeout);
+  EXPECT_EQ(outcome.rp_attempts, 3);
+  // Every retry was charged its exponential backoff as sim-time.
+  EXPECT_EQ(outcome.backoff_spent,
+            fx.world.config().faults.retry.total_backoff(3));
+  EXPECT_STREQ(to_string(outcome.failure), "rendezvous-timeout");
+}
+
+TEST(RendezvousFaultTest, PartialStallSurfacesEveryTimeoutKind) {
+  // At an 80% stall rate with 2 tries per circuit, all three stall sites
+  // fail often enough that each typed outcome shows up in a storm —
+  // and successes still happen (retried-to-success).
+  StallFixture fx(0.8, 2);
+  int successes = 0;
+  std::set<RendezvousFailure> seen;
+  for (int i = 0; i < 300; ++i) {
+    const auto outcome = fx.connect();
+    if (outcome.success) {
+      ++successes;
+      EXPECT_EQ(outcome.failure, RendezvousFailure::kNone);
+    } else {
+      seen.insert(outcome.failure);
+    }
+    EXPECT_LE(outcome.rp_attempts, 2);
+  }
+  EXPECT_GT(successes, 0);
+  EXPECT_TRUE(seen.count(RendezvousFailure::kRendezvousTimeout));
+  EXPECT_TRUE(seen.count(RendezvousFailure::kIntroTimeout));
+  EXPECT_TRUE(seen.count(RendezvousFailure::kServiceCircuitTimeout));
+}
+
+TEST(RendezvousFaultTest, ZeroStallNeverRetries) {
+  StallFixture fx(0.0, 3);
+  for (int i = 0; i < 20; ++i) {
+    const auto outcome = fx.connect();
+    ASSERT_TRUE(outcome.success) << to_string(outcome.failure);
+    EXPECT_EQ(outcome.rp_attempts, 1);
+    EXPECT_EQ(outcome.backoff_spent, 0);
+  }
+}
+
+// ---------------------------------------------------------------------
+// guard resampling under unreachability
+// ---------------------------------------------------------------------
+
+TEST(RendezvousFaultTest, GuardsResampleWhenFewerThanTwoReachable) {
+  RendezvousFixture fx(881);
+  // Knock every current client guard out of the consensus.
+  const auto original = fx.client.guards().guards();
+  ASSERT_EQ(original.size(), 3u);
+  for (const auto& slot : original)
+    fx.world.registry().get(slot.relay).set_online(false, fx.world.now());
+  fx.world.rebuild_consensus();
+
+  // With zero reachable guards, maintain() must resample a full set
+  // (the "< 2 reachable" rule) and connections must work again.
+  fx.client.maintain(fx.world.consensus(), fx.world.now());
+  const auto& resampled = fx.client.guards().guards();
+  ASSERT_EQ(resampled.size(), 3u);
+  int still_listed = 0;
+  for (const auto& slot : resampled)
+    still_listed +=
+        fx.world.consensus().find_relay(slot.relay) != nullptr;
+  EXPECT_EQ(still_listed, 3);
+  fx.service().maintain_guards(fx.world.consensus(), fx.world.rng(),
+                               fx.world.now());
+  const auto outcome = fx.connect();
+  EXPECT_TRUE(outcome.success) << to_string(outcome.failure);
+}
+
+TEST(RendezvousFaultTest, OneDeadGuardDoesNotForceResample) {
+  RendezvousFixture fx(882);
+  const auto original = fx.client.guards().guards();
+  ASSERT_EQ(original.size(), 3u);
+  // Kill exactly one guard: two remain reachable, so the set is kept.
+  fx.world.registry().get(original[0].relay).set_online(false,
+                                                        fx.world.now());
+  fx.world.rebuild_consensus();
+  fx.client.maintain(fx.world.consensus(), fx.world.now());
+  const auto& kept = fx.client.guards().guards();
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_EQ(kept[1].relay, original[1].relay);
+  EXPECT_EQ(kept[2].relay, original[2].relay);
+  fx.service().maintain_guards(fx.world.consensus(), fx.world.rng(),
+                               fx.world.now());
+  const auto outcome = fx.connect();
+  EXPECT_TRUE(outcome.success) << to_string(outcome.failure);
+}
 
 TEST(RendezvousTest, StealthServiceRequiresCookie) {
   sim::WorldConfig config;

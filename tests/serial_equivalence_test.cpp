@@ -102,6 +102,50 @@ TEST(SerialEquivalenceTest, Fig1HardwareThreadsAlsoIdentical) {
 }
 
 // ---------------------------------------------------------------------
+// FIG1 under fault injection — the injector's decisions are pure
+// functions of (plan seed, event key), so the equivalence contract must
+// survive any FaultPlan, including the typed-failure log.
+// ---------------------------------------------------------------------
+
+std::string faulted_scan_csv(const scan::ScanReport& report,
+                             const std::string& tag) {
+  return csv_bytes(tag, [&](util::CsvWriter& csv) {
+    csv.typed_row("coverage", report.coverage);
+    csv.typed_row("open_ports_total", report.total_open_ports());
+    csv.typed_row("probe_timeouts", report.probe_timeouts);
+    csv.typed_row("probes_closed", report.probes_closed);
+    csv.typed_row("probes_corrupt", report.probes_corrupt);
+    csv.typed_row("probes_recovered", report.probes_recovered);
+    for (const auto& obs : report.observations)
+      csv.typed_row(obs.onion, obs.port, static_cast<int>(obs.result),
+                    obs.scan_day, static_cast<int>(obs.protocol));
+    // The full typed-failure log, in report order.
+    for (const auto& record : report.failures)
+      csv.typed_row(fault::to_string(record.kind), record.key, record.detail,
+                    record.attempt);
+  });
+}
+
+scan::ScanReport run_faulted_scan(int threads) {
+  scan::ScanConfig config;
+  config.seed = 4242;
+  config.threads = threads;
+  config.faults = fault::FaultPlan::profile("moderate");
+  return scan::PortScanner(config).scan(test_population());
+}
+
+TEST(SerialEquivalenceTest, Fig1FaultInjectedScanByteIdentical) {
+  const auto serial = run_faulted_scan(1);
+  const auto parallel = run_faulted_scan(4);
+  EXPECT_FALSE(serial.failures.empty());
+  EXPECT_EQ(serial.failures, parallel.failures);
+  EXPECT_EQ(faulted_scan_csv(serial, "fig1_fault_serial"),
+            faulted_scan_csv(parallel, "fig1_fault_parallel"));
+  EXPECT_EQ(faulted_scan_csv(run_faulted_scan(0), "fig1_fault_hw"),
+            faulted_scan_csv(parallel, "fig1_fault_parallel2"));
+}
+
+// ---------------------------------------------------------------------
 // FIG2 — content pipeline
 // ---------------------------------------------------------------------
 

@@ -9,6 +9,7 @@
 //   torsim trackdet    [--seed N] [--csv FILE]               Sec. VII
 //   torsim consensus   [--hours N] [--out FILE]              dir-spec dump
 //   torsim geoip IP [IP...]                                  GeoIP lookups
+#include <array>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -19,6 +20,7 @@
 #include "attack/harvester.hpp"
 #include "content/pipeline.hpp"
 #include "dirspec/consensus_doc.hpp"
+#include "fault/plan.hpp"
 #include "geo/client_map.hpp"
 #include "popularity/botnet_inference.hpp"
 #include "popularity/request_generator.hpp"
@@ -45,6 +47,8 @@ struct Options {
   int hours = 6;
   /// Fan-out worker threads; 0 = one per hardware thread, 1 = serial.
   int threads = 0;
+  /// Injected-fault plan (--faults mild|moderate|severe|k=v,...).
+  fault::FaultPlan faults{};
   std::vector<std::string> positional;
 };
 
@@ -65,6 +69,7 @@ Options parse_options(int argc, char** argv, int first) {
     else if (arg == "--relays") opt.relays = std::stoi(next());
     else if (arg == "--hours") opt.hours = std::stoi(next());
     else if (arg == "--threads") opt.threads = std::stoi(next());
+    else if (arg == "--faults") opt.faults = fault::FaultPlan::parse(next());
     else if (!arg.empty() && arg[0] == '-')
       throw std::invalid_argument("unknown option " + arg);
     else opt.positional.push_back(arg);
@@ -85,7 +90,8 @@ int cmd_scan(const Options& opt) {
                                              .scan_days = 8,
                                              .probe_timeout_probability =
                                                  0.02,
-                                             .threads = opt.threads});
+                                             .threads = opt.threads,
+                                             .faults = opt.faults});
   const auto report = scanner.scan(pop);
   std::printf("scanned %lld onions (descriptors available), found %lld open "
               "ports on %lld of them (coverage %.0f%%)\n",
@@ -93,6 +99,16 @@ int cmd_scan(const Options& opt) {
               static_cast<long long>(report.total_open_ports()),
               static_cast<long long>(report.onions_with_open_ports),
               report.coverage * 100);
+  std::printf("probe failures: %lld timeout, %lld closed",
+              static_cast<long long>(report.probe_timeouts),
+              static_cast<long long>(report.probes_closed));
+  if (opt.faults.enabled())
+    std::printf(" | faults: %lld corrupt, %lld recovered by retry, "
+                "%zu typed records",
+                static_cast<long long>(report.probes_corrupt),
+                static_cast<long long>(report.probes_recovered),
+                report.failures.size());
+  std::printf("\n");
   const auto rows =
       report.figure1(static_cast<std::int64_t>(50 * opt.scale));
   for (const auto& [label, count] : rows)
@@ -101,9 +117,16 @@ int cmd_scan(const Options& opt) {
                     .c_str());
   if (!opt.csv.empty()) {
     util::CsvWriter csv(opt.csv);
-    csv.row({"port", "count"});
+    csv.row({"port", "open", "timeout", "closed"});
+    std::map<std::uint16_t, std::array<std::int64_t, 3>> per_port;
     for (const auto& [port, count] : report.open_ports.entries())
-      csv.typed_row(port, count);
+      per_port[port][0] = count;
+    for (const auto& [port, count] : report.timeout_ports.entries())
+      per_port[port][1] = count;
+    for (const auto& [port, count] : report.closed_ports.entries())
+      per_port[port][2] = count;
+    for (const auto& [port, counts] : per_port)
+      csv.typed_row(port, counts[0], counts[1], counts[2]);
     std::printf("wrote %zu rows to %s\n", csv.rows_written(),
                 opt.csv.c_str());
   }
@@ -112,14 +135,27 @@ int cmd_scan(const Options& opt) {
 
 int cmd_crawl(const Options& opt) {
   const auto pop = make_population(opt);
-  scan::PortScanner scanner(scan::ScanConfig{.threads = opt.threads});
+  scan::PortScanner scanner(
+      scan::ScanConfig{.threads = opt.threads, .faults = opt.faults});
   const auto scan_report = scanner.scan(pop);
-  scan::Crawler crawler;
+  scan::Crawler crawler(scan::CrawlConfig{
+      .faults = opt.faults,
+      .revisit_attempts =
+          opt.faults.enabled() ? opt.faults.retry.max_attempts : 1});
   const auto crawl = crawler.crawl(pop, scan_report);
-  std::printf("destinations %lld -> still open %lld -> connected %lld\n",
+  std::printf("destinations %lld -> still open %lld -> connected %lld "
+              "(failed: %lld timeout, %lld closed)\n",
               static_cast<long long>(crawl.destinations),
               static_cast<long long>(crawl.still_open),
-              static_cast<long long>(crawl.connected));
+              static_cast<long long>(crawl.connected),
+              static_cast<long long>(crawl.failed_timeout),
+              static_cast<long long>(crawl.failed_closed));
+  if (opt.faults.enabled())
+    std::printf("faults: %lld corrupt pages, %lld recovered by re-visit, "
+                "%zu typed records\n",
+                static_cast<long long>(crawl.corrupt_pages),
+                static_cast<long long>(crawl.recovered_by_revisit),
+                crawl.failures.size());
   std::map<std::uint16_t, int> per_port;
   for (const auto& page : crawl.pages) ++per_port[page.port];
   std::printf("per-port (Table I):\n");
@@ -138,9 +174,13 @@ int cmd_crawl(const Options& opt) {
 
 int cmd_classify(const Options& opt) {
   const auto pop = make_population(opt);
-  scan::PortScanner scanner(scan::ScanConfig{.threads = opt.threads});
+  scan::PortScanner scanner(
+      scan::ScanConfig{.threads = opt.threads, .faults = opt.faults});
   const auto scan_report = scanner.scan(pop);
-  scan::Crawler crawler;
+  scan::Crawler crawler(scan::CrawlConfig{
+      .faults = opt.faults,
+      .revisit_attempts =
+          opt.faults.enabled() ? opt.faults.retry.max_attempts : 1});
   const auto crawl = crawler.crawl(pop, scan_report);
   util::Rng rng(opt.seed + 2);
   const auto classifier = content::TopicClassifier::make_default(rng);
@@ -236,6 +276,7 @@ int cmd_harvest(const Options& opt) {
   wc.seed = opt.seed;
   wc.honest_relays = 300;
   wc.threads = opt.threads;
+  wc.faults = opt.faults;
   sim::World world(wc);
   std::set<std::string> truth;
   for (int i = 0; i < 80; ++i)
@@ -288,6 +329,7 @@ int cmd_consensus(const Options& opt) {
   wc.seed = opt.seed;
   wc.honest_relays = 100;
   wc.threads = opt.threads;
+  wc.faults = opt.faults;
   sim::World world(wc);
   world.run_hours(opt.hours);
   const auto text = dirspec::render_archive(world.archive());
@@ -311,10 +353,14 @@ int cmd_report(const Options& opt) {
   // Full pipeline at the requested scale, emitted as a measured-vs-paper
   // markdown report (the generator behind EXPERIMENTS.md).
   const auto pop = make_population(opt);
-  scan::PortScanner scanner(scan::ScanConfig{.threads = opt.threads});
+  scan::PortScanner scanner(
+      scan::ScanConfig{.threads = opt.threads, .faults = opt.faults});
   const auto scan_report = scanner.scan(pop);
   const auto certs = scan::analyse_certificates(pop, scan_report);
-  scan::Crawler crawler;
+  scan::Crawler crawler(scan::CrawlConfig{
+      .faults = opt.faults,
+      .revisit_attempts =
+          opt.faults.enabled() ? opt.faults.retry.max_attempts : 1});
   const auto crawl = crawler.crawl(pop, scan_report);
   util::Rng rng(opt.seed + 2);
   const auto classifier = content::TopicClassifier::make_default(rng);
@@ -450,9 +496,13 @@ void usage() {
       "  report      full-pipeline measured-vs-paper markdown report\n"
       "  geoip       look up synthetic GeoIP for addresses\n\n"
       "options: --scale S --seed N --csv FILE --out FILE --ips N "
-      "--relays M --hours N --threads T\n"
+      "--relays M --hours N --threads T --faults SPEC\n"
       "  --threads T   fan-out workers (0 = one per hardware thread,\n"
-      "                1 = serial; results are identical either way)\n");
+      "                1 = serial; results are identical either way)\n"
+      "  --faults SPEC inject connection/directory faults: a profile\n"
+      "                (mild, moderate, severe) or k=v pairs, e.g.\n"
+      "                drop=0.05,timeout=0.1,retries=4 — see\n"
+      "                docs/fault-injection.md\n");
 }
 
 }  // namespace
@@ -465,6 +515,12 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     const Options opt = parse_options(argc, argv, 2);
+    // Only geoip takes positional operands; anywhere else a stray word
+    // is almost certainly a typo'd flag value, so fail loudly instead
+    // of silently ignoring it.
+    if (command != "geoip" && !opt.positional.empty())
+      throw std::invalid_argument("unexpected argument '" +
+                                  opt.positional.front() + "'");
     if (command == "scan") return cmd_scan(opt);
     if (command == "crawl") return cmd_crawl(opt);
     if (command == "classify") return cmd_classify(opt);
@@ -475,6 +531,7 @@ int main(int argc, char** argv) {
     if (command == "consensus") return cmd_consensus(opt);
     if (command == "report") return cmd_report(opt);
     if (command == "geoip") return cmd_geoip(opt);
+    std::fprintf(stderr, "error: unknown command '%s'\n\n", command.c_str());
     usage();
     return 1;
   } catch (const std::exception& error) {
