@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <stdexcept>
 
 #include "content/page_generator.hpp"
@@ -10,14 +11,16 @@
 namespace torsim::content {
 namespace {
 
-std::unordered_map<std::string, double> term_frequencies(
-    std::string_view text) {
-  std::unordered_map<std::string, double> tf;
+// Ordered map throughout: document vectors are iterated for norms,
+// centroid sums, and dot products, and those floating-point reductions
+// must visit terms in a platform-independent order.
+std::map<std::string, double> term_frequencies(std::string_view text) {
+  std::map<std::string, double> tf;
   for (const std::string& w : util::tokenize_words(text)) tf[w] += 1.0;
   return tf;
 }
 
-void l2_normalize(std::unordered_map<std::string, double>& vec) {
+void l2_normalize(std::map<std::string, double>& vec) {
   double norm = 0.0;
   for (const auto& [w, v] : vec) norm += v * v;
   norm = std::sqrt(norm);
@@ -30,8 +33,8 @@ void l2_normalize(std::unordered_map<std::string, double>& vec) {
 void CentroidClassifier::train(const std::vector<LabeledDoc>& docs) {
   if (docs.empty()) throw std::invalid_argument("CentroidClassifier: no docs");
 
-  // IDF over the training corpus.
-  std::unordered_map<std::string, double> doc_freq;
+  // IDF over the training corpus (iterated below: ordered).
+  std::map<std::string, double> doc_freq;
   for (const LabeledDoc& doc : docs) {
     const auto tf = term_frequencies(doc.text);
     for (const auto& [w, count] : tf) doc_freq[w] += 1.0;

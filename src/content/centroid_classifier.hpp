@@ -5,6 +5,7 @@
 // ablation bench reports their agreement.
 #pragma once
 
+#include <map>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
@@ -32,8 +33,11 @@ class CentroidClassifier {
                                          int words_per_doc = 120);
 
  private:
+  /// Lookup-only (never iterated): hash map is safe and fast.
   std::unordered_map<std::string, double> idf_;
-  std::vector<std::unordered_map<std::string, double>> centroids_;
+  /// Iterated during training (mean + L2 normalize): ordered so the
+  /// floating-point accumulation order is platform-independent.
+  std::vector<std::map<std::string, double>> centroids_;
   double default_idf_ = 0.0;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cmath>
+#include <map>
 
 #include "content/corpus.hpp"
 
@@ -69,7 +70,9 @@ LanguageDetector::LanguageDetector() {
     std::vector<std::string> grams;
     extract_ngrams(training, grams);
 
-    std::unordered_map<std::string, double> counts;
+    // Ordered: iterated below to fill the profile (one-time training
+    // cost; the profile's lookup table stays hashed).
+    std::map<std::string, double> counts;
     for (const std::string& g : grams) counts[g] += 1.0;
     const double total = static_cast<double>(grams.size());
 

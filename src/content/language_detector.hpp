@@ -33,6 +33,7 @@ class LanguageDetector {
 
  private:
   struct Profile {
+    /// Lookup-only (never iterated): hash map is safe and fast.
     std::unordered_map<std::string, double> log_prob;
     double log_fallback = -12.0;  ///< for unseen n-grams
   };

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <set>
 #include <stdexcept>
 
 #include "content/page_generator.hpp"
@@ -12,8 +14,11 @@ namespace torsim::content {
 void TopicClassifier::train(const std::vector<LabeledDoc>& docs) {
   if (docs.empty()) throw std::invalid_argument("TopicClassifier: no docs");
 
+  // Ordered maps at training time: the loops below iterate them, and
+  // iteration order must not depend on hash layout (the lookup-only
+  // word_log_prob_ tables stay hashed).
   std::vector<double> class_count(kNumTopics, 0.0);
-  std::vector<std::unordered_map<std::string, double>> word_count(kNumTopics);
+  std::vector<std::map<std::string, double>> word_count(kNumTopics);
   std::vector<double> total_words(kNumTopics, 0.0);
 
   for (const LabeledDoc& doc : docs) {
@@ -26,9 +31,9 @@ void TopicClassifier::train(const std::vector<LabeledDoc>& docs) {
   }
 
   // Shared vocabulary size for smoothing.
-  std::unordered_map<std::string, bool> vocab;
+  std::set<std::string> vocab;
   for (const auto& counts : word_count)
-    for (const auto& [w, c] : counts) vocab[w] = true;
+    for (const auto& [w, c] : counts) vocab.insert(w);
   const double v = static_cast<double>(vocab.size());
 
   class_log_prior_.assign(kNumTopics, 0.0);

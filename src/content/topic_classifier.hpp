@@ -45,6 +45,7 @@ class TopicClassifier {
 
  private:
   std::vector<double> class_log_prior_;                 // [topic]
+  /// Lookup-only (never iterated): hash map is safe and fast.
   std::vector<std::unordered_map<std::string, double>> word_log_prob_;
   std::vector<double> log_fallback_;                    // [topic]
 };

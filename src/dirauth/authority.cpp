@@ -1,7 +1,7 @@
 #include "dirauth/authority.hpp"
 
 #include <algorithm>
-#include <unordered_map>
+#include <map>
 
 #include "stats/descriptive.hpp"
 
@@ -31,8 +31,10 @@ FlagSet Authority::compute_flags(const relay::Relay& relay,
 
 Consensus Authority::build_consensus(const relay::Registry& registry,
                                      util::UnixTime now) const {
-  // Gather online relays grouped by IP.
-  std::unordered_map<net::Ipv4, std::vector<const relay::Relay*>> by_ip;
+  // Gather online relays grouped by IP. Ordered map: the group loop
+  // below emits consensus entries in iteration order, so hash order
+  // would leak straight into the consensus document.
+  std::map<net::Ipv4, std::vector<const relay::Relay*>> by_ip;
   std::vector<double> bandwidths;
   for (const relay::Relay& r : registry.all()) {
     if (!r.online() || !r.authority_reachable()) continue;

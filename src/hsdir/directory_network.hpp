@@ -3,7 +3,7 @@
 // simulator relay id. Publish/fetch route via the consensus ring.
 #pragma once
 
-#include <unordered_map>
+#include <map>
 
 #include "dirauth/consensus.hpp"
 #include "fault/injector.hpp"
@@ -80,16 +80,18 @@ class DirectoryNetwork {
   void clear_failure_log() { failure_log_.clear(); }
 
   /// Access to every store (harvester reads its own relays' stores).
-  const std::unordered_map<relay::RelayId, DescriptorStore>& stores() const {
+  /// Ordered by relay id: callers iterate this, and iteration order
+  /// must not depend on hash layout.
+  const std::map<relay::RelayId, DescriptorStore>& stores() const {
     return stores_;
   }
-  std::unordered_map<relay::RelayId, DescriptorStore>& stores() {
+  std::map<relay::RelayId, DescriptorStore>& stores() {
     return stores_;
   }
 
  private:
   DirectoryNetworkConfig config_;
-  std::unordered_map<relay::RelayId, DescriptorStore> stores_;
+  std::map<relay::RelayId, DescriptorStore> stores_;
   const fault::FaultInjector* injector_ = nullptr;
   fault::FailureLog failure_log_;
 };

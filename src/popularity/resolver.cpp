@@ -1,8 +1,8 @@
 #include "popularity/resolver.hpp"
 
 #include <algorithm>
+#include <map>
 #include <set>
-#include <unordered_map>
 
 #include "util/parallel.hpp"
 
@@ -73,7 +73,7 @@ ResolutionReport DescriptorResolver::resolve_internal(
   report.unique_descriptor_ids =
       static_cast<std::int64_t>(id_counts.size());
 
-  std::unordered_map<std::string, std::int64_t> onion_counts;
+  std::map<std::string, std::int64_t> onion_counts;
   for (const auto& [id, count] : id_counts) {
     const auto it = dictionary_.find(id);
     if (it == dictionary_.end()) continue;

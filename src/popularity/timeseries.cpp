@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "stats/descriptive.hpp"
+#include "util/ordered.hpp"
 
 namespace torsim::popularity {
 
@@ -33,7 +34,7 @@ TimeSeriesReport build_time_series(const RequestStream& stream,
     ++windows[static_cast<std::size_t>(index)];
   }
 
-  for (auto& [onion, windows] : buckets) {
+  for (auto& [onion, windows] : util::sorted_items(buckets)) {
     std::int64_t total = 0;
     for (std::int64_t c : windows) total += c;
     if (total < config.min_requests) continue;
@@ -47,9 +48,12 @@ TimeSeriesReport build_time_series(const RequestStream& stream,
                     : 0.0;
     report.series.push_back(std::move(series));
   }
+  // Tie-break equal rates by onion so the emitted order never depends
+  // on bucket iteration order.
   std::sort(report.series.begin(), report.series.end(),
             [](const RateSeries& a, const RateSeries& b) {
-              return a.mean_rate > b.mean_rate;
+              if (a.mean_rate != b.mean_rate) return a.mean_rate > b.mean_rate;
+              return a.onion < b.onion;
             });
   return report;
 }

@@ -267,7 +267,8 @@ Population Population::generate(const PopulationConfig& config) {
   // 3-character "sil" prefix (~2^15) to exercise the same key-grinding
   // machinery (documented substitution).
   {
-    const int phishing = std::max<std::int64_t>(1, std::llround(15 * s));
+    const int phishing = static_cast<int>(
+        std::max<std::int64_t>(1, std::llround(15 * s)));
     for (int i = 0; i < phishing; ++i) {
       crypto::KeyPair key = crypto::KeyPair::generate(rng);
       while (true) {

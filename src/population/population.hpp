@@ -112,6 +112,7 @@ class Population {
 
   PopulationConfig config_;
   std::vector<ServiceRecord> services_;
+  /// Lookup-only index (never iterated): hash map is safe and fast.
   std::unordered_map<std::string, std::size_t> by_onion_;
 };
 

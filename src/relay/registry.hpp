@@ -40,6 +40,7 @@ class Registry {
 
  private:
   std::deque<Relay> relays_;
+  /// Lookup-only index (never iterated): hash map is safe and fast.
   std::unordered_map<net::Ipv4, std::vector<RelayId>> by_address_;
 };
 

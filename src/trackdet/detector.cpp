@@ -27,11 +27,14 @@ TrackingReport TrackingDetector::analyze(
   report.snapshots = static_cast<std::int64_t>(history.snapshots.size());
   if (history.snapshots.empty()) return report;
 
-  std::unordered_map<std::uint32_t, ServerStats> stats;
+  // `stats` and `consecutive_run` are iterated below (rule application,
+  // run resets), so they are ordered; the remaining per-server tables
+  // are lookup-only and stay hashed.
+  std::map<std::uint32_t, ServerStats> stats;
   std::unordered_map<std::uint32_t, crypto::Fingerprint> last_fp;
   std::unordered_map<std::uint32_t, bool> switched_this_period;
   std::unordered_map<std::uint32_t, bool> seen_before;
-  std::unordered_map<std::uint32_t, std::int64_t> consecutive_run;
+  std::map<std::uint32_t, std::int64_t> consecutive_run;
   // Per-period responsibility membership, for clustering and the
   // full-takeover rule.
   struct PeriodResponsibility {
@@ -136,8 +139,10 @@ TrackingReport TrackingDetector::analyze(
             [](const SuspiciousServer& a, const SuspiciousServer& b) {
               if (a.flags.count() != b.flags.count())
                 return a.flags.count() > b.flags.count();
-              return a.stats.periods_responsible >
-                     b.stats.periods_responsible;
+              if (a.stats.periods_responsible != b.stats.periods_responsible)
+                return a.stats.periods_responsible >
+                       b.stats.periods_responsible;
+              return a.stats.server < b.stats.server;  // total order
             });
 
   // Cluster suspicious servers by shared name stems.
@@ -183,7 +188,9 @@ TrackingReport TrackingDetector::analyze(
     if (cluster.servers.size() >= 2) report.clusters.push_back(cluster);
   std::sort(report.clusters.begin(), report.clusters.end(),
             [](const CampaignCluster& a, const CampaignCluster& b) {
-              return a.periods_covered > b.periods_covered;
+              if (a.periods_covered != b.periods_covered)
+                return a.periods_covered > b.periods_covered;
+              return a.shared_prefix < b.shared_prefix;  // total order
             });
   return report;
 }

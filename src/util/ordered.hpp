@@ -1,0 +1,42 @@
+// Ordered views over unordered associative containers.
+//
+// Hash containers are fine for accumulation and lookup, but iterating
+// one leaks hash order into whatever consumes the loop — CSV rows,
+// report vectors, floating-point sums. When the accumulation path is
+// hot enough to justify a hash table, emit through one of these
+// helpers instead of iterating the container directly; `detlint`
+// (tools/detlint) flags direct iteration and recognises these as the
+// ordering step. See docs/static-analysis.md.
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace torsim::util {
+
+/// The container's keys, sorted ascending. One copy per key; use for
+/// maps whose values the caller wants to mutate or visit in place
+/// (`for (const auto& k : sorted_keys(m)) use(m.at(k));`).
+template <typename Map>
+std::vector<typename Map::key_type> sorted_keys(const Map& m) {
+  std::vector<typename Map::key_type> keys;
+  keys.reserve(m.size());
+  for (const auto& entry : m) keys.push_back(entry.first);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+/// (key, value) copies sorted by key ascending — the deterministic
+/// replacement for `for (auto& [k, v] : unordered)` on emission paths.
+template <typename Map>
+std::vector<std::pair<typename Map::key_type, typename Map::mapped_type>>
+sorted_items(const Map& m) {
+  std::vector<std::pair<typename Map::key_type, typename Map::mapped_type>>
+      items(m.begin(), m.end());
+  std::sort(items.begin(), items.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return items;
+}
+
+}  // namespace torsim::util

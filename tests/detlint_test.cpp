@@ -1,0 +1,296 @@
+// Self-tests for the detlint determinism linter: every check must fire
+// on a minimal trigger snippet AND on the checked-in fixture, and the
+// known-safe shapes (member .time(), rng.child(i), sorted_items) must
+// stay quiet. If a check silently stops firing, the lint gate becomes a
+// green light for nondeterminism — these tests are the lint's lint.
+#include "detlint/detlint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using detlint::Finding;
+using detlint::NameSets;
+
+std::vector<Finding> scan(const std::string& code,
+                          const std::string& path = "src/foo.cpp") {
+  NameSets names = detlint::collect_names(code);
+  return detlint::scan_file(path, code, names);
+}
+
+bool has_check(const std::vector<Finding>& findings,
+               const std::string& check, bool suppressed = false) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const Finding& f) {
+                       return f.check == check &&
+                              f.suppressed == suppressed;
+                     });
+}
+
+std::size_t count_check(const std::vector<Finding>& findings,
+                        const std::string& check) {
+  return static_cast<std::size_t>(
+      std::count_if(findings.begin(), findings.end(),
+                    [&](const Finding& f) { return f.check == check; }));
+}
+
+// --- banned-call ------------------------------------------------------
+
+TEST(DetlintBannedCall, FlagsLibcClockAndPrng) {
+  const auto f = scan("void g() { std::srand(1); int r = std::rand();\n"
+                      "  std::time_t t = std::time(nullptr); }\n");
+  EXPECT_EQ(count_check(f, "banned-call"), 3u);
+}
+
+TEST(DetlintBannedCall, FlagsChronoClocksAndRandomDevice) {
+  const auto f = scan(
+      "auto a = std::chrono::system_clock::now();\n"
+      "auto b = std::chrono::steady_clock::now();\n"
+      "auto c = std::chrono::high_resolution_clock::now();\n"
+      "std::random_device rd;\n");
+  EXPECT_EQ(count_check(f, "banned-call"), 4u);
+}
+
+TEST(DetlintBannedCall, FlagsGetenvAndUnqualifiedCalls) {
+  const auto f = scan("void g() { const char* h = getenv(\"HOME\");\n"
+                      "  long t = time(nullptr); }\n");
+  EXPECT_EQ(count_check(f, "banned-call"), 2u);
+}
+
+TEST(DetlintBannedCall, IgnoresMemberCallsAndDeclarations) {
+  const auto f = scan(
+      "struct S { long time() const; util::Clock& clock(); };\n"
+      "long use(const S& s, S* p) { return s.time() + p->time(); }\n"
+      "util::UnixTime time() const { return time_; }\n");
+  EXPECT_FALSE(has_check(f, "banned-call"));
+}
+
+TEST(DetlintBannedCall, IgnoresOtherNamespaces) {
+  const auto f = scan("long g() { return sim::time(w) + my::rand(); }\n");
+  EXPECT_FALSE(has_check(f, "banned-call"));
+}
+
+TEST(DetlintBannedCall, IgnoresStringsAndComments) {
+  const auto f = scan(
+      "// calling std::rand() here would be bad\n"
+      "/* std::time(nullptr) too */\n"
+      "const char* msg = \"do not use rand() or time(0)\";\n");
+  EXPECT_TRUE(f.empty());
+}
+
+TEST(DetlintBannedCall, RandomDeviceAllowedOnlyInRngImpl) {
+  const std::string code = "std::random_device rd;\n";
+  EXPECT_TRUE(has_check(scan(code, "src/scan/scanner.cpp"), "banned-call"));
+  EXPECT_FALSE(has_check(scan(code, "src/util/rng.cpp"), "banned-call"));
+}
+
+// --- unordered-iter ---------------------------------------------------
+
+TEST(DetlintUnorderedIter, FlagsRangeForOverUnorderedMap) {
+  const auto f = scan(
+      "std::unordered_map<std::string, int> tally;\n"
+      "void g() { for (const auto& [k, v] : tally) { use(k, v); } }\n");
+  EXPECT_TRUE(has_check(f, "unordered-iter"));
+}
+
+TEST(DetlintUnorderedIter, FlagsBeginWalk) {
+  const auto f = scan("std::unordered_set<int> ids;\n"
+                      "auto it = ids.begin();\n");
+  EXPECT_TRUE(has_check(f, "unordered-iter"));
+}
+
+TEST(DetlintUnorderedIter, RecognisesHeaderDeclUsedInCpp) {
+  // Two-pass name collection: the header declares, the .cpp iterates.
+  const std::string header =
+      "struct Index { std::unordered_map<int, int> by_id_; };\n";
+  const std::string cpp =
+      "void Index::dump() { for (auto& [k, v] : by_id_) emit(k, v); }\n";
+  NameSets names = detlint::collect_names(header);
+  detlint::merge_names(names, detlint::collect_names(cpp));
+  const auto f = detlint::scan_file("src/index.cpp", cpp, names);
+  EXPECT_TRUE(has_check(f, "unordered-iter"));
+}
+
+TEST(DetlintUnorderedIter, SortedItemsIsTheBlessedPath) {
+  const auto f = scan(
+      "std::unordered_map<std::string, int> buckets;\n"
+      "void g() { for (auto& [k, v] : util::sorted_items(buckets)) emit(k); }\n");
+  EXPECT_FALSE(has_check(f, "unordered-iter"));
+}
+
+TEST(DetlintUnorderedIter, OrderedMapIsFine) {
+  const auto f = scan("std::map<std::string, int> tally;\n"
+                      "void g() { for (auto& [k, v] : tally) emit(k); }\n");
+  EXPECT_FALSE(has_check(f, "unordered-iter"));
+}
+
+TEST(DetlintUnorderedIter, CollectsNestedDeclarations) {
+  // vector<unordered_map<...>> — the declared name is still collected.
+  const NameSets names = detlint::collect_names(
+      "std::vector<std::unordered_map<std::string, double>> word_count;\n");
+  EXPECT_EQ(names.unordered.count("word_count"), 1u);
+}
+
+// --- pointer-key ------------------------------------------------------
+
+TEST(DetlintPointerKey, FlagsPointerKeyedContainers) {
+  EXPECT_TRUE(has_check(scan("std::map<Widget*, int> by_ptr;\n"),
+                        "pointer-key"));
+  EXPECT_TRUE(has_check(scan("std::set<const Node*> seen;\n"),
+                        "pointer-key"));
+  EXPECT_TRUE(has_check(scan("std::less<Relay*> cmp;\n"), "pointer-key"));
+}
+
+TEST(DetlintPointerKey, ValueKeysAreFine) {
+  const auto f = scan("std::map<std::string, Widget*> by_name;\n"
+                      "std::set<std::uint32_t> ids;\n");
+  EXPECT_FALSE(has_check(f, "pointer-key"));
+}
+
+// --- float-accum / rng-parallel --------------------------------------
+
+TEST(DetlintParallel, FlagsFloatAccumulationInParallelRegion) {
+  const auto f = scan(
+      "void g(double total) {\n"
+      "  util::parallel_for(0, n, threads, [&](std::size_t i) {\n"
+      "    total += weight(i);\n"
+      "  });\n"
+      "}\n");
+  EXPECT_TRUE(has_check(f, "float-accum"));
+}
+
+TEST(DetlintParallel, FloatAccumOutsideRegionIsFine) {
+  const auto f = scan("void g(double total) { total += 1.0; }\n");
+  EXPECT_FALSE(has_check(f, "float-accum"));
+}
+
+TEST(DetlintParallel, FlagsSharedRngUse) {
+  const auto f = scan(
+      "void g(util::Rng& rng) {\n"
+      "  util::parallel_for(0, n, threads, [&](std::size_t i) {\n"
+      "    double u = rng.uniform();\n"
+      "    use(u);\n"
+      "  });\n"
+      "}\n");
+  EXPECT_TRUE(has_check(f, "rng-parallel"));
+}
+
+TEST(DetlintParallel, ChildDerivationIsTheBlessedPath) {
+  const auto f = scan(
+      "void g(util::Rng& rng) {\n"
+      "  util::parallel_for(0, n, threads, [&](std::size_t i) {\n"
+      "    util::Rng local = rng.child(i);\n"
+      "    use(local);\n"
+      "  });\n"
+      "}\n");
+  EXPECT_FALSE(has_check(f, "rng-parallel"));
+}
+
+// --- suppressions -----------------------------------------------------
+
+TEST(DetlintSuppress, InlineSameLine) {
+  const auto f = scan(
+      "int r = std::rand();  // detlint-allow(banned-call) seeding demo\n");
+  EXPECT_TRUE(has_check(f, "banned-call", /*suppressed=*/true));
+  EXPECT_FALSE(has_check(f, "banned-call", /*suppressed=*/false));
+}
+
+TEST(DetlintSuppress, InlineNextLine) {
+  const auto f = scan(
+      "// detlint-allow-next-line(banned-call) seeding demo\n"
+      "int r = std::rand();\n");
+  EXPECT_TRUE(has_check(f, "banned-call", /*suppressed=*/true));
+  EXPECT_FALSE(has_check(f, "banned-call", /*suppressed=*/false));
+}
+
+TEST(DetlintSuppress, AnnotationForWrongCheckDoesNotSuppress) {
+  const auto f = scan(
+      "int r = std::rand();  // detlint-allow(pointer-key) wrong check\n");
+  EXPECT_TRUE(has_check(f, "banned-call", /*suppressed=*/false));
+}
+
+TEST(DetlintSuppress, FileBasedSuppression) {
+  auto findings = scan("int r = std::rand();\n", "src/legacy/old.cpp");
+  const auto sups = detlint::parse_suppressions(
+      "# comment line\n"
+      "\n"
+      "src/legacy banned-call migrating off libc PRNG\n");
+  ASSERT_EQ(sups.size(), 1u);
+  EXPECT_EQ(sups[0].path_substring, "src/legacy");
+  EXPECT_EQ(sups[0].check, "banned-call");
+  EXPECT_EQ(sups[0].reason, "migrating off libc PRNG");
+  detlint::apply_suppressions(findings, sups);
+  EXPECT_TRUE(has_check(findings, "banned-call", /*suppressed=*/true));
+  EXPECT_FALSE(has_check(findings, "banned-call", /*suppressed=*/false));
+}
+
+TEST(DetlintSuppress, PathMismatchDoesNotSuppress) {
+  auto findings = scan("int r = std::rand();\n", "src/scan/scanner.cpp");
+  const auto sups = detlint::parse_suppressions(
+      "src/legacy banned-call migrating\n");
+  detlint::apply_suppressions(findings, sups);
+  EXPECT_TRUE(has_check(findings, "banned-call", /*suppressed=*/false));
+}
+
+// --- stripping --------------------------------------------------------
+
+TEST(DetlintStrip, PreservesLineStructure) {
+  const std::string code = "int a; // rand()\n/* time(\n0) */ int b;\n";
+  const std::string stripped = detlint::strip_comments_and_strings(code);
+  EXPECT_EQ(std::count(code.begin(), code.end(), '\n'),
+            std::count(stripped.begin(), stripped.end(), '\n'));
+  EXPECT_EQ(stripped.find("rand"), std::string::npos);
+  EXPECT_EQ(stripped.find("time"), std::string::npos);
+  EXPECT_NE(stripped.find("int a;"), std::string::npos);
+  EXPECT_NE(stripped.find("int b;"), std::string::npos);
+}
+
+TEST(DetlintStrip, HandlesEscapesAndRawStrings) {
+  const std::string code =
+      "const char* a = \"quote \\\" rand()\";\n"
+      "const char* b = R\"(time(nullptr))\";\n"
+      "char c = '\\'';\n"
+      "int after = 1;\n";
+  const std::string stripped = detlint::strip_comments_and_strings(code);
+  EXPECT_EQ(stripped.find("rand"), std::string::npos);
+  EXPECT_EQ(stripped.find("time"), std::string::npos);
+  EXPECT_NE(stripped.find("int after = 1;"), std::string::npos);
+}
+
+// --- the checked-in fixture ------------------------------------------
+
+TEST(DetlintFixture, EveryCheckFiresOnBadPatterns) {
+  const std::string path =
+      std::string(DETLINT_TESTDATA_DIR) + "/bad_patterns.cpp";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing fixture: " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string content = ss.str();
+
+  const NameSets names = detlint::collect_names(content);
+  const auto findings = detlint::scan_file(path, content, names);
+
+  for (const std::string check :
+       {"banned-call", "unordered-iter", "pointer-key", "float-accum",
+        "rng-parallel"}) {
+    EXPECT_TRUE(has_check(findings, check))
+        << "fixture did not trigger " << check;
+  }
+  // The fixture's two annotated banned-call lines must be suppressed...
+  EXPECT_TRUE(has_check(findings, "banned-call", /*suppressed=*/true));
+  // ...and the member call h.time() / rng.child(i) must not appear at
+  // all: exactly the expected finding counts, nothing extra.
+  EXPECT_EQ(count_check(findings, "rng-parallel"), 1u);
+  EXPECT_EQ(count_check(findings, "float-accum"), 1u);
+  EXPECT_EQ(count_check(findings, "pointer-key"), 1u);
+}
+
+}  // namespace

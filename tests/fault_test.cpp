@@ -168,9 +168,10 @@ TEST(FaultInjectorTest, RaisingRatesOnlyGrowsTheFaultedSet) {
   fault::FaultInjector a{low};
   fault::FaultInjector b{high};
   for (std::uint64_t key = 0; key < 2000; ++key) {
-    if (a.connect_fault(key, 80, 1) != fault::ConnectFault::kNone)
+    if (a.connect_fault(key, 80, 1) != fault::ConnectFault::kNone) {
       EXPECT_NE(b.connect_fault(key, 80, 1), fault::ConnectFault::kNone)
           << key;
+    }
   }
 }
 

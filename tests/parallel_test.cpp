@@ -116,6 +116,47 @@ TEST(ParallelMapTest, PropertyRandomWorkloadsMatchSerial) {
   }
 }
 
+TEST(RngChildTest, DistinctIndicesYieldDistinctStreams) {
+  // The whole per-task determinism scheme rests on child(i) != child(j)
+  // for i != j: if two indices ever collided, two parallel tasks would
+  // silently share a stream and their draws would correlate. Compare
+  // stream prefixes pairwise over a spread of labels (dense low indices
+  // plus far-apart large ones).
+  Rng base(20140623);
+  std::vector<std::uint64_t> labels;
+  for (std::uint64_t i = 0; i < 64; ++i) labels.push_back(i);
+  for (std::uint64_t i = 0; i < 8; ++i)
+    labels.push_back((i + 1) * 0x9e3779b97f4a7c15ULL);
+
+  constexpr int kPrefix = 8;
+  std::vector<std::vector<std::uint64_t>> prefixes;
+  prefixes.reserve(labels.size());
+  for (std::uint64_t label : labels) {
+    Rng child = base.child(label);
+    std::vector<std::uint64_t> p(kPrefix);
+    for (auto& v : p) v = child.next();
+    prefixes.push_back(std::move(p));
+  }
+  for (std::size_t a = 0; a < prefixes.size(); ++a) {
+    for (std::size_t b = a + 1; b < prefixes.size(); ++b) {
+      EXPECT_NE(prefixes[a], prefixes[b])
+          << "labels " << labels[a] << " and " << labels[b]
+          << " derived identical streams";
+    }
+  }
+}
+
+TEST(RngChildTest, DerivationIsPureAndOrderIndependent) {
+  // child() must not perturb the parent and must not depend on how many
+  // siblings were derived before it.
+  Rng a(777);
+  Rng b(777);
+  const std::uint64_t direct = a.child(5).next();
+  for (std::uint64_t i = 0; i < 5; ++i) (void)b.child(i);
+  EXPECT_EQ(b.child(5).next(), direct);
+  EXPECT_EQ(a.next(), b.next()) << "child() advanced the parent state";
+}
+
 TEST(ParallelForTest, ThreadsBeyondPoolSizeClamped) {
   // More threads than the pool owns must still complete every index.
   const std::size_t n = 4 * kMinParallelGrain;

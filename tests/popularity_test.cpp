@@ -197,10 +197,10 @@ TEST(ResolverTest, RequestCountsApproximateTable2) {
   const auto& report = resolved().report;
   for (const auto& row : report.ranking) {
     if (row.paper_rank == 1) {
-      EXPECT_NEAR(row.requests, 13714.0, 700.0);
+      EXPECT_NEAR(static_cast<double>(row.requests), 13714.0, 700.0);
     }
     if (row.paper_rank == 18) {
-      EXPECT_NEAR(row.requests, 1175.0, 200.0);
+      EXPECT_NEAR(static_cast<double>(row.requests), 1175.0, 200.0);
     }
   }
 }
@@ -327,6 +327,34 @@ TEST(TimeSeriesTest, MinRequestFilterApplies) {
     for (const auto c : series.per_window) total += c;
     EXPECT_GE(total, 500);
   }
+}
+
+TEST(TimeSeriesTest, OrderingIsTotalAndStableAcrossRuns) {
+  // Regression for a latent order dependence: series used to be sorted
+  // by mean_rate alone, so equal-rate services appeared in hash order of
+  // the bucket map. The sort now tie-breaks on the onion address; the
+  // report order must be a total order with no hash-order residue.
+  const TimeSeriesConfig config{.windows = 4, .min_requests = 1};
+  const auto report =
+      build_time_series(test_stream(), resolved().resolver, config);
+  ASSERT_GT(report.series.size(), 1u);
+  for (std::size_t i = 1; i < report.series.size(); ++i) {
+    const auto& prev = report.series[i - 1];
+    const auto& cur = report.series[i];
+    const bool ordered =
+        prev.mean_rate > cur.mean_rate ||
+        (prev.mean_rate == cur.mean_rate && prev.onion < cur.onion);
+    EXPECT_TRUE(ordered) << "series[" << i - 1 << "]=" << prev.onion
+                         << " rate " << prev.mean_rate << " vs series["
+                         << i << "]=" << cur.onion << " rate "
+                         << cur.mean_rate;
+  }
+  // And the full ordering replays identically.
+  const auto again =
+      build_time_series(test_stream(), resolved().resolver, config);
+  ASSERT_EQ(again.series.size(), report.series.size());
+  for (std::size_t i = 0; i < report.series.size(); ++i)
+    EXPECT_EQ(again.series[i].onion, report.series[i].onion);
 }
 
 TEST(TimeSeriesTest, EmptyStream) {

@@ -172,9 +172,10 @@ TEST_P(WorldInvariantTest, ConsensusInvariantsHoldEveryHour) {
       ASSERT_TRUE(relay.online());
       ASSERT_TRUE(relay.authority_reachable());
       // HSDir implies >= 25 h continuous uptime.
-      if (has_flag(e.flags, dirauth::Flag::kHSDir))
+      if (has_flag(e.flags, dirauth::Flag::kHSDir)) {
         ASSERT_GE(relay.continuous_uptime(world.now()),
                   25 * util::kSecondsPerHour);
+      }
       // Fingerprint in the consensus is the relay's current identity.
       ASSERT_EQ(e.fingerprint, relay.fingerprint());
     }

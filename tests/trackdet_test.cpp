@@ -233,6 +233,49 @@ TEST(TrackingDetectorTest, DetectsInjectedCampaign) {
   EXPECT_TRUE(cluster_found);
 }
 
+TEST(TrackingDetectorTest, SuspiciousOrderIsTotalAndReplayable) {
+  // Regression for a latent order dependence: the suspicious list used
+  // to tie-break in per-server hash-map order. The comparator now ends
+  // in the server id, so the report order is a total order — equal
+  // (flag-count, periods-responsible) entries must come out in
+  // ascending server order, and two analyze() calls must agree exactly.
+  HistoryConfig config;
+  config.seed = 7;
+  config.start = util::make_utc(2013, 1, 1);
+  config.end = util::make_utc(2013, 12, 31);
+  CampaignSpec spec;
+  spec.name = "trawler";
+  spec.from = util::make_utc(2013, 5, 21);
+  spec.to = util::make_utc(2013, 6, 4);
+  spec.servers = 4;
+  spec.ring_fraction = 1e-8;
+  spec.skip_probability = 4.0 / 14.0;
+  const auto history =
+      HistorySimulator(config).simulate(test_target(), {spec});
+
+  TrackingDetector detector;
+  const auto report = detector.analyze(history, test_target());
+  ASSERT_GT(report.suspicious.size(), 1u);
+  for (std::size_t i = 1; i < report.suspicious.size(); ++i) {
+    const auto& prev = report.suspicious[i - 1];
+    const auto& cur = report.suspicious[i];
+    if (prev.flags.count() == cur.flags.count() &&
+        prev.stats.periods_responsible == cur.stats.periods_responsible) {
+      EXPECT_LT(prev.stats.server, cur.stats.server)
+          << "tied entries not in server-id order at index " << i;
+    }
+  }
+  const auto again = detector.analyze(history, test_target());
+  ASSERT_EQ(again.suspicious.size(), report.suspicious.size());
+  for (std::size_t i = 0; i < report.suspicious.size(); ++i)
+    EXPECT_EQ(again.suspicious[i].stats.server,
+              report.suspicious[i].stats.server);
+  ASSERT_EQ(again.clusters.size(), report.clusters.size());
+  for (std::size_t i = 0; i < report.clusters.size(); ++i)
+    EXPECT_EQ(again.clusters[i].shared_prefix,
+              report.clusters[i].shared_prefix);
+}
+
 TEST(TrackingDetectorTest, DetectsFullTakeover) {
   HistoryConfig config;
   config.seed = 8;

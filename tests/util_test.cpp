@@ -441,6 +441,31 @@ TEST(CsvTest, EscapeRules) {
   EXPECT_EQ(csv_escape(""), "");
 }
 
+TEST(CsvTest, EscapeCarriageReturnAndEdgeCases) {
+  // \r alone must force quoting (RFC 4180 treats CRLF as the record
+  // separator, so a bare CR in a field corrupts row framing).
+  EXPECT_EQ(csv_escape("dos\r\nline"), "\"dos\r\nline\"");
+  EXPECT_EQ(csv_escape("bare\rcr"), "\"bare\rcr\"");
+  // Quotes double even when the field also needs wrapping for commas.
+  EXPECT_EQ(csv_escape("a\"b,c\"d"), "\"a\"\"b,c\"\"d\"");
+  // A field that is only a quote.
+  EXPECT_EQ(csv_escape("\""), "\"\"\"\"");
+  // Leading/trailing spaces are preserved verbatim, not quoted.
+  EXPECT_EQ(csv_escape("  padded  "), "  padded  ");
+}
+
+TEST(CsvTest, WriterRoundTripsNastyFields) {
+  const std::string path = "/tmp/torsim_csv_nasty_test.csv";
+  {
+    CsvWriter csv(path);
+    csv.row({"onion,with,commas", "say \"hi\"", "line\nbreak", "cr\rhere"});
+  }
+  EXPECT_EQ(read_file(path),
+            "\"onion,with,commas\",\"say \"\"hi\"\"\","
+            "\"line\nbreak\",\"cr\rhere\"\n");
+  std::remove(path.c_str());
+}
+
 TEST(CsvTest, WritesRows) {
   const std::string path = "/tmp/torsim_csv_test.csv";
   {

@@ -1,0 +1,590 @@
+#include "detlint/detlint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <sstream>
+
+namespace detlint {
+namespace {
+
+bool is_ident(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when content[pos..pos+token.size()) is `token` as a whole word.
+bool word_at(const std::string& s, std::size_t pos,
+             const std::string& token) {
+  if (pos + token.size() > s.size()) return false;
+  if (s.compare(pos, token.size(), token) != 0) return false;
+  if (pos > 0 && is_ident(s[pos - 1])) return false;
+  const std::size_t end = pos + token.size();
+  if (end < s.size() && is_ident(s[end])) return false;
+  return true;
+}
+
+std::size_t find_word(const std::string& s, const std::string& token,
+                      std::size_t from) {
+  for (std::size_t pos = s.find(token, from); pos != std::string::npos;
+       pos = s.find(token, pos + 1)) {
+    if (word_at(s, pos, token)) return pos;
+  }
+  return std::string::npos;
+}
+
+std::size_t skip_spaces(const std::string& s, std::size_t pos) {
+  while (pos < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[pos])) != 0)
+    ++pos;
+  return pos;
+}
+
+std::size_t prev_non_space(const std::string& s, std::size_t pos) {
+  while (pos > 0) {
+    --pos;
+    if (std::isspace(static_cast<unsigned char>(s[pos])) == 0) return pos;
+  }
+  return std::string::npos;
+}
+
+std::string read_ident(const std::string& s, std::size_t pos) {
+  std::size_t end = pos;
+  while (end < s.size() && is_ident(s[end])) ++end;
+  return s.substr(pos, end - pos);
+}
+
+/// Position just past the matching closer for the opener at `open`
+/// (content[open] must be the opener), or npos when unbalanced.
+std::size_t match_forward(const std::string& s, std::size_t open,
+                          char opener, char closer) {
+  int depth = 0;
+  for (std::size_t i = open; i < s.size(); ++i) {
+    if (s[i] == opener) ++depth;
+    else if (s[i] == closer) {
+      --depth;
+      if (depth == 0) return i + 1;
+    }
+  }
+  return std::string::npos;
+}
+
+int line_of(const std::vector<std::size_t>& line_starts, std::size_t pos) {
+  const auto it = std::upper_bound(line_starts.begin(), line_starts.end(),
+                                   pos);
+  return static_cast<int>(it - line_starts.begin());
+}
+
+std::vector<std::size_t> index_lines(const std::string& s) {
+  std::vector<std::size_t> starts{0};
+  for (std::size_t i = 0; i < s.size(); ++i)
+    if (s[i] == '\n') starts.push_back(i + 1);
+  return starts;
+}
+
+/// Extracts every identifier token from `expr`.
+std::vector<std::string> identifiers_in(const std::string& expr) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < expr.size()) {
+    if (is_ident(expr[i]) &&
+        std::isdigit(static_cast<unsigned char>(expr[i])) == 0 &&
+        (i == 0 || !is_ident(expr[i - 1]))) {
+      out.push_back(read_ident(expr, i));
+      i += out.back().size();
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+/// Inline annotations parsed from the ORIGINAL text: which checks each
+/// line allows, and which it allows on the following line.
+struct Annotations {
+  std::vector<std::set<std::string>> same_line;  // index = line - 1
+  std::vector<std::set<std::string>> next_line;
+};
+
+std::set<std::string> parse_allow_list(const std::string& line,
+                                       std::size_t paren) {
+  std::set<std::string> checks;
+  const std::size_t close = line.find(')', paren);
+  if (close == std::string::npos) return checks;
+  std::string inside = line.substr(paren + 1, close - paren - 1);
+  std::stringstream ss(inside);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const std::size_t b = item.find_first_not_of(" \t");
+    const std::size_t e = item.find_last_not_of(" \t");
+    if (b != std::string::npos) checks.insert(item.substr(b, e - b + 1));
+  }
+  return checks;
+}
+
+Annotations parse_annotations(const std::string& content) {
+  Annotations ann;
+  std::stringstream ss(content);
+  std::string line;
+  while (std::getline(ss, line)) {
+    std::set<std::string> same;
+    std::set<std::string> next;
+    const std::string next_marker = "detlint-allow-next-line(";
+    const std::string same_marker = "detlint-allow(";
+    if (const auto pos = line.find(next_marker); pos != std::string::npos)
+      next = parse_allow_list(line, pos + next_marker.size() - 1);
+    else if (const auto p2 = line.find(same_marker); p2 != std::string::npos)
+      same = parse_allow_list(line, p2 + same_marker.size() - 1);
+    ann.same_line.push_back(std::move(same));
+    ann.next_line.push_back(std::move(next));
+  }
+  return ann;
+}
+
+// ---------------------------------------------------------------------
+// Individual checks. Each pushes findings; suppression happens later.
+// ---------------------------------------------------------------------
+
+void check_banned_calls(const std::string& path, const std::string& code,
+                        const std::vector<std::size_t>& lines,
+                        std::vector<Finding>& out) {
+  // Type-like names: any appearance is a hazard.
+  static const std::vector<std::string> kBannedTypes = {
+      "system_clock", "steady_clock", "high_resolution_clock",
+      "random_device"};
+  const bool rng_impl = path.find("util/rng") != std::string::npos;
+  for (const auto& token : kBannedTypes) {
+    if (token == "random_device" && rng_impl) continue;
+    for (std::size_t pos = find_word(code, token, 0);
+         pos != std::string::npos; pos = find_word(code, token, pos + 1)) {
+      out.push_back({path, line_of(lines, pos), "banned-call",
+                     token + " introduces ambient nondeterminism; derive "
+                     "everything from the scenario seed (util::Rng) or "
+                     "sim time (util::Clock)",
+                     false, ""});
+    }
+  }
+
+  // Function-like names: flagged only in call position, skipping member
+  // calls (obj.time()) and non-std qualifications.
+  static const std::vector<std::string> kBannedCalls = {
+      "rand",  "srand",  "time",    "clock",  "getenv",
+      "gmtime", "localtime", "mktime", "drand48", "rand_r"};
+  for (const auto& token : kBannedCalls) {
+    for (std::size_t pos = find_word(code, token, 0);
+         pos != std::string::npos; pos = find_word(code, token, pos + 1)) {
+      const std::size_t after = skip_spaces(code, pos + token.size());
+      if (after >= code.size() || code[after] != '(') continue;
+      const std::size_t prev = prev_non_space(code, pos);
+      if (prev != std::string::npos) {
+        const char c = code[prev];
+        // Member call (a.time(), p->clock()), declaration return type
+        // (UnixTime time(), util::Clock& clock()), or pointer/ref.
+        if (c == '.' || c == '>' || is_ident(c) || c == '&' || c == '*')
+          continue;
+        if (c == ':') {
+          // Qualified: only std::X is the banned C/chrono entity.
+          const bool is_std = prev >= 4 &&
+                              code.compare(prev - 4, 5, "std::") == 0;
+          if (!is_std) continue;
+        }
+      }
+      out.push_back({path, line_of(lines, pos), "banned-call",
+                     token + "() reads ambient state (wall clock, libc "
+                     "PRNG, environment); use util::Rng / util::Clock "
+                     "seeded by the scenario",
+                     false, ""});
+    }
+  }
+}
+
+void check_unordered_iteration(const std::string& path,
+                               const std::string& code,
+                               const std::vector<std::size_t>& lines,
+                               const NameSets& names,
+                               std::vector<Finding>& out) {
+  if (names.unordered.empty()) return;
+  // Range-for whose range expression references an unordered container
+  // without going through util::sorted_keys / util::sorted_items.
+  for (std::size_t pos = find_word(code, "for", 0); pos != std::string::npos;
+       pos = find_word(code, "for", pos + 1)) {
+    const std::size_t open = skip_spaces(code, pos + 3);
+    if (open >= code.size() || code[open] != '(') continue;
+    const std::size_t close = match_forward(code, open, '(', ')');
+    if (close == std::string::npos) continue;
+    // The range-for colon: depth 1, not part of '::'.
+    int depth = 0;
+    std::size_t colon = std::string::npos;
+    for (std::size_t i = open; i < close; ++i) {
+      if (code[i] == '(') ++depth;
+      else if (code[i] == ')') --depth;
+      else if (code[i] == ':' && depth == 1) {
+        if ((i > 0 && code[i - 1] == ':') ||
+            (i + 1 < code.size() && code[i + 1] == ':')) {
+          continue;
+        }
+        colon = i;
+        break;
+      }
+    }
+    if (colon == std::string::npos) continue;
+    const std::string expr = code.substr(colon + 1, close - 1 - colon - 1);
+    if (expr.find("sorted_keys") != std::string::npos ||
+        expr.find("sorted_items") != std::string::npos)
+      continue;
+    for (const auto& ident : identifiers_in(expr)) {
+      if (names.unordered.count(ident) != 0) {
+        out.push_back({path, line_of(lines, pos), "unordered-iter",
+                       "range-for over unordered container '" + ident +
+                       "' leaks hash-iteration order; iterate an ordered "
+                       "container or emit via util::sorted_items/"
+                       "sorted_keys",
+                       false, ""});
+        break;
+      }
+    }
+  }
+  // Explicit iterator walks: X.begin() / X.cbegin() / X.rbegin().
+  static const std::vector<std::string> kBegins = {".begin", ".cbegin",
+                                                   ".rbegin"};
+  for (const auto& name : names.unordered) {
+    for (std::size_t pos = find_word(code, name, 0);
+         pos != std::string::npos; pos = find_word(code, name, pos + 1)) {
+      for (const auto& b : kBegins) {
+        if (code.compare(pos + name.size(), b.size(), b) == 0 &&
+            pos + name.size() + b.size() < code.size() &&
+            code[pos + name.size() + b.size()] == '(') {
+          out.push_back({path, line_of(lines, pos), "unordered-iter",
+                         "iterator walk over unordered container '" + name +
+                         "' leaks hash-iteration order",
+                         false, ""});
+        }
+      }
+    }
+  }
+}
+
+void check_pointer_keys(const std::string& path, const std::string& code,
+                        const std::vector<std::size_t>& lines,
+                        std::vector<Finding>& out) {
+  static const std::vector<std::string> kContainers = {
+      "map", "set", "multimap", "multiset", "unordered_map",
+      "unordered_set", "less"};
+  for (const auto& token : kContainers) {
+    for (std::size_t pos = find_word(code, token, 0);
+         pos != std::string::npos; pos = find_word(code, token, pos + 1)) {
+      const std::size_t open = pos + token.size();
+      if (open >= code.size() || code[open] != '<') continue;
+      // First template argument: up to ',' or the matching '>' at depth 1.
+      int depth = 1;
+      std::size_t end = std::string::npos;
+      for (std::size_t i = open + 1; i < code.size(); ++i) {
+        const char c = code[i];
+        if (c == '<') ++depth;
+        else if (c == '>') {
+          --depth;
+          if (depth == 0) { end = i; break; }
+        } else if (c == ',' && depth == 1) {
+          end = i;
+          break;
+        }
+      }
+      if (end == std::string::npos) continue;
+      std::string arg = code.substr(open + 1, end - open - 1);
+      while (!arg.empty() &&
+             std::isspace(static_cast<unsigned char>(arg.back())) != 0)
+        arg.pop_back();
+      if (!arg.empty() && arg.back() == '*') {
+        out.push_back({path, line_of(lines, pos), "pointer-key",
+                       "container keyed / ordered on a pointer type ('" +
+                       arg + "'): pointer order is allocation order, not "
+                       "a stable ordering — key on a value id instead",
+                       false, ""});
+      }
+    }
+  }
+}
+
+void check_parallel_regions(const std::string& path, const std::string& code,
+                            const std::vector<std::size_t>& lines,
+                            const NameSets& names,
+                            std::vector<Finding>& out) {
+  static const std::vector<std::string> kEntries = {"parallel_for",
+                                                    "parallel_map"};
+  for (const auto& entry : kEntries) {
+    for (std::size_t pos = find_word(code, entry, 0);
+         pos != std::string::npos; pos = find_word(code, entry, pos + 1)) {
+      const std::size_t open = skip_spaces(code, pos + entry.size());
+      if (open >= code.size() || code[open] != '(') continue;
+      const std::size_t close = match_forward(code, open, '(', ')');
+      if (close == std::string::npos) continue;
+      const std::string region = code.substr(open, close - open);
+      const std::size_t base = open;
+
+      // Shared-RNG use: only per-index child derivation is allowed.
+      for (const auto& rng : names.rngs) {
+        for (std::size_t r = find_word(region, rng, 0);
+             r != std::string::npos;
+             r = find_word(region, rng, r + 1)) {
+          const std::size_t dot = r + rng.size();
+          if (dot >= region.size() || region[dot] != '.') continue;
+          const std::string method = read_ident(region, dot + 1);
+          if (method.empty() || method == "child") continue;
+          const std::size_t call = skip_spaces(region, dot + 1 +
+                                               method.size());
+          if (call >= region.size() || region[call] != '(') continue;
+          out.push_back({path, line_of(lines, base + r), "rng-parallel",
+                         "'" + rng + "." + method + "(...)' inside a "
+                         "parallel region shares a mutable generator "
+                         "across tasks; derive a per-index stream with '" +
+                         rng + ".child(index)' (see docs/concurrency.md)",
+                         false, ""});
+        }
+      }
+
+      // Floating-point accumulation commits in scheduling order.
+      for (const auto& f : names.floats) {
+        for (std::size_t r = find_word(region, f, 0);
+             r != std::string::npos; r = find_word(region, f, r + 1)) {
+          const std::size_t op = skip_spaces(region, r + f.size());
+          if (op + 1 < region.size() &&
+              (region[op] == '+' || region[op] == '-') &&
+              region[op + 1] == '=') {
+            out.push_back({path, line_of(lines, base + r), "float-accum",
+                           "accumulating into float/double '" + f +
+                           "' inside a parallel region is ordered by the "
+                           "scheduler; fill per-index slots (parallel_map) "
+                           "and reduce serially",
+                           false, ""});
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::string strip_comments_and_strings(const std::string& content) {
+  std::string out = content;
+  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
+  State state = State::kCode;
+  std::string raw_delim;
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlock;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || !is_ident(content[i - 1]))) {
+          // Raw string literal: R"delim( ... )delim".
+          std::size_t p = i + 2;
+          raw_delim.clear();
+          while (p < content.size() && content[p] != '(')
+            raw_delim.push_back(content[p++]);
+          state = State::kRaw;
+          for (std::size_t k = i; k <= p && k < content.size(); ++k)
+            out[k] = ' ';
+          i = p;
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLine:
+        if (c == '\n') state = State::kCode;
+        else out[i] = ' ';
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kRaw: {
+        const std::string closer = ")" + raw_delim + "\"";
+        if (c == ')' && content.compare(i, closer.size(), closer) == 0) {
+          for (std::size_t k = i; k < i + closer.size(); ++k) out[k] = ' ';
+          i += closer.size() - 1;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+NameSets collect_names(const std::string& content) {
+  const std::string code = strip_comments_and_strings(content);
+  NameSets names;
+
+  // Variables/members declared as unordered containers, including when
+  // nested inside another template (std::vector<std::unordered_map<..>>).
+  static const std::vector<std::string> kUnordered = {"unordered_map",
+                                                      "unordered_set"};
+  for (const auto& token : kUnordered) {
+    for (std::size_t pos = find_word(code, token, 0);
+         pos != std::string::npos; pos = find_word(code, token, pos + 1)) {
+      std::size_t i = pos + token.size();
+      if (i >= code.size() || code[i] != '<') continue;
+      int depth = 0;
+      for (; i < code.size(); ++i) {
+        if (code[i] == '<') ++depth;
+        else if (code[i] == '>') {
+          --depth;
+          if (depth == 0) { ++i; break; }
+        }
+      }
+      // Skip enclosing-template closers, refs, and cv noise before the
+      // declared name.
+      while (i < code.size() &&
+             (std::isspace(static_cast<unsigned char>(code[i])) != 0 ||
+              code[i] == '>' || code[i] == '&' || code[i] == '*'))
+        ++i;
+      if (i < code.size() && word_at(code, i, "const"))
+        i = skip_spaces(code, i + 5);
+      if (i >= code.size() || !is_ident(code[i]) ||
+          std::isdigit(static_cast<unsigned char>(code[i])) != 0)
+        continue;
+      const std::string ident = read_ident(code, i);
+      if (!ident.empty()) names.unordered.insert(ident);
+    }
+  }
+
+  static const std::vector<std::string> kFloatTypes = {"double", "float"};
+  for (const auto& token : kFloatTypes) {
+    for (std::size_t pos = find_word(code, token, 0);
+         pos != std::string::npos; pos = find_word(code, token, pos + 1)) {
+      std::size_t i = skip_spaces(code, pos + token.size());
+      while (i < code.size() && (code[i] == '&' || code[i] == '*')) ++i;
+      i = skip_spaces(code, i);
+      if (i >= code.size() || !is_ident(code[i]) ||
+          std::isdigit(static_cast<unsigned char>(code[i])) != 0)
+        continue;
+      const std::string ident = read_ident(code, i);
+      if (!ident.empty()) names.floats.insert(ident);
+    }
+  }
+
+  for (std::size_t pos = find_word(code, "Rng", 0); pos != std::string::npos;
+       pos = find_word(code, "Rng", pos + 1)) {
+    std::size_t i = skip_spaces(code, pos + 3);
+    while (i < code.size() && (code[i] == '&' || code[i] == '*')) ++i;
+    i = skip_spaces(code, i);
+    if (i >= code.size() || !is_ident(code[i]) ||
+        std::isdigit(static_cast<unsigned char>(code[i])) != 0)
+      continue;
+    const std::string ident = read_ident(code, i);
+    if (!ident.empty()) names.rngs.insert(ident);
+  }
+  return names;
+}
+
+void merge_names(NameSets& into, const NameSets& from) {
+  into.unordered.insert(from.unordered.begin(), from.unordered.end());
+  into.floats.insert(from.floats.begin(), from.floats.end());
+  into.rngs.insert(from.rngs.begin(), from.rngs.end());
+}
+
+std::vector<Finding> scan_file(const std::string& path,
+                               const std::string& content,
+                               const NameSets& names) {
+  const std::string code = strip_comments_and_strings(content);
+  const std::vector<std::size_t> lines = index_lines(code);
+  std::vector<Finding> findings;
+
+  check_banned_calls(path, code, lines, findings);
+  check_unordered_iteration(path, code, lines, names, findings);
+  check_pointer_keys(path, code, lines, findings);
+  check_parallel_regions(path, code, lines, names, findings);
+
+  // Inline annotations from the original (unstripped) text.
+  const Annotations ann = parse_annotations(content);
+  for (Finding& f : findings) {
+    const std::size_t idx = static_cast<std::size_t>(f.line) - 1;
+    const bool same = idx < ann.same_line.size() &&
+                      ann.same_line[idx].count(f.check) != 0;
+    const bool prev = idx > 0 && idx - 1 < ann.next_line.size() &&
+                      ann.next_line[idx - 1].count(f.check) != 0;
+    if (same || prev) {
+      f.suppressed = true;
+      f.suppress_reason = "inline detlint-allow annotation";
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return a.check < b.check;
+            });
+  return findings;
+}
+
+std::vector<Suppression> parse_suppressions(const std::string& text) {
+  std::vector<Suppression> out;
+  std::stringstream ss(text);
+  std::string line;
+  while (std::getline(ss, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::stringstream fields(line);
+    Suppression s;
+    if (!(fields >> s.path_substring >> s.check)) continue;
+    std::getline(fields, s.reason);
+    const std::size_t b = s.reason.find_first_not_of(" \t");
+    s.reason = b == std::string::npos ? "" : s.reason.substr(b);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void apply_suppressions(std::vector<Finding>& findings,
+                        const std::vector<Suppression>& suppressions) {
+  for (Finding& f : findings) {
+    if (f.suppressed) continue;
+    for (const Suppression& s : suppressions) {
+      if (f.check == s.check &&
+          f.file.find(s.path_substring) != std::string::npos) {
+        f.suppressed = true;
+        f.suppress_reason = "suppressions file: " + s.reason;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace detlint

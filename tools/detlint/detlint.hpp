@@ -1,0 +1,102 @@
+// detlint — determinism linter for the torsim tree.
+//
+// The whole reproduction rests on byte-identical replays: a scenario
+// seed must fully determine every CSV row, golden, and report. detlint
+// statically enforces the invariants the goldens can only observe after
+// the fact:
+//
+//   banned-call      std::rand/srand/time/clock/getenv/localtime/... and
+//                    <chrono> wall/steady clocks or std::random_device
+//                    (the latter allowed only under src/util/rng) — any
+//                    of these smuggles ambient state into a run.
+//   unordered-iter   range-for or .begin() over a variable declared as
+//                    std::unordered_map/unordered_set anywhere in the
+//                    scanned tree: hash-iteration order leaks into
+//                    whatever the loop feeds. Iterate an ordered
+//                    container or emit via util::sorted_keys /
+//                    util::sorted_items (recognised as the ordering
+//                    step).
+//   pointer-key      map/set keyed on a pointer type (or std::less<T*>):
+//                    pointer order is allocation order, not a stable
+//                    ordering.
+//   float-accum      += / -= on a float/double variable inside a
+//                    parallel_for/parallel_map region: cross-task FP
+//                    accumulation commits in scheduling order. Reduce
+//                    serially over parallel_map's per-index slots.
+//   rng-parallel     calling any Rng method except .child() inside a
+//                    parallel_for/parallel_map region: tasks must derive
+//                    per-index streams (rng.child(i)), never share a
+//                    mutable generator.
+//
+// Findings are suppressed either inline —
+//   ... flagged code ...  // detlint-allow(check-name) reason
+//   // detlint-allow-next-line(check-name) reason
+// — or via a checked-in suppression file (tools/detlint/suppressions.txt)
+// of lines "path-substring check-name reason". Every suppression is an
+// explicit, justified annotation; unsuppressed findings fail the build
+// (ctest -L lint, CI).
+//
+// The scanner is deliberately lexical (no AST): it blanks comments and
+// string literals, collects declared names in a whole-tree pass, then
+// pattern-matches per line. That keeps it dependency-free, fast, and
+// easy to extend; the price is that checks are heuristics — precise
+// enough for this tree, with suppressions as the escape hatch.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace detlint {
+
+struct Finding {
+  std::string file;
+  int line = 0;            // 1-based
+  std::string check;       // e.g. "banned-call"
+  std::string message;
+  bool suppressed = false;
+  std::string suppress_reason;
+};
+
+/// One line of the suppression file: findings whose path contains
+/// `path_substring` and whose check equals `check` are suppressed.
+struct Suppression {
+  std::string path_substring;
+  std::string check;
+  std::string reason;
+};
+
+/// Names declared in the scanned tree, collected before the per-file
+/// check pass so members declared in a header are recognised when a
+/// .cpp iterates them.
+struct NameSets {
+  std::set<std::string> unordered;  // unordered_map/unordered_set vars
+  std::set<std::string> floats;     // double/float vars
+  std::set<std::string> rngs;       // util::Rng vars
+};
+
+/// Replaces comments and string/char literal contents with spaces,
+/// preserving line structure. Inline `detlint-allow` annotations are
+/// honoured from the original text, not this stripped copy.
+std::string strip_comments_and_strings(const std::string& content);
+
+/// Collects declared container/float/Rng names from one file.
+NameSets collect_names(const std::string& content);
+
+void merge_names(NameSets& into, const NameSets& from);
+
+/// Runs every check over one file. `path` is used for reporting and for
+/// path-scoped exemptions (std::random_device under src/util/rng).
+std::vector<Finding> scan_file(const std::string& path,
+                               const std::string& content,
+                               const NameSets& names);
+
+/// Parses the suppression file format: one `path-substring check reason`
+/// per line, '#' comments, blank lines ignored.
+std::vector<Suppression> parse_suppressions(const std::string& text);
+
+/// Marks findings matched by a suppression entry.
+void apply_suppressions(std::vector<Finding>& findings,
+                        const std::vector<Suppression>& suppressions);
+
+}  // namespace detlint

@@ -1,0 +1,121 @@
+// detlint CLI: scan source roots for determinism hazards.
+//
+//   detlint --root src --root tools [--suppressions file] [--verbose]
+//
+// Exits 0 when every finding is suppressed (or none exist), 1 when any
+// unsuppressed finding remains, 2 on usage/IO errors.
+#include "detlint/detlint.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool is_source_file(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  std::string suppressions_path;
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      roots.emplace_back(argv[++i]);
+    } else if (arg == "--suppressions" && i + 1 < argc) {
+      suppressions_path = argv[++i];
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else {
+      std::cerr << "usage: detlint --root DIR [--root DIR ...]"
+                << " [--suppressions FILE] [--verbose]\n";
+      return 2;
+    }
+  }
+  if (roots.empty()) {
+    std::cerr << "detlint: no --root given\n";
+    return 2;
+  }
+
+  // Deterministic file order: collect, then sort by path string.
+  std::vector<fs::path> files;
+  for (const auto& root : roots) {
+    if (!fs::exists(root)) {
+      std::cerr << "detlint: root does not exist: " << root << "\n";
+      return 2;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file()) continue;
+      const fs::path& p = entry.path();
+      // Fixture trees exist to contain violations.
+      if (p.string().find("testdata") != std::string::npos) continue;
+      if (is_source_file(p)) files.push_back(p);
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  // Pass 1: whole-tree name collection so a member declared in a header
+  // is recognised when a .cpp iterates it.
+  detlint::NameSets names;
+  std::vector<std::pair<std::string, std::string>> contents;
+  contents.reserve(files.size());
+  for (const auto& p : files) {
+    contents.emplace_back(p.generic_string(), read_file(p));
+    detlint::merge_names(names, detlint::collect_names(contents.back().second));
+  }
+
+  std::vector<detlint::Suppression> suppressions;
+  if (!suppressions_path.empty()) {
+    if (!fs::exists(suppressions_path)) {
+      std::cerr << "detlint: suppressions file not found: "
+                << suppressions_path << "\n";
+      return 2;
+    }
+    suppressions = detlint::parse_suppressions(read_file(suppressions_path));
+  }
+
+  // Pass 2: per-file checks.
+  std::size_t unsuppressed = 0;
+  std::size_t suppressed = 0;
+  for (const auto& [path, content] : contents) {
+    std::vector<detlint::Finding> findings =
+        detlint::scan_file(path, content, names);
+    detlint::apply_suppressions(findings, suppressions);
+    for (const auto& f : findings) {
+      if (f.suppressed) {
+        ++suppressed;
+        if (verbose) {
+          std::cout << f.file << ":" << f.line << ": [" << f.check
+                    << "] suppressed (" << f.suppress_reason << ")\n";
+        }
+      } else {
+        ++unsuppressed;
+        std::cout << f.file << ":" << f.line << ": [" << f.check << "] "
+                  << f.message << "\n";
+      }
+    }
+  }
+
+  std::cout << "detlint: scanned " << contents.size() << " files, "
+            << unsuppressed << " finding(s), " << suppressed
+            << " suppressed\n";
+  return unsuppressed == 0 ? 0 : 1;
+}

@@ -1,0 +1,80 @@
+// detlint self-test fixture: every check must fire on this file, and
+// every annotated line must be recognised as suppressed. Never compiled
+// and never scanned by the real lint run (testdata paths are skipped by
+// the CLI walker); tests/detlint_test.cpp feeds it through scan_file()
+// directly and asserts on the findings.
+#include <cstdlib>
+#include <ctime>
+#include <map>
+#include <random>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+struct Widget {
+  int id = 0;
+};
+
+// Minimal stand-in with the same shape as util::Rng, so the name pass
+// registers `rng` below as a generator variable.
+struct Rng {
+  Rng child(int) const { return {}; }
+  double uniform() { return 0.5; }
+};
+
+void banned_calls() {
+  std::srand(42);
+  int r = std::rand();
+  std::time_t now = std::time(nullptr);
+  const char* home = std::getenv("HOME");
+  std::random_device rd;
+  auto tick = std::chrono::steady_clock::now();
+  (void)r; (void)now; (void)home; (void)rd; (void)tick;
+}
+
+void banned_call_suppressed() {
+  // detlint-allow-next-line(banned-call) fixture: proves suppression
+  std::time_t t = std::time(nullptr);
+  (void)t;
+  int r = std::rand();  // detlint-allow(banned-call) fixture inline
+  (void)r;
+}
+
+// A member call named like a banned function must NOT be flagged.
+struct HasTimeMember {
+  long time() const { return 7; }
+};
+inline long member_call_not_flagged(const HasTimeMember& h) {
+  return h.time();
+}
+
+void unordered_iteration() {
+  std::unordered_map<std::string, int> tally;
+  std::unordered_set<int> ids;
+  for (const auto& [key, value] : tally) {
+    (void)key; (void)value;
+  }
+  for (int id : ids) {
+    (void)id;
+  }
+  auto it = tally.begin();
+  (void)it;
+}
+
+void float_and_rng_in_parallel(double total) {
+  // Lexical stand-in for util::parallel_for; detlint only sees names.
+  auto parallel_for = [](int, int, auto) {};
+  Rng rng;
+  parallel_for(0, 4, [&](int i) {
+    total += rng.uniform();        // float-accum AND rng-parallel
+    Rng local = rng.child(i);      // child derivation: must NOT flag
+    (void)local;
+  });
+  (void)total;
+}
+
+std::map<Widget*, int> by_pointer;  // pointer-key
+
+}  // namespace fixture
