@@ -5,6 +5,8 @@
 // topic distribution shifts when the classifier family changes.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include <cstdio>
 #include <functional>
 #include <vector>
@@ -113,8 +115,8 @@ void print_ablation() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  torsim::bench::init("abl_classifier", &argc, argv);
+  torsim::bench::run_benchmarks();
   print_ablation();
-  return 0;
+  return torsim::bench::finish();
 }

@@ -8,6 +8,8 @@
 // the scanner's bounded retries claw back.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include <cstdio>
 
 #include "fault/plan.hpp"
@@ -76,8 +78,8 @@ void print_ablation() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  torsim::bench::init("abl_faults", &argc, argv);
+  torsim::bench::run_benchmarks();
   print_ablation();
-  return 0;
+  return torsim::bench::finish();
 }

@@ -8,6 +8,8 @@
 // churn and report the cumulative compromise curve.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include <cstdio>
 #include <vector>
 
@@ -110,8 +112,8 @@ void print_ablation() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  torsim::bench::init("abl_guards", &argc, argv);
+  torsim::bench::run_benchmarks();
   print_ablation();
-  return 0;
+  return torsim::bench::finish();
 }

@@ -8,6 +8,8 @@
 // supposed to enforce).
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include <cstdio>
 #include <set>
 
@@ -102,8 +104,8 @@ void print_ablation() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  torsim::bench::init("abl_harvest", &argc, argv);
+  torsim::bench::run_benchmarks();
   print_ablation();
-  return 0;
+  return torsim::bench::finish();
 }

@@ -7,6 +7,8 @@
 // their own relays > 100, the May campaign > 10k).
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
+
 #include <cmath>
 #include <cstdio>
 #include <vector>
@@ -102,8 +104,8 @@ void print_ablation() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  torsim::bench::init("abl_ring", &argc, argv);
+  torsim::bench::run_benchmarks();
   print_ablation();
-  return 0;
+  return torsim::bench::finish();
 }

@@ -88,8 +88,8 @@ void print_figure1() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  torsim::bench::init("fig1_ports", &argc, argv);
+  torsim::bench::run_benchmarks();
   print_figure1();
-  return 0;
+  return torsim::bench::finish();
 }

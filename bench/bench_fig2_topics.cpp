@@ -143,8 +143,8 @@ void print_figure2() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  torsim::bench::init("fig2_topics", &argc, argv);
+  torsim::bench::run_benchmarks();
   print_figure2();
-  return 0;
+  return torsim::bench::finish();
 }

@@ -102,8 +102,8 @@ void print_figure3() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  torsim::bench::init("fig3_geomap", &argc, argv);
+  torsim::bench::run_benchmarks();
   print_figure3();
-  return 0;
+  return torsim::bench::finish();
 }

@@ -127,8 +127,8 @@ void print_sweep() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  torsim::bench::init("sec6_deanon", &argc, argv);
+  torsim::bench::run_benchmarks();
   print_sweep();
-  return 0;
+  return torsim::bench::finish();
 }

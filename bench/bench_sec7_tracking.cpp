@@ -106,8 +106,8 @@ void print_report() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  torsim::bench::init("sec7_tracking", &argc, argv);
+  torsim::bench::run_benchmarks();
   print_report();
-  return 0;
+  return torsim::bench::finish();
 }

@@ -82,8 +82,8 @@ void print_table1() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  torsim::bench::init("tab1_http", &argc, argv);
+  torsim::bench::run_benchmarks();
   print_table1();
-  return 0;
+  return torsim::bench::finish();
 }

@@ -17,16 +17,20 @@ using namespace torsim;
 
 const popularity::RequestStream& full_stream() {
   static const popularity::RequestStream stream = [] {
-    popularity::RequestGenerator generator;
+    const auto timer = bench::report().phases().scope("generate_requests");
+    popularity::RequestGenerator generator(popularity::RequestGeneratorConfig{
+        .metrics = &bench::report().metrics()});
     return generator.generate(bench::full_population());
   }();
   return stream;
 }
 
 struct FullResolution {
-  popularity::DescriptorResolver resolver;
+  popularity::DescriptorResolver resolver{popularity::ResolverConfig{
+      .metrics = &bench::report().metrics()}};
   popularity::ResolutionReport report;
   FullResolution() {
+    const auto timer = bench::report().phases().scope("resolve");
     resolver.build_dictionary(bench::full_population());
     report = resolver.resolve(full_stream(), bench::full_population());
   }
@@ -145,8 +149,8 @@ void print_table2() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  torsim::bench::init("tab2_popularity", &argc, argv);
+  torsim::bench::run_benchmarks();
   print_table2();
-  return 0;
+  return torsim::bench::finish();
 }

@@ -75,18 +75,24 @@ HarvestReport ShadowHarvester::run(sim::World& world, int rotation_hours) {
   // first consensus after ripening reflects it).
   const int ripen = 26;
   report.ripen_hours = ripen;
-  for (int h = 0; h < ripen; ++h) world.step_hour();
+  {
+    TRACE_SPAN(config_.trace, world.clock(), "harvest.ripen");
+    for (int h = 0; h < ripen; ++h) world.step_hour();
+  }
 
   std::set<relay::RelayId> positions;
-  for (int h = 0; h < rotation_hours; ++h) {
-    expose_pair(world, h);
-    world.step_hour();
-    for (relay::RelayId id : relays_) {
-      const dirauth::ConsensusEntry* e = world.consensus().find_relay(id);
-      if (e != nullptr && has_flag(e->flags, dirauth::Flag::kHSDir))
-        positions.insert(id);
+  {
+    TRACE_SPAN(config_.trace, world.clock(), "harvest.rotate");
+    for (int h = 0; h < rotation_hours; ++h) {
+      expose_pair(world, h);
+      world.step_hour();
+      for (relay::RelayId id : relays_) {
+        const dirauth::ConsensusEntry* e = world.consensus().find_relay(id);
+        if (e != nullptr && has_flag(e->flags, dirauth::Flag::kHSDir))
+          positions.insert(id);
+      }
+      collect(world, report);
     }
-    collect(world, report);
   }
   report.rotation_hours = rotation_hours;
   report.positions_used = static_cast<int>(positions.size());
@@ -102,6 +108,20 @@ HarvestReport ShadowHarvester::run(sim::World& world, int rotation_hours) {
   }
   report.descriptors_collected = descriptors;
   report.fetch_requests_logged = fetches;
+  if (config_.metrics != nullptr) {
+    obs::MetricsRegistry& m = *config_.metrics;
+    m.counter("harvest.onions")
+        .inc(static_cast<std::int64_t>(report.onions.size()));
+    m.counter("harvest.descriptors").inc(report.descriptors_collected);
+    m.counter("harvest.fetches_logged").inc(report.fetch_requests_logged);
+    m.counter("harvest.positions_used").inc(report.positions_used);
+    m.counter("harvest.relays_deployed").inc(report.relays_deployed);
+  }
+  if (config_.trace != nullptr)
+    config_.trace->instant("harvest.done", "attack", world.now(),
+                           {{"onions", static_cast<std::int64_t>(
+                                           report.onions.size())},
+                            {"positions", report.positions_used}});
   TORSIM_INFO() << "harvest: " << report.onions.size() << " onions from "
                 << report.positions_used << " ring positions";
   return report;

@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/world.hpp"
 
 namespace torsim::attack {
@@ -33,6 +35,12 @@ struct HarvesterConfig {
   /// Advertised bandwidth; high enough that the intended pair wins the
   /// per-IP consensus election.
   double bandwidth_kbps = 5000.0;
+  /// Optional metrics sink ("harvest.*" counters). Must outlive the
+  /// harvester. See docs/observability.md.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Optional sim-time trace sink: run() records spans for the ripen
+  /// and rotation phases against the world clock.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 struct HarvestReport {

@@ -41,6 +41,22 @@ const char* to_string(FailureKind kind) {
 FaultInjector::FaultInjector(FaultPlan plan)
     : plan_(plan), base_(plan.seed), enabled_(plan.enabled()) {}
 
+void FaultInjector::set_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    counters_ = FaultCounters{};
+    return;
+  }
+  counters_.connect_drop = &metrics->counter("fault.connect_drop");
+  counters_.connect_timeout = &metrics->counter("fault.connect_timeout");
+  counters_.connect_corrupt = &metrics->counter("fault.connect_corrupt");
+  counters_.retries = &metrics->counter("fault.retries");
+  counters_.hsdir_unresponsive =
+      &metrics->counter("fault.hsdir_unresponsive");
+  counters_.publish_lost = &metrics->counter("fault.publish_lost");
+  counters_.publish_delayed = &metrics->counter("fault.publish_delayed");
+  counters_.circuit_stalls = &metrics->counter("fault.circuit_stalls");
+}
+
 double FaultInjector::draw(std::uint64_t site, std::uint64_t a,
                            std::uint64_t b, std::uint64_t c) const {
   return base_.child(site).child(a).child(b).child(c).uniform01();
@@ -52,14 +68,26 @@ ConnectFault FaultInjector::connect_fault(std::uint64_t key,
   if (!enabled_) return ConnectFault::kNone;
   // One draw, threshold bands: scaling the rates up can only move an
   // event from kNone into a fault band, never between runs' events.
+  // A query at attempt > 1 means some component is retrying after a
+  // fault — counted here so every instrumented call site contributes.
+  if (attempt > 1 && counters_.retries != nullptr) counters_.retries->inc();
   const double u =
       draw(kSiteConnect, key, detail, static_cast<std::uint64_t>(attempt));
-  if (u < plan_.connect_drop_rate) return ConnectFault::kDrop;
-  if (u < plan_.connect_drop_rate + plan_.connect_timeout_rate)
+  if (u < plan_.connect_drop_rate) {
+    if (counters_.connect_drop != nullptr) counters_.connect_drop->inc();
+    return ConnectFault::kDrop;
+  }
+  if (u < plan_.connect_drop_rate + plan_.connect_timeout_rate) {
+    if (counters_.connect_timeout != nullptr)
+      counters_.connect_timeout->inc();
     return ConnectFault::kTimeout;
+  }
   if (u < plan_.connect_drop_rate + plan_.connect_timeout_rate +
-              plan_.connect_corrupt_rate)
+              plan_.connect_corrupt_rate) {
+    if (counters_.connect_corrupt != nullptr)
+      counters_.connect_corrupt->inc();
     return ConnectFault::kCorrupt;
+  }
   return ConnectFault::kNone;
 }
 
@@ -72,31 +100,46 @@ bool FaultInjector::hsdir_unresponsive(std::uint64_t relay_key,
     return false;
   const auto window = static_cast<std::uint64_t>(
       now / (plan_.hsdir_outage_window > 0 ? plan_.hsdir_outage_window : 1));
-  return draw(kSiteOutage, relay_key, window, 0) < plan_.hsdir_outage_rate;
+  const bool down =
+      draw(kSiteOutage, relay_key, window, 0) < plan_.hsdir_outage_rate;
+  if (down && counters_.hsdir_unresponsive != nullptr)
+    counters_.hsdir_unresponsive->inc();
+  return down;
 }
 
 bool FaultInjector::publish_lost(std::uint64_t descriptor_key,
                                  std::uint64_t relay_key, int attempt) const {
   if (!enabled_ || plan_.publish_loss_rate <= 0) return false;
-  return base_.child(kSitePublishLoss)
-             .child(descriptor_key)
-             .child(relay_key)
-             .child(static_cast<std::uint64_t>(attempt))
-             .uniform01() < plan_.publish_loss_rate;
+  if (attempt > 1 && counters_.retries != nullptr) counters_.retries->inc();
+  const bool lost = base_.child(kSitePublishLoss)
+                        .child(descriptor_key)
+                        .child(relay_key)
+                        .child(static_cast<std::uint64_t>(attempt))
+                        .uniform01() < plan_.publish_loss_rate;
+  if (lost && counters_.publish_lost != nullptr)
+    counters_.publish_lost->inc();
+  return lost;
 }
 
 bool FaultInjector::publish_delayed(std::uint64_t descriptor_key,
                                     std::uint64_t relay_key) const {
   if (!enabled_ || plan_.publish_delay_rate <= 0) return false;
-  return draw(kSitePublishDelay, descriptor_key, relay_key, 0) <
-         plan_.publish_delay_rate;
+  const bool delayed = draw(kSitePublishDelay, descriptor_key, relay_key, 0) <
+                       plan_.publish_delay_rate;
+  if (delayed && counters_.publish_delayed != nullptr)
+    counters_.publish_delayed->inc();
+  return delayed;
 }
 
 bool FaultInjector::circuit_stalled(std::uint64_t key, std::uint64_t detail,
                                     int attempt) const {
   if (!enabled_ || plan_.circuit_stall_rate <= 0) return false;
-  return draw(kSiteCircuit, key, detail, static_cast<std::uint64_t>(attempt)) <
-         plan_.circuit_stall_rate;
+  const bool stalled =
+      draw(kSiteCircuit, key, detail, static_cast<std::uint64_t>(attempt)) <
+      plan_.circuit_stall_rate;
+  if (stalled && counters_.circuit_stalls != nullptr)
+    counters_.circuit_stalls->inc();
+  return stalled;
 }
 
 std::uint64_t FaultInjector::key_of(std::string_view text) {

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "fault/plan.hpp"
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace torsim::fault {
@@ -76,6 +77,14 @@ class FaultInjector {
   const RetryPolicy& retry() const { return plan_.retry; }
   bool enabled() const { return enabled_; }
 
+  /// Points the injector at a metrics registry: every fault decision
+  /// bumps a "fault.*" counter (injected faults, retries observed,
+  /// timeouts). Counters are atomic and the set of queried events is
+  /// fixed by the scenario, so totals stay deterministic even when
+  /// decisions are queried from parallel regions. Null disables.
+  /// The registry must outlive the injector.
+  void set_metrics(obs::MetricsRegistry* metrics);
+
   /// Fault decision for connection attempt `attempt` to subject
   /// (`key`, `detail`) — e.g. (service index, port) for a scan probe or
   /// (onion hash, port) for a crawl visit.
@@ -115,6 +124,19 @@ class FaultInjector {
   FaultPlan plan_;
   util::Rng base_;
   bool enabled_ = false;
+
+  // Cached counter handles (registration locks; increments do not).
+  struct FaultCounters {
+    obs::Counter* connect_drop = nullptr;
+    obs::Counter* connect_timeout = nullptr;
+    obs::Counter* connect_corrupt = nullptr;
+    obs::Counter* retries = nullptr;
+    obs::Counter* hsdir_unresponsive = nullptr;
+    obs::Counter* publish_lost = nullptr;
+    obs::Counter* publish_delayed = nullptr;
+    obs::Counter* circuit_stalls = nullptr;
+  };
+  FaultCounters counters_{};
 };
 
 }  // namespace torsim::fault

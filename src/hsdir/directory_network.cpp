@@ -17,6 +17,7 @@ std::vector<relay::RelayId> DirectoryNetwork::publish(
       consensus.responsible_hsdirs_batch(ids, config_.threads);
 
   std::vector<relay::RelayId> receivers;
+  std::int64_t stored = 0;
   for (std::size_t i = 0; i < descriptors.size(); ++i) {
     const std::uint64_t descriptor_key = fault::FaultInjector::key_of(
         descriptors[i].descriptor_id.data(), descriptors[i].descriptor_id.size());
@@ -48,15 +49,22 @@ std::vector<relay::RelayId> DirectoryNetwork::publish(
         }
         store_for(e->relay).store(std::move(copy));
         receivers.push_back(e->relay);
+        ++stored;
         continue;
       }
       store_for(e->relay).store(descriptors[i]);
       receivers.push_back(e->relay);
+      ++stored;
     }
   }
   std::sort(receivers.begin(), receivers.end());
   receivers.erase(std::unique(receivers.begin(), receivers.end()),
                   receivers.end());
+  if (config_.metrics != nullptr) {
+    config_.metrics->counter("hsdir.publishes")
+        .inc(static_cast<std::int64_t>(descriptors.size()));
+    config_.metrics->counter("hsdir.replica_stores").inc(stored);
+  }
   return receivers;
 }
 
@@ -64,6 +72,8 @@ std::optional<Descriptor> DirectoryNetwork::fetch_from(
     const dirauth::Consensus& consensus, const crypto::DescriptorId& id,
     util::UnixTime now, relay::RelayId& hsdir_relay, FetchTrace* trace) {
   hsdir_relay = relay::kInvalidRelayId;
+  if (config_.metrics != nullptr)
+    config_.metrics->counter("hsdir.fetch_attempts").inc();
   for (const dirauth::ConsensusEntry* e : consensus.responsible_hsdirs(id)) {
     if (injector_ != nullptr && injector_->hsdir_unresponsive(e->relay, now)) {
       // The directory is inside an outage window: the request circuit
@@ -80,8 +90,14 @@ std::optional<Descriptor> DirectoryNetwork::fetch_from(
     if (trace != nullptr) ++trace->dirs_tried;
     hsdir_relay = e->relay;
     auto result = store_for(e->relay).fetch(id, now);
-    if (result) return result;
+    if (result) {
+      if (config_.metrics != nullptr)
+        config_.metrics->counter("hsdir.fetch_hits").inc();
+      return result;
+    }
   }
+  if (config_.metrics != nullptr)
+    config_.metrics->counter("hsdir.fetch_misses").inc();
   return std::nullopt;
 }
 

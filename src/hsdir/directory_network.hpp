@@ -8,6 +8,7 @@
 #include "dirauth/consensus.hpp"
 #include "fault/injector.hpp"
 #include "hsdir/store.hpp"
+#include "obs/metrics.hpp"
 
 namespace torsim::hsdir {
 
@@ -17,6 +18,10 @@ struct DirectoryNetworkConfig {
   /// Store contents are bit-identical for every value (lookups fan
   /// out; store writes stay serial, in input order).
   int threads = 0;
+  /// Optional metrics sink ("hsdir.*" counters). Publish and fetch run
+  /// in serial sections, so plain counters stay deterministic. Must
+  /// outlive the network. See docs/observability.md.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// What one fetch_from() walk over the responsible set observed —

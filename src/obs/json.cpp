@@ -1,0 +1,144 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace torsim::obs {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(std::int64_t value) {
+  return std::to_string(value);
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";  // JSON has no Inf/NaN
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.10g", value);
+  std::string out = buf;
+  // Integral doubles keep a float marker so the field's type is stable
+  // whatever the value ("1.0", not "1").
+  if (out.find_first_of(".eE") == std::string::npos) out += ".0";
+  return out;
+}
+
+void JsonWriter::newline() {
+  out_ += '\n';
+  out_.append(2 * has_element_.size(), ' ');
+}
+
+void JsonWriter::before_value() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (has_element_.empty()) return;
+  if (has_element_.back()) out_ += ',';
+  has_element_.back() = true;
+  newline();
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  has_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  const bool had = has_element_.back();
+  has_element_.pop_back();
+  if (had) newline();
+  out_ += '}';
+  if (has_element_.empty()) out_ += '\n';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  has_element_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  const bool had = has_element_.back();
+  has_element_.pop_back();
+  if (had) newline();
+  out_ += ']';
+  if (has_element_.empty()) out_ += '\n';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  if (has_element_.back()) out_ += ',';
+  has_element_.back() = true;
+  newline();
+  out_ += '"';
+  out_ += json_escape(name);
+  out_ += "\": ";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& text) {
+  before_value();
+  out_ += '"';
+  out_ += json_escape(text);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* text) {
+  return value(std::string(text));
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  before_value();
+  out_ += json_number(number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  before_value();
+  out_ += json_number(number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  before_value();
+  out_ += flag ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ += "null";
+  return *this;
+}
+
+}  // namespace torsim::obs

@@ -1,0 +1,161 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace torsim::obs {
+
+Histogram::Histogram(std::vector<std::int64_t> edges)
+    : edges_(std::move(edges)) {
+  if (edges_.empty())
+    throw std::logic_error("Histogram: at least one bucket edge required");
+  if (!std::is_sorted(edges_.begin(), edges_.end()) ||
+      std::adjacent_find(edges_.begin(), edges_.end()) != edges_.end())
+    throw std::logic_error("Histogram: edges must be strictly increasing");
+  buckets_.reserve(edges_.size() + 1);
+  for (std::size_t i = 0; i <= edges_.size(); ++i)
+    buckets_.push_back(std::make_unique<std::atomic<std::int64_t>>(0));
+}
+
+std::size_t Histogram::bucket_index(std::int64_t value) const {
+  // First edge >= value: upper-inclusive buckets (value <= edge).
+  const auto it = std::lower_bound(edges_.begin(), edges_.end(), value);
+  return static_cast<std::size_t>(it - edges_.begin());
+}
+
+void Histogram::observe(std::int64_t value) {
+  buckets_[bucket_index(value)]->fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<std::int64_t> Histogram::bucket_counts() const {
+  std::vector<std::int64_t> counts;
+  counts.reserve(buckets_.size());
+  for (const auto& bucket : buckets_)
+    counts.push_back(bucket->load(std::memory_order_relaxed));
+  return counts;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<std::int64_t> edges) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>(std::move(edges));
+  } else if (slot->edges() != edges) {
+    throw std::logic_error("Histogram '" + name +
+                           "' re-registered with different bucket edges");
+  }
+  return *slot;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  // Snapshot the other registry's structure under its lock, then apply
+  // without holding both locks at once.
+  std::vector<std::pair<std::string, std::int64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  struct HistSnapshot {
+    std::string name;
+    std::vector<std::int64_t> edges;
+    std::vector<std::int64_t> buckets;
+    std::int64_t sum = 0;
+  };
+  std::vector<HistSnapshot> hists;
+  {
+    const std::lock_guard<std::mutex> lock(other.mu_);
+    for (const auto& [name, c] : other.counters_)
+      counters.emplace_back(name, c->value());
+    for (const auto& [name, g] : other.gauges_)
+      gauges.emplace_back(name, g->value());
+    for (const auto& [name, h] : other.histograms_)
+      hists.push_back({name, h->edges(), h->bucket_counts(), h->sum()});
+  }
+  for (const auto& [name, value] : counters) counter(name).inc(value);
+  for (const auto& [name, value] : gauges) gauge(name).set(value);
+  for (const auto& snap : hists) {
+    Histogram& mine = histogram(snap.name, snap.edges);
+    std::int64_t count = 0;
+    for (std::size_t i = 0; i < snap.buckets.size(); ++i) {
+      mine.buckets_[i]->fetch_add(snap.buckets[i],
+                                  std::memory_order_relaxed);
+      count += snap.buckets[i];
+    }
+    mine.count_.fetch_add(count, std::memory_order_relaxed);
+    mine.sum_.fetch_add(snap.sum, std::memory_order_relaxed);
+  }
+}
+
+std::string MetricsRegistry::to_text() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, c] : counters_)
+    out += "counter " + name + " " + std::to_string(c->value()) + "\n";
+  for (const auto& [name, g] : gauges_)
+    out += "gauge " + name + " " + std::to_string(g->value()) + "\n";
+  for (const auto& [name, h] : histograms_) {
+    out += "histogram " + name + " count " + std::to_string(h->count()) +
+           " sum " + std::to_string(h->sum()) + " buckets";
+    const auto counts = h->bucket_counts();
+    for (std::size_t i = 0; i < h->edges().size(); ++i)
+      out += " le" + std::to_string(h->edges()[i]) + ":" +
+             std::to_string(counts[i]);
+    out += " inf:" + std::to_string(counts.back()) + "\n";
+  }
+  return out;
+}
+
+void MetricsRegistry::write_json_sections(JsonWriter& json) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  json.key("counters").begin_object();
+  for (const auto& [name, c] : counters_) json.key(name).value(c->value());
+  json.end_object();
+  json.key("gauges").begin_object();
+  for (const auto& [name, g] : gauges_) json.key(name).value(g->value());
+  json.end_object();
+  json.key("histograms").begin_object();
+  for (const auto& [name, h] : histograms_) {
+    json.key(name).begin_object();
+    json.key("count").value(h->count());
+    json.key("sum").value(h->sum());
+    json.key("edges").begin_array();
+    for (const std::int64_t edge : h->edges()) json.value(edge);
+    json.end_array();
+    json.key("buckets").begin_array();
+    for (const std::int64_t count : h->bucket_counts()) json.value(count);
+    json.end_array();
+    json.end_object();
+  }
+  json.end_object();
+}
+
+std::string MetricsRegistry::to_json() const {
+  JsonWriter json;
+  json.begin_object();
+  write_json_sections(json);
+  json.end_object();
+  return json.str();
+}
+
+bool MetricsRegistry::empty() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return counters_.empty() && gauges_.empty() && histograms_.empty();
+}
+
+}  // namespace torsim::obs

@@ -1,0 +1,144 @@
+// Deterministic metrics: named counters, gauges, and fixed-bucket
+// histograms whose exported bytes are a pure function of the scenario.
+//
+// Determinism contract (see docs/observability.md):
+//
+//   * Counters and histogram buckets are integer accumulators. Integer
+//     addition commutes, so concurrent increments from inside a
+//     parallel_for region produce the same totals as the serial loop —
+//     the *set* of increments is fixed by the scenario, and order
+//     cannot change a sum. This is why metrics are the one observable
+//     hot paths may touch from worker threads.
+//   * Gauges are last-writer-wins and therefore must only be set from
+//     serial sections (the commit loop after an ordered reduction).
+//   * Emission walks a std::map, so output order is name order — never
+//     registration or hash order. Two registries that saw the same
+//     increments emit byte-identical text/JSON.
+//   * Per-shard registries can be combined with merge(); merging in
+//     shard-index order is deterministic for every metric kind.
+//
+// Metric names follow "<subsystem>.<noun>[_<qualifier>]", e.g.
+// "scan.probe_timeouts", "fault.connect_drop", "sim.hours_stepped".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace torsim::obs {
+
+class JsonWriter;
+
+/// Monotonic integer counter. Increment is atomic (relaxed): safe from
+/// parallel regions, deterministic because integer sums commute.
+class Counter {
+ public:
+  void inc(std::int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-writer-wins integer gauge. Set only from serial sections; a
+/// racing set would make the surviving value scheduling-dependent.
+class Gauge {
+ public:
+  void set(std::int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket integer histogram. Bucket i counts observations with
+/// value <= edges[i] (first matching edge); values above the last edge
+/// land in the implicit overflow bucket. Edges are pinned at
+/// registration so shards and reruns always agree on the layout.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<std::int64_t> edges);
+
+  /// Atomic per-bucket increment; safe from parallel regions.
+  void observe(std::int64_t value);
+
+  const std::vector<std::int64_t>& edges() const { return edges_; }
+  /// Bucket counts, one per edge plus the trailing overflow bucket.
+  std::vector<std::int64_t> bucket_counts() const;
+  std::int64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Index of the bucket `value` falls into (edges.size() = overflow).
+  std::size_t bucket_index(std::int64_t value) const;
+
+ private:
+  friend class MetricsRegistry;
+
+  std::vector<std::int64_t> edges_;  // strictly increasing
+  std::vector<std::unique_ptr<std::atomic<std::int64_t>>> buckets_;
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+};
+
+/// The registry: owns metrics by name, hands out stable references.
+/// Registration takes a lock (register once, outside hot loops, and
+/// cache the reference); increments on the returned objects are
+/// lock-free. Emission is ordered by metric name.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the counter named `name`, creating it on first use. The
+  /// reference stays valid for the registry's lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+
+  /// Returns the histogram named `name`; created with `edges` on first
+  /// use. Re-registering with different edges throws std::logic_error —
+  /// bucket layout is part of the metric's identity.
+  Histogram& histogram(const std::string& name,
+                       std::vector<std::int64_t> edges);
+
+  /// Adds every metric of `other` into this registry: counters and
+  /// histogram buckets add, gauges overwrite (last merge wins — merge
+  /// shards in index order). Histograms must agree on edges.
+  void merge(const MetricsRegistry& other);
+
+  /// One line per metric, sorted by name:
+  ///   counter <name> <value>
+  ///   gauge <name> <value>
+  ///   histogram <name> count <n> sum <s> buckets le<edge>:<c>... inf:<c>
+  std::string to_text() const;
+
+  /// Canonical JSON document {"counters":{...},"gauges":{...},
+  /// "histograms":{...}} with name-sorted keys.
+  std::string to_json() const;
+  /// Emits the same three sections into an already-open object.
+  void write_json_sections(JsonWriter& json) const;
+
+  bool empty() const;
+
+ private:
+  mutable std::mutex mu_;  // guards the maps, not the metric values
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace torsim::obs

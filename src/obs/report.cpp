@@ -1,0 +1,95 @@
+#include "obs/report.hpp"
+
+#include <cstdio>
+
+#include "obs/json.hpp"
+
+namespace torsim::obs {
+
+void BenchReport::print_header(const std::string& title) {
+  current_section_ = title;
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+void BenchReport::print_row(const std::string& label, double measured,
+                            double paper) {
+  rows_.push_back({current_section_, label, measured, paper});
+  if (paper != 0.0) {
+    std::printf("  %-28s measured %10.0f   paper %10.0f   x%.2f\n",
+                label.c_str(), measured, paper, measured / paper);
+  } else {
+    // No paper baseline: a ratio would be meaningless, not 0.00.
+    std::printf("  %-28s measured %10.0f   paper %10.0f   n/a\n",
+                label.c_str(), measured, paper);
+  }
+}
+
+void BenchReport::add_benchmark(const std::string& benchmark_name,
+                                double real_time_seconds,
+                                double cpu_time_seconds,
+                                std::int64_t iterations) {
+  benchmarks_.push_back(
+      {benchmark_name, real_time_seconds, cpu_time_seconds, iterations});
+}
+
+std::string BenchReport::to_json() const {
+  JsonWriter json;
+  json.begin_object();
+  json.key("schema").value("torsim-bench-v1");
+  json.key("name").value(name_);
+  json.key("scale").value(scale_);
+
+  json.key("rows").begin_array();
+  for (const Row& row : rows_) {
+    json.begin_object();
+    json.key("section").value(row.section);
+    json.key("label").value(row.label);
+    json.key("measured").value(row.measured);
+    json.key("paper").value(row.paper);
+    json.key("ratio");
+    if (row.paper != 0.0)
+      json.value(row.measured / row.paper);
+    else
+      json.null();
+    json.end_object();
+  }
+  json.end_array();
+
+  json.key("benchmarks").begin_array();
+  for (const BenchmarkRun& run : benchmarks_) {
+    json.begin_object();
+    json.key("name").value(run.name);
+    json.key("real_time_seconds").value(run.real_time_seconds);
+    json.key("cpu_time_seconds").value(run.cpu_time_seconds);
+    json.key("iterations").value(run.iterations);
+    json.end_object();
+  }
+  json.end_array();
+
+  json.key("wall_clock").begin_object();
+  json.key("phases").begin_object();
+  for (const auto& [phase, seconds] : phases_.phases())
+    json.key(phase).value(seconds);
+  json.end_object();
+  json.key("total_seconds").value(phases_.total_seconds());
+  json.end_object();
+
+  json.key("peak_rss_bytes").value(peak_rss_bytes());
+
+  metrics_.write_json_sections(json);
+  json.end_object();
+  return json.str();
+}
+
+std::string BenchReport::write_json(const std::string& directory) const {
+  const std::string dir = directory.empty() ? "." : directory;
+  const std::string path = dir + "/BENCH_" + name_ + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return "";
+  const std::string doc = to_json();
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+  std::fclose(f);
+  return ok ? path : "";
+}
+
+}  // namespace torsim::obs

@@ -1,0 +1,85 @@
+// Machine-readable bench telemetry: the writer behind the BENCH_*.json
+// perf trajectory and the measured-vs-paper console tables.
+//
+// One BenchReport collects, for a single bench binary or CLI run:
+//   * measured-vs-paper rows (the paper-ratio section; ratio is null
+//     when the paper value is 0 — printed as "n/a", never "x0.00"),
+//   * google-benchmark timings forwarded by the bench harness,
+//   * wall-clock phase timings and peak RSS (obs/stopwatch — the
+//     non-golden perf section),
+//   * a MetricsRegistry snapshot (the counter section).
+// The JSON layout is versioned ("torsim-bench-v1") and validated in CI
+// by tools/check_bench_json.py. Everything except the wall_clock /
+// peak_rss_bytes / benchmarks sections is deterministic for a fixed
+// scenario seed; consumers of the perf trajectory read those sections,
+// golden tests read the rest.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/stopwatch.hpp"
+
+namespace torsim::obs {
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_scale(double scale) { scale_ = scale; }
+  double scale() const { return scale_; }
+
+  /// Starts a titled section and prints the "==== title ====" banner.
+  void print_header(const std::string& title);
+
+  /// Records one measured-vs-paper row and prints the aligned console
+  /// line. A paper value of 0 has no meaningful ratio: it prints "n/a"
+  /// and exports ratio: null.
+  void print_row(const std::string& label, double measured, double paper);
+
+  /// Records one google-benchmark result (times in seconds).
+  void add_benchmark(const std::string& benchmark_name,
+                     double real_time_seconds, double cpu_time_seconds,
+                     std::int64_t iterations);
+
+  /// The counter section: subsystem configs point at this registry.
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// The non-golden wall-clock section.
+  PhaseTimer& phases() { return phases_; }
+
+  /// The full "torsim-bench-v1" document (peak RSS sampled now).
+  std::string to_json() const;
+
+  /// Writes to_json() to `<directory>/BENCH_<name>.json` ("." default).
+  /// Returns the path written, or empty on I/O failure.
+  std::string write_json(const std::string& directory) const;
+
+ private:
+  struct Row {
+    std::string section;
+    std::string label;
+    double measured = 0.0;
+    double paper = 0.0;
+  };
+  struct BenchmarkRun {
+    std::string name;
+    double real_time_seconds = 0.0;
+    double cpu_time_seconds = 0.0;
+    std::int64_t iterations = 0;
+  };
+
+  std::string name_;
+  double scale_ = 1.0;
+  std::string current_section_;
+  std::vector<Row> rows_;
+  std::vector<BenchmarkRun> benchmarks_;
+  MetricsRegistry metrics_;
+  PhaseTimer phases_;
+};
+
+}  // namespace torsim::obs

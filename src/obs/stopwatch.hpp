@@ -1,0 +1,60 @@
+// Wall-clock phase timing and peak-RSS sampling for *non-golden* perf
+// reports (the BENCH_*.json trajectory, --threads sweeps).
+//
+// This module is the torsim tree's single sanctioned wall-clock
+// reader: obs/stopwatch.cpp is the only file where detlint permits
+// std::chrono::steady_clock (the allowlist is path-scoped — a chrono
+// call anywhere else still fails the lint gate, see
+// docs/static-analysis.md). Nothing here may flow into a golden,
+// a CSV, a metrics registry, or a trace: wall time is ambient state,
+// so it is quarantined into the separate perf section of reports.
+// Sim-time observability lives in obs/metrics.hpp and obs/trace.hpp.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace torsim::obs {
+
+/// Monotonic wall-clock seconds since an arbitrary epoch.
+double wall_clock_seconds();
+
+/// The process's peak resident set size in bytes (getrusage), or 0
+/// when the platform does not report it.
+std::int64_t peak_rss_bytes();
+
+/// Accumulating named phase timers for a bench/CLI run:
+///   PhaseTimer timer;
+///   { PhaseTimer::Scope s = timer.scope("population"); build(); }
+/// Phases accumulate across repeated scopes; emission is name-ordered.
+class PhaseTimer {
+ public:
+  class Scope {
+   public:
+    Scope(PhaseTimer& timer, std::string name)
+        : timer_(timer), name_(std::move(name)),
+          start_(wall_clock_seconds()) {}
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope() { timer_.add(name_, wall_clock_seconds() - start_); }
+
+   private:
+    PhaseTimer& timer_;
+    std::string name_;
+    double start_;
+  };
+
+  Scope scope(std::string name) { return Scope(*this, std::move(name)); }
+  void add(const std::string& name, double seconds) {
+    phases_[name] += seconds;
+  }
+
+  const std::map<std::string, double>& phases() const { return phases_; }
+  double total_seconds() const;
+
+ private:
+  std::map<std::string, double> phases_;
+};
+
+}  // namespace torsim::obs

@@ -1,0 +1,78 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "obs/json.hpp"
+
+namespace torsim::obs {
+
+void TraceRecorder::complete(
+    std::string name, std::string category, util::UnixTime start,
+    util::Seconds duration,
+    std::vector<std::pair<std::string, std::int64_t>> args) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back({std::move(name), std::move(category), start, duration,
+                     /*instant=*/false, std::move(args)});
+}
+
+void TraceRecorder::instant(
+    std::string name, std::string category, util::UnixTime at,
+    std::vector<std::pair<std::string, std::int64_t>> args) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back({std::move(name), std::move(category), at, 0,
+                     /*instant=*/true, std::move(args)});
+}
+
+std::size_t TraceRecorder::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::string TraceRecorder::chrome_json() const {
+  std::vector<const TraceEvent*> ordered;
+  util::UnixTime epoch = std::numeric_limits<util::UnixTime>::max();
+  const std::lock_guard<std::mutex> lock(mu_);
+  ordered.reserve(events_.size());
+  for (const TraceEvent& event : events_) {
+    ordered.push_back(&event);
+    epoch = std::min(epoch, event.start);
+  }
+  if (ordered.empty()) epoch = 0;
+  // Stable sort by start time: ties keep record order, so the bytes
+  // are fixed by the recording sequence, not by any container layout.
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const TraceEvent* a, const TraceEvent* b) {
+                     return a->start < b->start;
+                   });
+
+  JsonWriter json;
+  json.begin_object();
+  json.key("displayTimeUnit").value("ms");
+  json.key("traceEvents").begin_array();
+  for (const TraceEvent* event : ordered) {
+    json.begin_object();
+    json.key("name").value(event->name);
+    json.key("cat").value(event->category);
+    json.key("ph").value(event->instant ? "i" : "X");
+    // Sim seconds -> trace-viewer microseconds, rebased to the first
+    // event. 1 sim second renders as 1 "microsecond" of trace time:
+    // viewers care about relative structure, and this keeps multi-week
+    // simulations inside comfortable viewer ranges.
+    json.key("ts").value(event->start - epoch);
+    if (!event->instant) json.key("dur").value(event->duration);
+    if (event->instant) json.key("s").value("g");
+    json.key("pid").value(static_cast<std::int64_t>(1));
+    json.key("tid").value(static_cast<std::int64_t>(1));
+    json.key("args").begin_object();
+    json.key("sim_time_utc").value(util::format_utc(event->start));
+    for (const auto& [key, value] : event->args) json.key(key).value(value);
+    json.end_object();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace torsim::obs

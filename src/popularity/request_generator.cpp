@@ -93,6 +93,13 @@ RequestStream RequestGenerator::generate(
             [](const DescriptorRequest& a, const DescriptorRequest& b) {
               return a.time < b.time;
             });
+  if (config_.metrics != nullptr) {
+    obs::MetricsRegistry& m = *config_.metrics;
+    m.counter("requests.real").inc(stream.real_requests);
+    m.counter("requests.phantom").inc(stream.phantom_requests);
+    m.counter("requests.real_ids").inc(stream.real_ids);
+    m.counter("requests.phantom_ids").inc(stream.phantom_ids);
+  }
   return stream;
 }
 

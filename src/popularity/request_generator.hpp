@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "crypto/digest.hpp"
+#include "obs/metrics.hpp"
 #include "population/population.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
@@ -38,6 +39,9 @@ struct RequestGeneratorConfig {
   /// the phantom pool draws no requests at all, so the pool multiple
   /// must sit well above the 23,010/6,113 = 3.8 headline ratio.
   double phantom_id_ratio = 8.0;
+  /// Optional metrics sink ("requests.*" counters). Must outlive the
+  /// generator. See docs/observability.md.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct RequestStream {

@@ -50,6 +50,13 @@ void DescriptorResolver::build_dictionary_from_onions(
   for (std::size_t i = 0; i < derived.size(); ++i)
     for (const crypto::DescriptorId& id : derived[i])
       dictionary_[id] = onions[i];
+  if (config_.metrics != nullptr) {
+    obs::MetricsRegistry& m = *config_.metrics;
+    m.counter("resolver.onions_derived")
+        .inc(static_cast<std::int64_t>(onions.size()));
+    m.gauge("resolver.dictionary_size")
+        .set(static_cast<std::int64_t>(dictionary_.size()));
+  }
 }
 
 ResolutionReport DescriptorResolver::resolve(
@@ -102,6 +109,19 @@ ResolutionReport DescriptorResolver::resolve_internal(
               if (a.requests != b.requests) return a.requests > b.requests;
               return a.onion < b.onion;
             });
+  if (config_.metrics != nullptr) {
+    obs::MetricsRegistry& m = *config_.metrics;
+    m.counter("resolver.requests_seen").inc(report.total_requests);
+    m.counter("resolver.requests_resolved").inc(report.resolved_requests);
+    m.counter("resolver.ids_resolved").inc(report.resolved_descriptor_ids);
+    m.counter("resolver.ids_unresolved")
+        .inc(report.unique_descriptor_ids - report.resolved_descriptor_ids);
+    obs::Histogram& per_onion = m.histogram(
+        "resolver.requests_per_onion",
+        {0, 1, 2, 5, 10, 25, 50, 100, 250, 1000});
+    for (const RankedService& row : report.ranking)
+      per_onion.observe(row.requests);
+  }
   return report;
 }
 

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "popularity/request_generator.hpp"
 
 namespace torsim::popularity {
@@ -26,6 +27,9 @@ struct ResolverConfig {
   /// path. The dictionary is bit-identical for every value (see
   /// docs/concurrency.md).
   int threads = 0;
+  /// Optional metrics sink ("resolver.*" counters). Must outlive the
+  /// resolver. See docs/observability.md.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// One row of the popularity ranking (Table II).

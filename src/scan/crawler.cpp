@@ -25,7 +25,8 @@ bool http_speaks(net::Protocol protocol) {
 CrawlReport Crawler::crawl(const population::Population& pop,
                            const ScanReport& scan) const {
   util::Rng rng(config_.seed);
-  const fault::FaultInjector injector(config_.faults);
+  fault::FaultInjector injector(config_.faults);
+  injector.set_metrics(config_.metrics);
   const int fault_attempts =
       injector.enabled() ? injector.retry().max_attempts : 1;
   const int revisits = std::max(1, config_.revisit_attempts);
@@ -127,6 +128,25 @@ CrawlReport Crawler::crawl(const population::Population& pop,
       dest.text.resize(dest.text.size() / 2);
     }
     report.pages.push_back(std::move(dest));
+  }
+
+  // The crawl is serial, but counters still summarise the finished
+  // report so a re-run of the same scenario emits identical totals.
+  if (config_.metrics != nullptr) {
+    obs::MetricsRegistry& m = *config_.metrics;
+    m.counter("crawl.destinations").inc(report.destinations);
+    m.counter("crawl.still_open").inc(report.still_open);
+    m.counter("crawl.connected").inc(report.connected);
+    m.counter("crawl.failed_timeout").inc(report.failed_timeout);
+    m.counter("crawl.failed_closed").inc(report.failed_closed);
+    m.counter("crawl.corrupt_pages").inc(report.corrupt_pages);
+    m.counter("crawl.recovered_by_revisit")
+        .inc(report.recovered_by_revisit);
+    obs::Histogram& text_bytes = m.histogram(
+        "crawl.page_text_bytes",
+        {0, 128, 512, 2048, 8192, 32768, 131072});
+    for (const content::CrawlDestination& page : report.pages)
+      text_bytes.observe(static_cast<std::int64_t>(page.text.size()));
   }
   return report;
 }

@@ -25,6 +25,9 @@ struct CrawlConfig {
   /// How many times a destination is visited before the crawler gives
   /// up on circuit-build failures (1 = single visit, legacy behaviour).
   int revisit_attempts = 1;
+  /// Optional metrics sink ("crawl.*" counters, "fault.*" via the
+  /// injector). Must outlive the crawl. See docs/observability.md.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct CrawlReport {

@@ -54,7 +54,8 @@ ScanReport PortScanner::scan(const population::Population& pop) const {
   // so raising a fault rate cannot reshuffle the base scenario.
   const util::Rng base(config_.seed);
   const ScanSchedule schedule = ScanSchedule::contiguous(config_.scan_days);
-  const fault::FaultInjector injector(config_.faults);
+  fault::FaultInjector injector(config_.faults);
+  injector.set_metrics(config_.metrics);
   const int max_attempts =
       injector.enabled() ? injector.retry().max_attempts : 1;
   const auto& services = pop.services();
@@ -188,6 +189,27 @@ ScanReport PortScanner::scan(const population::Population& pop) const {
           ? static_cast<double>(report.open_ports.total()) /
                 static_cast<double>(true_open_total)
           : 0.0;
+
+  // Serial section: counters summarise the already-merged report, so
+  // the totals are independent of config_.threads by construction.
+  if (config_.metrics != nullptr) {
+    obs::MetricsRegistry& m = *config_.metrics;
+    m.counter("scan.onions_scanned").inc(report.onions_scanned);
+    m.counter("scan.onions_with_open_ports")
+        .inc(report.onions_with_open_ports);
+    m.counter("scan.ports_open").inc(report.open_ports.total());
+    m.counter("scan.ports_timeout").inc(report.probe_timeouts);
+    m.counter("scan.ports_closed").inc(report.probes_closed);
+    m.counter("scan.probes_corrupt").inc(report.probes_corrupt);
+    m.counter("scan.probes_recovered").inc(report.probes_recovered);
+    obs::Histogram& per_service = m.histogram(
+        "scan.open_ports_per_onion", {0, 1, 2, 3, 5, 10, 20, 50});
+    for (const ServiceSweep& sweep : sweeps) {
+      if (!sweep.scanned) continue;
+      per_service.observe(
+          static_cast<std::int64_t>(sweep.observations.size()));
+    }
+  }
   return report;
 }
 

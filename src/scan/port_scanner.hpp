@@ -16,6 +16,7 @@
 
 #include "fault/injector.hpp"
 #include "net/service.hpp"
+#include "obs/metrics.hpp"
 #include "population/population.hpp"
 #include "stats/histogram.hpp"
 #include "util/rng.hpp"
@@ -37,6 +38,9 @@ struct ScanConfig {
   /// retryable fault are re-tried under the plan's RetryPolicy; see
   /// docs/fault-injection.md.
   fault::FaultPlan faults{};
+  /// Optional metrics sink ("scan.*" counters, "fault.*" via the
+  /// injector). Must outlive the scan. See docs/observability.md.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// One per-destination observation.

@@ -13,9 +13,11 @@ World::World(WorldConfig config)
       clock_(config.start != 0 ? config.start : default_start_time()),
       rng_(config.seed),
       authority_(config.authority_policy),
-      dirnet_(hsdir::DirectoryNetworkConfig{.threads = config.threads}) {
+      dirnet_(hsdir::DirectoryNetworkConfig{.threads = config.threads,
+                                            .metrics = config.metrics}) {
   if (config_.faults.enabled()) {
     injector_ = std::make_unique<fault::FaultInjector>(config_.faults);
+    injector_->set_metrics(config_.metrics);
     dirnet_.set_fault_injector(injector_.get());
   }
   bootstrap();
@@ -78,15 +80,34 @@ void World::rebuild_consensus() {
     if (archive_.empty() || consensus_.valid_after() > archive_.last_time())
       archive_.add(consensus_);
   }
+  if (config_.metrics != nullptr) {
+    obs::MetricsRegistry& m = *config_.metrics;
+    m.counter("sim.consensus_rebuilds").inc();
+    m.gauge("sim.consensus_relays")
+        .set(static_cast<std::int64_t>(consensus_.entries().size()));
+  }
   if (post_consensus_hook_) post_consensus_hook_(*this);
 }
 
 void World::step_hour() {
+  // Constructed before the clock moves, so the span covers the full
+  // simulated hour [t, t+3600] rather than a zero-length tick.
+  TRACE_SPAN(config_.trace, clock_, "step_hour");
   clock_.advance(util::kSecondsPerHour);
   apply_churn();
   rebuild_consensus();
   publish_services();
   dirnet_.expire_all(clock_.now());
+  if (config_.metrics != nullptr) {
+    obs::MetricsRegistry& m = *config_.metrics;
+    m.counter("sim.hours_stepped").inc();
+    std::int64_t online = 0;
+    for (const relay::Relay& r : registry_.all())
+      if (r.online()) ++online;
+    m.gauge("sim.relays_online").set(online);
+    m.gauge("sim.hsdir_count")
+        .set(static_cast<std::int64_t>(consensus_.hsdir_count()));
+  }
 }
 
 void World::run_hours(int hours) {

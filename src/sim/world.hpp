@@ -13,6 +13,8 @@
 #include "hs/client.hpp"
 #include "hs/service_host.hpp"
 #include "hsdir/directory_network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "relay/registry.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
@@ -47,6 +49,13 @@ struct WorldConfig {
   /// world owns a FaultInjector and wires it into the directory network;
   /// see docs/fault-injection.md.
   fault::FaultPlan faults{};
+  /// Optional metrics sink ("sim.*" counters/gauges; forwarded to the
+  /// directory network and fault injector). Must outlive the world.
+  /// See docs/observability.md.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Optional sim-time trace sink: step_hour() records one span per
+  /// hour against the world clock. Must outlive the world.
+  obs::TraceRecorder* trace = nullptr;
 };
 
 class World {

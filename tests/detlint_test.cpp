@@ -91,6 +91,29 @@ TEST(DetlintBannedCall, RandomDeviceAllowedOnlyInRngImpl) {
   EXPECT_FALSE(has_check(scan(code, "src/util/rng.cpp"), "banned-call"));
 }
 
+TEST(DetlintBannedCall, SteadyClockAllowedOnlyInObsStopwatch) {
+  const std::string code =
+      "auto t = std::chrono::steady_clock::now();\n";
+  EXPECT_TRUE(has_check(scan(code, "src/sim/world.cpp"), "banned-call"));
+  EXPECT_TRUE(has_check(scan(code, "src/obs/metrics.cpp"), "banned-call"));
+  EXPECT_FALSE(
+      has_check(scan(code, "src/obs/stopwatch.cpp"), "banned-call"));
+  EXPECT_FALSE(
+      has_check(scan(code, "src/obs/stopwatch.hpp"), "banned-call"));
+}
+
+TEST(DetlintBannedCall, StopwatchExemptionIsSteadyClockOnly) {
+  // The wall-clock module may not reach for the system clock or an
+  // entropy source — only steady_clock is allowlisted there.
+  EXPECT_TRUE(has_check(
+      scan("auto t = std::chrono::system_clock::now();\n",
+           "src/obs/stopwatch.cpp"),
+      "banned-call"));
+  EXPECT_TRUE(has_check(scan("std::random_device rd;\n",
+                             "src/obs/stopwatch.cpp"),
+                        "banned-call"));
+}
+
 // --- unordered-iter ---------------------------------------------------
 
 TEST(DetlintUnorderedIter, FlagsRangeForOverUnorderedMap) {

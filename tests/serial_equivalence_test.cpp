@@ -11,8 +11,12 @@
 #include <string>
 #include <vector>
 
+#include "attack/harvester.hpp"
 #include "content/pipeline.hpp"
 #include "dirauth/authority.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sim/world.hpp"
 #include "popularity/request_generator.hpp"
 #include "popularity/resolver.hpp"
 #include "relay/registry.hpp"
@@ -259,6 +263,60 @@ TEST(SerialEquivalenceTest, Tab2DictionaryEntriesIdentical) {
       popularity::ResolverConfig{.threads = 1});
   probe.build_dictionary_from_onions(onions);
   EXPECT_EQ(probe.dictionary_size(), serial.dictionary_size());
+}
+
+// ---------------------------------------------------------------------
+// Observability: the metrics registry and the sim-time trace are part
+// of the determinism contract — the emitted bytes must not depend on
+// the thread count (ISSUE 4 acceptance: byte-identical at 1/4/8).
+// ---------------------------------------------------------------------
+
+std::pair<std::string, std::string> scan_metrics_bytes(int threads) {
+  obs::MetricsRegistry metrics;
+  scan::PortScanner scanner(scan::ScanConfig{
+      .seed = 4242, .threads = threads, .metrics = &metrics});
+  scanner.scan(test_population());
+  return {metrics.to_text(), metrics.to_json()};
+}
+
+TEST(SerialEquivalenceTest, ScanMetricsByteIdenticalAcrossThreads) {
+  const auto serial = scan_metrics_bytes(1);
+  EXPECT_FALSE(serial.first.empty());
+  for (int threads : {4, 8}) {
+    const auto parallel = scan_metrics_bytes(threads);
+    EXPECT_EQ(serial.first, parallel.first) << threads << " threads";
+    EXPECT_EQ(serial.second, parallel.second) << threads << " threads";
+  }
+}
+
+std::pair<std::string, std::string> harvest_obs_bytes(int threads) {
+  obs::MetricsRegistry metrics;
+  obs::TraceRecorder trace;
+  sim::WorldConfig wc;
+  wc.seed = 99;
+  wc.honest_relays = 120;
+  wc.threads = threads;
+  wc.metrics = &metrics;
+  wc.trace = &trace;
+  sim::World world(wc);
+  for (int i = 0; i < 12; ++i) world.add_service();
+  attack::ShadowHarvester harvester(attack::HarvesterConfig{
+      .num_ips = 2, .relays_per_ip = 4, .metrics = &metrics,
+      .trace = &trace});
+  harvester.deploy(world);
+  harvester.run(world, 6);
+  return {metrics.to_json(), trace.chrome_json()};
+}
+
+TEST(SerialEquivalenceTest, HarvestMetricsAndTraceByteIdentical) {
+  const auto serial = harvest_obs_bytes(1);
+  EXPECT_NE(serial.second.find("step_hour"), std::string::npos);
+  EXPECT_NE(serial.second.find("harvest.ripen"), std::string::npos);
+  for (int threads : {4, 8}) {
+    const auto parallel = harvest_obs_bytes(threads);
+    EXPECT_EQ(serial.first, parallel.first) << threads << " threads";
+    EXPECT_EQ(serial.second, parallel.second) << threads << " threads";
+  }
 }
 
 // ---------------------------------------------------------------------

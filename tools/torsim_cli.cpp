@@ -22,6 +22,8 @@
 #include "dirspec/consensus_doc.hpp"
 #include "fault/plan.hpp"
 #include "geo/client_map.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "popularity/botnet_inference.hpp"
 #include "popularity/request_generator.hpp"
 #include "popularity/resolver.hpp"
@@ -32,6 +34,7 @@
 #include "stats/histogram.hpp"
 #include "trackdet/scenario.hpp"
 #include "util/csv.hpp"
+#include "util/logging.hpp"
 
 namespace {
 
@@ -49,8 +52,27 @@ struct Options {
   int threads = 0;
   /// Injected-fault plan (--faults mild|moderate|severe|k=v,...).
   fault::FaultPlan faults{};
+  /// Deterministic-metrics JSON destination (--metrics-out FILE).
+  std::string metrics_out;
+  /// Chrome trace_event JSON destination (--trace-out FILE).
+  std::string trace_out;
   std::vector<std::string> positional;
+
+  /// Wired by main() when --metrics-out / --trace-out are given; the
+  /// commands thread these into their component configs.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::TraceRecorder* trace = nullptr;
 };
+
+util::LogLevel parse_log_level(const std::string& text) {
+  if (text == "debug") return util::LogLevel::kDebug;
+  if (text == "info") return util::LogLevel::kInfo;
+  if (text == "warn") return util::LogLevel::kWarn;
+  if (text == "error") return util::LogLevel::kError;
+  if (text == "off") return util::LogLevel::kOff;
+  throw std::invalid_argument("unknown log level '" + text +
+                              "' (expected debug|info|warn|error|off)");
+}
 
 Options parse_options(int argc, char** argv, int first) {
   Options opt;
@@ -70,6 +92,9 @@ Options parse_options(int argc, char** argv, int first) {
     else if (arg == "--hours") opt.hours = std::stoi(next());
     else if (arg == "--threads") opt.threads = std::stoi(next());
     else if (arg == "--faults") opt.faults = fault::FaultPlan::parse(next());
+    else if (arg == "--metrics-out") opt.metrics_out = next();
+    else if (arg == "--trace-out") opt.trace_out = next();
+    else if (arg == "--log-level") util::set_log_level(parse_log_level(next()));
     else if (!arg.empty() && arg[0] == '-')
       throw std::invalid_argument("unknown option " + arg);
     else opt.positional.push_back(arg);
@@ -91,7 +116,8 @@ int cmd_scan(const Options& opt) {
                                              .probe_timeout_probability =
                                                  0.02,
                                              .threads = opt.threads,
-                                             .faults = opt.faults});
+                                             .faults = opt.faults,
+                                             .metrics = opt.metrics});
   const auto report = scanner.scan(pop);
   std::printf("scanned %lld onions (descriptors available), found %lld open "
               "ports on %lld of them (coverage %.0f%%)\n",
@@ -135,13 +161,15 @@ int cmd_scan(const Options& opt) {
 
 int cmd_crawl(const Options& opt) {
   const auto pop = make_population(opt);
-  scan::PortScanner scanner(
-      scan::ScanConfig{.threads = opt.threads, .faults = opt.faults});
+  scan::PortScanner scanner(scan::ScanConfig{.threads = opt.threads,
+                                             .faults = opt.faults,
+                                             .metrics = opt.metrics});
   const auto scan_report = scanner.scan(pop);
   scan::Crawler crawler(scan::CrawlConfig{
       .faults = opt.faults,
       .revisit_attempts =
-          opt.faults.enabled() ? opt.faults.retry.max_attempts : 1});
+          opt.faults.enabled() ? opt.faults.retry.max_attempts : 1,
+      .metrics = opt.metrics});
   const auto crawl = crawler.crawl(pop, scan_report);
   std::printf("destinations %lld -> still open %lld -> connected %lld "
               "(failed: %lld timeout, %lld closed)\n",
@@ -174,13 +202,15 @@ int cmd_crawl(const Options& opt) {
 
 int cmd_classify(const Options& opt) {
   const auto pop = make_population(opt);
-  scan::PortScanner scanner(
-      scan::ScanConfig{.threads = opt.threads, .faults = opt.faults});
+  scan::PortScanner scanner(scan::ScanConfig{.threads = opt.threads,
+                                             .faults = opt.faults,
+                                             .metrics = opt.metrics});
   const auto scan_report = scanner.scan(pop);
   scan::Crawler crawler(scan::CrawlConfig{
       .faults = opt.faults,
       .revisit_attempts =
-          opt.faults.enabled() ? opt.faults.retry.max_attempts : 1});
+          opt.faults.enabled() ? opt.faults.retry.max_attempts : 1,
+      .metrics = opt.metrics});
   const auto crawl = crawler.crawl(pop, scan_report);
   util::Rng rng(opt.seed + 2);
   const auto classifier = content::TopicClassifier::make_default(rng);
@@ -213,11 +243,11 @@ int cmd_classify(const Options& opt) {
 
 int cmd_popularity(const Options& opt) {
   const auto pop = make_population(opt);
-  popularity::RequestGenerator generator(
-      popularity::RequestGeneratorConfig{.seed = opt.seed + 3});
+  popularity::RequestGenerator generator(popularity::RequestGeneratorConfig{
+      .seed = opt.seed + 3, .metrics = opt.metrics});
   const auto stream = generator.generate(pop);
-  popularity::DescriptorResolver resolver(
-      popularity::ResolverConfig{.threads = opt.threads});
+  popularity::DescriptorResolver resolver(popularity::ResolverConfig{
+      .threads = opt.threads, .metrics = opt.metrics});
   resolver.build_dictionary(pop);
   const auto report = resolver.resolve(stream, pop);
   std::printf("%lld requests, %lld unique ids, %lld resolved to %lld onions "
@@ -248,11 +278,11 @@ int cmd_popularity(const Options& opt) {
 
 int cmd_botnet(const Options& opt) {
   const auto pop = make_population(opt);
-  popularity::RequestGenerator generator(
-      popularity::RequestGeneratorConfig{.seed = opt.seed + 3});
+  popularity::RequestGenerator generator(popularity::RequestGeneratorConfig{
+      .seed = opt.seed + 3, .metrics = opt.metrics});
   const auto stream = generator.generate(pop);
-  popularity::DescriptorResolver resolver(
-      popularity::ResolverConfig{.threads = opt.threads});
+  popularity::DescriptorResolver resolver(popularity::ResolverConfig{
+      .threads = opt.threads, .metrics = opt.metrics});
   resolver.build_dictionary(pop);
   const auto ranking = resolver.resolve(stream, pop);
   const auto report = popularity::infer_botnet_infrastructure(ranking, pop);
@@ -277,6 +307,8 @@ int cmd_harvest(const Options& opt) {
   wc.honest_relays = 300;
   wc.threads = opt.threads;
   wc.faults = opt.faults;
+  wc.metrics = opt.metrics;
+  wc.trace = opt.trace;
   sim::World world(wc);
   std::set<std::string> truth;
   for (int i = 0; i < 80; ++i)
@@ -284,6 +316,8 @@ int cmd_harvest(const Options& opt) {
   attack::HarvesterConfig hc;
   hc.num_ips = opt.ips;
   hc.relays_per_ip = opt.relays;
+  hc.metrics = opt.metrics;
+  hc.trace = opt.trace;
   attack::ShadowHarvester harvester(hc);
   harvester.deploy(world);
   const auto report = harvester.run(world, 24);
@@ -330,6 +364,8 @@ int cmd_consensus(const Options& opt) {
   wc.honest_relays = 100;
   wc.threads = opt.threads;
   wc.faults = opt.faults;
+  wc.metrics = opt.metrics;
+  wc.trace = opt.trace;
   sim::World world(wc);
   world.run_hours(opt.hours);
   const auto text = dirspec::render_archive(world.archive());
@@ -353,14 +389,16 @@ int cmd_report(const Options& opt) {
   // Full pipeline at the requested scale, emitted as a measured-vs-paper
   // markdown report (the generator behind EXPERIMENTS.md).
   const auto pop = make_population(opt);
-  scan::PortScanner scanner(
-      scan::ScanConfig{.threads = opt.threads, .faults = opt.faults});
+  scan::PortScanner scanner(scan::ScanConfig{.threads = opt.threads,
+                                             .faults = opt.faults,
+                                             .metrics = opt.metrics});
   const auto scan_report = scanner.scan(pop);
   const auto certs = scan::analyse_certificates(pop, scan_report);
   scan::Crawler crawler(scan::CrawlConfig{
       .faults = opt.faults,
       .revisit_attempts =
-          opt.faults.enabled() ? opt.faults.retry.max_attempts : 1});
+          opt.faults.enabled() ? opt.faults.retry.max_attempts : 1,
+      .metrics = opt.metrics});
   const auto crawl = crawler.crawl(pop, scan_report);
   util::Rng rng(opt.seed + 2);
   const auto classifier = content::TopicClassifier::make_default(rng);
@@ -368,11 +406,11 @@ int cmd_report(const Options& opt) {
                                     content::LanguageDetector::instance(),
                                     {.threads = opt.threads});
   const auto content_report = pipeline.run(crawl.pages);
-  popularity::RequestGenerator generator(
-      popularity::RequestGeneratorConfig{.seed = opt.seed + 3});
+  popularity::RequestGenerator generator(popularity::RequestGeneratorConfig{
+      .seed = opt.seed + 3, .metrics = opt.metrics});
   const auto stream = generator.generate(pop);
-  popularity::DescriptorResolver resolver(
-      popularity::ResolverConfig{.threads = opt.threads});
+  popularity::DescriptorResolver resolver(popularity::ResolverConfig{
+      .threads = opt.threads, .metrics = opt.metrics});
   resolver.build_dictionary(pop);
   const auto resolution = resolver.resolve(stream, pop);
 
@@ -479,6 +517,20 @@ int cmd_geoip(const Options& opt) {
   return 0;
 }
 
+/// Writes `text` to `path`; returns 0 or prints an error and returns 1.
+int write_text_file(const std::string& path, const std::string& text,
+                    const char* what) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  std::fputs(text.c_str(), f);
+  std::fclose(f);
+  std::printf("wrote %s to %s\n", what, path.c_str());
+  return 0;
+}
+
 void usage() {
   std::fprintf(
       stderr,
@@ -497,12 +549,18 @@ void usage() {
       "  geoip       look up synthetic GeoIP for addresses\n\n"
       "options: --scale S --seed N --csv FILE --out FILE --ips N "
       "--relays M --hours N --threads T --faults SPEC\n"
+      "         --metrics-out FILE --trace-out FILE --log-level LEVEL\n"
       "  --threads T   fan-out workers (0 = one per hardware thread,\n"
       "                1 = serial; results are identical either way)\n"
       "  --faults SPEC inject connection/directory faults: a profile\n"
       "                (mild, moderate, severe) or k=v pairs, e.g.\n"
       "                drop=0.05,timeout=0.1,retries=4 — see\n"
-      "                docs/fault-injection.md\n");
+      "                docs/fault-injection.md\n"
+      "  --metrics-out FILE  deterministic metrics JSON (byte-identical\n"
+      "                for every --threads value; docs/observability.md)\n"
+      "  --trace-out FILE    sim-time Chrome trace_event JSON (open in\n"
+      "                chrome://tracing or Perfetto)\n"
+      "  --log-level LEVEL   debug|info|warn|error|off (default warn)\n");
 }
 
 }  // namespace
@@ -514,26 +572,49 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   try {
-    const Options opt = parse_options(argc, argv, 2);
+    Options opt = parse_options(argc, argv, 2);
     // Only geoip takes positional operands; anywhere else a stray word
     // is almost certainly a typo'd flag value, so fail loudly instead
     // of silently ignoring it.
     if (command != "geoip" && !opt.positional.empty())
       throw std::invalid_argument("unexpected argument '" +
                                   opt.positional.front() + "'");
-    if (command == "scan") return cmd_scan(opt);
-    if (command == "crawl") return cmd_crawl(opt);
-    if (command == "classify") return cmd_classify(opt);
-    if (command == "popularity") return cmd_popularity(opt);
-    if (command == "botnet") return cmd_botnet(opt);
-    if (command == "harvest") return cmd_harvest(opt);
-    if (command == "trackdet") return cmd_trackdet(opt);
-    if (command == "consensus") return cmd_consensus(opt);
-    if (command == "report") return cmd_report(opt);
-    if (command == "geoip") return cmd_geoip(opt);
-    std::fprintf(stderr, "error: unknown command '%s'\n\n", command.c_str());
-    usage();
-    return 1;
+
+    // Observability sinks live here so every command shares the same
+    // export path; the registries outlive all components they observe.
+    obs::MetricsRegistry metrics;
+    obs::TraceRecorder trace;
+    if (!opt.metrics_out.empty()) opt.metrics = &metrics;
+    if (!opt.trace_out.empty()) opt.trace = &trace;
+
+    const auto dispatch = [&]() -> int {
+      if (command == "scan") return cmd_scan(opt);
+      if (command == "crawl") return cmd_crawl(opt);
+      if (command == "classify") return cmd_classify(opt);
+      if (command == "popularity") return cmd_popularity(opt);
+      if (command == "botnet") return cmd_botnet(opt);
+      if (command == "harvest") return cmd_harvest(opt);
+      if (command == "trackdet") return cmd_trackdet(opt);
+      if (command == "consensus") return cmd_consensus(opt);
+      if (command == "report") return cmd_report(opt);
+      if (command == "geoip") return cmd_geoip(opt);
+      return -1;
+    };
+    const int rc = dispatch();
+    if (rc == -1) {
+      std::fprintf(stderr, "error: unknown command '%s'\n\n",
+                   command.c_str());
+      usage();
+      return 1;
+    }
+    if (rc != 0) return rc;
+    if (opt.metrics != nullptr &&
+        write_text_file(opt.metrics_out, metrics.to_json(), "metrics") != 0)
+      return 1;
+    if (opt.trace != nullptr &&
+        write_text_file(opt.trace_out, trace.chrome_json(), "trace") != 0)
+      return 1;
+    return 0;
   } catch (const std::exception& error) {
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;
