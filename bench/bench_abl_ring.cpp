@@ -15,7 +15,10 @@
 
 #include "attack/grinding.hpp"
 #include "crypto/digest.hpp"
+#include "dirauth/consensus.hpp"
+#include "dirauth/ring_cache.hpp"
 #include "stats/descriptive.hpp"
+#include "util/memo.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -49,6 +52,42 @@ void BM_GrindToBeatRing(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GrindToBeatRing)->Arg(100)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+// A synthetic consensus of `n` HSDir relays with random fingerprints —
+// the ring every publish/fetch walks.
+dirauth::Consensus make_ring_consensus(int n) {
+  util::Rng rng(72);
+  std::vector<dirauth::ConsensusEntry> entries;
+  entries.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    dirauth::ConsensusEntry e;
+    e.relay = static_cast<relay::RelayId>(i + 1);
+    rng.fill_bytes(e.fingerprint.data(), e.fingerprint.size());
+    e.flags = dirauth::with_flag(0, dirauth::Flag::kHSDir);
+    entries.push_back(e);
+  }
+  return {0, std::move(entries)};
+}
+
+// Ring-lookup microbench: the fetch-path responsible-set resolution
+// through dirauth::ResponsibleSetCache with the memo cache forced off
+// (cache:0 — every call re-walks the ring) vs on (cache:1 — walks are
+// memoized until the consensus generation changes). The resolved sets
+// are identical in both modes (docs/performance.md).
+void BM_RingLookup(benchmark::State& state) {
+  const util::MemoEnabledGuard cache_guard(state.range(0) != 0);
+  const dirauth::Consensus consensus = make_ring_consensus(1300);
+  util::Rng rng(73);
+  std::vector<crypto::DescriptorId> ids(1024);
+  for (auto& id : ids) rng.fill_bytes(id.data(), id.size());
+  dirauth::ResponsibleSetCache cache;
+  for (auto _ : state) {
+    std::size_t sink = 0;
+    for (const auto& id : ids) sink += cache.responsible(consensus, id).count;
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_RingLookup)->Arg(0)->Arg(1)->ArgName("cache");
 
 void print_ablation() {
   std::printf("\n==== Ablation — distance ratio: honest vs positioned ====\n");

@@ -7,9 +7,12 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
+#include "crypto/digest.hpp"
 #include "popularity/botnet_inference.hpp"
 #include "popularity/request_generator.hpp"
 #include "popularity/resolver.hpp"
+#include "util/memo.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
@@ -51,6 +54,33 @@ void BM_GenerateRequests(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GenerateRequests)->Unit(benchmark::kMillisecond);
+
+// Descriptor-ID-derivation microbench: the resolver-shaped hot loop
+// (services x days x replicas) with the memo cache forced off (cache:0)
+// vs on (cache:1). The derived IDs are identical in both modes — the
+// cache contract (docs/performance.md) — so only the timings differ,
+// and they land in the benchmarks section, never in the rows goldens.
+void BM_DeriveDescriptorIds(benchmark::State& state) {
+  const util::MemoEnabledGuard cache_guard(state.range(0) != 0);
+  util::Rng rng(42);
+  std::vector<crypto::PermanentId> pids(512);
+  for (auto& pid : pids) rng.fill_bytes(pid.data(), pid.size());
+  const util::UnixTime t0 = util::make_utc(2013, 2, 4);
+  for (auto _ : state) {
+    std::uint32_t sink = 0;
+    for (const auto& pid : pids) {
+      for (int day = 0; day < 3; ++day) {
+        const std::uint32_t period =
+            crypto::time_period(t0 + day * util::kSecondsPerDay, pid);
+        const auto ids = crypto::descriptor_ids_for_period(pid, period);
+        sink ^= static_cast<std::uint32_t>(ids[0][0]) ^
+                static_cast<std::uint32_t>(ids[1][19]);
+      }
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_DeriveDescriptorIds)->Arg(0)->Arg(1)->ArgName("cache");
 
 // Serial-vs-parallel sweep over the multi-day descriptor-ID derivation
 // (the Sec. V dictionary): the argument is the `threads` knob. The

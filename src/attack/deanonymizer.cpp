@@ -36,9 +36,10 @@ int ClientDeanonymizer::position_hsdirs(sim::World& world,
   const util::UnixTime aged_start = now - 26 * util::kSecondsPerHour;
   int repositioned = 0;
   std::size_t slot = 0;
+  const auto desc_ids =
+      crypto::descriptor_ids_for_period(target.permanent_id(), period);
   for (std::uint8_t replica = 0; replica < crypto::kNumReplicas; ++replica) {
-    const auto desc_id =
-        crypto::descriptor_id(target.permanent_id(), period, replica);
+    const auto& desc_id = desc_ids[replica];
     for (int k = 0; k < config_.hsdirs_per_replica; ++k) {
       auto ground = grind_key_after(desc_id, config_.grind_ring_fraction *
                                                  static_cast<double>(k + 1),

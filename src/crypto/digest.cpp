@@ -23,7 +23,11 @@ std::string onion_address_full(const PermanentId& id) {
 }
 
 PermanentId parse_onion_address(std::string_view address) {
-  if (util::ends_with(address, ".onion"))
+  // Addresses are matched case-insensitively end to end: the base32
+  // decoder accepts both cases, so the ".onion" suffix must too —
+  // "ABC...XYZ.ONION" and "abc...xyz.onion" are the same service.
+  if (address.size() >= 6 &&
+      util::to_lower(address.substr(address.size() - 6)) == ".onion")
     address.remove_suffix(6);
   if (address.size() != 16)
     throw std::invalid_argument("parse_onion_address: need 16 base32 chars");
@@ -44,8 +48,80 @@ std::uint32_t time_period(util::UnixTime t, const PermanentId& id) {
       (static_cast<std::uint64_t>(t) + offset) / 86400ULL);
 }
 
-Sha1Digest secret_id_part(std::uint32_t period, std::uint8_t replica,
-                          std::span<const std::uint8_t> cookie) {
+namespace {
+
+// --- Derivation memo caches ------------------------------------------
+//
+// Pure value tables over the rend-spec arithmetic above: a hit returns
+// exactly what the miss path computes, so caching can only skip hashing,
+// never change a result. Shards are thread_local (no locks, no sharing)
+// and self-invalidate against util::memo_epoch(); hit/miss totals are
+// process-wide relaxed atomics (bench telemetry only, see memo.hpp).
+// Only empty-cookie derivations are cacheable — authenticated services
+// mix in an unbounded secret, and their requests are meant to stay
+// expensive/unresolvable anyway.
+
+struct DerivationKey {
+  PermanentId id{};
+  std::uint32_t period = 0;
+  std::uint8_t replica = 0;
+  bool operator==(const DerivationKey&) const = default;
+};
+
+struct DerivationKeyHash {
+  std::uint64_t operator()(const DerivationKey& key) const {
+    std::uint64_t h = util::memo_mix_bytes(key.id.data(), key.id.size());
+    return util::memo_mix_u64(
+        h, (static_cast<std::uint64_t>(key.period) << 8) | key.replica);
+  }
+};
+
+struct SecretKey {
+  std::uint32_t period = 0;
+  std::uint8_t replica = 0;
+  bool operator==(const SecretKey&) const = default;
+};
+
+struct SecretKeyHash {
+  std::uint64_t operator()(const SecretKey& key) const {
+    return util::memo_mix_u64(
+        1469598103934665603ULL,
+        (static_cast<std::uint64_t>(key.period) << 8) | key.replica);
+  }
+};
+
+util::CacheCounters& derivation_counters() {
+  static util::CacheCounters counters;
+  return counters;
+}
+
+util::CacheCounters& secret_counters() {
+  static util::CacheCounters counters;
+  return counters;
+}
+
+struct DerivationShard {
+  util::MemoTable<DerivationKey, DescriptorId, DerivationKeyHash> ids{4096};
+  util::MemoTable<SecretKey, Sha1Digest, SecretKeyHash> secrets{64};
+  std::uint64_t epoch = 0;
+};
+
+DerivationShard& shard() {
+  thread_local DerivationShard local;
+  const std::uint64_t epoch = util::memo_epoch();
+  if (local.epoch != epoch) {
+    local.ids.clear();
+    local.secrets.clear();
+    local.epoch = epoch;
+  }
+  return local;
+}
+
+// Midstate over INT4(period) || cookie — everything of secret-id-part
+// except the trailing replica byte. Copy the returned hasher to fork it
+// per replica.
+Sha1 secret_midstate(std::uint32_t period,
+                     std::span<const std::uint8_t> cookie) {
   Sha1 hasher;
   const std::array<std::uint8_t, 4> period_bytes = {
       static_cast<std::uint8_t>(period >> 24),
@@ -54,19 +130,95 @@ Sha1Digest secret_id_part(std::uint32_t period, std::uint8_t replica,
       static_cast<std::uint8_t>(period)};
   hasher.update(std::span<const std::uint8_t>(period_bytes));
   hasher.update(cookie);
+  return hasher;
+}
+
+Sha1Digest finish_secret(Sha1 midstate, std::uint8_t replica) {
   const std::array<std::uint8_t, 1> replica_byte = {replica};
-  hasher.update(std::span<const std::uint8_t>(replica_byte));
+  midstate.update(std::span<const std::uint8_t>(replica_byte));
+  return midstate.finalize();
+}
+
+DescriptorId combine_descriptor_id(const PermanentId& id,
+                                   const Sha1Digest& secret) {
+  Sha1 hasher;
+  hasher.update(std::span<const std::uint8_t>(id));
+  hasher.update(std::span<const std::uint8_t>(secret));
   return hasher.finalize();
+}
+
+}  // namespace
+
+Sha1Digest secret_id_part(std::uint32_t period, std::uint8_t replica,
+                          std::span<const std::uint8_t> cookie) {
+  if (cookie.empty() && util::memo_enabled()) {
+    DerivationShard& local = shard();
+    const SecretKey key{period, replica};
+    if (const Sha1Digest* hit = local.secrets.find(key)) {
+      secret_counters().hit();
+      return *hit;
+    }
+    secret_counters().miss();
+    const Sha1Digest secret = finish_secret(secret_midstate(period, {}), replica);
+    if (local.secrets.store(key, secret)) secret_counters().evict();
+    return secret;
+  }
+  return finish_secret(secret_midstate(period, cookie), replica);
 }
 
 DescriptorId descriptor_id(const PermanentId& id, std::uint32_t period,
                            std::uint8_t replica,
                            std::span<const std::uint8_t> cookie) {
-  const Sha1Digest secret = secret_id_part(period, replica, cookie);
-  Sha1 hasher;
-  hasher.update(std::span<const std::uint8_t>(id));
-  hasher.update(std::span<const std::uint8_t>(secret));
-  return hasher.finalize();
+  if (cookie.empty() && util::memo_enabled()) {
+    DerivationShard& local = shard();
+    const DerivationKey key{id, period, replica};
+    if (const DescriptorId* hit = local.ids.find(key)) {
+      derivation_counters().hit();
+      return *hit;
+    }
+    derivation_counters().miss();
+    const DescriptorId result =
+        combine_descriptor_id(id, secret_id_part(period, replica));
+    if (local.ids.store(key, result)) derivation_counters().evict();
+    return result;
+  }
+  return combine_descriptor_id(id, secret_id_part(period, replica, cookie));
+}
+
+std::array<DescriptorId, kNumReplicas> descriptor_ids_for_period(
+    const PermanentId& id, std::uint32_t period,
+    std::span<const std::uint8_t> cookie) {
+  std::array<DescriptorId, kNumReplicas> out{};
+  if (cookie.empty() && util::memo_enabled()) {
+    // The cached path: the secret table already amortizes the shared
+    // midstate across replicas (and across every service in the same
+    // period), so route through the per-replica cache.
+    for (int replica = 0; replica < kNumReplicas; ++replica)
+      out[static_cast<std::size_t>(replica)] =
+          descriptor_id(id, period, static_cast<std::uint8_t>(replica));
+    return out;
+  }
+  // Uncached path: absorb INT4(period) || cookie once, fork the SHA-1
+  // midstate per replica. Streams the same bytes as independent
+  // derivations, so the digests are identical.
+  const Sha1 midstate = secret_midstate(period, cookie);
+  for (int replica = 0; replica < kNumReplicas; ++replica) {
+    const Sha1Digest secret =
+        finish_secret(midstate, static_cast<std::uint8_t>(replica));
+    out[static_cast<std::size_t>(replica)] = combine_descriptor_id(id, secret);
+  }
+  return out;
+}
+
+util::CacheStats derivation_cache_stats() {
+  return derivation_counters().snapshot();
+}
+
+util::CacheStats secret_cache_stats() { return secret_counters().snapshot(); }
+
+void reset_derivation_cache_stats() {
+  derivation_counters().reset();
+  secret_counters().reset();
 }
 
 util::Seconds seconds_until_rotation(util::UnixTime t, const PermanentId& id) {

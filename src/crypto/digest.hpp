@@ -17,6 +17,7 @@
 #include <string_view>
 
 #include "crypto/sha1.hpp"
+#include "util/memo.hpp"
 #include "util/time.hpp"
 
 namespace torsim::crypto {
@@ -43,6 +44,8 @@ std::string onion_address(const PermanentId& id);
 std::string onion_address_full(const PermanentId& id);
 
 /// Parses a 16-char base32 onion address (with or without ".onion").
+/// Matching is case-insensitive throughout — base32 body and suffix
+/// alike — so encode(decode(addr)) canonicalizes to lowercase.
 /// Throws std::invalid_argument on malformed input.
 PermanentId parse_onion_address(std::string_view address);
 
@@ -59,9 +62,38 @@ Sha1Digest secret_id_part(std::uint32_t period, std::uint8_t replica,
                           std::span<const std::uint8_t> cookie = {});
 
 /// descriptor-id = SHA1(permanent-id || secret-id-part).
+///
+/// Public-service derivations (empty cookie) are served from a
+/// process-wide, thread_local-sharded memo cache when util::memo_enabled()
+/// — a pure value table, so results are byte-identical cache-on vs
+/// cache-off (docs/performance.md). Cookie-bearing derivations always
+/// compute directly (their key domain is unbounded and secret).
 DescriptorId descriptor_id(const PermanentId& id, std::uint32_t period,
                            std::uint8_t replica,
                            std::span<const std::uint8_t> cookie = {});
+
+/// Both replicas' descriptor IDs for one (service, period), in replica
+/// order. On the uncached path the SHA-1 midstate over
+/// INT4(period) || cookie is absorbed once and forked per replica
+/// (Sha1 is copyable precisely so the midstate can be captured), which
+/// streams the same bytes as kNumReplicas independent derivations —
+/// byte-identical output, roughly half the hashing.
+std::array<DescriptorId, kNumReplicas> descriptor_ids_for_period(
+    const PermanentId& id, std::uint32_t period,
+    std::span<const std::uint8_t> cookie = {});
+
+/// Lifetime hit/miss/evict totals of the descriptor-id memo cache
+/// (summed over all thread shards). Perf telemetry only — totals vary
+/// with thread count, so they feed the bench JSON "cache" section and
+/// never the deterministic metrics goldens.
+util::CacheStats derivation_cache_stats();
+
+/// Same, for the (period, replica) -> secret-id-part table.
+util::CacheStats secret_cache_stats();
+
+/// Zeroes both stat blocks (the shards themselves are invalidated via
+/// util::bump_memo_epoch()).
+void reset_derivation_cache_stats();
 
 /// Seconds until this service's descriptor IDs next rotate.
 util::Seconds seconds_until_rotation(util::UnixTime t, const PermanentId& id);

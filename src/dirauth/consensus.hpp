@@ -36,6 +36,23 @@ class Consensus {
   Consensus() = default;
   Consensus(util::UnixTime valid_after, std::vector<ConsensusEntry> entries);
 
+  // Generation semantics (see generation() below): a copy owns a fresh
+  // entries buffer, so it gets a fresh stamp; a move steals the buffer,
+  // so it keeps the stamp and the source decays to the empty 0.
+  Consensus(const Consensus& other);
+  Consensus& operator=(const Consensus& other);
+  Consensus(Consensus&& other) noexcept;
+  Consensus& operator=(Consensus&& other) noexcept;
+
+  /// Identity stamp for ring-lookup caches: entry pointers cached under
+  /// one generation stay valid exactly as long as this consensus (or a
+  /// move-destination of it) is alive — two Consensus objects share a
+  /// generation only when they share the same entries() storage. The
+  /// stamp comes from a process-wide counter, so its *value* depends on
+  /// construction order; it is only ever compared for equality and
+  /// never emitted. 0 = the empty default consensus.
+  std::uint64_t generation() const { return generation_; }
+
   util::UnixTime valid_after() const { return valid_after_; }
 
   /// All entries, sorted ascending by fingerprint (the HSDir ring order).
@@ -77,6 +94,7 @@ class Consensus {
   util::UnixTime valid_after_ = 0;
   std::vector<ConsensusEntry> entries_;       // sorted by fingerprint
   std::vector<std::size_t> hsdir_indices_;    // ring order
+  std::uint64_t generation_ = 0;              // 0 = empty default
 };
 
 }  // namespace torsim::dirauth

@@ -28,9 +28,10 @@ std::vector<relay::RelayId> ServiceHost::maybe_publish(
   // Fingerprints of the currently responsible HSDirs for both replicas.
   std::vector<crypto::Fingerprint> responsible;
   std::vector<relay::RelayId> responsible_relays;
+  const auto replica_ids = crypto::descriptor_ids_for_period(
+      permanent_id_, period, descriptor_cookie_);
   for (std::uint8_t replica = 0; replica < crypto::kNumReplicas; ++replica) {
-    const auto id = crypto::descriptor_id(permanent_id_, period, replica,
-                                          descriptor_cookie_);
+    const auto& id = replica_ids[replica];
     for (const dirauth::ConsensusEntry* e : consensus.responsible_hsdirs(id)) {
       responsible.push_back(e->fingerprint);
       responsible_relays.push_back(e->relay);
@@ -85,11 +86,9 @@ std::vector<relay::RelayId> ServiceHost::maybe_publish(
 std::vector<crypto::DescriptorId> ServiceHost::current_descriptor_ids(
     util::UnixTime now) const {
   const std::uint32_t period = crypto::time_period(now, permanent_id_);
-  std::vector<crypto::DescriptorId> ids;
-  for (std::uint8_t replica = 0; replica < crypto::kNumReplicas; ++replica)
-    ids.push_back(crypto::descriptor_id(permanent_id_, period, replica,
-                                        descriptor_cookie_));
-  return ids;
+  const auto replica_ids = crypto::descriptor_ids_for_period(
+      permanent_id_, period, descriptor_cookie_);
+  return {replica_ids.begin(), replica_ids.end()};
 }
 
 }  // namespace torsim::hs

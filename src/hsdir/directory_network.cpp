@@ -13,8 +13,7 @@ std::vector<relay::RelayId> DirectoryNetwork::publish(
   std::vector<crypto::DescriptorId> ids;
   ids.reserve(descriptors.size());
   for (const Descriptor& d : descriptors) ids.push_back(d.descriptor_id);
-  const auto responsible =
-      consensus.responsible_hsdirs_batch(ids, config_.threads);
+  const auto responsible = ring_cache_.batch(consensus, ids, config_.threads);
 
   std::vector<relay::RelayId> receivers;
   std::int64_t stored = 0;
@@ -72,9 +71,18 @@ std::optional<Descriptor> DirectoryNetwork::fetch_from(
     const dirauth::Consensus& consensus, const crypto::DescriptorId& id,
     util::UnixTime now, relay::RelayId& hsdir_relay, FetchTrace* trace) {
   hsdir_relay = relay::kInvalidRelayId;
+  // fetch_attempts counts requests (one per call); fetch_probes counts
+  // the per-directory contacts one request fans out into — including
+  // directories that never answer, since the client still spent a
+  // circuit on them.
   if (config_.metrics != nullptr)
     config_.metrics->counter("hsdir.fetch_attempts").inc();
-  for (const dirauth::ConsensusEntry* e : consensus.responsible_hsdirs(id)) {
+  const dirauth::ResponsibleSet& responsible =
+      ring_cache_.responsible(consensus, id);
+  for (std::uint8_t k = 0; k < responsible.count; ++k) {
+    const dirauth::ConsensusEntry* e = responsible.dirs[k];
+    if (config_.metrics != nullptr)
+      config_.metrics->counter("hsdir.fetch_probes").inc();
     if (injector_ != nullptr && injector_->hsdir_unresponsive(e->relay, now)) {
       // The directory is inside an outage window: the request circuit
       // gets no answer, the client moves on to the next responsible

@@ -76,6 +76,19 @@ std::string BenchReport::to_json() const {
 
   json.key("peak_rss_bytes").value(peak_rss_bytes());
 
+  json.key("cache").begin_object();
+  json.key("enabled").value(cache_enabled_);
+  json.key("caches").begin_object();
+  for (const auto& [cache_name, stats] : cache_stats_) {
+    json.key(cache_name).begin_object();
+    json.key("evictions").value(static_cast<std::int64_t>(stats.evictions));
+    json.key("hits").value(static_cast<std::int64_t>(stats.hits));
+    json.key("misses").value(static_cast<std::int64_t>(stats.misses));
+    json.end_object();
+  }
+  json.end_object();
+  json.end_object();
+
   metrics_.write_json_sections(json);
   json.end_object();
   return json.str();

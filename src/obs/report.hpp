@@ -16,11 +16,13 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "obs/metrics.hpp"
 #include "obs/stopwatch.hpp"
+#include "util/memo.hpp"
 
 namespace torsim::obs {
 
@@ -52,6 +54,17 @@ class BenchReport {
   /// The non-golden wall-clock section.
   PhaseTimer& phases() { return phases_; }
 
+  /// The "cache" telemetry section: whether the memo caches were
+  /// enabled for this run, plus per-cache hit/miss/evict totals (the
+  /// bench harness snapshots them in finish()). Perf telemetry like
+  /// wall_clock — totals vary with sharding/thread count, so they stay
+  /// out of the deterministic counters section.
+  void set_cache_enabled(bool enabled) { cache_enabled_ = enabled; }
+  void set_cache_stats(const std::string& cache_name,
+                       const util::CacheStats& stats) {
+    cache_stats_[cache_name] = stats;
+  }
+
   /// The full "torsim-bench-v1" document (peak RSS sampled now).
   std::string to_json() const;
 
@@ -80,6 +93,8 @@ class BenchReport {
   std::vector<BenchmarkRun> benchmarks_;
   MetricsRegistry metrics_;
   PhaseTimer phases_;
+  bool cache_enabled_ = true;
+  std::map<std::string, util::CacheStats> cache_stats_;  // ordered emission
 };
 
 }  // namespace torsim::obs

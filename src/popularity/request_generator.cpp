@@ -54,9 +54,16 @@ RequestStream RequestGenerator::generate(
   const double share = std::clamp(config_.phantom_request_share, 0.0, 0.999);
   const auto phantom_total = static_cast<std::int64_t>(
       static_cast<double>(stream.real_requests) * share / (1.0 - share));
-  const auto phantom_ids = std::max<std::int64_t>(
-      1, static_cast<std::int64_t>(static_cast<double>(stream.real_ids) *
-                                   config_.phantom_id_ratio));
+  // Volume and ID count degrade together: a window with no phantom
+  // traffic fabricates no phantom IDs either (a lone zero-request
+  // phantom id would skew the Table II denominators at small --scale).
+  const auto phantom_ids =
+      phantom_total <= 0
+          ? std::int64_t{0}
+          : std::max<std::int64_t>(
+                1, static_cast<std::int64_t>(
+                       static_cast<double>(stream.real_ids) *
+                       config_.phantom_id_ratio));
   stream.phantom_ids = phantom_ids;
 
   // Phantom IDs: descriptor IDs of onion addresses that never existed

@@ -39,9 +39,9 @@ void DescriptorResolver::build_dictionary_from_onions(
     for (util::UnixTime t = config_.derive_from; t < config_.derive_to;
          t += util::kSecondsPerDay) {
       const std::uint32_t period = crypto::time_period(t, pid);
-      for (std::uint8_t replica = 0; replica < crypto::kNumReplicas;
-           ++replica)
-        ids.push_back(crypto::descriptor_id(pid, period, replica));
+      for (const crypto::DescriptorId& id :
+           crypto::descriptor_ids_for_period(pid, period))
+        ids.push_back(id);
     }
     return ids;
   };

@@ -66,9 +66,10 @@ TrackingReport TrackingDetector::analyze(
     PeriodResponsibility pr;
     pr.time = snap.time();
     std::vector<std::uint32_t> responsible_now;
+    const auto desc_ids = crypto::descriptor_ids_for_period(target, period);
     for (std::uint8_t replica = 0; replica < crypto::kNumReplicas;
          ++replica) {
-      const auto desc_id = crypto::descriptor_id(target, period, replica);
+      const auto& desc_id = desc_ids[replica];
       for (const SnapshotEntry* e : snap.responsible(desc_id)) {
         pr.servers.push_back(e->server);
         responsible_now.push_back(e->server);

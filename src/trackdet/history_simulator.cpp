@@ -150,10 +150,11 @@ HsDirHistory HistorySimulator::simulate(
       // descriptor ID stays put, which is how the paper distinguishes a
       // one-period fluke from sustained tracking.
       auto& fixed = campaign_fixed_fps[ci];
+      const auto desc_ids = crypto::descriptor_ids_for_period(target, period);
       for (int slot = 0; slot < spec.slots_per_period; ++slot) {
         const auto replica = static_cast<std::uint8_t>(slot % 2);
         const int rank = slot / 2;
-        const auto desc_id = crypto::descriptor_id(target, period, replica);
+        const auto& desc_id = desc_ids[replica];
         const std::uint32_t server =
             servers[static_cast<std::size_t>(
                 (day + slot) % static_cast<std::int64_t>(servers.size()))];

@@ -1,0 +1,35 @@
+#include "util/memo.hpp"
+
+namespace torsim::util {
+
+namespace {
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> enabled{true};
+  return enabled;
+}
+
+std::atomic<std::uint64_t>& epoch_counter() {
+  static std::atomic<std::uint64_t> epoch{0};
+  return epoch;
+}
+
+}  // namespace
+
+bool memo_enabled() {
+  return enabled_flag().load(std::memory_order_relaxed);
+}
+
+void set_memo_enabled(bool enabled) {
+  enabled_flag().store(enabled, std::memory_order_relaxed);
+}
+
+std::uint64_t memo_epoch() {
+  return epoch_counter().load(std::memory_order_acquire);
+}
+
+void bump_memo_epoch() {
+  epoch_counter().fetch_add(1, std::memory_order_acq_rel);
+}
+
+}  // namespace torsim::util

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
+#include <string>
 
 #include "crypto/digest.hpp"
 #include "crypto/keypair.hpp"
@@ -194,6 +196,29 @@ TEST(DigestTest, ParseOnionRejectsBadInput) {
                std::invalid_argument);
 }
 
+TEST(DigestTest, ParseOnionIsCaseInsensitiveAndCanonicalizes) {
+  // Onion addresses are case-insensitive on the wire (base32 per
+  // RFC 4648); the parser must accept any casing — including a
+  // mixed-case ".OnIoN" suffix — and encoding must canonicalize to
+  // lowercase, so encode(decode(x)) round-trips for every casing of x.
+  util::Rng rng(109);
+  for (int i = 0; i < 50; ++i) {
+    PermanentId id;
+    rng.fill_bytes(id.data(), id.size());
+    const std::string lower = onion_address(id);
+    std::string upper = lower;
+    for (char& c : upper) c = static_cast<char>(std::toupper(c));
+    EXPECT_EQ(parse_onion_address(upper), id);
+    EXPECT_EQ(parse_onion_address(upper + ".ONION"), id);
+    EXPECT_EQ(parse_onion_address(lower + ".OnIoN"), id);
+    // Alternate the casing character by character.
+    std::string mixed = lower;
+    for (std::size_t k = 0; k < mixed.size(); k += 2)
+      mixed[k] = static_cast<char>(std::toupper(mixed[k]));
+    EXPECT_EQ(onion_address(parse_onion_address(mixed)), lower);
+  }
+}
+
 TEST(DigestTest, KnownOnionFromTable2) {
   // Decoding a real Table II address and re-encoding must round-trip
   // (sanity for the base32 alphabet against real-world onions).
@@ -208,6 +233,28 @@ TEST(DigestTest, TimePeriodMatchesSpecFormula) {
   id[0] = 255;
   // offset = 255*86400/256 = 86062 -> pushes over the boundary
   EXPECT_EQ(time_period(86400 * 100 + 400, id), 101u);
+}
+
+TEST(DigestTest, TimePeriodBoundaries) {
+  // The spec formula is period = (t + id[0]*86400/256) / 86400 with
+  // integer arithmetic throughout.
+  PermanentId id{};
+
+  // Maximum offset: id[0] == 255 gives 255*86400/256 == 86062 (integer
+  // division truncates the .5), so the period rolls over 338 seconds
+  // after midnight: 338 + 86062 == 86400 exactly.
+  id[0] = 255;
+  EXPECT_EQ(time_period(0, id), 0u);
+  EXPECT_EQ(time_period(337, id), 0u);
+  EXPECT_EQ(time_period(338, id), 1u);
+
+  // Zero offset: the rollover is midnight itself.
+  id[0] = 0;
+  EXPECT_EQ(time_period(0, id), 0u);
+  EXPECT_EQ(time_period(86399, id), 0u);
+  EXPECT_EQ(time_period(86400, id), 1u);
+
+  EXPECT_THROW(time_period(-1, id), std::invalid_argument);
 }
 
 TEST(DigestTest, TimePeriodRotatesDaily) {

@@ -145,6 +145,35 @@ TEST(DirectoryNetworkTest, PublishPlacesAtResponsibleHsdirs) {
   }
 }
 
+TEST(DirectoryNetworkTest, FetchCountsRequestsAndProbesSeparately) {
+  // fetch_attempts counts requests (one per fetch_from call);
+  // fetch_probes counts the per-directory contacts a request fans out
+  // into. A published id hits the first responsible dir (1 probe); a
+  // missing id walks the whole responsible set (kHsDirsPerReplica
+  // probes) before giving up.
+  MiniNet net;
+  obs::MetricsRegistry metrics;
+  hsdir::DirectoryNetworkConfig config;
+  config.metrics = &metrics;
+  hsdir::DirectoryNetwork dirnet(config);
+
+  util::Rng rng(32);
+  auto host = hs::ServiceHost::create(rng, kT0);
+  host.maybe_publish(net.consensus, dirnet, rng, kT0);
+
+  const auto id = host.current_descriptor_ids(kT0).front();
+  relay::RelayId hsdir;
+  ASSERT_TRUE(dirnet.fetch_from(net.consensus, id, kT0 + 10, hsdir));
+  EXPECT_EQ(metrics.counter("hsdir.fetch_attempts").value(), 1);
+  EXPECT_EQ(metrics.counter("hsdir.fetch_probes").value(), 1);
+
+  crypto::DescriptorId missing{};
+  EXPECT_FALSE(dirnet.fetch_from(net.consensus, missing, kT0 + 10, hsdir));
+  EXPECT_EQ(metrics.counter("hsdir.fetch_attempts").value(), 2);
+  EXPECT_EQ(metrics.counter("hsdir.fetch_probes").value(),
+            1 + crypto::kHsDirsPerReplica);
+}
+
 TEST(DirectoryNetworkTest, FetchFindsPublishedDescriptor) {
   MiniNet net;
   util::Rng rng(28);

@@ -71,6 +71,59 @@ TEST(RequestGeneratorTest, RequestsWithinWindow) {
   }
 }
 
+TEST(RequestGeneratorTest, PhantomVolumeDegradesToZero) {
+  // A window with no real traffic must produce no phantom traffic
+  // either — volume AND fabricated IDs degrade together, otherwise a
+  // lone zero-request phantom id would skew the Table II denominators.
+  population::Population pop = test_population();
+  for (auto& svc : pop.services()) svc.requests_per_2h = 0.0;
+  const RequestStream stream = RequestGenerator().generate(pop);
+  EXPECT_EQ(stream.real_requests, 0);
+  EXPECT_EQ(stream.phantom_requests, 0);
+  EXPECT_EQ(stream.real_ids, 0);
+  EXPECT_EQ(stream.phantom_ids, 0);
+  EXPECT_TRUE(stream.requests.empty());
+}
+
+TEST(RequestGeneratorTest, SkewedClockIdsComeFromAdjacentDayPeriods) {
+  // ~2% of clients derive with a clock skewed by ±1 day. Every emitted
+  // descriptor ID must therefore appear in the multi-day candidate
+  // table the resolver builds: the window's periods plus one day on
+  // either side, for both replicas of every requested service.
+  RequestGeneratorConfig config;
+  config.phantom_request_share = 0.0;  // real requests only
+  const RequestStream stream = RequestGenerator(config).generate(
+      test_population());
+  ASSERT_GT(stream.real_requests, 0);
+  EXPECT_EQ(stream.phantom_requests, 0);
+
+  const util::UnixTime t0 = util::make_utc(2013, 2, 4, 10, 0, 0);
+  std::set<crypto::DescriptorId> candidates;
+  for (const auto& svc : test_population().services()) {
+    if (svc.requests_per_2h <= 0.0) continue;
+    const auto pid =
+        crypto::permanent_id_from_fingerprint(svc.key.fingerprint());
+    for (int day = -1; day <= 1; ++day) {
+      const util::UnixTime base = t0 + day * util::kSecondsPerDay;
+      // Periods can roll over mid-window (id-dependent offset), so
+      // derive at both window edges.
+      for (const util::UnixTime t : {base, base + config.window_length - 1})
+        for (const auto& id : crypto::descriptor_ids_for_period(
+                 pid, crypto::time_period(t, pid)))
+          candidates.insert(id);
+    }
+  }
+  for (const auto& req : stream.requests)
+    EXPECT_EQ(candidates.count(req.descriptor_id), 1u);
+
+  // The resolver's default derivation window spans those same days, so
+  // every skewed request must still resolve.
+  DescriptorResolver resolver;
+  resolver.build_dictionary(test_population());
+  const auto report = resolver.resolve(stream, test_population());
+  EXPECT_EQ(report.resolved_requests, stream.real_requests);
+}
+
 TEST(RequestGeneratorTest, HeadServiceGetsHeadVolume) {
   // The rank-1 Goldnet service should see roughly its configured
   // 13,714 requests per 2h.

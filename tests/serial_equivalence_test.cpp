@@ -24,6 +24,7 @@
 #include "scan/port_scanner.hpp"
 #include "util/csv.hpp"
 #include "util/encoding.hpp"
+#include "util/memo.hpp"
 
 namespace torsim {
 namespace {
@@ -316,6 +317,62 @@ TEST(SerialEquivalenceTest, HarvestMetricsAndTraceByteIdentical) {
     const auto parallel = harvest_obs_bytes(threads);
     EXPECT_EQ(serial.first, parallel.first) << threads << " threads";
     EXPECT_EQ(serial.second, parallel.second) << threads << " threads";
+  }
+}
+
+// ---------------------------------------------------------------------
+// Cache equivalence: the memo layer (descriptor-id derivations and ring
+// walks, docs/performance.md) may only skip work, never change results.
+// Every deterministic artifact — the TAB2 resolution CSV, the scan
+// metrics, the harvest metrics + trace — must be byte-identical
+// cache-on vs cache-off at threads 1, 4, and 8 (ISSUE 5 acceptance).
+// ---------------------------------------------------------------------
+
+TEST(SerialEquivalenceTest, Tab2ResolutionCacheOnOffByteIdentical) {
+  const auto run = [&](bool cache, int threads) {
+    const util::MemoEnabledGuard guard(cache);
+    popularity::RequestGenerator generator;
+    const auto stream = generator.generate(test_population());
+    popularity::DescriptorResolver resolver(
+        popularity::ResolverConfig{.threads = threads});
+    resolver.build_dictionary(test_population());
+    return resolution_summary_csv(
+        resolver.resolve(stream, test_population()),
+        "tab2_cache" + std::to_string(cache) + "_t" + std::to_string(threads));
+  };
+  for (int threads : {1, 4, 8}) {
+    EXPECT_EQ(run(true, threads), run(false, threads))
+        << threads << " threads";
+  }
+}
+
+TEST(SerialEquivalenceTest, ScanMetricsCacheOnOffByteIdentical) {
+  for (int threads : {1, 4, 8}) {
+    const auto cached = [&] {
+      const util::MemoEnabledGuard guard(true);
+      return scan_metrics_bytes(threads);
+    }();
+    const auto uncached = [&] {
+      const util::MemoEnabledGuard guard(false);
+      return scan_metrics_bytes(threads);
+    }();
+    EXPECT_EQ(cached.first, uncached.first) << threads << " threads";
+    EXPECT_EQ(cached.second, uncached.second) << threads << " threads";
+  }
+}
+
+TEST(SerialEquivalenceTest, HarvestObsCacheOnOffByteIdentical) {
+  for (int threads : {1, 4, 8}) {
+    const auto cached = [&] {
+      const util::MemoEnabledGuard guard(true);
+      return harvest_obs_bytes(threads);
+    }();
+    const auto uncached = [&] {
+      const util::MemoEnabledGuard guard(false);
+      return harvest_obs_bytes(threads);
+    }();
+    EXPECT_EQ(cached.first, uncached.first) << threads << " threads";
+    EXPECT_EQ(cached.second, uncached.second) << threads << " threads";
   }
 }
 

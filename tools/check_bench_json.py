@@ -4,8 +4,9 @@
 Validates the `torsim-bench-v1` layout written by obs::BenchReport
 (src/obs/report.cpp): identity header, measured-vs-paper rows with the
 paper==0 -> ratio null rule, google-benchmark timings, wall-clock
-phases, peak RSS, and the metrics sections. CI's bench-smoke job runs
-this over every emitted file and fails the build on malformed output.
+phases, peak RSS, the memo-cache hit/miss telemetry, and the metrics
+sections. CI's bench-smoke job runs this over every emitted file and
+fails the build on malformed output.
 
 Usage:  check_bench_json.py FILE_OR_DIR [FILE_OR_DIR ...]
 
@@ -95,6 +96,26 @@ class Checker:
         self.require(self.is_num(total) and total >= 0,
                      "wall_clock.total_seconds must be a non-negative number")
 
+    def check_cache(self, cache):
+        if not self.require(isinstance(cache, dict),
+                            "cache must be an object"):
+            return
+        self.require(isinstance(cache.get("enabled"), bool),
+                     "cache.enabled must be a boolean")
+        caches = cache.get("caches")
+        if not self.require(isinstance(caches, dict),
+                            "cache.caches must be an object"):
+            return
+        for name, stats in caches.items():
+            where = f"cache.caches[{name!r}]"
+            if not self.require(isinstance(stats, dict),
+                                f"{where} not an object"):
+                continue
+            for key in ("hits", "misses", "evictions"):
+                value = stats.get(key)
+                self.require(self.is_int(value) and value >= 0,
+                             f"{where}.{key} must be a non-negative integer")
+
     def check_metrics(self, doc):
         for section in ("counters", "gauges"):
             values = doc.get(section)
@@ -156,6 +177,7 @@ class Checker:
         rss = doc.get("peak_rss_bytes")
         self.require(self.is_int(rss) and rss > 0,
                      "peak_rss_bytes must be a positive integer")
+        self.check_cache(doc.get("cache"))
         self.check_metrics(doc)
 
 

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Equivalence gate over the deterministic sections of two BENCH_*.json
+files.
+
+The rows (measured-vs-paper), counters, gauges, and histograms sections
+are part of the determinism contract: for a fixed seed and scale they
+must not depend on the thread count or the --cache mode (the memo
+caches only ever skip work, never change results — docs/performance.md).
+CI's bench-smoke job runs one bench twice, --cache=on and --cache=off,
+and feeds both files here; any divergence fails the build.
+
+wall_clock, peak_rss_bytes, benchmarks, and cache are perf telemetry
+(they legitimately differ run to run) and are deliberately ignored.
+
+Usage:  diff_bench_rows.py BASELINE.json CANDIDATE.json
+"""
+
+import json
+import sys
+
+DETERMINISTIC_SECTIONS = ("rows", "counters", "gauges", "histograms")
+
+
+def canonical_sections(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    # Canonical re-encoding so the comparison is over content, not
+    # incidental whitespace; the writer is already canonical, so this
+    # is equality of the emitted bytes in practice.
+    return {
+        section: json.dumps(doc.get(section), sort_keys=True,
+                            separators=(",", ":"))
+        for section in DETERMINISTIC_SECTIONS
+    }
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    baseline, candidate = argv[1], argv[2]
+    a = canonical_sections(baseline)
+    b = canonical_sections(candidate)
+    failed = False
+    for section in DETERMINISTIC_SECTIONS:
+        if a[section] != b[section]:
+            failed = True
+            print(f"FAIL section {section!r} differs:\n"
+                  f"  {baseline}: {a[section][:200]}\n"
+                  f"  {candidate}: {b[section][:200]}", file=sys.stderr)
+        else:
+            print(f"OK   section {section!r} identical")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

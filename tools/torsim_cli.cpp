@@ -35,6 +35,7 @@
 #include "trackdet/scenario.hpp"
 #include "util/csv.hpp"
 #include "util/logging.hpp"
+#include "util/memo.hpp"
 
 namespace {
 
@@ -64,6 +65,13 @@ struct Options {
   obs::TraceRecorder* trace = nullptr;
 };
 
+bool parse_cache_mode(const std::string& text) {
+  if (text == "on") return true;
+  if (text == "off") return false;
+  throw std::invalid_argument("unknown cache mode '" + text +
+                              "' (expected on|off)");
+}
+
 util::LogLevel parse_log_level(const std::string& text) {
   if (text == "debug") return util::LogLevel::kDebug;
   if (text == "info") return util::LogLevel::kInfo;
@@ -91,6 +99,7 @@ Options parse_options(int argc, char** argv, int first) {
     else if (arg == "--relays") opt.relays = std::stoi(next());
     else if (arg == "--hours") opt.hours = std::stoi(next());
     else if (arg == "--threads") opt.threads = std::stoi(next());
+    else if (arg == "--cache") util::set_memo_enabled(parse_cache_mode(next()));
     else if (arg == "--faults") opt.faults = fault::FaultPlan::parse(next());
     else if (arg == "--metrics-out") opt.metrics_out = next();
     else if (arg == "--trace-out") opt.trace_out = next();
@@ -548,10 +557,13 @@ void usage() {
       "  report      full-pipeline measured-vs-paper markdown report\n"
       "  geoip       look up synthetic GeoIP for addresses\n\n"
       "options: --scale S --seed N --csv FILE --out FILE --ips N "
-      "--relays M --hours N --threads T --faults SPEC\n"
+      "--relays M --hours N --threads T --cache MODE --faults SPEC\n"
       "         --metrics-out FILE --trace-out FILE --log-level LEVEL\n"
       "  --threads T   fan-out workers (0 = one per hardware thread,\n"
       "                1 = serial; results are identical either way)\n"
+      "  --cache MODE  on|off (default on): memoize descriptor-id\n"
+      "                derivations and HSDir ring walks; outputs are\n"
+      "                byte-identical either way (docs/performance.md)\n"
       "  --faults SPEC inject connection/directory faults: a profile\n"
       "                (mild, moderate, severe) or k=v pairs, e.g.\n"
       "                drop=0.05,timeout=0.1,retries=4 — see\n"
