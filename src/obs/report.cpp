@@ -74,6 +74,25 @@ std::string BenchReport::to_json() const {
   json.key("total_seconds").value(phases_.total_seconds());
   json.end_object();
 
+  if (!scenarios_.empty()) {
+    json.key("scenarios").begin_array();
+    for (const ScenarioSummary& s : scenarios_) {
+      json.begin_object();
+      json.key("name").value(s.name);
+      json.key("horizon_hours").value(static_cast<std::int64_t>(s.horizon_hours));
+      json.key("events_applied").value(static_cast<std::int64_t>(s.events_applied));
+      json.key("timeline_rows").value(s.timeline_rows);
+      json.key("services_migrated").value(s.services_migrated);
+      json.key("services_taken_down").value(s.services_taken_down);
+      json.key("services_added").value(s.services_added);
+      json.key("relays_injected").value(s.relays_injected);
+      json.key("flash_fetches_ok").value(s.flash_fetches_ok);
+      json.key("flash_fetches_failed").value(s.flash_fetches_failed);
+      json.end_object();
+    }
+    json.end_array();
+  }
+
   json.key("peak_rss_bytes").value(peak_rss_bytes());
 
   json.key("cache").begin_object();

@@ -26,6 +26,23 @@
 
 namespace torsim::obs {
 
+/// One replayed scenario pack's deterministic summary — the "scenarios"
+/// section of BENCH_scenarios.json (schema-checked by
+/// tools/check_bench_json.py). Everything here is a pure function of
+/// the pack, so the section is golden-stable across machines.
+struct ScenarioSummary {
+  std::string name;
+  int horizon_hours = 0;
+  int events_applied = 0;
+  std::int64_t timeline_rows = 0;
+  std::int64_t services_migrated = 0;
+  std::int64_t services_taken_down = 0;
+  std::int64_t services_added = 0;
+  std::int64_t relays_injected = 0;
+  std::int64_t flash_fetches_ok = 0;
+  std::int64_t flash_fetches_failed = 0;
+};
+
 class BenchReport {
  public:
   explicit BenchReport(std::string name) : name_(std::move(name)) {}
@@ -65,6 +82,13 @@ class BenchReport {
     cache_stats_[cache_name] = stats;
   }
 
+  /// Records one scenario-pack replay; emitted as the optional
+  /// "scenarios" array (present only when at least one was recorded, so
+  /// non-scenario bench documents are unchanged).
+  void add_scenario(const ScenarioSummary& summary) {
+    scenarios_.push_back(summary);
+  }
+
   /// The full "torsim-bench-v1" document (peak RSS sampled now).
   std::string to_json() const;
 
@@ -91,6 +115,7 @@ class BenchReport {
   std::string current_section_;
   std::vector<Row> rows_;
   std::vector<BenchmarkRun> benchmarks_;
+  std::vector<ScenarioSummary> scenarios_;
   MetricsRegistry metrics_;
   PhaseTimer phases_;
   bool cache_enabled_ = true;

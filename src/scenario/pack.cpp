@@ -1,0 +1,527 @@
+#include "scenario/pack.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "fault/plan.hpp"
+#include "util/strings.hpp"
+
+namespace torsim::scenario {
+namespace {
+
+constexpr std::string_view kVersionLine = "torsim-scenario-version 1";
+constexpr std::string_view kFooterLine = "scenario-end";
+constexpr std::string_view kEventEnd = "end";
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& message) {
+  throw std::invalid_argument("scenario parse error at line " +
+                              std::to_string(line_no + 1) + ": " + message);
+}
+
+bool is_slug(std::string_view text) {
+  if (text.empty()) return false;
+  for (const char c : text)
+    if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '-'))
+      return false;
+  return true;
+}
+
+std::int64_t parse_int(std::string_view value, std::size_t line_no,
+                       const std::string& what) {
+  std::size_t consumed = 0;
+  std::int64_t parsed = 0;
+  try {
+    parsed = std::stoll(std::string(value), &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed != value.size() || value.empty())
+    fail(line_no, what + " must be an integer, got '" + std::string(value) +
+                      "'");
+  return parsed;
+}
+
+std::uint64_t parse_u64(std::string_view value, std::size_t line_no,
+                        const std::string& what) {
+  std::size_t consumed = 0;
+  std::uint64_t parsed = 0;
+  try {
+    parsed = std::stoull(std::string(value), &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed != value.size() || value.empty() || value.front() == '-')
+    fail(line_no, what + " must be a non-negative integer, got '" +
+                      std::string(value) + "'");
+  return parsed;
+}
+
+double parse_double(std::string_view value, std::size_t line_no,
+                    const std::string& what) {
+  std::size_t consumed = 0;
+  double parsed = 0;
+  try {
+    parsed = std::stod(std::string(value), &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed != value.size() || value.empty())
+    fail(line_no, what + " must be a number, got '" + std::string(value) +
+                      "'");
+  return parsed;
+}
+
+/// "%.17g" round-trips every finite double exactly, so rendered packs
+/// re-parse to bit-identical values (the round-trip property).
+std::string render_double(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+void check_fault_spec(const std::string& spec, std::size_t line_no) {
+  try {
+    (void)fault::FaultPlan::parse(spec);
+  } catch (const std::exception& error) {
+    // FaultPlan::parse can surface std::out_of_range from numeric
+    // conversion; normalize to one parse-error type.
+    fail(line_no, std::string("bad fault spec: ") + error.what());
+  }
+}
+
+}  // namespace
+
+std::string_view event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kChurnStorm: return "churn-storm";
+    case EventKind::kTakedown: return "takedown";
+    case EventKind::kMigrationWave: return "migration-wave";
+    case EventKind::kFlashCrowd: return "flash-crowd";
+    case EventKind::kHsdirFlood: return "hsdir-flood";
+    case EventKind::kAuthorityOutage: return "authority-outage";
+    case EventKind::kFaultWindow: return "fault-window";
+    case EventKind::kRelayJoin: return "relay-join";
+    case EventKind::kAddServices: return "add-services";
+  }
+  return "unknown";
+}
+
+EventKind event_kind_from_name(std::string_view name) {
+  if (name == "churn-storm") return EventKind::kChurnStorm;
+  if (name == "takedown") return EventKind::kTakedown;
+  if (name == "migration-wave") return EventKind::kMigrationWave;
+  if (name == "flash-crowd") return EventKind::kFlashCrowd;
+  if (name == "hsdir-flood") return EventKind::kHsdirFlood;
+  if (name == "authority-outage") return EventKind::kAuthorityOutage;
+  if (name == "fault-window") return EventKind::kFaultWindow;
+  if (name == "relay-join") return EventKind::kRelayJoin;
+  if (name == "add-services") return EventKind::kAddServices;
+  throw std::invalid_argument("unknown event kind '" + std::string(name) +
+                              "'");
+}
+
+namespace {
+
+/// Applies one "key value" parameter line to `event`, enforcing that the
+/// key is meaningful for the event's kind.
+void apply_event_param(ScenarioEvent& event, std::string_view key,
+                       std::string_view value, std::size_t line_no) {
+  const EventKind k = event.kind;
+  const auto reject = [&] {
+    fail(line_no, "parameter '" + std::string(key) + "' not valid for " +
+                      std::string(event_kind_name(k)));
+  };
+  if (key == "hours") {
+    if (k != EventKind::kChurnStorm && k != EventKind::kAuthorityOutage &&
+        k != EventKind::kFaultWindow)
+      reject();
+    event.hours = static_cast<int>(parse_int(value, line_no, "hours"));
+  } else if (key == "down") {
+    if (k != EventKind::kChurnStorm) reject();
+    event.down = parse_double(value, line_no, "down");
+  } else if (key == "up") {
+    if (k != EventKind::kChurnStorm) reject();
+    event.up = parse_double(value, line_no, "up");
+  } else if (key == "services") {
+    if (k != EventKind::kTakedown && k != EventKind::kMigrationWave) reject();
+    event.services = static_cast<int>(parse_int(value, line_no, "services"));
+  } else if (key == "first") {
+    if (k != EventKind::kTakedown && k != EventKind::kMigrationWave) reject();
+    event.first = static_cast<int>(parse_int(value, line_no, "first"));
+  } else if (key == "clients") {
+    if (k != EventKind::kFlashCrowd) reject();
+    event.clients = static_cast<int>(parse_int(value, line_no, "clients"));
+  } else if (key == "fetches") {
+    if (k != EventKind::kFlashCrowd) reject();
+    event.fetches = static_cast<int>(parse_int(value, line_no, "fetches"));
+  } else if (key == "service") {
+    if (k != EventKind::kFlashCrowd) reject();
+    event.service = static_cast<int>(parse_int(value, line_no, "service"));
+  } else if (key == "relays") {
+    if (k != EventKind::kHsdirFlood && k != EventKind::kRelayJoin) reject();
+    event.relays = static_cast<int>(parse_int(value, line_no, "relays"));
+  } else if (key == "bandwidth") {
+    if (k != EventKind::kHsdirFlood && k != EventKind::kRelayJoin) reject();
+    event.bandwidth = parse_double(value, line_no, "bandwidth");
+  } else if (key == "count") {
+    if (k != EventKind::kAddServices) reject();
+    event.count = static_cast<int>(parse_int(value, line_no, "count"));
+  } else if (key == "faults") {
+    if (k != EventKind::kFaultWindow) reject();
+    event.fault_spec = std::string(value);
+    check_fault_spec(event.fault_spec, line_no);
+  } else {
+    fail(line_no, "unknown event parameter '" + std::string(key) + "'");
+  }
+}
+
+void validate_event(const ScenarioEvent& event, std::size_t line_no) {
+  const auto need = [&](bool ok, const std::string& what) {
+    if (!ok)
+      fail(line_no, std::string(event_kind_name(event.kind)) + ": " + what);
+  };
+  need(event.at_hours >= 0, "offset must be >= 0");
+  switch (event.kind) {
+    case EventKind::kChurnStorm:
+      need(event.hours > 0, "hours must be > 0");
+      need(event.down >= 0.0 && event.down <= 1.0, "down must be in [0,1]");
+      need(event.up >= 0.0 && event.up <= 1.0, "up must be in [0,1]");
+      break;
+    case EventKind::kTakedown:
+    case EventKind::kMigrationWave:
+      need(event.services > 0, "services must be > 0");
+      need(event.first >= 0, "first must be >= 0");
+      break;
+    case EventKind::kFlashCrowd:
+      need(event.clients > 0, "clients must be > 0");
+      need(event.fetches > 0, "fetches must be > 0");
+      need(event.service >= 0, "service must be >= 0");
+      break;
+    case EventKind::kHsdirFlood:
+    case EventKind::kRelayJoin:
+      need(event.relays > 0, "relays must be > 0");
+      need(event.bandwidth > 0.0, "bandwidth must be > 0");
+      break;
+    case EventKind::kAuthorityOutage:
+      need(event.hours > 0, "hours must be > 0");
+      break;
+    case EventKind::kFaultWindow:
+      need(event.hours > 0, "hours must be > 0");
+      need(!event.fault_spec.empty(), "faults spec is required");
+      break;
+    case EventKind::kAddServices:
+      need(event.count > 0, "count must be > 0");
+      break;
+  }
+}
+
+/// Lines of `text` with index tracking; blank and '#' comment lines are
+/// skipped by next().
+class LineCursor {
+ public:
+  explicit LineCursor(std::string_view text)
+      : lines_(util::split(text, '\n')) {}
+
+  /// Advances to the next content line; false at end of input.
+  bool next() {
+    while (next_ < lines_.size()) {
+      current_ = next_++;
+      const std::string_view line = util::trim(lines_[current_]);
+      if (!line.empty() && line[0] != '#') return true;
+    }
+    current_ = next_;
+    return false;
+  }
+
+  std::string_view line() const { return util::trim(lines_[current_]); }
+  std::size_t line_no() const { return current_; }
+
+ private:
+  std::vector<std::string> lines_;
+  std::size_t next_ = 0;
+  std::size_t current_ = 0;
+};
+
+/// Requires the current line to be "<directive> <value>"; returns value.
+std::string_view directive_value(const LineCursor& cursor,
+                                 std::string_view directive) {
+  const std::string_view line = cursor.line();
+  const std::string prefix = std::string(directive) + " ";
+  if (!util::starts_with(line, prefix))
+    fail(cursor.line_no(),
+         "expected '" + std::string(directive) + " <value>', got '" +
+             std::string(line) + "'");
+  return util::trim(line.substr(prefix.size()));
+}
+
+}  // namespace
+
+void validate_pack(const ScenarioPack& pack) {
+  const auto need = [](bool ok, const std::string& what) {
+    if (!ok) throw std::invalid_argument("scenario pack invalid: " + what);
+  };
+  need(pack.version == 1, "version must be 1");
+  need(is_slug(pack.name), "name must be a [a-z0-9-]+ slug");
+  need(!pack.title.empty(), "title is required");
+  need(pack.relays > 0, "relays must be > 0");
+  need(pack.services >= 0, "services must be >= 0");
+  need(pack.horizon_hours > 0, "horizon-hours must be > 0");
+  need(pack.sample_every_hours > 0, "sample-every-hours must be > 0");
+  if (!pack.fault_spec.empty()) {
+    try {
+      (void)fault::FaultPlan::parse(pack.fault_spec);
+    } catch (const std::exception& error) {
+      throw std::invalid_argument(
+          std::string("scenario pack invalid: bad fault spec: ") +
+          error.what());
+    }
+  }
+  int previous = 0;
+  for (std::size_t i = 0; i < pack.events.size(); ++i) {
+    const ScenarioEvent& event = pack.events[i];
+    validate_event(event, 0);
+    if (event.at_hours < previous)
+      throw std::invalid_argument(
+          "scenario pack invalid: event at +" +
+          std::to_string(event.at_hours) + "h out of order (previous +" +
+          std::to_string(previous) + "h)");
+    previous = event.at_hours;
+    if (event.at_hours >= pack.horizon_hours)
+      throw std::invalid_argument(
+          "scenario pack invalid: event at +" +
+          std::to_string(event.at_hours) + "h is beyond the horizon (" +
+          std::to_string(pack.horizon_hours) + "h)");
+    for (std::size_t j = 0; j < i; ++j)
+      if (pack.events[j].at_hours == event.at_hours &&
+          pack.events[j].kind == event.kind)
+        throw std::invalid_argument(
+            "scenario pack invalid: duplicate event " +
+            std::string(event_kind_name(event.kind)) + " at +" +
+            std::to_string(event.at_hours) + "h");
+  }
+}
+
+ScenarioPack parse_pack(std::string_view text) {
+  LineCursor cursor(text);
+  const auto advance = [&](const std::string& expected) {
+    if (!cursor.next())
+      fail(cursor.line_no(), "unexpected end of pack (expected " + expected +
+                                 ")");
+  };
+
+  advance("version line");
+  if (cursor.line() != kVersionLine)
+    fail(cursor.line_no(), "expected version line '" +
+                               std::string(kVersionLine) + "', got '" +
+                               std::string(cursor.line()) + "'");
+
+  ScenarioPack pack;
+  advance("name");
+  pack.name = std::string(directive_value(cursor, "name"));
+  if (!is_slug(pack.name))
+    fail(cursor.line_no(), "name must be a [a-z0-9-]+ slug, got '" +
+                               pack.name + "'");
+  advance("title");
+  pack.title = std::string(directive_value(cursor, "title"));
+  advance("seed");
+  pack.seed = parse_u64(directive_value(cursor, "seed"), cursor.line_no(),
+                        "seed");
+  advance("start");
+  try {
+    pack.start = util::parse_utc(directive_value(cursor, "start"));
+  } catch (const std::exception& error) {
+    // parse_utc throws out_of_range for bad field values; normalize so
+    // every parse failure surfaces as one exception type.
+    fail(cursor.line_no(), std::string("bad start time: ") + error.what());
+  }
+  advance("relays");
+  pack.relays = static_cast<int>(parse_int(directive_value(cursor, "relays"),
+                                           cursor.line_no(), "relays"));
+  if (pack.relays <= 0) fail(cursor.line_no(), "relays must be > 0");
+  advance("services");
+  pack.services = static_cast<int>(parse_int(
+      directive_value(cursor, "services"), cursor.line_no(), "services"));
+  if (pack.services < 0) fail(cursor.line_no(), "services must be >= 0");
+  advance("horizon-hours");
+  pack.horizon_hours =
+      static_cast<int>(parse_int(directive_value(cursor, "horizon-hours"),
+                                 cursor.line_no(), "horizon-hours"));
+  if (pack.horizon_hours <= 0)
+    fail(cursor.line_no(), "horizon-hours must be > 0");
+  advance("sample-every-hours");
+  pack.sample_every_hours =
+      static_cast<int>(parse_int(directive_value(cursor, "sample-every-hours"),
+                                 cursor.line_no(), "sample-every-hours"));
+  if (pack.sample_every_hours <= 0)
+    fail(cursor.line_no(), "sample-every-hours must be > 0");
+
+  advance("faults, an event block, or scenario-end");
+  if (util::starts_with(cursor.line(), "faults ")) {
+    pack.fault_spec = std::string(directive_value(cursor, "faults"));
+    check_fault_spec(pack.fault_spec, cursor.line_no());
+    advance("an event block or scenario-end");
+  }
+
+  // --- event blocks --------------------------------------------------
+  int previous_offset = 0;
+  while (cursor.line() != kFooterLine) {
+    const std::string_view header = cursor.line();
+    const std::size_t header_line = cursor.line_no();
+    if (!util::starts_with(header, "at "))
+      fail(header_line, "expected 'at +<hours>h <kind>' or '" +
+                            std::string(kFooterLine) + "', got '" +
+                            std::string(header) + "'");
+    const auto fields = util::split(header.substr(3), ' ');
+    if (fields.size() != 2)
+      fail(header_line, "event header needs exactly '+<hours>h <kind>'");
+    const std::string& offset = fields[0];
+    if (offset.size() < 3 || offset.front() != '+' || offset.back() != 'h')
+      fail(header_line, "event offset must look like +<hours>h, got '" +
+                            offset + "'");
+    ScenarioEvent event;
+    event.at_hours = static_cast<int>(parse_int(
+        std::string_view(offset).substr(1, offset.size() - 2), header_line,
+        "event offset"));
+    try {
+      event.kind = event_kind_from_name(fields[1]);
+    } catch (const std::invalid_argument& error) {
+      fail(header_line, error.what());
+    }
+    if (event.at_hours < previous_offset)
+      fail(header_line, "event at +" + std::to_string(event.at_hours) +
+                            "h out of order (previous +" +
+                            std::to_string(previous_offset) + "h)");
+    previous_offset = event.at_hours;
+    if (event.at_hours >= pack.horizon_hours)
+      fail(header_line, "event at +" + std::to_string(event.at_hours) +
+                            "h is beyond the horizon (" +
+                            std::to_string(pack.horizon_hours) + "h)");
+    for (const ScenarioEvent& seen : pack.events)
+      if (seen.at_hours == event.at_hours && seen.kind == event.kind)
+        fail(header_line, "duplicate event " +
+                              std::string(event_kind_name(event.kind)) +
+                              " at +" + std::to_string(event.at_hours) + "h");
+
+    // Parameter lines until the block's "end".
+    for (;;) {
+      advance("event parameter or 'end'");
+      if (cursor.line() == kEventEnd) break;
+      const std::string_view param = cursor.line();
+      const auto space = param.find(' ');
+      if (space == std::string_view::npos)
+        fail(cursor.line_no(), "event parameter needs '<key> <value>', got '" +
+                                   std::string(param) + "'");
+      apply_event_param(event, param.substr(0, space),
+                        util::trim(param.substr(space + 1)),
+                        cursor.line_no());
+    }
+    validate_event(event, header_line);
+    pack.events.push_back(std::move(event));
+    advance("an event block or scenario-end");
+  }
+  if (cursor.next())
+    fail(cursor.line_no(), "unexpected content after " +
+                               std::string(kFooterLine));
+  validate_pack(pack);
+  return pack;
+}
+
+std::string render_pack(const ScenarioPack& pack) {
+  std::string out;
+  out += kVersionLine;
+  out += '\n';
+  out += "name " + pack.name + '\n';
+  out += "title " + pack.title + '\n';
+  out += "seed " + std::to_string(pack.seed) + '\n';
+  out += "start " + util::format_utc(pack.start) + '\n';
+  out += "relays " + std::to_string(pack.relays) + '\n';
+  out += "services " + std::to_string(pack.services) + '\n';
+  out += "horizon-hours " + std::to_string(pack.horizon_hours) + '\n';
+  out += "sample-every-hours " + std::to_string(pack.sample_every_hours) +
+         '\n';
+  if (!pack.fault_spec.empty()) out += "faults " + pack.fault_spec + '\n';
+  for (const ScenarioEvent& event : pack.events) {
+    out += "at +" + std::to_string(event.at_hours) + "h " +
+           std::string(event_kind_name(event.kind)) + '\n';
+    const auto param = [&](std::string_view key, const std::string& value) {
+      out += "  " + std::string(key) + ' ' + value + '\n';
+    };
+    switch (event.kind) {
+      case EventKind::kChurnStorm:
+        param("hours", std::to_string(event.hours));
+        param("down", render_double(event.down));
+        param("up", render_double(event.up));
+        break;
+      case EventKind::kTakedown:
+      case EventKind::kMigrationWave:
+        param("services", std::to_string(event.services));
+        param("first", std::to_string(event.first));
+        break;
+      case EventKind::kFlashCrowd:
+        param("clients", std::to_string(event.clients));
+        param("fetches", std::to_string(event.fetches));
+        param("service", std::to_string(event.service));
+        break;
+      case EventKind::kHsdirFlood:
+      case EventKind::kRelayJoin:
+        param("relays", std::to_string(event.relays));
+        param("bandwidth", render_double(event.bandwidth));
+        break;
+      case EventKind::kAuthorityOutage:
+        param("hours", std::to_string(event.hours));
+        break;
+      case EventKind::kFaultWindow:
+        param("hours", std::to_string(event.hours));
+        param("faults", event.fault_spec);
+        break;
+      case EventKind::kAddServices:
+        param("count", std::to_string(event.count));
+        break;
+    }
+    out += "end\n";
+  }
+  out += kFooterLine;
+  out += '\n';
+  return out;
+}
+
+std::vector<std::string> list_packs(const std::string& directory) {
+  std::error_code ec;
+  std::filesystem::directory_iterator it(directory, ec);
+  if (ec)
+    throw std::runtime_error("cannot list scenario directory '" + directory +
+                             "': " + ec.message());
+  std::vector<std::string> names;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file()) continue;
+    const std::filesystem::path& path = entry.path();
+    if (path.extension() != ".scn") continue;
+    names.push_back(path.stem().string());
+  }
+  // Directory iteration order is filesystem-dependent; pin it.
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+ScenarioPack load_pack_file(const std::string& path) {
+  std::error_code ec;
+  if (!std::filesystem::is_regular_file(path, ec) || ec)
+    throw std::runtime_error("cannot read scenario pack '" + path + "'");
+  std::ifstream in(path, std::ios::binary);
+  if (!in)
+    throw std::runtime_error("cannot read scenario pack '" + path + "'");
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  if (in.bad())
+    throw std::runtime_error("cannot read scenario pack '" + path + "'");
+  return parse_pack(text);
+}
+
+ScenarioPack load_pack(const std::string& directory, const std::string& name) {
+  return load_pack_file(directory + "/" + name + ".scn");
+}
+
+}  // namespace torsim::scenario

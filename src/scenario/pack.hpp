@@ -1,0 +1,138 @@
+// The scenario DSL: a versioned text format that scripts multi-month
+// network evolution — relay churn storms, a botnet takedown mid-run,
+// v2->v3 onion-service migration waves, popularity flash-crowds,
+// adversarial HSDir flooding, and authority outages — as timed event
+// blocks over the deterministic sim::World substrate. The paper is a
+// snapshot of early-2013 Tor; the related longitudinal work (Snorkeling,
+// Dizzy) tracks services over years, and a ScenarioPack is the scripted,
+// regression-tested version of exactly that kind of history.
+//
+// Format (one pack; parsed like dirspec, strict line-numbered errors):
+//
+//   torsim-scenario-version 1
+//   name churn-storm
+//   title Relay churn storm over a simulated month
+//   seed 20130204
+//   start 2013-02-01 00:00:00
+//   relays 150
+//   services 30
+//   horizon-hours 720
+//   sample-every-hours 24
+//   faults drop=0.01,timeout=0.03        (optional; FaultPlan::parse)
+//   at +48h churn-storm
+//     hours 24
+//     down 0.20
+//     up 0.05
+//   end
+//   ...
+//   scenario-end
+//
+// Header directives appear in exactly the order above. Event blocks are
+// ordered by offset (non-decreasing); two blocks with the same offset
+// and kind are rejected as duplicates. `#` comment lines and blank
+// lines are ignored everywhere; render_pack() emits the canonical form
+// (no comments), and parse(render(pack)) == pack holds for every valid
+// pack (the round-trip property the DSL tests pin).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace torsim::scenario {
+
+/// What a timed event block does to the world. Parameter validity is
+/// enforced at parse time, so an engine never sees a half-formed event.
+enum class EventKind {
+  kChurnStorm,      ///< churn-storm: override churn rates for `hours`
+  kTakedown,        ///< takedown: force `services` offline (botnet seizure)
+  kMigrationWave,   ///< migration-wave: retire v2 services, spawn successors
+  kFlashCrowd,      ///< flash-crowd: burst of client fetches for one service
+  kHsdirFlood,      ///< hsdir-flood: adversary injects HSDir-bound relays
+  kAuthorityOutage, ///< authority-outage: no consensus rebuilds for `hours`
+  kFaultWindow,     ///< fault-window: swap in a fault plan for `hours`
+  kRelayJoin,       ///< relay-join: honest relays join the network
+  kAddServices,     ///< add-services: new hidden services appear
+};
+
+/// Canonical keyword for an event kind ("churn-storm", ...).
+std::string_view event_kind_name(EventKind kind);
+
+/// Inverse of event_kind_name; throws std::invalid_argument.
+EventKind event_kind_from_name(std::string_view name);
+
+/// One timed event block. Only the fields meaningful for `kind` are
+/// rendered/parsed; the rest stay at their defaults so default equality
+/// works for the round-trip property.
+struct ScenarioEvent {
+  int at_hours = 0;  ///< offset from pack start, in hours
+  EventKind kind = EventKind::kChurnStorm;
+
+  int hours = 0;            ///< churn-storm / authority-outage / fault-window
+  double down = 0.0;        ///< churn-storm: hourly down probability
+  double up = 0.0;          ///< churn-storm: hourly up probability
+  int services = 0;         ///< takedown / migration-wave: how many
+  int first = 0;            ///< takedown / migration-wave: first index
+  int clients = 0;          ///< flash-crowd: client count
+  int fetches = 1;          ///< flash-crowd: fetches per client
+  int service = 0;          ///< flash-crowd: target service index
+  int relays = 0;           ///< hsdir-flood / relay-join: relay count
+  double bandwidth = 500.0; ///< hsdir-flood / relay-join: per-relay kbps
+  int count = 0;            ///< add-services: how many
+  std::string fault_spec;   ///< fault-window: FaultPlan::parse spec
+
+  bool operator==(const ScenarioEvent&) const = default;
+};
+
+/// A parsed scenario pack: the fixed header plus the ordered event list.
+struct ScenarioPack {
+  int version = 1;
+  std::string name;   ///< slug: [a-z0-9-]+
+  std::string title;  ///< free-form one-liner
+  std::uint64_t seed = 1;
+  util::UnixTime start = 0;
+  int relays = 0;
+  int services = 0;
+  int horizon_hours = 0;
+  int sample_every_hours = 1;
+  /// Baseline fault plan spec ("" = none); validated by FaultPlan::parse
+  /// at pack-parse time and re-emitted verbatim by render_pack.
+  std::string fault_spec;
+  std::vector<ScenarioEvent> events;
+
+  bool operator==(const ScenarioPack&) const = default;
+};
+
+/// Parses a pack. Throws std::invalid_argument with a message of the
+/// form "scenario parse error at line N: ..." on any violation:
+/// missing/reordered header directives, unknown event kinds or
+/// parameters, out-of-range values, unordered or duplicate event
+/// blocks, events beyond the horizon, or a missing scenario-end footer.
+ScenarioPack parse_pack(std::string_view text);
+
+/// Renders the canonical text form (the exact bytes parse_pack accepts;
+/// parse_pack(render_pack(p)) == p for every valid pack).
+std::string render_pack(const ScenarioPack& pack);
+
+/// Validates a fully-built pack (used by parse_pack and by tests that
+/// construct packs programmatically). Throws std::invalid_argument.
+void validate_pack(const ScenarioPack& pack);
+
+/// Sorted base names (no ".scn") of every pack file directly under
+/// `directory` (subdirectories like golden/ and testdata/ are not
+/// descended into). Throws std::runtime_error if the directory cannot
+/// be read.
+std::vector<std::string> list_packs(const std::string& directory);
+
+/// Reads and parses `<directory>/<name>.scn`.
+ScenarioPack load_pack(const std::string& directory, const std::string& name);
+
+/// Reads and parses one pack file. Throws std::runtime_error when the
+/// file cannot be read (distinct from parse errors, so the CLI can map
+/// I/O and syntax failures to the right message).
+ScenarioPack load_pack_file(const std::string& path);
+
+}  // namespace torsim::scenario

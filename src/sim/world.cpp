@@ -1,5 +1,6 @@
 #include "sim/world.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace torsim::sim {
@@ -72,7 +73,32 @@ void World::publish_services() {
     service->maybe_publish(consensus_, dirnet_, rng_, clock_.now());
 }
 
+void World::set_churn_rates(double down_probability, double up_probability) {
+  config_.hourly_down_probability =
+      std::clamp(down_probability, 0.0, 1.0);
+  config_.hourly_up_probability = std::clamp(up_probability, 0.0, 1.0);
+}
+
+void World::set_authority_online(bool online) {
+  authority_online_ = online;
+  if (config_.metrics != nullptr)
+    config_.metrics->gauge("sim.authority_online").set(online ? 1 : 0);
+}
+
+void World::set_fault_plan(const fault::FaultPlan& plan) {
+  config_.faults = plan;
+  if (plan.enabled()) {
+    injector_ = std::make_unique<fault::FaultInjector>(plan);
+    injector_->set_metrics(config_.metrics);
+    dirnet_.set_fault_injector(injector_.get());
+  } else {
+    dirnet_.set_fault_injector(nullptr);
+    injector_.reset();
+  }
+}
+
 void World::rebuild_consensus() {
+  if (!authority_online_) return;
   consensus_ = authority_.build_consensus(registry_, clock_.now());
   if (config_.record_archive) {
     // Archive requires strictly increasing times; mid-hour rebuilds

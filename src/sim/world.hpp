@@ -82,6 +82,7 @@ class World {
   const relay::Registry& registry() const { return registry_; }
   const dirauth::Authority& authority() const { return authority_; }
   hsdir::DirectoryNetwork& directories() { return dirnet_; }
+  const hsdir::DirectoryNetwork& directories() const { return dirnet_; }
   const dirauth::Consensus& consensus() const { return consensus_; }
   const dirauth::ConsensusArchive& archive() const { return archive_; }
   util::Rng& rng() { return rng_; }
@@ -111,8 +112,34 @@ class World {
   bool churn_exempt(relay::RelayId id) const;
 
   /// Rebuilds the consensus immediately (used after an attacker flips
-  /// relays between consensus builds).
+  /// relays between consensus builds). A no-op while the authorities
+  /// are marked offline (see set_authority_online).
   void rebuild_consensus();
+
+  // --- scenario-engine hooks ----------------------------------------
+  /// Overrides the hourly honest-relay churn probabilities (scenario
+  /// churn storms). Values are clamped to [0, 1].
+  void set_churn_rates(double down_probability, double up_probability);
+  double hourly_down_probability() const {
+    return config_.hourly_down_probability;
+  }
+  double hourly_up_probability() const {
+    return config_.hourly_up_probability;
+  }
+
+  /// Marks the directory authorities up or down. While down, step_hour()
+  /// keeps churning relays and expiring descriptors but never rebuilds
+  /// the consensus — services republish against the last one published
+  /// before the outage, exactly like a live network riding a stale
+  /// consensus.
+  void set_authority_online(bool online);
+  bool authority_online() const { return authority_online_; }
+
+  /// Swaps the active fault plan (scenario fault windows). An enabled
+  /// plan installs (or replaces) the injector wired into the directory
+  /// network; a disabled plan removes it, restoring the exact no-fault
+  /// behaviour.
+  void set_fault_plan(const fault::FaultPlan& plan);
 
   /// Hook invoked after every consensus rebuild (attack controllers use
   /// it to react to ring changes).
@@ -137,6 +164,7 @@ class World {
   hsdir::DirectoryNetwork dirnet_;
   std::vector<std::unique_ptr<hs::ServiceHost>> services_;
   std::vector<bool> churn_exempt_;
+  bool authority_online_ = true;
   std::function<void(World&)> post_consensus_hook_;
 };
 

@@ -1,0 +1,382 @@
+// Property tests for the scenario DSL: the parse->render->parse
+// round-trip, single-character mutation fuzzing (mirroring the dirspec
+// mutation suite), and exact-message rejection goldens for malformed,
+// duplicate, unordered, and beyond-horizon event blocks.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "scenario/pack.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace torsim::scenario {
+namespace {
+
+constexpr std::string_view kValidPack =
+    "torsim-scenario-version 1\n"
+    "name demo-pack\n"
+    "title A demo pack\n"
+    "seed 7\n"
+    "start 2013-02-01 00:00:00\n"
+    "relays 40\n"
+    "services 4\n"
+    "horizon-hours 48\n"
+    "sample-every-hours 12\n"
+    "faults drop=0.01\n"
+    "at +6h churn-storm\n"
+    "  hours 6\n"
+    "  down 0.25\n"
+    "  up 0.125\n"
+    "end\n"
+    "at +12h takedown\n"
+    "  services 2\n"
+    "  first 0\n"
+    "end\n"
+    "scenario-end\n";
+
+/// A programmatic pack exercising every event kind once.
+ScenarioPack sample_pack() {
+  ScenarioPack p;
+  p.name = "all-kinds";
+  p.title = "Every event kind once";
+  p.seed = 99;
+  p.start = util::parse_utc("2013-02-01 00:00:00");
+  p.relays = 50;
+  p.services = 6;
+  p.horizon_hours = 200;
+  p.sample_every_hours = 10;
+  p.fault_spec = "drop=0.02,timeout=0.05";
+
+  const auto push = [&](EventKind kind, int at, auto&& fill) {
+    ScenarioEvent e;
+    e.kind = kind;
+    e.at_hours = at;
+    fill(e);
+    p.events.push_back(e);
+  };
+  push(EventKind::kChurnStorm, 5, [](ScenarioEvent& e) {
+    e.hours = 4;
+    e.down = 0.33;
+    e.up = 0.125;
+  });
+  push(EventKind::kTakedown, 20, [](ScenarioEvent& e) {
+    e.services = 2;
+    e.first = 1;
+  });
+  push(EventKind::kMigrationWave, 40, [](ScenarioEvent& e) {
+    e.services = 3;
+    e.first = 0;
+  });
+  push(EventKind::kFlashCrowd, 60, [](ScenarioEvent& e) {
+    e.clients = 8;
+    e.fetches = 2;
+    e.service = 3;
+  });
+  push(EventKind::kHsdirFlood, 80, [](ScenarioEvent& e) {
+    e.relays = 5;
+    e.bandwidth = 750.5;
+  });
+  push(EventKind::kAuthorityOutage, 100,
+       [](ScenarioEvent& e) { e.hours = 6; });
+  push(EventKind::kFaultWindow, 120, [](ScenarioEvent& e) {
+    e.hours = 12;
+    e.fault_spec = "drop=0.2,retries=3";
+  });
+  push(EventKind::kRelayJoin, 140, [](ScenarioEvent& e) {
+    e.relays = 4;
+    e.bandwidth = 300.0;
+  });
+  push(EventKind::kAddServices, 160,
+       [](ScenarioEvent& e) { e.count = 7; });
+  return p;
+}
+
+/// Parses `text` and hands back the exact error message ("" if the text
+/// unexpectedly parsed) — the rejection goldens below pin the full
+/// line-numbered string, not just "it threw".
+std::string parse_error(std::string_view text) {
+  try {
+    (void)parse_pack(text);
+  } catch (const std::invalid_argument& error) {
+    return error.what();
+  }
+  return "";
+}
+
+// ---------------------------------------------------------------------
+// round-trip property
+// ---------------------------------------------------------------------
+
+TEST(ScenarioDslTest, EventKindNamesRoundTrip) {
+  for (const EventKind kind :
+       {EventKind::kChurnStorm, EventKind::kTakedown,
+        EventKind::kMigrationWave, EventKind::kFlashCrowd,
+        EventKind::kHsdirFlood, EventKind::kAuthorityOutage,
+        EventKind::kFaultWindow, EventKind::kRelayJoin,
+        EventKind::kAddServices}) {
+    EXPECT_EQ(event_kind_from_name(event_kind_name(kind)), kind);
+  }
+  EXPECT_THROW(event_kind_from_name("party"), std::invalid_argument);
+}
+
+TEST(ScenarioDslTest, ParseRenderParseIsIdentity) {
+  const ScenarioPack pack = sample_pack();
+  validate_pack(pack);
+  const ScenarioPack reparsed = parse_pack(render_pack(pack));
+  EXPECT_EQ(reparsed, pack);
+  // And the canonical text is a fixed point.
+  EXPECT_EQ(render_pack(reparsed), render_pack(pack));
+}
+
+TEST(ScenarioDslTest, TextPackRoundTripsThroughRenderer) {
+  const ScenarioPack pack = parse_pack(kValidPack);
+  EXPECT_EQ(pack.name, "demo-pack");
+  EXPECT_EQ(pack.seed, 7u);
+  EXPECT_EQ(pack.relays, 40);
+  EXPECT_EQ(pack.horizon_hours, 48);
+  EXPECT_EQ(pack.fault_spec, "drop=0.01");
+  ASSERT_EQ(pack.events.size(), 2u);
+  EXPECT_EQ(pack.events[0].kind, EventKind::kChurnStorm);
+  EXPECT_EQ(pack.events[1].kind, EventKind::kTakedown);
+  EXPECT_EQ(parse_pack(render_pack(pack)), pack);
+}
+
+TEST(ScenarioDslTest, CommentsAndBlankLinesAreIgnored) {
+  std::string text(kValidPack);
+  text.insert(0, "# leading comment\n\n");
+  const auto pos = text.find("at +6h");
+  text.insert(pos, "# events follow\n\n");
+  EXPECT_EQ(parse_pack(text), parse_pack(kValidPack));
+}
+
+TEST(ScenarioDslTest, DoubleParametersSurviveExactly) {
+  ScenarioPack pack = sample_pack();
+  pack.events[0].down = 0.1 + 0.2;  // 0.30000000000000004
+  pack.events[0].up = 1.0 / 3.0;
+  EXPECT_EQ(parse_pack(render_pack(pack)), pack);
+}
+
+// ---------------------------------------------------------------------
+// mutation fuzzing (mirrors the dirspec parser mutation suite)
+// ---------------------------------------------------------------------
+
+class ScenarioMutationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScenarioMutationTest, ParserNeverCrashes) {
+  const std::string text = render_pack(sample_pack());
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int i = 0; i < 300; ++i) {
+    std::string mutated = text;
+    const auto pos = rng.index(mutated.size());
+    mutated[pos] = static_cast<char>(rng.uniform_int(32, 126));
+    try {
+      const ScenarioPack parsed = parse_pack(mutated);
+      // A mutation that still parses must yield a pack that satisfies
+      // the round-trip property like any hand-written one.
+      EXPECT_EQ(parse_pack(render_pack(parsed)), parsed);
+    } catch (const std::invalid_argument&) {
+      // Expected for most mutations; the property is "throws cleanly".
+    }
+  }
+}
+
+TEST_P(ScenarioMutationTest, TruncationNeverCrashes) {
+  const std::string text = render_pack(sample_pack());
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+  for (int i = 0; i < 100; ++i) {
+    const auto cut = rng.index(text.size());
+    try {
+      (void)parse_pack(std::string_view(text).substr(0, cut));
+    } catch (const std::invalid_argument&) {
+    }
+  }
+  EXPECT_THROW((void)parse_pack(""), std::invalid_argument);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScenarioMutationTest,
+                         ::testing::Range(0, 4));
+
+// ---------------------------------------------------------------------
+// rejection goldens: exact line-numbered messages
+// ---------------------------------------------------------------------
+
+TEST(ScenarioDslRejectTest, WrongVersionLine) {
+  EXPECT_EQ(parse_error("torsim-scenario-version 99\n"),
+            "scenario parse error at line 1: expected version line "
+            "'torsim-scenario-version 1', got 'torsim-scenario-version 99'");
+}
+
+TEST(ScenarioDslRejectTest, ReorderedHeaderDirective) {
+  // `seed` where `title` belongs: the header order is fixed.
+  EXPECT_EQ(parse_error("torsim-scenario-version 1\n"
+                        "name demo\n"
+                        "seed 7\n"),
+            "scenario parse error at line 3: expected 'title <value>', "
+            "got 'seed 7'");
+}
+
+TEST(ScenarioDslRejectTest, BadIntegerDirective) {
+  EXPECT_EQ(parse_error("torsim-scenario-version 1\n"
+                        "name demo\n"
+                        "title T\n"
+                        "seed 7\n"
+                        "start 2013-02-01 00:00:00\n"
+                        "relays many\n"),
+            "scenario parse error at line 6: relays must be an integer, "
+            "got 'many'");
+}
+
+TEST(ScenarioDslRejectTest, BadStartTime) {
+  const std::string message =
+      parse_error("torsim-scenario-version 1\n"
+                  "name demo\n"
+                  "title T\n"
+                  "seed 7\n"
+                  "start 2013-13-01 00:00:00\n");
+  EXPECT_EQ(message.find("scenario parse error at line 5: bad start time:"),
+            0u)
+      << message;
+}
+
+TEST(ScenarioDslRejectTest, UnknownEventKind) {
+  std::string text(kValidPack);
+  const auto pos = text.find("at +12h takedown");
+  text.replace(pos, std::string("at +12h takedown").size(),
+               "at +12h party");
+  EXPECT_EQ(parse_error(text),
+            "scenario parse error at line 16: unknown event kind 'party'");
+}
+
+TEST(ScenarioDslRejectTest, ParameterInvalidForKind) {
+  std::string text(kValidPack);
+  const auto pos = text.find("  services 2");
+  text.replace(pos, std::string("  services 2").size(), "  clients 2");
+  EXPECT_EQ(parse_error(text),
+            "scenario parse error at line 17: parameter 'clients' not "
+            "valid for takedown");
+}
+
+TEST(ScenarioDslRejectTest, DuplicateEventBlock) {
+  std::string text(kValidPack);
+  const std::string block =
+      "at +12h takedown\n  services 2\n  first 0\nend\n";
+  text.insert(text.find("scenario-end"), block);
+  EXPECT_EQ(parse_error(text),
+            "scenario parse error at line 20: duplicate event takedown "
+            "at +12h");
+}
+
+TEST(ScenarioDslRejectTest, UnorderedEventBlocks) {
+  std::string text(kValidPack);
+  const std::string block =
+      "at +3h authority-outage\n  hours 2\nend\n";
+  text.insert(text.find("scenario-end"), block);
+  EXPECT_EQ(parse_error(text),
+            "scenario parse error at line 20: event at +3h out of order "
+            "(previous +12h)");
+}
+
+TEST(ScenarioDslRejectTest, EventBeyondHorizon) {
+  std::string text(kValidPack);
+  const std::string block =
+      "at +999h authority-outage\n  hours 2\nend\n";
+  text.insert(text.find("scenario-end"), block);
+  EXPECT_EQ(parse_error(text),
+            "scenario parse error at line 20: event at +999h is beyond "
+            "the horizon (48h)");
+}
+
+TEST(ScenarioDslRejectTest, MissingFooter) {
+  std::string text(kValidPack);
+  text = text.substr(0, text.find("scenario-end"));
+  EXPECT_EQ(parse_error(text),
+            "scenario parse error at line 21: unexpected end of pack "
+            "(expected an event block or scenario-end)");
+}
+
+TEST(ScenarioDslRejectTest, ContentAfterFooter) {
+  std::string text(kValidPack);
+  text += "at +20h takedown\n";
+  EXPECT_EQ(parse_error(text),
+            "scenario parse error at line 21: unexpected content after "
+            "scenario-end");
+}
+
+TEST(ScenarioDslRejectTest, IncompleteEventBlockParameters) {
+  std::string text(kValidPack);
+  const auto pos = text.find("  services 2\n");
+  text.erase(pos, std::string("  services 2\n").size());
+  EXPECT_EQ(parse_error(text),
+            "scenario parse error at line 16: takedown: services must "
+            "be > 0");
+}
+
+TEST(ScenarioDslRejectTest, BadFaultSpecInHeader) {
+  std::string text(kValidPack);
+  const auto pos = text.find("faults drop=0.01");
+  text.replace(pos, std::string("faults drop=0.01").size(),
+               "faults frobnicate=1");
+  const std::string message = parse_error(text);
+  EXPECT_EQ(message.find("scenario parse error at line 10: bad fault spec:"),
+            0u)
+      << message;
+}
+
+// ---------------------------------------------------------------------
+// validate_pack on programmatic packs
+// ---------------------------------------------------------------------
+
+TEST(ScenarioValidateTest, RejectsBadHeaderFields) {
+  ScenarioPack pack = sample_pack();
+  pack.name = "Not A Slug";
+  EXPECT_THROW(validate_pack(pack), std::invalid_argument);
+  pack = sample_pack();
+  pack.relays = 0;
+  EXPECT_THROW(validate_pack(pack), std::invalid_argument);
+  pack = sample_pack();
+  pack.horizon_hours = 0;
+  EXPECT_THROW(validate_pack(pack), std::invalid_argument);
+  pack = sample_pack();
+  pack.version = 2;
+  EXPECT_THROW(validate_pack(pack), std::invalid_argument);
+}
+
+TEST(ScenarioValidateTest, RejectsBadEventLists) {
+  ScenarioPack pack = sample_pack();
+  std::swap(pack.events[0], pack.events[1]);  // out of order
+  EXPECT_THROW(validate_pack(pack), std::invalid_argument);
+  pack = sample_pack();
+  pack.events.push_back(pack.events.back());  // duplicate
+  EXPECT_THROW(validate_pack(pack), std::invalid_argument);
+  pack = sample_pack();
+  pack.events.back().at_hours = pack.horizon_hours;  // beyond horizon
+  EXPECT_THROW(validate_pack(pack), std::invalid_argument);
+  pack = sample_pack();
+  pack.events[0].down = 1.5;  // rate out of range
+  EXPECT_THROW(validate_pack(pack), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// loader I/O errors are runtime_error, distinct from parse errors
+// ---------------------------------------------------------------------
+
+TEST(ScenarioLoaderTest, MissingFileIsRuntimeError) {
+  EXPECT_THROW((void)load_pack_file("/nonexistent-torsim/pack.scn"),
+               std::runtime_error);
+  EXPECT_THROW((void)load_pack("/nonexistent-torsim", "pack"),
+               std::runtime_error);
+}
+
+TEST(ScenarioLoaderTest, DirectoryPathIsRuntimeError) {
+  EXPECT_THROW((void)load_pack_file("/tmp"), std::runtime_error);
+}
+
+TEST(ScenarioLoaderTest, MissingDirectoryIsRuntimeError) {
+  EXPECT_THROW((void)list_packs("/nonexistent-torsim"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace torsim::scenario

@@ -116,6 +116,38 @@ class Checker:
                 self.require(self.is_int(value) and value >= 0,
                              f"{where}.{key} must be a non-negative integer")
 
+    def check_scenarios(self, scenarios):
+        # Optional section: only BENCH_scenarios.json carries it, but
+        # when present anywhere it must be well-formed.
+        if scenarios is None:
+            return
+        if not self.require(isinstance(scenarios, list),
+                            "scenarios must be a list"):
+            return
+        self.require(len(scenarios) > 0, "scenarios must not be empty")
+        seen = set()
+        for i, entry in enumerate(scenarios):
+            where = f"scenarios[{i}]"
+            if not self.require(isinstance(entry, dict),
+                                f"{where} not an object"):
+                continue
+            name = entry.get("name")
+            if self.require(isinstance(name, str) and name,
+                            f"{where}.name must be a non-empty string"):
+                self.require(name not in seen,
+                             f"{where}.name {name!r} is a duplicate")
+                seen.add(name)
+            for key in ("horizon_hours", "events_applied", "timeline_rows",
+                        "services_migrated", "services_taken_down",
+                        "services_added", "relays_injected",
+                        "flash_fetches_ok", "flash_fetches_failed"):
+                value = entry.get(key)
+                self.require(self.is_int(value) and value >= 0,
+                             f"{where}.{key} must be a non-negative integer")
+            if self.is_int(entry.get("horizon_hours")):
+                self.require(entry["horizon_hours"] > 0,
+                             f"{where}.horizon_hours must be positive")
+
     def check_metrics(self, doc):
         for section in ("counters", "gauges"):
             values = doc.get(section)
@@ -178,6 +210,7 @@ class Checker:
         self.require(self.is_int(rss) and rss > 0,
                      "peak_rss_bytes must be a positive integer")
         self.check_cache(doc.get("cache"))
+        self.check_scenarios(doc.get("scenarios"))
         self.check_metrics(doc)
 
 

@@ -8,10 +8,12 @@
 //   torsim harvest     [--ips N] [--relays M] [--seed N]     Sec. II attack
 //   torsim trackdet    [--seed N] [--csv FILE]               Sec. VII
 //   torsim consensus   [--hours N] [--out FILE]              dir-spec dump
+//   torsim scenario    run|check|list [PACK]                 scenario packs
 //   torsim geoip IP [IP...]                                  GeoIP lookups
 #include <array>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <set>
 #include <string>
@@ -30,6 +32,7 @@
 #include "scan/cert_analysis.hpp"
 #include "scan/crawler.hpp"
 #include "scan/port_scanner.hpp"
+#include "scenario/engine.hpp"
 #include "sim/world.hpp"
 #include "stats/histogram.hpp"
 #include "trackdet/scenario.hpp"
@@ -53,6 +56,9 @@ struct Options {
   int threads = 0;
   /// Injected-fault plan (--faults mild|moderate|severe|k=v,...).
   fault::FaultPlan faults{};
+  /// The raw --faults text, kept for commands (scenario) that re-apply
+  /// the spec themselves.
+  std::string faults_spec;
   /// Deterministic-metrics JSON destination (--metrics-out FILE).
   std::string metrics_out;
   /// Chrome trace_event JSON destination (--trace-out FILE).
@@ -100,7 +106,10 @@ Options parse_options(int argc, char** argv, int first) {
     else if (arg == "--hours") opt.hours = std::stoi(next());
     else if (arg == "--threads") opt.threads = std::stoi(next());
     else if (arg == "--cache") util::set_memo_enabled(parse_cache_mode(next()));
-    else if (arg == "--faults") opt.faults = fault::FaultPlan::parse(next());
+    else if (arg == "--faults") {
+      opt.faults_spec = next();
+      opt.faults = fault::FaultPlan::parse(opt.faults_spec);
+    }
     else if (arg == "--metrics-out") opt.metrics_out = next();
     else if (arg == "--trace-out") opt.trace_out = next();
     else if (arg == "--log-level") util::set_log_level(parse_log_level(next()));
@@ -110,6 +119,12 @@ Options parse_options(int argc, char** argv, int first) {
   }
   return opt;
 }
+
+/// Writes `text` to `path`; returns 0 or prints an `error:` line and
+/// returns 1. Every command funnels file output through this helper so
+/// unwritable destinations fail the same way everywhere.
+int write_text_file(const std::string& path, const std::string& text,
+                    const char* what);
 
 population::Population make_population(const Options& opt) {
   population::PopulationConfig config;
@@ -380,18 +395,12 @@ int cmd_consensus(const Options& opt) {
   const auto text = dirspec::render_archive(world.archive());
   if (opt.out.empty()) {
     std::fputs(text.c_str(), stdout);
-  } else {
-    std::FILE* f = std::fopen(opt.out.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "cannot open %s\n", opt.out.c_str());
-      return 1;
-    }
-    std::fputs(text.c_str(), f);
-    std::fclose(f);
-    std::printf("wrote %zu consensuses to %s\n", world.archive().size(),
-                opt.out.c_str());
+    return 0;
   }
-  return 0;
+  const std::string what =
+      "consensus archive (" + std::to_string(world.archive().size()) +
+      " consensuses)";
+  return write_text_file(opt.out, text, what.c_str());
 }
 
 int cmd_report(const Options& opt) {
@@ -498,15 +507,72 @@ int cmd_report(const Options& opt) {
 
   if (opt.out.empty()) {
     std::fputs(out.c_str(), stdout);
-  } else {
-    std::FILE* f = std::fopen(opt.out.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "cannot open %s", opt.out.c_str());
+    return 0;
+  }
+  return write_text_file(opt.out, out, "report");
+}
+
+/// Maps a `torsim scenario` pack operand to a file path: an existing
+/// file wins; a bare name is looked up as scenarios/NAME.scn relative
+/// to the working directory.
+std::string resolve_pack_path(const std::string& arg) {
+  if (std::filesystem::is_regular_file(arg)) return arg;
+  if (arg.find('/') == std::string::npos && !arg.ends_with(".scn"))
+    return "scenarios/" + arg + ".scn";
+  return arg;
+}
+
+int cmd_scenario(const Options& opt) {
+  if (opt.positional.empty()) {
+    std::fprintf(stderr, "usage: torsim scenario run|check|list [PACK]\n");
+    return 1;
+  }
+  const std::string& sub = opt.positional.front();
+  if (sub == "list") {
+    const std::string dir =
+        opt.positional.size() > 1 ? opt.positional[1] : "scenarios";
+    for (const auto& name : scenario::list_packs(dir))
+      std::printf("%s\n", name.c_str());
+    return 0;
+  }
+  if (sub != "run" && sub != "check") {
+    std::fprintf(stderr,
+                 "error: unknown scenario subcommand '%s' "
+                 "(expected run|check|list)\n",
+                 sub.c_str());
+    return 1;
+  }
+  if (opt.positional.size() < 2) {
+    std::fprintf(stderr, "usage: torsim scenario %s PACK\n", sub.c_str());
+    return 1;
+  }
+  const scenario::ScenarioPack pack =
+      scenario::load_pack_file(resolve_pack_path(opt.positional[1]));
+  if (sub == "check") {
+    scenario::validate_pack(pack);
+    if (!(scenario::parse_pack(scenario::render_pack(pack)) == pack)) {
+      std::fprintf(stderr,
+                   "error: pack '%s' does not round-trip through the "
+                   "canonical renderer\n",
+                   pack.name.c_str());
       return 1;
     }
-    std::fputs(out.c_str(), f);
-    std::fclose(f);
-    std::printf("wrote report to %s\n", opt.out.c_str());
+    std::printf("pack '%s' OK: %zu events, horizon %d hours\n",
+                pack.name.c_str(), pack.events.size(), pack.horizon_hours);
+    return 0;
+  }
+  scenario::ScenarioRunConfig rc;
+  rc.threads = opt.threads;
+  rc.fault_override = opt.faults_spec;
+  rc.metrics = opt.metrics;
+  rc.trace = opt.trace;
+  const auto report = scenario::run_pack(pack, rc);
+  std::printf("%s\n", report.describe().c_str());
+  if (!opt.csv.empty()) {
+    util::CsvWriter csv(opt.csv);
+    report.write_timeline(csv);
+    std::printf("wrote %zu rows to %s\n", csv.rows_written(),
+                opt.csv.c_str());
   }
   return 0;
 }
@@ -526,7 +592,6 @@ int cmd_geoip(const Options& opt) {
   return 0;
 }
 
-/// Writes `text` to `path`; returns 0 or prints an error and returns 1.
 int write_text_file(const std::string& path, const std::string& text,
                     const char* what) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -555,6 +620,9 @@ void usage() {
       "  trackdet    Silk Road tracking detection (Sec. VII)\n"
       "  consensus   dump a dir-spec consensus archive\n"
       "  report      full-pipeline measured-vs-paper markdown report\n"
+      "  scenario    run|check|list longitudinal scenario packs\n"
+      "              (docs/scenarios.md; honours --threads --faults\n"
+      "              --cache --csv --metrics-out --trace-out)\n"
       "  geoip       look up synthetic GeoIP for addresses\n\n"
       "options: --scale S --seed N --csv FILE --out FILE --ips N "
       "--relays M --hours N --threads T --cache MODE --faults SPEC\n"
@@ -585,10 +653,11 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     Options opt = parse_options(argc, argv, 2);
-    // Only geoip takes positional operands; anywhere else a stray word
-    // is almost certainly a typo'd flag value, so fail loudly instead
-    // of silently ignoring it.
-    if (command != "geoip" && !opt.positional.empty())
+    // Only geoip and scenario take positional operands; anywhere else a
+    // stray word is almost certainly a typo'd flag value, so fail loudly
+    // instead of silently ignoring it.
+    if (command != "geoip" && command != "scenario" &&
+        !opt.positional.empty())
       throw std::invalid_argument("unexpected argument '" +
                                   opt.positional.front() + "'");
 
@@ -609,6 +678,7 @@ int main(int argc, char** argv) {
       if (command == "trackdet") return cmd_trackdet(opt);
       if (command == "consensus") return cmd_consensus(opt);
       if (command == "report") return cmd_report(opt);
+      if (command == "scenario") return cmd_scenario(opt);
       if (command == "geoip") return cmd_geoip(opt);
       return -1;
     };
