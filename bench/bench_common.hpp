@@ -17,6 +17,10 @@
 //   --cache=MODE    on|off (default on): the deterministic memo caches
 //                   (docs/performance.md); the rows section is
 //                   byte-identical either way, only timings move
+//   --ring-index=MODE on|off (default on): the eytzinger HSDir ring
+//                   index (dirauth/ring_index.hpp); off routes every
+//                   ring lookup through the kept sorted-scan oracle —
+//                   same rows, only timings move
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -102,6 +106,13 @@ inline void init(const std::string& name, int* argc, char** argv) {
       if (mode != "on" && mode != "off")
         throw std::invalid_argument("--cache expects on|off, got " + mode);
       util::set_memo_enabled(mode == "on");
+      continue;
+    }
+    if (arg.rfind("--ring-index=", 0) == 0) {
+      const std::string mode = arg.substr(13);
+      if (mode != "on" && mode != "off")
+        throw std::invalid_argument("--ring-index expects on|off, got " + mode);
+      dirauth::set_ring_index_enabled(mode == "on");
       continue;
     }
     argv[kept++] = argv[i];

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "crypto/sha1_batch.hpp"
 #include "util/encoding.hpp"
 #include "util/strings.hpp"
 
@@ -147,6 +148,46 @@ DescriptorId combine_descriptor_id(const PermanentId& id,
   return hasher.finalize();
 }
 
+// Lane-parallel uncached derivation core: the secret-id-part of every
+// (period, replica) pair is hashed through the batched kernel in one
+// pass, then the combine digests are forked off a shared permanent-id
+// midstate. Writes periods.size() * kNumReplicas ids, period-major /
+// replica-minor — the exact bytes (and order) of looping
+// descriptor_ids_for_period_scalar over the periods.
+void derive_ids_lanes(const PermanentId& id,
+                      std::span<const std::uint32_t> periods,
+                      std::span<const std::uint8_t> cookie,
+                      DescriptorId* out) {
+  const std::size_t replicas = static_cast<std::size_t>(kNumReplicas);
+  const std::size_t count = periods.size() * replicas;
+  const std::size_t msg_len = 4 + cookie.size() + 1;
+  std::vector<std::uint8_t> flat(count * msg_len);
+  std::vector<std::span<const std::uint8_t>> messages(count);
+  for (std::size_t p = 0; p < periods.size(); ++p) {
+    const std::uint32_t period = periods[p];
+    for (std::size_t r = 0; r < replicas; ++r) {
+      std::uint8_t* dst = flat.data() + (p * replicas + r) * msg_len;
+      dst[0] = static_cast<std::uint8_t>(period >> 24);
+      dst[1] = static_cast<std::uint8_t>(period >> 16);
+      dst[2] = static_cast<std::uint8_t>(period >> 8);
+      dst[3] = static_cast<std::uint8_t>(period);
+      std::copy(cookie.begin(), cookie.end(), dst + 4);
+      dst[4 + cookie.size()] = static_cast<std::uint8_t>(r);
+      messages[p * replicas + r] =
+          std::span<const std::uint8_t>(dst, msg_len);
+    }
+  }
+  std::vector<Sha1Digest> secrets(count);
+  sha1_batch(messages, secrets);
+
+  Sha1Midstate prefix;
+  prefix.absorb(std::span<const std::uint8_t>(id));
+  std::vector<std::span<const std::uint8_t>> suffixes(count);
+  for (std::size_t m = 0; m < count; ++m)
+    suffixes[m] = std::span<const std::uint8_t>(secrets[m]);
+  sha1_finish_lanes(prefix, suffixes, std::span<Sha1Digest>(out, count));
+}
+
 }  // namespace
 
 Sha1Digest secret_id_part(std::uint32_t period, std::uint8_t replica,
@@ -198,15 +239,46 @@ std::array<DescriptorId, kNumReplicas> descriptor_ids_for_period(
           descriptor_id(id, period, static_cast<std::uint8_t>(replica));
     return out;
   }
-  // Uncached path: absorb INT4(period) || cookie once, fork the SHA-1
-  // midstate per replica. Streams the same bytes as independent
-  // derivations, so the digests are identical.
+  // Uncached path: both replicas ride the lane kernel in one batch.
+  const std::uint32_t periods[1] = {period};
+  derive_ids_lanes(id, std::span<const std::uint32_t>(periods, 1), cookie,
+                   out.data());
+  return out;
+}
+
+std::array<DescriptorId, kNumReplicas> descriptor_ids_for_period_scalar(
+    const PermanentId& id, std::uint32_t period,
+    std::span<const std::uint8_t> cookie) {
+  // Pre-batch reference path, kept verbatim as the differential oracle:
+  // absorb INT4(period) || cookie once, fork the scalar SHA-1 midstate
+  // per replica, combine each secret with the permanent id.
+  std::array<DescriptorId, kNumReplicas> out{};
   const Sha1 midstate = secret_midstate(period, cookie);
   for (int replica = 0; replica < kNumReplicas; ++replica) {
     const Sha1Digest secret =
         finish_secret(midstate, static_cast<std::uint8_t>(replica));
     out[static_cast<std::size_t>(replica)] = combine_descriptor_id(id, secret);
   }
+  return out;
+}
+
+std::vector<DescriptorId> descriptor_ids_for_periods(
+    const PermanentId& id, std::span<const std::uint32_t> periods,
+    std::span<const std::uint8_t> cookie) {
+  const std::size_t replicas = static_cast<std::size_t>(kNumReplicas);
+  std::vector<DescriptorId> out(periods.size() * replicas);
+  if (periods.empty()) return out;
+  if (cookie.empty() && util::memo_enabled()) {
+    // Cached path: the memo tables already amortize secrets across
+    // periods and services; reuse the single-period cached derivation.
+    for (std::size_t p = 0; p < periods.size(); ++p) {
+      const auto pair = descriptor_ids_for_period(id, periods[p]);
+      for (std::size_t r = 0; r < replicas; ++r)
+        out[p * replicas + r] = pair[r];
+    }
+    return out;
+  }
+  derive_ids_lanes(id, periods, cookie, out.data());
   return out;
 }
 

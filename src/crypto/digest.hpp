@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "crypto/sha1.hpp"
 #include "util/memo.hpp"
@@ -73,13 +74,35 @@ DescriptorId descriptor_id(const PermanentId& id, std::uint32_t period,
                            std::span<const std::uint8_t> cookie = {});
 
 /// Both replicas' descriptor IDs for one (service, period), in replica
-/// order. On the uncached path the SHA-1 midstate over
-/// INT4(period) || cookie is absorbed once and forked per replica
-/// (Sha1 is copyable precisely so the midstate can be captured), which
-/// streams the same bytes as kNumReplicas independent derivations —
-/// byte-identical output, roughly half the hashing.
+/// order. The uncached path runs the multi-lane batched SHA-1
+/// (crypto/sha1_batch.hpp): the secret-id-parts of every replica are
+/// hashed in lock-step, then the combine digests are forked off a
+/// shared permanent-id midstate — the same bytes as kNumReplicas
+/// independent scalar derivations, so the output is byte-identical to
+/// descriptor_ids_for_period_scalar (the differential suite asserts
+/// this at randomized schedules).
 std::array<DescriptorId, kNumReplicas> descriptor_ids_for_period(
     const PermanentId& id, std::uint32_t period,
+    std::span<const std::uint8_t> cookie = {});
+
+/// Reference oracle: the pre-batch implementation (scalar Sha1
+/// midstate-fork per replica, no lane kernel, no memo). Kept callable
+/// for the differential suite and the cold-path benches.
+std::array<DescriptorId, kNumReplicas> descriptor_ids_for_period_scalar(
+    const PermanentId& id, std::uint32_t period,
+    std::span<const std::uint8_t> cookie = {});
+
+/// Whole-block derivation: descriptor IDs for every period in
+/// `periods`, period-major / replica-minor (result[p * kNumReplicas +
+/// r] is replica r of periods[p]) — exactly the flattening of
+/// descriptor_ids_for_period over the periods in order. The uncached
+/// path feeds all periods × replicas through the lane kernel in one
+/// pass, which is where the batch width (and the BM_DeriveDescriptorIds
+/// speedup) comes from; the cached path loops the memoized single-
+/// period derivation. Used by the resolver's dictionary builder, which
+/// derives many consecutive days per onion.
+std::vector<DescriptorId> descriptor_ids_for_periods(
+    const PermanentId& id, std::span<const std::uint32_t> periods,
     std::span<const std::uint8_t> cookie = {});
 
 /// Lifetime hit/miss/evict totals of the descriptor-id memo cache

@@ -10,6 +10,7 @@
 #include "crypto/digest.hpp"
 #include "crypto/keypair.hpp"
 #include "dirauth/flags.hpp"
+#include "dirauth/ring_index.hpp"
 #include "net/ipv4.hpp"
 #include "relay/relay.hpp"
 #include "util/time.hpp"
@@ -76,24 +77,52 @@ class Consensus {
 
   /// The kHsDirsPerReplica HSDir entries whose fingerprints follow
   /// `descriptor_id` clockwise on the ring (wrapping), in order — the
-  /// "responsible hidden service directories" for one replica.
+  /// "responsible hidden service directories" for one replica. Routes
+  /// through the eytzinger RingIndex when ring_index_enabled(), through
+  /// responsible_hsdirs_scan() otherwise; the two are byte-identical by
+  /// contract (tests/ring_index_diff_test.cpp).
   std::vector<const ConsensusEntry*> responsible_hsdirs(
+      const crypto::DescriptorId& descriptor_id) const;
+
+  /// Allocation-free responsible_hsdirs: writes up to `capacity` entry
+  /// pointers into `out` and returns the count written (the same
+  /// entries, in the same order, as responsible_hsdirs truncated to
+  /// `capacity`). Hot-path form used by ring caches.
+  std::size_t responsible_hsdirs_into(const crypto::DescriptorId& descriptor_id,
+                                      const ConsensusEntry** out,
+                                      std::size_t capacity) const;
+
+  /// Pre-index reference implementation: binary search over
+  /// hsdir_indices() dereferencing full entries per probe. Kept as the
+  /// oracle for the differential suite and the cold-path benches; not
+  /// for production call sites.
+  std::vector<const ConsensusEntry*> responsible_hsdirs_scan(
       const crypto::DescriptorId& descriptor_id) const;
 
   /// Batched ring lookup: responsible_hsdirs for every id, in input
   /// order, fanned out across up to `threads` workers (<= 0 = one per
-  /// hardware thread). Lookups are pure reads of this consensus, so the
-  /// result is identical to the serial loop for every thread count.
+  /// hardware thread). With the index enabled each worker sorts its
+  /// slice of query ids and resolves them in one merge walk over the
+  /// ring, then results are committed in caller order; lookups are pure
+  /// reads of this consensus, so the result is identical to the serial
+  /// per-id loop for every thread count and for both index settings.
   std::vector<std::vector<const ConsensusEntry*>> responsible_hsdirs_batch(
       const std::vector<crypto::DescriptorId>& ids, int threads = 0) const;
+
+  /// The eytzinger ring index (built at construction; empty when there
+  /// are no HSDirs).
+  const RingIndex& ring_index() const { return ring_index_; }
 
   /// Entries with a given flag.
   std::vector<const ConsensusEntry*> with_flag(Flag flag) const;
 
  private:
+  void build_ring_index();
+
   util::UnixTime valid_after_ = 0;
   std::vector<ConsensusEntry> entries_;       // sorted by fingerprint
   std::vector<std::size_t> hsdir_indices_;    // ring order
+  RingIndex ring_index_;                      // eytzinger over the ring
   std::uint64_t generation_ = 0;              // 0 = empty default
 };
 

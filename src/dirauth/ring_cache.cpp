@@ -22,6 +22,14 @@ std::vector<const ConsensusEntry*> to_vector(const ResponsibleSet& set) {
   return {set.dirs.begin(), set.dirs.begin() + set.count};
 }
 
+// Allocation-free ring walk straight into a ResponsibleSet (the
+// single-id hot path; the result matches to_set(responsible_hsdirs)).
+void fill_set(const Consensus& consensus, const crypto::DescriptorId& id,
+              ResponsibleSet& set) {
+  set.count = static_cast<std::uint8_t>(
+      consensus.responsible_hsdirs_into(id, set.dirs.data(), set.dirs.size()));
+}
+
 }  // namespace
 
 ResponsibleSetCache::ResponsibleSetCache(std::size_t capacity)
@@ -36,7 +44,7 @@ void ResponsibleSetCache::sync_generation(const Consensus& consensus) {
 const ResponsibleSet& ResponsibleSetCache::responsible(
     const Consensus& consensus, const crypto::DescriptorId& id) {
   if (!util::memo_enabled()) {
-    scratch_ = to_set(consensus.responsible_hsdirs(id));
+    fill_set(consensus, id, scratch_);
     return scratch_;
   }
   sync_generation(consensus);
@@ -45,7 +53,7 @@ const ResponsibleSet& ResponsibleSetCache::responsible(
     return *hit;
   }
   ring_counters().miss();
-  scratch_ = to_set(consensus.responsible_hsdirs(id));
+  fill_set(consensus, id, scratch_);
   if (table_.store(id, scratch_)) ring_counters().evict();
   return scratch_;
 }

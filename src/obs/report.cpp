@@ -108,6 +108,25 @@ std::string BenchReport::to_json() const {
   json.end_object();
   json.end_object();
 
+  if (index_section_present_) {
+    json.key("index").begin_object();
+    json.key("enabled").value(index_enabled_);
+    json.key("kernels").begin_object();
+    for (const auto& [kernel_name, stat] : index_stats_) {
+      json.key(kernel_name).begin_object();
+      json.key("indexed_seconds").value(stat.indexed_seconds);
+      json.key("oracle_seconds").value(stat.oracle_seconds);
+      json.key("speedup");
+      if (stat.indexed_seconds > 0.0)
+        json.value(stat.oracle_seconds / stat.indexed_seconds);
+      else
+        json.null();
+      json.end_object();
+    }
+    json.end_object();
+    json.end_object();
+  }
+
   metrics_.write_json_sections(json);
   json.end_object();
   return json.str();

@@ -59,10 +59,22 @@ class BenchReport {
   /// and exports ratio: null.
   void print_row(const std::string& label, double measured, double paper);
 
+  /// One recorded google-benchmark result (per-iteration seconds).
+  struct BenchmarkRun {
+    std::string name;
+    double real_time_seconds = 0.0;
+    double cpu_time_seconds = 0.0;
+    std::int64_t iterations = 0;
+  };
+
   /// Records one google-benchmark result (times in seconds).
   void add_benchmark(const std::string& benchmark_name,
                      double real_time_seconds, double cpu_time_seconds,
                      std::int64_t iterations);
+
+  /// Recorded benchmark runs, in recording order (bench mains read
+  /// these back to derive oracle-vs-indexed speedups).
+  const std::vector<BenchmarkRun>& benchmarks() const { return benchmarks_; }
 
   /// The counter section: subsystem configs point at this registry.
   MetricsRegistry& metrics() { return metrics_; }
@@ -80,6 +92,24 @@ class BenchReport {
   void set_cache_stats(const std::string& cache_name,
                        const util::CacheStats& stats) {
     cache_stats_[cache_name] = stats;
+  }
+
+  /// The optional "index" telemetry section (emitted only once
+  /// set_index_enabled has been called, so non-ring bench documents are
+  /// unchanged): whether the eytzinger ring index was routing lookups
+  /// for this run, plus per-kernel oracle-vs-indexed cold-path timings.
+  /// Perf telemetry like wall_clock — timings move machine to machine,
+  /// so the section never feeds the deterministic gates
+  /// (tools/diff_bench_rows.py ignores it; tools/check_bench_json.py
+  /// validates its shape).
+  void set_index_enabled(bool enabled) {
+    index_enabled_ = enabled;
+    index_section_present_ = true;
+  }
+  void set_index_stat(const std::string& kernel_name, double oracle_seconds,
+                      double indexed_seconds) {
+    index_stats_[kernel_name] = {oracle_seconds, indexed_seconds};
+    index_section_present_ = true;
   }
 
   /// Records one scenario-pack replay; emitted as the optional
@@ -103,11 +133,9 @@ class BenchReport {
     double measured = 0.0;
     double paper = 0.0;
   };
-  struct BenchmarkRun {
-    std::string name;
-    double real_time_seconds = 0.0;
-    double cpu_time_seconds = 0.0;
-    std::int64_t iterations = 0;
+  struct IndexStat {
+    double oracle_seconds = 0.0;
+    double indexed_seconds = 0.0;
   };
 
   std::string name_;
@@ -120,6 +148,9 @@ class BenchReport {
   PhaseTimer phases_;
   bool cache_enabled_ = true;
   std::map<std::string, util::CacheStats> cache_stats_;  // ordered emission
+  bool index_section_present_ = false;
+  bool index_enabled_ = true;
+  std::map<std::string, IndexStat> index_stats_;  // ordered emission
 };
 
 }  // namespace torsim::obs

@@ -33,17 +33,16 @@ void DescriptorResolver::build_dictionary_from_onions(
   // the serial loop would (last writer in input order wins).
   const auto derive_one = [&](std::size_t index) {
     const auto pid = crypto::parse_onion_address(onions[index]);
-    std::vector<crypto::DescriptorId> ids;
     // One derivation per day in the window; the time-period function
-    // shifts per-service, so step by days and dedupe via the map.
+    // shifts per-service, so step by days and dedupe via the map. All
+    // of the service's periods go through the lane-batched derivation
+    // in a single call (period-major, replica-minor — the same order
+    // the per-period loop produced).
+    std::vector<std::uint32_t> periods;
     for (util::UnixTime t = config_.derive_from; t < config_.derive_to;
-         t += util::kSecondsPerDay) {
-      const std::uint32_t period = crypto::time_period(t, pid);
-      for (const crypto::DescriptorId& id :
-           crypto::descriptor_ids_for_period(pid, period))
-        ids.push_back(id);
-    }
-    return ids;
+         t += util::kSecondsPerDay)
+      periods.push_back(crypto::time_period(t, pid));
+    return crypto::descriptor_ids_for_periods(pid, periods);
   };
   const std::vector<std::vector<crypto::DescriptorId>> derived =
       util::parallel_map(onions.size(), config_.threads, derive_one);

@@ -12,6 +12,7 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace {
@@ -287,7 +288,15 @@ TEST(DetlintStrip, HandlesEscapesAndRawStrings) {
   EXPECT_NE(stripped.find("int after = 1;"), std::string::npos);
 }
 
-// --- the checked-in fixture ------------------------------------------
+// --- the checked-in fixtures -----------------------------------------
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing file: " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
 
 TEST(DetlintFixture, EveryCheckFiresOnBadPatterns) {
   const std::string path =
@@ -314,6 +323,55 @@ TEST(DetlintFixture, EveryCheckFiresOnBadPatterns) {
   EXPECT_EQ(count_check(findings, "rng-parallel"), 1u);
   EXPECT_EQ(count_check(findings, "float-accum"), 1u);
   EXPECT_EQ(count_check(findings, "pointer-key"), 1u);
+}
+
+TEST(DetlintFixture, KernelIdiomsStayQuiet) {
+  // The PR-7 kernel shapes — eytzinger descent with __builtin_prefetch,
+  // lane-transposed round loops, memcpy/memset block splicing — are
+  // pure data movement and must never flag. The fixture ends in one
+  // deliberate std::rand() canary: exactly one finding distinguishes
+  // "nothing to flag" from "file never scanned".
+  const std::string path =
+      std::string(DETLINT_TESTDATA_DIR) + "/kernel_patterns.cpp";
+  const std::string content = read_file(path);
+  ASSERT_FALSE(content.empty());
+
+  const NameSets names = detlint::collect_names(content);
+  const auto findings = detlint::scan_file(path, content, names);
+
+  EXPECT_EQ(findings.size(), 1u);
+  EXPECT_EQ(count_check(findings, "banned-call"), 1u);
+}
+
+// --- the real kernel sources -----------------------------------------
+
+TEST(DetlintSources, RingIndexAndSha1BatchAreClean) {
+  // Scan the shipped eytzinger-index and batched-SHA-1 sources exactly
+  // as the lint gate does (whole-file name pass, header merged with the
+  // .cpp) and require zero findings, suppressed or not: the hot kernels
+  // carry no determinism escapes at all.
+  const std::string root = std::string(TORSIM_SOURCE_DIR);
+  const std::vector<std::pair<std::string, std::string>> units = {
+      {root + "/src/dirauth/ring_index.hpp",
+       root + "/src/dirauth/ring_index.cpp"},
+      {root + "/src/crypto/sha1_batch.hpp",
+       root + "/src/crypto/sha1_batch.cpp"},
+  };
+  for (const auto& [header_path, cpp_path] : units) {
+    const std::string header = read_file(header_path);
+    const std::string cpp = read_file(cpp_path);
+    ASSERT_FALSE(header.empty());
+    ASSERT_FALSE(cpp.empty());
+    NameSets names = detlint::collect_names(header);
+    detlint::merge_names(names, detlint::collect_names(cpp));
+    for (const auto& [path, content] :
+         {std::pair{header_path, header}, std::pair{cpp_path, cpp}}) {
+      const auto findings = detlint::scan_file(path, content, names);
+      EXPECT_TRUE(findings.empty())
+          << path << " has " << findings.size() << " detlint finding(s); "
+          << "first: " << (findings.empty() ? "" : findings[0].message);
+    }
+  }
 }
 
 }  // namespace

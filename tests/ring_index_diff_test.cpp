@@ -1,0 +1,249 @@
+// Differential suite for the eytzinger HSDir ring index
+// (dirauth/ring_index.hpp): the kept sorted-scan oracle
+// (Consensus::responsible_hsdirs_scan) is replayed against the indexed
+// paths over randomized populations and query schedules — single
+// lookups, the merge-walk batch, the ResponsibleSetCache, and the
+// property edge cases (empty ring, < kHsDirsPerReplica HSDirs,
+// duplicate fingerprints, exact-hit and past-ring-max queries), at
+// cache on/off x threads 1/4/8.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "crypto/digest.hpp"
+#include "dirauth/consensus.hpp"
+#include "dirauth/ring_cache.hpp"
+#include "dirauth/ring_index.hpp"
+#include "util/memo.hpp"
+#include "util/rng.hpp"
+
+namespace torsim::dirauth {
+namespace {
+
+// A consensus of `hsdirs` HSDir-flagged relays plus `others` plain
+// relays (the index must skip non-HSDirs like the oracle does).
+Consensus make_consensus(util::Rng& rng, int hsdirs, int others) {
+  std::vector<ConsensusEntry> entries;
+  for (int i = 0; i < hsdirs + others; ++i) {
+    ConsensusEntry e;
+    e.relay = static_cast<relay::RelayId>(i + 1);
+    rng.fill_bytes(e.fingerprint.data(), e.fingerprint.size());
+    if (i < hsdirs) e.flags = with_flag(0, Flag::kHSDir);
+    entries.push_back(e);
+  }
+  return {0, std::move(entries)};
+}
+
+std::vector<crypto::DescriptorId> random_ids(util::Rng& rng,
+                                             std::size_t count) {
+  std::vector<crypto::DescriptorId> ids(count);
+  for (auto& id : ids) rng.fill_bytes(id.data(), id.size());
+  return ids;
+}
+
+// A query mix that hits every interesting ring position: random points,
+// exact fingerprints of ring members, ids past the ring maximum and
+// before the minimum (both wraparound classes), and duplicates.
+std::vector<crypto::DescriptorId> adversarial_ids(util::Rng& rng,
+                                                  const Consensus& c) {
+  std::vector<crypto::DescriptorId> ids = random_ids(rng, 32);
+  for (const std::size_t idx : c.hsdir_indices()) {
+    const crypto::Fingerprint& fp = c.entries()[idx].fingerprint;
+    ids.push_back(fp);  // exactly on an entry: strict ">" must skip it
+    crypto::DescriptorId below = fp;
+    below[19] = static_cast<std::uint8_t>(below[19] - 1);
+    ids.push_back(below);
+    crypto::DescriptorId above = fp;
+    above[19] = static_cast<std::uint8_t>(above[19] + 1);
+    ids.push_back(above);
+  }
+  crypto::DescriptorId all_ff;
+  all_ff.fill(0xff);  // past the ring max: must wrap to rank 0
+  ids.push_back(all_ff);
+  crypto::DescriptorId all_00{};
+  ids.push_back(all_00);
+  // Duplicates: the batch path must answer repeats identically.
+  const std::size_t base = ids.size();
+  for (std::size_t i = 0; i < std::min<std::size_t>(8, base); ++i)
+    ids.push_back(ids[i * 3 % base]);
+  return ids;
+}
+
+void expect_same_sets(
+    const std::vector<std::vector<const ConsensusEntry*>>& got,
+    const std::vector<std::vector<const ConsensusEntry*>>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_EQ(got[i], want[i]) << "query " << i;
+}
+
+TEST(RingIndexDiffTest, RandomizedPopulationsMatchScanOracle) {
+  util::Rng rng(501);
+  for (const int hsdirs : {1, 2, 3, 5, 64, 1300}) {
+    const Consensus c = make_consensus(rng, hsdirs, hsdirs / 3);
+    const auto ids = adversarial_ids(rng, c);
+    for (const auto& id : ids) {
+      const auto oracle = c.responsible_hsdirs_scan(id);
+      {
+        const RingIndexEnabledGuard on(true);
+        EXPECT_EQ(c.responsible_hsdirs(id), oracle);
+      }
+      {
+        const RingIndexEnabledGuard off(false);
+        EXPECT_EQ(c.responsible_hsdirs(id), oracle);
+      }
+    }
+  }
+}
+
+TEST(RingIndexDiffTest, EmptyConsensusAndNoHsdirs) {
+  util::Rng rng(502);
+  const Consensus empty;
+  const Consensus no_hsdirs = make_consensus(rng, 0, 10);
+  const auto id = random_ids(rng, 1)[0];
+  for (const Consensus* c : {&empty, &no_hsdirs}) {
+    EXPECT_TRUE(c->ring_index().empty());
+    EXPECT_TRUE(c->responsible_hsdirs(id).empty());
+    EXPECT_TRUE(c->responsible_hsdirs_scan(id).empty());
+    const ConsensusEntry* buf[crypto::kHsDirsPerReplica];
+    EXPECT_EQ(c->responsible_hsdirs_into(id, buf, crypto::kHsDirsPerReplica),
+              0u);
+    EXPECT_TRUE(c->responsible_hsdirs_batch({id, id}, 1)[0].empty());
+  }
+}
+
+TEST(RingIndexDiffTest, FewerHsdirsThanReplicaSetWraps) {
+  // With n < kHsDirsPerReplica the responsible set is the whole ring,
+  // starting at the successor — both paths must agree on the rotation.
+  util::Rng rng(503);
+  for (const int hsdirs : {1, 2}) {
+    const Consensus c = make_consensus(rng, hsdirs, 2);
+    for (const auto& id : adversarial_ids(rng, c)) {
+      const auto oracle = c.responsible_hsdirs_scan(id);
+      EXPECT_EQ(oracle.size(), static_cast<std::size_t>(hsdirs));
+      EXPECT_EQ(c.responsible_hsdirs(id), oracle);
+    }
+  }
+}
+
+TEST(RingIndexDiffTest, DuplicateFingerprintsMatchOracle) {
+  // Duplicate ring keys: upper-bound semantics must land on the same
+  // (first) duplicate in both implementations.
+  util::Rng rng(504);
+  std::vector<ConsensusEntry> entries;
+  crypto::Fingerprint shared;
+  rng.fill_bytes(shared.data(), shared.size());
+  for (int i = 0; i < 6; ++i) {
+    ConsensusEntry e;
+    e.relay = static_cast<relay::RelayId>(i + 1);
+    e.flags = with_flag(0, Flag::kHSDir);
+    if (i < 3) {
+      e.fingerprint = shared;  // three identical ring keys
+    } else {
+      rng.fill_bytes(e.fingerprint.data(), e.fingerprint.size());
+    }
+    entries.push_back(e);
+  }
+  const Consensus c(0, std::move(entries));
+  for (const auto& id : adversarial_ids(rng, c))
+    EXPECT_EQ(c.responsible_hsdirs(id), c.responsible_hsdirs_scan(id));
+}
+
+TEST(RingIndexDiffTest, BatchMatchesSinglesAcrossThreadsAndSettings) {
+  util::Rng rng(505);
+  const Consensus c = make_consensus(rng, 200, 40);
+  auto ids = adversarial_ids(rng, c);
+  const auto more = random_ids(rng, 3000);  // force multiple walk chunks
+  ids.insert(ids.end(), more.begin(), more.end());
+
+  std::vector<std::vector<const ConsensusEntry*>> oracle;
+  oracle.reserve(ids.size());
+  for (const auto& id : ids) oracle.push_back(c.responsible_hsdirs_scan(id));
+
+  for (const bool index_on : {true, false}) {
+    const RingIndexEnabledGuard index_guard(index_on);
+    for (const int threads : {1, 4, 8})
+      expect_same_sets(c.responsible_hsdirs_batch(ids, threads), oracle);
+  }
+}
+
+TEST(RingIndexDiffTest, ResponsibleSetCacheMatchesOracle) {
+  util::Rng rng(506);
+  const Consensus c = make_consensus(rng, 300, 50);
+  auto ids = adversarial_ids(rng, c);
+  const auto more = random_ids(rng, 500);
+  ids.insert(ids.end(), more.begin(), more.end());
+
+  std::vector<std::vector<const ConsensusEntry*>> oracle;
+  oracle.reserve(ids.size());
+  for (const auto& id : ids) oracle.push_back(c.responsible_hsdirs_scan(id));
+
+  for (const bool index_on : {true, false}) {
+    const RingIndexEnabledGuard index_guard(index_on);
+    for (const bool cache_on : {false, true}) {
+      const util::MemoEnabledGuard cache_guard(cache_on);
+      for (const int threads : {1, 4, 8}) {
+        ResponsibleSetCache cache;
+        expect_same_sets(cache.batch(c, ids, threads), oracle);
+        // Single-id path, including repeat lookups (cache hits).
+        for (std::size_t i = 0; i < ids.size(); i += 97) {
+          const ResponsibleSet& set = cache.responsible(c, ids[i]);
+          ASSERT_EQ(set.count, oracle[i].size());
+          for (std::size_t k = 0; k < set.count; ++k)
+            EXPECT_EQ(set.dirs[k], oracle[i][k]);
+          const ResponsibleSet& again = cache.responsible(c, ids[i]);
+          EXPECT_EQ(again.count, set.count);
+        }
+      }
+    }
+  }
+}
+
+TEST(RingIndexDiffTest, FirstAfterSortedMatchesPerIdDescent) {
+  // The merge walk must equal per-id first_after for every query,
+  // including duplicate ids and the wraparound sentinel (rank == n).
+  util::Rng rng(507);
+  const Consensus c = make_consensus(rng, 128, 0);
+  const RingIndex& index = c.ring_index();
+  auto ids = adversarial_ids(rng, c);
+  std::vector<std::uint32_t> order(ids.size());
+  for (std::size_t i = 0; i < order.size(); ++i)
+    order[i] = static_cast<std::uint32_t>(i);
+  std::sort(order.begin(), order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              if (ids[a] != ids[b]) return ids[a] < ids[b];
+              return a < b;
+            });
+  std::vector<std::uint32_t> ranks(ids.size());
+  index.first_after_sorted(ids, order.data(), order.size(), ranks.data());
+  for (std::size_t i = 0; i < ids.size(); ++i)
+    EXPECT_EQ(ranks[i], index.first_after(ids[i])) << "query " << i;
+}
+
+TEST(RingIndexDiffTest, IndexSurvivesCopyAndMove) {
+  util::Rng rng(508);
+  Consensus original = make_consensus(rng, 50, 10);
+  const auto ids = random_ids(rng, 64);
+  std::vector<std::vector<const ConsensusEntry*>> oracle;
+  for (const auto& id : ids) oracle.push_back(original.responsible_hsdirs_scan(id));
+  const auto check = [&](const Consensus& c) {
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const auto got = c.responsible_hsdirs(ids[i]);
+      ASSERT_EQ(got.size(), oracle[i].size());
+      for (std::size_t k = 0; k < got.size(); ++k)
+        EXPECT_EQ(got[k]->relay, oracle[i][k]->relay);
+    }
+  };
+  const Consensus copy = original;
+  check(copy);
+  const Consensus moved = std::move(original);
+  check(moved);
+  EXPECT_TRUE(original.ring_index().empty());  // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(original.responsible_hsdirs(ids[0]).empty());
+}
+
+}  // namespace
+}  // namespace torsim::dirauth

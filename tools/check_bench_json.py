@@ -116,6 +116,45 @@ class Checker:
                 self.require(self.is_int(value) and value >= 0,
                              f"{where}.{key} must be a non-negative integer")
 
+    def check_index(self, index):
+        # Optional section: only the ring ablation bench carries it (the
+        # eytzinger-index-vs-oracle cold-path telemetry), but when
+        # present anywhere it must be well-formed. Like wall_clock it is
+        # perf telemetry, never golden-compared.
+        if index is None:
+            return
+        if not self.require(isinstance(index, dict),
+                            "index must be an object"):
+            return
+        self.require(isinstance(index.get("enabled"), bool),
+                     "index.enabled must be a boolean")
+        kernels = index.get("kernels")
+        if not self.require(isinstance(kernels, dict),
+                            "index.kernels must be an object"):
+            return
+        for name, stat in kernels.items():
+            where = f"index.kernels[{name!r}]"
+            if not self.require(isinstance(stat, dict),
+                                f"{where} not an object"):
+                continue
+            for key in ("oracle_seconds", "indexed_seconds"):
+                value = stat.get(key)
+                self.require(self.is_num(value) and value >= 0,
+                             f"{where}.{key} must be a non-negative number")
+            if "speedup" not in stat:
+                self.error(f"{where} missing speedup")
+            elif self.is_num(stat.get("indexed_seconds")):
+                # The n/a rule again: an unmeasured indexed path has no
+                # meaningful ratio -> speedup is null, never 0 or inf.
+                if stat["indexed_seconds"] == 0:
+                    self.require(
+                        stat["speedup"] is None,
+                        f"{where}.speedup must be null when "
+                        f"indexed_seconds == 0")
+                else:
+                    self.require(self.is_num(stat["speedup"]),
+                                 f"{where}.speedup must be a number")
+
     def check_scenarios(self, scenarios):
         # Optional section: only BENCH_scenarios.json carries it, but
         # when present anywhere it must be well-formed.
@@ -210,6 +249,7 @@ class Checker:
         self.require(self.is_int(rss) and rss > 0,
                      "peak_rss_bytes must be a positive integer")
         self.check_cache(doc.get("cache"))
+        self.check_index(doc.get("index"))
         self.check_scenarios(doc.get("scenarios"))
         self.check_metrics(doc)
 

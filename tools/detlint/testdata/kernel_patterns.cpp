@@ -1,0 +1,70 @@
+// detlint self-test fixture for the PR-7 kernel idioms: the eytzinger
+// ring-index descent and the lane-transposed SHA-1 batch lean on
+// prefetch intrinsics, branch-free arithmetic, byte splicing, and
+// fixed-size scratch arrays — none of which touch ambient state, so
+// detlint must stay quiet on every one of them. The single std::rand()
+// at the end is the canary proving the scanner actually processed the
+// file. Never compiled and never scanned by the real lint run;
+// tests/detlint_test.cpp feeds it through scan_file() directly.
+#include <array>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+namespace fixture {
+
+// Branch-free eytzinger descent with an explicit prefetch — the shape
+// of RingIndex::first_after. Integer compares, shift/mask recovery, a
+// conditional-subtract wrap: all deterministic, none may flag.
+inline std::size_t eytzinger_descent(const std::vector<std::uint64_t>& eytz,
+                                     std::uint64_t p) {
+  const std::size_t n = eytz.size() - 1;
+  std::size_t k = 1;
+  while (k <= n) {
+    if (k * 16 <= n) __builtin_prefetch(&eytz[k * 16]);
+    k = 2 * k + (eytz[k] <= p ? 1 : 0);
+  }
+  while ((k & 1u) != 0) k >>= 1;
+  k >>= 1;
+  std::size_t rank = k + n;
+  if (rank >= n) rank -= n;  // conditional subtract, not %
+  return rank;
+}
+
+// Lane-transposed round loop with fixed scratch arrays — the shape of
+// sha1_batch's compress_lanes. Rotates, per-lane state arrays, and
+// memcpy/memset block splicing are all pure data movement.
+inline void lane_rounds(std::uint32_t h[5][8],
+                        const std::uint8_t* const blocks[], std::size_t lanes) {
+  std::uint32_t w[80][8];
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    for (std::size_t t = 0; t < 16; ++t) {
+      std::uint32_t word = 0;
+      std::memcpy(&word, blocks[lane] + 4 * t, 4);
+      w[t][lane] = word;
+    }
+    for (std::size_t t = 16; t < 80; ++t) {
+      const std::uint32_t x =
+          w[t - 3][lane] ^ w[t - 8][lane] ^ w[t - 14][lane] ^ w[t - 16][lane];
+      w[t][lane] = (x << 1) | (x >> 31);
+    }
+    h[0][lane] += w[79][lane];
+  }
+}
+
+// Midstate-style buffered splice: memset padding, a 0x80 marker, and a
+// big-endian length trailer written byte-by-byte.
+inline void pad_block(std::array<std::uint8_t, 64>& block,
+                      std::size_t used, std::uint64_t total_bits) {
+  std::memset(block.data() + used, 0, block.size() - used);
+  block[used] = 0x80;
+  for (std::size_t i = 0; i < 8; ++i)
+    block[56 + i] = static_cast<std::uint8_t>(total_bits >> (8 * (7 - i)));
+}
+
+// Canary: exactly one deliberate banned-call so the self-test can tell
+// "scanner found nothing" from "scanner never ran".
+inline int canary() { return std::rand(); }
+
+}  // namespace fixture

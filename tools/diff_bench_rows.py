@@ -4,15 +4,23 @@ files.
 
 The rows (measured-vs-paper), counters, gauges, and histograms sections
 are part of the determinism contract: for a fixed seed and scale they
-must not depend on the thread count or the --cache mode (the memo
-caches only ever skip work, never change results — docs/performance.md).
-CI's bench-smoke job runs one bench twice, --cache=on and --cache=off,
-and feeds both files here; any divergence fails the build.
+must not depend on the thread count, the --cache mode (the memo caches
+only ever skip work, never change results — docs/performance.md), or
+the --ring-index mode (the eytzinger ring index and its kept sorted-scan
+oracle resolve identical responsible sets by contract). CI's bench-smoke
+job runs one bench twice per knob — --cache=on vs off, and
+--ring-index=on vs off for the ring ablation — and feeds both files
+here; any divergence fails the build.
 
-wall_clock, peak_rss_bytes, benchmarks, and cache are perf telemetry
-(they legitimately differ run to run) and are deliberately ignored.
+wall_clock, peak_rss_bytes, benchmarks, cache, and index are perf
+telemetry (they legitimately differ run to run — "index" in particular
+records oracle-vs-indexed timings) and are deliberately ignored.
 
-Usage:  diff_bench_rows.py BASELINE.json CANDIDATE.json
+Usage:  diff_bench_rows.py BASELINE.json CANDIDATE.json [SECTION ...]
+
+With no SECTION arguments every deterministic section is compared;
+naming sections restricts the comparison (each must be one of:
+rows, counters, gauges, histograms).
 """
 
 import json
@@ -21,7 +29,7 @@ import sys
 DETERMINISTIC_SECTIONS = ("rows", "counters", "gauges", "histograms")
 
 
-def canonical_sections(path):
+def canonical_sections(path, sections):
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
     # Canonical re-encoding so the comparison is over content, not
@@ -30,19 +38,26 @@ def canonical_sections(path):
     return {
         section: json.dumps(doc.get(section), sort_keys=True,
                             separators=(",", ":"))
-        for section in DETERMINISTIC_SECTIONS
+        for section in sections
     }
 
 
 def main(argv):
-    if len(argv) != 3:
+    if len(argv) < 3:
         print(__doc__.strip(), file=sys.stderr)
         return 2
     baseline, candidate = argv[1], argv[2]
-    a = canonical_sections(baseline)
-    b = canonical_sections(candidate)
+    sections = tuple(argv[3:]) or DETERMINISTIC_SECTIONS
+    for section in sections:
+        if section not in DETERMINISTIC_SECTIONS:
+            print(f"error: unknown section {section!r} (deterministic "
+                  f"sections: {', '.join(DETERMINISTIC_SECTIONS)})",
+                  file=sys.stderr)
+            return 2
+    a = canonical_sections(baseline, sections)
+    b = canonical_sections(candidate, sections)
     failed = False
-    for section in DETERMINISTIC_SECTIONS:
+    for section in sections:
         if a[section] != b[section]:
             failed = True
             print(f"FAIL section {section!r} differs:\n"
