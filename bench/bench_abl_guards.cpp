@@ -44,7 +44,7 @@ std::vector<CohortResult> run_cohort(std::uint64_t seed, int attacker_guards,
 
   std::vector<hs::Client> cohort;
   for (int i = 0; i < clients; ++i)
-    cohort.emplace_back(net::Ipv4::random_public(world.rng()),
+    cohort.emplace_back(util::Ipv4::random_public(world.rng()),
                         seed + 50 + static_cast<std::uint64_t>(i));
 
   std::vector<bool> compromised(static_cast<std::size_t>(clients), false);

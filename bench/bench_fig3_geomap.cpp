@@ -53,9 +53,9 @@ GeoStudy run_geo_study(std::uint64_t seed, int client_count, int rounds) {
   GeoStudy study;
   study.report = attacker.report();
   study.clients_total = client_count;
-  std::vector<net::Ipv4> ips;
+  std::vector<util::Ipv4> ips;
   for (const auto addr : study.report.client_addresses)
-    ips.emplace_back(net::Ipv4(addr));
+    ips.emplace_back(util::Ipv4(addr));
   study.map = geo::build_client_map(ips, geodb);
   return study;
 }
@@ -73,7 +73,7 @@ void BM_GeoLookup(benchmark::State& state) {
   const auto db = geo::GeoDatabase::standard();
   util::Rng rng(1);
   for (auto _ : state)
-    benchmark::DoNotOptimize(db.lookup(net::Ipv4::random_public(rng)).code);
+    benchmark::DoNotOptimize(db.lookup(util::Ipv4::random_public(rng)).code);
 }
 BENCHMARK(BM_GeoLookup);
 

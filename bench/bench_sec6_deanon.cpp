@@ -41,7 +41,7 @@ SweepPoint run_point(std::uint64_t seed, int attacker_guards) {
   util::Rng trace_rng(seed + 1);
   const auto onion = world.service(target).onion_address();
   for (int i = 0; i < 150; ++i) {
-    hs::Client client(net::Ipv4::random_public(world.rng()),
+    hs::Client client(util::Ipv4::random_public(world.rng()),
                       seed + 10 + static_cast<std::uint64_t>(i));
     client.maintain(world.consensus(), world.now());
     for (int r = 0; r < 2; ++r) {

@@ -67,9 +67,9 @@ int main(int argc, char** argv) {
   std::printf("false positives:       %lld\n",
               static_cast<long long>(report.false_positives));
 
-  std::vector<net::Ipv4> ips;
+  std::vector<util::Ipv4> ips;
   for (const auto addr : report.client_addresses)
-    ips.emplace_back(net::Ipv4(addr));
+    ips.emplace_back(util::Ipv4(addr));
   const auto map = geo::build_client_map(ips, geodb);
   std::printf("\nclient map (Fig. 3):\n");
   int shown = 0;

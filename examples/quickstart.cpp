@@ -38,7 +38,7 @@ int main() {
 
   // Client side: pick guards, derive today's descriptor id from the
   // onion address, and fetch it from the responsible HSDirs.
-  hs::Client client(net::Ipv4(198, 51, 100, 7), /*rng_seed=*/7);
+  hs::Client client(util::Ipv4(198, 51, 100, 7), /*rng_seed=*/7);
   client.maintain(world.consensus(), world.now());
   const auto outcome = client.fetch_descriptor(
       service.onion_address(), world.consensus(), world.directories(),

@@ -31,7 +31,7 @@ int main() {
               service.onion_address().c_str());
 
   // An unauthorized client knows the address but not the cookie.
-  hs::Client outsider(net::Ipv4(198, 51, 100, 20), 1);
+  hs::Client outsider(util::Ipv4(198, 51, 100, 20), 1);
   outsider.maintain(world.consensus(), world.now());
   const auto blind = outsider.fetch_descriptor(
       service.onion_address(), world.consensus(), world.directories(),
@@ -40,7 +40,7 @@ int main() {
               blind.found ? "FOUND (bug!)" : "not found — as designed");
 
   // An authorized client derives the cookie-mixed descriptor id.
-  hs::Client member(net::Ipv4(198, 51, 100, 21), 2);
+  hs::Client member(util::Ipv4(198, 51, 100, 21), 2);
   member.maintain(world.consensus(), world.now());
   const auto authed = member.fetch_descriptor(
       service.onion_address(), world.consensus(), world.directories(),

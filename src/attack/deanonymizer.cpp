@@ -14,7 +14,7 @@ void ClientDeanonymizer::deploy_guards(sim::World& world, int pre_aged_days) {
   for (int i = 0; i < config_.guard_relays; ++i) {
     relay::RelayConfig rc;
     rc.nickname = "fastguard" + std::to_string(i);
-    rc.address = net::Ipv4::random_public(world.rng());
+    rc.address = util::Ipv4::random_public(world.rng());
     rc.bandwidth_kbps = config_.guard_bandwidth_kbps;
     const relay::RelayId id =
         world.registry().create(rc, world.rng(), aged_start);
@@ -54,7 +54,7 @@ int ClientDeanonymizer::position_hsdirs(sim::World& world,
       } else {
         relay::RelayConfig rc;
         rc.nickname = "dirwatch" + std::to_string(slot);
-        rc.address = net::Ipv4::random_public(world.rng());
+        rc.address = util::Ipv4::random_public(world.rng());
         rc.bandwidth_kbps = 900.0;
         const relay::RelayId id = world.registry().create_with_key(
             rc, std::move(ground->key), aged_start);
@@ -71,8 +71,8 @@ int ClientDeanonymizer::position_hsdirs(sim::World& world,
   return repositioned;
 }
 
-std::optional<net::Ipv4> ClientDeanonymizer::observe_publish(
-    const hs::PublishRecord& record, const net::Ipv4& service_address,
+std::optional<util::Ipv4> ClientDeanonymizer::observe_publish(
+    const hs::PublishRecord& record, const util::Ipv4& service_address,
     util::Rng& rng) {
   ++report_.publishes_observed;
 
@@ -108,7 +108,7 @@ bool ClientDeanonymizer::is_our_hsdir(relay::RelayId id) const {
   return std::find(hsdirs_.begin(), hsdirs_.end(), id) != hsdirs_.end();
 }
 
-std::optional<net::Ipv4> ClientDeanonymizer::observe_fetch(
+std::optional<util::Ipv4> ClientDeanonymizer::observe_fetch(
     const hs::FetchOutcome& outcome, util::Rng& rng) {
   ++report_.fetches_observed;
 

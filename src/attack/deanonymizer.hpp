@@ -70,15 +70,15 @@ class ClientDeanonymizer {
 
   /// Processes one observed client fetch, simulating the cell trace.
   /// Returns the recovered client address when deanonymisation succeeds.
-  std::optional<net::Ipv4> observe_fetch(const hs::FetchOutcome& outcome,
+  std::optional<util::Ipv4> observe_fetch(const hs::FetchOutcome& outcome,
                                          util::Rng& rng);
 
   /// The original S&P'13 attack this paper adapts: when the *service*
   /// uploads its descriptor to an attacker HSDir, the directory replies
   /// with the traffic signature; if the upload circuit's guard is also
   /// the attacker's, the guard links the signature to the operator's IP.
-  std::optional<net::Ipv4> observe_publish(const hs::PublishRecord& record,
-                                           const net::Ipv4& service_address,
+  std::optional<util::Ipv4> observe_publish(const hs::PublishRecord& record,
+                                           const util::Ipv4& service_address,
                                            util::Rng& rng);
 
   const DeanonymizationReport& report() const { return report_; }

@@ -16,7 +16,7 @@ void ShadowHarvester::deploy(sim::World& world) {
   deployed_ = true;
   const util::UnixTime now = world.now();
   for (int ip_index = 0; ip_index < config_.num_ips; ++ip_index) {
-    const net::Ipv4 address = net::Ipv4::random_public(world.rng());
+    const util::Ipv4 address = util::Ipv4::random_public(world.rng());
     for (int j = 0; j < config_.relays_per_ip; ++j) {
       relay::RelayConfig rc;
       rc.nickname =

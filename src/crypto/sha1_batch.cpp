@@ -19,6 +19,7 @@ constexpr std::array<std::uint32_t, 5> kSha1Iv = {
 // The per-round dependency chain runs down each column independently,
 // so the inner lane loops vectorize; the four round regimes are split
 // into separate loops to keep the f/k selection out of the lane loop.
+// detlint: hot
 void compress_lanes(std::uint32_t h[5][kSha1Lanes],
                     const std::uint8_t* const blocks[kSha1Lanes],
                     std::size_t lanes) {
@@ -82,6 +83,7 @@ void compress_lanes(std::uint32_t h[5][kSha1Lanes],
 // Materializes block `block_index` of one lane's post-midstate stream:
 // buffered prefix bytes, then the suffix, then 0x80 / zero padding,
 // with the 64-bit big-endian bit length closing the final block.
+// detlint: hot
 void fill_block(std::uint8_t* out, std::size_t block_index,
                 std::size_t block_count,
                 std::span<const std::uint8_t> buffered,

@@ -34,7 +34,7 @@ Consensus Authority::build_consensus(const relay::Registry& registry,
   // Gather online relays grouped by IP. Ordered map: the group loop
   // below emits consensus entries in iteration order, so hash order
   // would leak straight into the consensus document.
-  std::map<net::Ipv4, std::vector<const relay::Relay*>> by_ip;
+  std::map<util::Ipv4, std::vector<const relay::Relay*>> by_ip;
   std::vector<double> bandwidths;
   for (const relay::Relay& r : registry.all()) {
     if (!r.online() || !r.authority_reachable()) continue;

@@ -11,7 +11,7 @@
 #include "crypto/keypair.hpp"
 #include "dirauth/flags.hpp"
 #include "dirauth/ring_index.hpp"
-#include "net/ipv4.hpp"
+#include "util/ipv4.hpp"
 #include "relay/relay.hpp"
 #include "util/time.hpp"
 
@@ -25,7 +25,7 @@ struct ConsensusEntry {
   relay::RelayId relay = relay::kInvalidRelayId;
   crypto::Fingerprint fingerprint{};
   std::string nickname;
-  net::Ipv4 address;
+  util::Ipv4 address;
   std::uint16_t or_port = 0;
   double bandwidth_kbps = 0.0;
   FlagSet flags = 0;

@@ -53,6 +53,7 @@ RingIndex::RingIndex(std::vector<crypto::Fingerprint> ring_fingerprints,
   fill(fill, 1);
 }
 
+// detlint: hot
 std::size_t RingIndex::first_after(const crypto::Sha1Digest& id) const {
   const std::size_t n = sorted_.size();
   if (n == 0) return 0;
@@ -80,6 +81,7 @@ std::size_t RingIndex::first_after(const crypto::Sha1Digest& id) const {
   return r;
 }
 
+// detlint: hot
 void RingIndex::first_after_sorted(
     const std::vector<crypto::DescriptorId>& ids, const std::uint32_t* order,
     std::size_t count, std::uint32_t* ranks) const {

@@ -82,7 +82,7 @@ dirauth::Consensus parse_consensus(std::string_view text) {
     entry.nickname = r_fields[0];
     entry.fingerprint = fingerprint_from_hex(r_fields[1], i);
     try {
-      entry.address = net::Ipv4::parse(r_fields[2]);
+      entry.address = util::Ipv4::parse(r_fields[2]);
     } catch (const std::invalid_argument&) {
       fail(i, "bad address");
     }

@@ -18,10 +18,10 @@ std::vector<ClientMap::Row> ClientMap::rows() const {
   return out;
 }
 
-ClientMap build_client_map(const std::vector<net::Ipv4>& clients,
+ClientMap build_client_map(const std::vector<util::Ipv4>& clients,
                            const GeoDatabase& db) {
   ClientMap map;
-  for (const net::Ipv4& ip : clients) {
+  for (const util::Ipv4& ip : clients) {
     map.per_country.add(db.lookup(ip).code);
     ++map.total_clients;
   }

@@ -25,7 +25,7 @@ struct ClientMap {
 };
 
 /// Aggregates client IPs through the GeoIP database.
-ClientMap build_client_map(const std::vector<net::Ipv4>& clients,
+ClientMap build_client_map(const std::vector<util::Ipv4>& clients,
                            const GeoDatabase& db);
 
 }  // namespace torsim::geo

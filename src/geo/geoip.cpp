@@ -70,14 +70,14 @@ GeoDatabase GeoDatabase::standard(std::uint64_t seed) {
   return db;
 }
 
-const Country& GeoDatabase::lookup(const net::Ipv4& address) const {
+const Country& GeoDatabase::lookup(const util::Ipv4& address) const {
   const std::uint8_t prefix =
       static_cast<std::uint8_t>(address.value() >> 24);
   return country_table()[static_cast<std::size_t>(
       prefix_country_[prefix])];
 }
 
-net::Ipv4 GeoDatabase::sample_address(std::string_view country_code,
+util::Ipv4 GeoDatabase::sample_address(std::string_view country_code,
                                       util::Rng& rng) const {
   const auto& countries = country_table();
   for (std::size_t ci = 0; ci < countries.size(); ++ci) {
@@ -87,12 +87,12 @@ net::Ipv4 GeoDatabase::sample_address(std::string_view country_code,
         country_prefixes_[ci][rng.index(country_prefixes_[ci].size())];
     const std::uint32_t host =
         static_cast<std::uint32_t>(rng.uniform_int(1, 0xfffffe));
-    return net::Ipv4(static_cast<std::uint32_t>(prefix) << 24 | host);
+    return util::Ipv4(static_cast<std::uint32_t>(prefix) << 24 | host);
   }
   throw std::invalid_argument("GeoDatabase::sample_address: unknown country");
 }
 
-net::Ipv4 GeoDatabase::sample_global(util::Rng& rng) const {
+util::Ipv4 GeoDatabase::sample_global(util::Rng& rng) const {
   const auto& countries = country_table();
   double total = 0.0;
   for (const Country& c : countries) total += c.weight;

@@ -10,7 +10,7 @@
 #include <string_view>
 #include <vector>
 
-#include "net/ipv4.hpp"
+#include "util/ipv4.hpp"
 #include "util/rng.hpp"
 
 namespace torsim::geo {
@@ -32,15 +32,15 @@ class GeoDatabase {
 
   /// Country for an address ("ZZ"/"unassigned" never occurs: every /8 is
   /// mapped).
-  const Country& lookup(const net::Ipv4& address) const;
+  const Country& lookup(const util::Ipv4& address) const;
 
   /// Samples an address inside the given country's space; throws
   /// std::invalid_argument for unknown codes.
-  net::Ipv4 sample_address(std::string_view country_code,
+  util::Ipv4 sample_address(std::string_view country_code,
                            util::Rng& rng) const;
 
   /// Samples a country according to the weights, then an address in it.
-  net::Ipv4 sample_global(util::Rng& rng) const;
+  util::Ipv4 sample_global(util::Rng& rng) const;
 
  private:
   GeoDatabase() = default;

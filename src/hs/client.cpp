@@ -11,7 +11,7 @@ const char* to_string(FetchFailure failure) {
   return "?";
 }
 
-Client::Client(net::Ipv4 address, std::uint64_t rng_seed)
+Client::Client(util::Ipv4 address, std::uint64_t rng_seed)
     : address_(address), rng_(rng_seed) {}
 
 void Client::maintain(const dirauth::Consensus& consensus,

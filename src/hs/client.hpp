@@ -11,7 +11,7 @@
 
 #include "hs/guard_manager.hpp"
 #include "hsdir/directory_network.hpp"
-#include "net/ipv4.hpp"
+#include "util/ipv4.hpp"
 
 namespace torsim::hs {
 
@@ -46,15 +46,15 @@ struct FetchOutcome {
   /// The middle relay of the circuit.
   relay::RelayId middle = relay::kInvalidRelayId;
   /// Client source address — ground truth; visible to the guard only.
-  net::Ipv4 client_address;
+  util::Ipv4 client_address;
   util::UnixTime time = 0;
 };
 
 class Client {
  public:
-  Client(net::Ipv4 address, std::uint64_t rng_seed);
+  Client(util::Ipv4 address, std::uint64_t rng_seed);
 
-  const net::Ipv4& address() const { return address_; }
+  const util::Ipv4& address() const { return address_; }
   GuardManager& guards() { return guard_manager_; }
   const GuardManager& guards() const { return guard_manager_; }
 
@@ -84,7 +84,7 @@ class Client {
                                    util::UnixTime now);
 
  private:
-  net::Ipv4 address_;
+  util::Ipv4 address_;
   util::Rng rng_;
   GuardManager guard_manager_;
   /// onion -> (time period, fetched descriptor id): Tor caches a fetched

@@ -11,7 +11,7 @@ ServiceHost::ServiceHost(crypto::KeyPair key, util::UnixTime created)
 
 ServiceHost ServiceHost::create(util::Rng& rng, util::UnixTime now) {
   ServiceHost host(crypto::KeyPair::generate(rng), now);
-  host.set_address(net::Ipv4::random_public(rng));
+  host.set_address(util::Ipv4::random_public(rng));
   return host;
 }
 

@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "dirauth/consensus.hpp"
-#include "net/ipv4.hpp"
+#include "util/ipv4.hpp"
 #include "hs/guard_manager.hpp"
 #include "hsdir/directory_network.hpp"
 #include "util/rng.hpp"
@@ -31,8 +31,8 @@ class ServiceHost {
 
   /// The operator machine's IP address — ground truth, observable only
   /// by the first hop of the service's own circuits.
-  const net::Ipv4& address() const { return address_; }
-  void set_address(net::Ipv4 address) { address_ = address; }
+  const util::Ipv4& address() const { return address_; }
+  void set_address(util::Ipv4 address) { address_ = address; }
 
   const crypto::KeyPair& key() const { return key_; }
   const crypto::PermanentId& permanent_id() const { return permanent_id_; }
@@ -110,7 +110,7 @@ class ServiceHost {
   std::vector<crypto::Fingerprint> intro_points_;
   std::vector<std::uint8_t> descriptor_cookie_;
   std::vector<PublishRecord> publish_records_;
-  net::Ipv4 address_;
+  util::Ipv4 address_;
   GuardManager guard_manager_;
 };
 

@@ -68,18 +68,20 @@ ResolutionReport DescriptorResolver::resolve(
   return resolve_internal(stream, &pop);
 }
 
-ResolutionReport DescriptorResolver::resolve_internal(
-    const RequestStream& stream, const population::Population* pop) const {
-  ResolutionReport report;
-  report.total_requests = static_cast<std::int64_t>(stream.requests.size());
-
-  std::map<crypto::DescriptorId, std::int64_t> id_counts;
+// The request-log join is the resolver's measured inner loop: one
+// ordered-map bump per request, then one dictionary probe per unique
+// id. Everything allocator-visible (the ranking rows, label lookups)
+// stays in resolve_internal.
+// detlint: hot
+void DescriptorResolver::tally_requests(
+    const RequestStream& stream,
+    std::map<crypto::DescriptorId, std::int64_t>& id_counts,
+    std::map<std::string, std::int64_t>& onion_counts,
+    ResolutionReport& report) const {
   for (const DescriptorRequest& req : stream.requests)
     ++id_counts[req.descriptor_id];
   report.unique_descriptor_ids =
       static_cast<std::int64_t>(id_counts.size());
-
-  std::map<std::string, std::int64_t> onion_counts;
   for (const auto& [id, count] : id_counts) {
     const auto it = dictionary_.find(id);
     if (it == dictionary_.end()) continue;
@@ -87,6 +89,16 @@ ResolutionReport DescriptorResolver::resolve_internal(
     report.resolved_requests += count;
     onion_counts[it->second] += count;
   }
+}
+
+ResolutionReport DescriptorResolver::resolve_internal(
+    const RequestStream& stream, const population::Population* pop) const {
+  ResolutionReport report;
+  report.total_requests = static_cast<std::int64_t>(stream.requests.size());
+
+  std::map<crypto::DescriptorId, std::int64_t> id_counts;
+  std::map<std::string, std::int64_t> onion_counts;
+  tally_requests(stream, id_counts, onion_counts, report);
   report.resolved_onions = static_cast<std::int64_t>(onion_counts.size());
 
   report.ranking.reserve(onion_counts.size());

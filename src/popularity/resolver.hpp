@@ -92,6 +92,14 @@ class DescriptorResolver {
   ResolutionReport resolve_internal(const RequestStream& stream,
                                     const population::Population* pop) const;
 
+  /// The hot request-log join: per-id counts, then dictionary probes
+  /// folding resolved ids into per-onion counts (Sec. V method).
+  void tally_requests(
+      const RequestStream& stream,
+      std::map<crypto::DescriptorId, std::int64_t>& id_counts,
+      std::map<std::string, std::int64_t>& onion_counts,
+      ResolutionReport& report) const;
+
   ResolverConfig config_;
   std::map<crypto::DescriptorId, std::string> dictionary_;
 };

@@ -13,7 +13,7 @@ RelayId Registry::create(RelayConfig config, util::Rng& rng,
 RelayId Registry::create_with_key(RelayConfig config, crypto::KeyPair key,
                                   util::UnixTime now) {
   const RelayId id = static_cast<RelayId>(relays_.size());
-  const net::Ipv4 address = config.address;
+  const util::Ipv4 address = config.address;
   relays_.emplace_back(id, std::move(config), std::move(key), now);
   by_address_[address].push_back(id);
   return id;
@@ -36,7 +36,7 @@ std::vector<RelayId> Registry::online_ids() const {
   return out;
 }
 
-std::vector<RelayId> Registry::ids_at_address(const net::Ipv4& address) const {
+std::vector<RelayId> Registry::ids_at_address(const util::Ipv4& address) const {
   auto it = by_address_.find(address);
   return it == by_address_.end() ? std::vector<RelayId>{} : it->second;
 }

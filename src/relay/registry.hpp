@@ -36,12 +36,12 @@ class Registry {
   std::vector<RelayId> online_ids() const;
 
   /// All relay ids sharing the given IP address.
-  std::vector<RelayId> ids_at_address(const net::Ipv4& address) const;
+  std::vector<RelayId> ids_at_address(const util::Ipv4& address) const;
 
  private:
   std::deque<Relay> relays_;
   /// Lookup-only index (never iterated): hash map is safe and fast.
-  std::unordered_map<net::Ipv4, std::vector<RelayId>> by_address_;
+  std::unordered_map<util::Ipv4, std::vector<RelayId>> by_address_;
 };
 
 }  // namespace torsim::relay

@@ -14,7 +14,7 @@
 
 #include "crypto/digest.hpp"
 #include "crypto/keypair.hpp"
-#include "net/ipv4.hpp"
+#include "util/ipv4.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
 
@@ -37,7 +37,7 @@ struct IdentityEpoch {
 /// Static configuration of a relay.
 struct RelayConfig {
   std::string nickname;
-  net::Ipv4 address;
+  util::Ipv4 address;
   std::uint16_t or_port = 9001;
   /// Advertised/measured bandwidth in KB/s; drives Guard/Fast flags and
   /// the 2-per-IP active-relay election.

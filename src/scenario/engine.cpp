@@ -185,7 +185,7 @@ class EventApplier {
     std::int64_t ok = 0;
     std::int64_t failed = 0;
     for (int c = 0; c < event.clients; ++c) {
-      hs::Client client(net::Ipv4::random_public(world_.rng()),
+      hs::Client client(util::Ipv4::random_public(world_.rng()),
                         world_.rng().next());
       client.maintain(world_.consensus(), world_.now());
       for (int f = 0; f < event.fetches; ++f) {
@@ -209,7 +209,7 @@ class EventApplier {
       relay::RelayConfig rc;
       rc.nickname = (flood ? "flood" : "join") +
                     std::to_string(injected_serial_++);
-      rc.address = net::Ipv4::random_public(world_.rng());
+      rc.address = util::Ipv4::random_public(world_.rng());
       rc.or_port = 9001;
       rc.bandwidth_kbps = event.bandwidth;
       const relay::RelayId id =

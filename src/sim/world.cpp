@@ -29,7 +29,7 @@ void World::bootstrap() {
   for (int i = 0; i < config_.honest_relays; ++i) {
     relay::RelayConfig rc;
     rc.nickname = "relay" + std::to_string(i);
-    rc.address = net::Ipv4::random_public(rng_);
+    rc.address = util::Ipv4::random_public(rng_);
     rc.or_port = 9001;
     rc.bandwidth_kbps = 50.0 + rng_.exponential(1.0 / 400.0);
     const relay::RelayId id = registry_.create(rc, rng_, start - 1);

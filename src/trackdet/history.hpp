@@ -11,7 +11,7 @@
 
 #include "crypto/digest.hpp"
 #include "dirauth/archive.hpp"
-#include "net/ipv4.hpp"
+#include "util/ipv4.hpp"
 #include "util/time.hpp"
 
 namespace torsim::trackdet {
@@ -21,7 +21,7 @@ namespace torsim::trackdet {
 struct ServerInfo {
   std::uint32_t id = 0;
   std::string name;
-  net::Ipv4 address;
+  util::Ipv4 address;
   /// Ground-truth campaign tag ("" = honest). Never consulted by the
   /// detector — only by tests/benches validating detector output.
   std::string truth_campaign;

@@ -50,7 +50,7 @@ HsDirHistory HistorySimulator::simulate(
 
   const auto new_server = [&](const std::string& name,
                               const std::string& campaign,
-                              net::Ipv4 address) -> std::uint32_t {
+                              util::Ipv4 address) -> std::uint32_t {
     ServerInfo info;
     info.id = static_cast<std::uint32_t>(history.servers.size());
     info.name = name;
@@ -70,7 +70,7 @@ HsDirHistory HistorySimulator::simulate(
     for (int i = 0; i < len; ++i)
       name.push_back(static_cast<char>('a' + rng.uniform_int(0, 25)));
     const std::uint32_t id =
-        new_server(name, "", net::Ipv4::random_public(rng));
+        new_server(name, "", util::Ipv4::random_public(rng));
     honest.push_back({id, random_fingerprint(rng)});
   };
   for (int i = 0; i < config_.hsdirs_at_start; ++i) spawn_honest();
@@ -136,10 +136,10 @@ HsDirHistory HistorySimulator::simulate(
       if (servers.empty()) {
         // 2 servers per IP for multi-server campaigns (the 31 Aug set
         // came from 3 IPs).
-        net::Ipv4 shared_ip = net::Ipv4::random_public(rng);
+        util::Ipv4 shared_ip = util::Ipv4::random_public(rng);
         for (int si = 0; si < spec.servers; ++si) {
           if (si % 2 == 0 && si > 0)
-            shared_ip = net::Ipv4::random_public(rng);
+            shared_ip = util::Ipv4::random_public(rng);
           servers.push_back(new_server(
               spec.name + std::to_string(si), spec.name, shared_ip));
         }

@@ -1,11 +1,11 @@
-#include "net/ipv4.hpp"
+#include "util/ipv4.hpp"
 
 #include <cstdio>
 #include <stdexcept>
 
 #include "util/strings.hpp"
 
-namespace torsim::net {
+namespace torsim::util {
 
 Ipv4 Ipv4::parse(std::string_view text) {
   const auto parts = util::split(text, '.');
@@ -50,4 +50,4 @@ std::string Endpoint::to_string() const {
   return address.to_string() + ":" + std::to_string(port);
 }
 
-}  // namespace torsim::net
+}  // namespace torsim::util

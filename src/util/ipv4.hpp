@@ -9,7 +9,7 @@
 
 #include "util/rng.hpp"
 
-namespace torsim::net {
+namespace torsim::util {
 
 /// An IPv4 address stored as a host-order 32-bit integer.
 class Ipv4 {
@@ -47,11 +47,11 @@ struct Endpoint {
   std::string to_string() const;
 };
 
-}  // namespace torsim::net
+}  // namespace torsim::util
 
 template <>
-struct std::hash<torsim::net::Ipv4> {
-  std::size_t operator()(const torsim::net::Ipv4& ip) const noexcept {
+struct std::hash<torsim::util::Ipv4> {
+  std::size_t operator()(const torsim::util::Ipv4& ip) const noexcept {
     return std::hash<std::uint32_t>{}(ip.value());
   }
 };

@@ -139,6 +139,7 @@ class MemoTable {
 
   /// Pointer to the cached value, or nullptr on miss. The pointer is
   /// invalidated by the next store() or clear().
+  // detlint: hot
   const Value* find(const Key& key) const {
     const Slot& slot = slots_[index_of(key)];
     if (!slot.occupied || !(slot.key == key)) return nullptr;
@@ -147,6 +148,7 @@ class MemoTable {
 
   /// Inserts (or refreshes) `key`; returns true when a *different* key
   /// was evicted from the slot.
+  // detlint: hot
   bool store(const Key& key, const Value& value) {
     Slot& slot = slots_[index_of(key)];
     const bool evicted = slot.occupied && !(slot.key == key);

@@ -215,7 +215,7 @@ TEST(DeanonymizerTest, EndToEndRecoversClientAddresses) {
   // A fleet of clients repeatedly fetches the target's descriptor.
   std::vector<hs::Client> clients;
   for (int i = 0; i < 60; ++i)
-    clients.emplace_back(net::Ipv4::random_public(world.rng()),
+    clients.emplace_back(util::Ipv4::random_public(world.rng()),
                          9000 + static_cast<std::uint64_t>(i));
   util::Rng trace_rng(21);
   const auto onion = world.service(target_index).onion_address();
@@ -253,7 +253,7 @@ TEST(DeanonymizerTest, SuccessRateTracksGuardShare) {
   attacker.position_hsdirs(world, world.service(target_index));
   world.step_hour();
 
-  hs::Client client(net::Ipv4(99, 1, 2, 3), 777);
+  hs::Client client(util::Ipv4(99, 1, 2, 3), 777);
   client.maintain(world.consensus(), world.now());
   util::Rng trace_rng(23);
   for (int i = 0; i < 50; ++i) {
@@ -331,7 +331,7 @@ TEST(ServiceDeanonTest, RecoversOperatorAddress) {
   sim::World world(wc);
   const auto target_index = world.add_service();
   hs::ServiceHost& target = world.service(target_index);
-  target.set_address(net::Ipv4(203, 0, 113, 99));
+  target.set_address(util::Ipv4(203, 0, 113, 99));
 
   DeanonymizerConfig config;
   config.guard_relays = 40;  // large bandwidth share
@@ -360,7 +360,7 @@ TEST(ServiceDeanonTest, RecoversOperatorAddress) {
   EXPECT_GT(report.service_deanonymized, 0);
   ASSERT_EQ(report.service_addresses.size(), 1u);
   EXPECT_EQ(*report.service_addresses.begin(),
-            net::Ipv4(203, 0, 113, 99).value());
+            util::Ipv4(203, 0, 113, 99).value());
   EXPECT_GT(deanon_days, 0);
 }
 

@@ -170,7 +170,7 @@ TEST(ChaosRendezvousTest, StormOfConnectionsAllTypedAndReproducible) {
 
     std::vector<hs::Client> clients;
     for (int i = 0; i < 10; ++i) {
-      clients.emplace_back(net::Ipv4::random_public(world.rng()),
+      clients.emplace_back(util::Ipv4::random_public(world.rng()),
                            9000 + static_cast<std::uint64_t>(i));
       clients.back().maintain(world.consensus(), world.now());
     }

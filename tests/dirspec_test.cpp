@@ -18,7 +18,7 @@ dirauth::Consensus sample_consensus(int relays = 12) {
   for (int i = 0; i < relays; ++i) {
     relay::RelayConfig rc;
     rc.nickname = "node" + std::to_string(i);
-    rc.address = net::Ipv4::random_public(rng);
+    rc.address = util::Ipv4::random_public(rng);
     rc.bandwidth_kbps = 100.0 + i;
     const auto id = registry.create(rc, rng, kT0 - 30 * 3600);
     registry.get(id).set_online(true, kT0 - 30 * 3600);

@@ -284,7 +284,7 @@ struct FaultNet {
     for (int i = 0; i < relays; ++i) {
       relay::RelayConfig rc;
       rc.nickname = "n" + std::to_string(i);
-      rc.address = net::Ipv4::random_public(rng);
+      rc.address = util::Ipv4::random_public(rng);
       rc.bandwidth_kbps = 100.0;
       const auto id =
           registry.create(rc, rng, kT0 - 30 * util::kSecondsPerHour);
@@ -381,7 +381,7 @@ TEST(DirectoryFaultTest, TotalOutageYieldsTypedClientFailure) {
   (void)service.maybe_publish(net.consensus, net.dirnet, net.rng, kT0);
   net.dirnet.clear_failure_log();
 
-  hs::Client client(net::Ipv4::random_public(net.rng), 99);
+  hs::Client client(util::Ipv4::random_public(net.rng), 99);
   client.maintain(net.consensus, kT0);
   const auto outcome = client.fetch_descriptor(
       service.onion_address(), net.consensus, net.dirnet, kT0);
@@ -401,7 +401,7 @@ TEST(DirectoryFaultTest, MissingDescriptorIsDefinitiveNotRetried) {
   fault::FaultPlan plan;
   plan.connect_drop_rate = 0.1;  // enabled, but directories are healthy
   FaultNet net(plan);
-  hs::Client client(net::Ipv4::random_public(net.rng), 99);
+  hs::Client client(util::Ipv4::random_public(net.rng), 99);
   client.maintain(net.consensus, kT0);
   crypto::DescriptorId missing{};
   const auto outcome =
@@ -420,7 +420,7 @@ TEST(DirectoryFaultTest, NoInjectorMatchesDisabledInjector) {
     auto service = net.make_service();
     auto receivers =
         service.maybe_publish(net.consensus, net.dirnet, net.rng, kT0);
-    hs::Client client(net::Ipv4::random_public(net.rng), 99);
+    hs::Client client(util::Ipv4::random_public(net.rng), 99);
     client.maintain(net.consensus, kT0);
     const auto outcome = client.fetch_descriptor(
         service.onion_address(), net.consensus, net.dirnet, kT0);

@@ -19,7 +19,7 @@ TEST(GeoDatabaseTest, CountryTableSane) {
 TEST(GeoDatabaseTest, EveryPrefixMapsToACountry) {
   const auto db = GeoDatabase::standard();
   for (int a = 0; a < 256; ++a) {
-    const net::Ipv4 ip(static_cast<std::uint32_t>(a) << 24 | 1);
+    const util::Ipv4 ip(static_cast<std::uint32_t>(a) << 24 | 1);
     EXPECT_FALSE(db.lookup(ip).code.empty());
   }
 }
@@ -60,7 +60,7 @@ TEST(GeoDatabaseTest, DeterministicForSeed) {
   const auto a = GeoDatabase::standard(5);
   const auto b = GeoDatabase::standard(5);
   for (int p = 0; p < 256; ++p) {
-    const net::Ipv4 ip(static_cast<std::uint32_t>(p) << 24 | 7);
+    const util::Ipv4 ip(static_cast<std::uint32_t>(p) << 24 | 7);
     EXPECT_EQ(a.lookup(ip).code, b.lookup(ip).code);
   }
 }
@@ -68,7 +68,7 @@ TEST(GeoDatabaseTest, DeterministicForSeed) {
 TEST(ClientMapTest, AggregatesByCountry) {
   const auto db = GeoDatabase::standard();
   util::Rng rng(4);
-  std::vector<net::Ipv4> clients;
+  std::vector<util::Ipv4> clients;
   for (int i = 0; i < 100; ++i) clients.push_back(db.sample_address("US", rng));
   for (int i = 0; i < 50; ++i) clients.push_back(db.sample_address("DE", rng));
   const auto map = build_client_map(clients, db);

@@ -28,7 +28,7 @@ struct MiniNet {
     for (int i = 0; i < relays; ++i) {
       relay::RelayConfig rc;
       rc.nickname = "n" + std::to_string(i);
-      rc.address = net::Ipv4::random_public(rng);
+      rc.address = util::Ipv4::random_public(rng);
       rc.bandwidth_kbps = 100.0;
       const auto id = registry.create(rc, rng, kT0 - uptime);
       registry.get(id).set_online(true, kT0 - uptime);
@@ -231,7 +231,7 @@ TEST(ServiceHostTest, RepublishesWhenResponsibleSetChanges) {
   }
   relay::RelayConfig rc;
   rc.nickname = "interloper";
-  rc.address = net::Ipv4(6, 6, 6, 6);
+  rc.address = util::Ipv4(6, 6, 6, 6);
   const auto id = net.registry.create_with_key(
       rc, std::move(positioned), kT0 - 30 * util::kSecondsPerHour);
   net.registry.get(id).set_online(true, kT0 - 30 * util::kSecondsPerHour);
@@ -325,7 +325,7 @@ TEST(ClientTest, FetchSucceedsForPublishedService) {
   auto host = hs::ServiceHost::create(rng, kT0);
   host.maybe_publish(net.consensus, net.dirnet, rng, kT0);
 
-  hs::Client client(net::Ipv4(100, 1, 2, 3), 999);
+  hs::Client client(util::Ipv4(100, 1, 2, 3), 999);
   client.maintain(net.consensus, kT0);
   const auto outcome = client.fetch_descriptor(host.onion_address(),
                                                net.consensus, net.dirnet,
@@ -333,13 +333,13 @@ TEST(ClientTest, FetchSucceedsForPublishedService) {
   EXPECT_TRUE(outcome.found);
   EXPECT_NE(outcome.guard, relay::kInvalidRelayId);
   EXPECT_NE(outcome.hsdir, relay::kInvalidRelayId);
-  EXPECT_EQ(outcome.client_address, net::Ipv4(100, 1, 2, 3));
+  EXPECT_EQ(outcome.client_address, util::Ipv4(100, 1, 2, 3));
 }
 
 TEST(ClientTest, FetchFailsForUnknownOnion) {
   MiniNet net(40, 10 * util::kSecondsPerDay);
   util::Rng rng(39);
-  hs::Client client(net::Ipv4(100, 1, 2, 4), 1000);
+  hs::Client client(util::Ipv4(100, 1, 2, 4), 1000);
   client.maintain(net.consensus, kT0);
   // A valid-looking but never-published address.
   const auto key = crypto::KeyPair::generate(rng);
@@ -358,7 +358,7 @@ TEST(ClientTest, FetchAfterRotationFailsUntilRepublish) {
   const auto rotation =
       crypto::seconds_until_rotation(kT0, host.permanent_id());
 
-  hs::Client client(net::Ipv4(100, 1, 2, 5), 1001);
+  hs::Client client(util::Ipv4(100, 1, 2, 5), 1001);
   client.maintain(net.consensus, kT0);
   // After the period rolls, the *new* descriptor ids are not yet
   // published.
@@ -383,7 +383,7 @@ TEST(ClientTest, FetchCircuitHasMiddleRelay) {
   util::Rng rng(60);
   auto host = hs::ServiceHost::create(rng, kT0);
   host.maybe_publish(net.consensus, net.dirnet, rng, kT0);
-  hs::Client client(net::Ipv4(100, 1, 2, 6), 1002);
+  hs::Client client(util::Ipv4(100, 1, 2, 6), 1002);
   client.maintain(net.consensus, kT0);
   const auto outcome = client.fetch_descriptor(
       host.onion_address(), net.consensus, net.dirnet, kT0 + 30);
@@ -425,7 +425,7 @@ TEST(StealthServiceTest, AuthorizedClientFetches) {
   host.set_descriptor_cookie(cookie);
   host.maybe_publish(net.consensus, net.dirnet, rng, kT0);
 
-  hs::Client client(net::Ipv4(100, 2, 3, 4), 2001);
+  hs::Client client(util::Ipv4(100, 2, 3, 4), 2001);
   client.maintain(net.consensus, kT0);
   const auto with_cookie = client.fetch_descriptor(
       host.onion_address(), net.consensus, net.dirnet, kT0 + 10, cookie);
@@ -439,7 +439,7 @@ TEST(StealthServiceTest, UnauthorizedClientCannotDeriveId) {
   host.set_descriptor_cookie({0xde, 0xad, 0xbe, 0xef});
   host.maybe_publish(net.consensus, net.dirnet, rng, kT0);
 
-  hs::Client client(net::Ipv4(100, 2, 3, 5), 2002);
+  hs::Client client(util::Ipv4(100, 2, 3, 5), 2002);
   client.maintain(net.consensus, kT0);
   // Knows the onion address but not the cookie.
   const auto without = client.fetch_descriptor(
@@ -491,7 +491,7 @@ TEST(GuardManagerTest, SamplingIsBandwidthWeighted) {
   for (int i = 0; i < 20; ++i) {
     relay::RelayConfig rc;
     rc.nickname = "g" + std::to_string(i);
-    rc.address = net::Ipv4::random_public(rng);
+    rc.address = util::Ipv4::random_public(rng);
     rc.bandwidth_kbps = i == 0 ? 5000.0 : 100.0;
     const auto id = registry.create(rc, rng, past);
     registry.get(id).set_online(true, past);
@@ -528,7 +528,7 @@ TEST(ClientCacheTest, SecondFetchSamePeriodServedFromCache) {
   host.maybe_publish(net.consensus, net.dirnet, rng, kT0);
   for (auto& [id, store] : net.dirnet.stores()) store.enable_logging(true);
 
-  hs::Client client(net::Ipv4(100, 9, 9, 9), 3001);
+  hs::Client client(util::Ipv4(100, 9, 9, 9), 3001);
   client.maintain(net.consensus, kT0);
   const auto first = client.fetch_descriptor(host.onion_address(),
                                              net.consensus, net.dirnet,
@@ -557,7 +557,7 @@ TEST(ClientCacheTest, CacheExpiresWithPeriod) {
   util::Rng rng(91);
   auto host = hs::ServiceHost::create(rng, kT0);
   host.maybe_publish(net.consensus, net.dirnet, rng, kT0);
-  hs::Client client(net::Ipv4(100, 9, 9, 10), 3002);
+  hs::Client client(util::Ipv4(100, 9, 9, 10), 3002);
   client.maintain(net.consensus, kT0);
   ASSERT_TRUE(client.fetch_descriptor(host.onion_address(), net.consensus,
                                       net.dirnet, kT0 + 10)
@@ -577,7 +577,7 @@ TEST(ClientCacheTest, FailedFetchNotCached) {
   const auto key = crypto::KeyPair::generate(rng);
   const auto onion = crypto::onion_address(
       crypto::permanent_id_from_fingerprint(key.fingerprint()));
-  hs::Client client(net::Ipv4(100, 9, 9, 11), 3003);
+  hs::Client client(util::Ipv4(100, 9, 9, 11), 3003);
   client.maintain(net.consensus, kT0);
   EXPECT_FALSE(
       client.fetch_descriptor(onion, net.consensus, net.dirnet, kT0).found);

@@ -124,9 +124,9 @@ TEST(IntegrationTest, HarvestThenMeasurePipeline) {
   EXPECT_GT(deanon.deanonymized, 0);
 
   // --- 7. Fig. 3: the client map --------------------------------------
-  std::vector<net::Ipv4> clients;
+  std::vector<util::Ipv4> clients;
   for (const auto addr : deanon.client_addresses)
-    clients.emplace_back(net::Ipv4(addr));
+    clients.emplace_back(util::Ipv4(addr));
   const auto map = geo::build_client_map(clients, geodb);
   EXPECT_EQ(map.total_clients,
             static_cast<std::int64_t>(deanon.client_addresses.size()));
@@ -153,7 +153,7 @@ TEST(IntegrationTest, HarvestedRequestLogsFeedPopularity) {
   // Clients hammer the service.
   const auto onion = world.service(index).onion_address();
   for (int i = 0; i < 40; ++i) {
-    hs::Client client(net::Ipv4::random_public(world.rng()),
+    hs::Client client(util::Ipv4::random_public(world.rng()),
                       3000 + static_cast<std::uint64_t>(i));
     client.maintain(world.consensus(), world.now());
     (void)client.fetch_descriptor(onion, world.consensus(),
@@ -210,7 +210,7 @@ TEST(IntegrationTest, PopularityMeasuredFromHarvestLogsAlone) {
     for (const auto& target : targets) {
       const auto onion = w.service(target.index).onion_address();
       for (int i = 0; i < target.fetches; ++i) {
-        hs::Client client(net::Ipv4::random_public(w.rng()),
+        hs::Client client(util::Ipv4::random_public(w.rng()),
                           4000 + static_cast<std::uint64_t>(seed++));
         client.maintain(w.consensus(), w.now());
         (void)client.fetch_descriptor(onion, w.consensus(),

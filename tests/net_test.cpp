@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
-#include "net/ipv4.hpp"
+#include "util/ipv4.hpp"
 #include "net/service.hpp"
 
 namespace torsim::net {
 namespace {
+
+using util::Endpoint;
+using util::Ipv4;
 
 // ---------------------------------------------------------------------
 // Ipv4

@@ -17,7 +17,7 @@ using relay::RelayConfig;
 
 constexpr util::UnixTime kT0 = 1359676800;  // 2013-02-01
 
-RelayConfig make_config(const std::string& nick, net::Ipv4 ip,
+RelayConfig make_config(const std::string& nick, util::Ipv4 ip,
                         double bw = 100.0) {
   RelayConfig rc;
   rc.nickname = nick;
@@ -33,7 +33,7 @@ RelayConfig make_config(const std::string& nick, net::Ipv4 ip,
 TEST(RelayTest, UptimeAccrual) {
   util::Rng rng(1);
   Registry registry;
-  const auto id = registry.create(make_config("r", net::Ipv4(1, 2, 3, 4)),
+  const auto id = registry.create(make_config("r", util::Ipv4(1, 2, 3, 4)),
                                   rng, kT0);
   relay::Relay& r = registry.get(id);
   EXPECT_FALSE(r.online());
@@ -49,7 +49,7 @@ TEST(RelayTest, UptimeAccrual) {
 TEST(RelayTest, SetOnlineIdempotent) {
   util::Rng rng(2);
   Registry registry;
-  const auto id = registry.create(make_config("r", net::Ipv4(1, 2, 3, 4)),
+  const auto id = registry.create(make_config("r", util::Ipv4(1, 2, 3, 4)),
                                   rng, kT0);
   relay::Relay& r = registry.get(id);
   r.set_online(true, kT0);
@@ -60,7 +60,7 @@ TEST(RelayTest, SetOnlineIdempotent) {
 TEST(RelayTest, IdentityRotationRecordsHistory) {
   util::Rng rng(3);
   Registry registry;
-  const auto id = registry.create(make_config("r", net::Ipv4(1, 2, 3, 4)),
+  const auto id = registry.create(make_config("r", util::Ipv4(1, 2, 3, 4)),
                                   rng, kT0);
   relay::Relay& r = registry.get(id);
   const auto fp0 = r.fingerprint();
@@ -75,7 +75,7 @@ TEST(RelayTest, IdentityRotationRecordsHistory) {
 TEST(RelayTest, RotationKeepsUptime) {
   util::Rng rng(4);
   Registry registry;
-  const auto id = registry.create(make_config("r", net::Ipv4(1, 2, 3, 4)),
+  const auto id = registry.create(make_config("r", util::Ipv4(1, 2, 3, 4)),
                                   rng, kT0);
   relay::Relay& r = registry.get(id);
   r.set_online(true, kT0);
@@ -86,15 +86,15 @@ TEST(RelayTest, RotationKeepsUptime) {
 TEST(RegistryTest, LookupAndAddressIndex) {
   util::Rng rng(5);
   Registry registry;
-  const net::Ipv4 shared(9, 9, 9, 9);
+  const util::Ipv4 shared(9, 9, 9, 9);
   const auto a = registry.create(make_config("a", shared), rng, kT0);
   const auto b = registry.create(make_config("b", shared), rng, kT0);
-  const auto c = registry.create(make_config("c", net::Ipv4(8, 8, 8, 8)),
+  const auto c = registry.create(make_config("c", util::Ipv4(8, 8, 8, 8)),
                                  rng, kT0);
   EXPECT_EQ(registry.size(), 3u);
   EXPECT_EQ(registry.ids_at_address(shared),
             (std::vector<relay::RelayId>{a, b}));
-  EXPECT_EQ(registry.ids_at_address(net::Ipv4(7, 7, 7, 7)).size(), 0u);
+  EXPECT_EQ(registry.ids_at_address(util::Ipv4(7, 7, 7, 7)).size(), 0u);
   EXPECT_THROW(registry.get(99), std::out_of_range);
   registry.get(c).set_online(true, kT0);
   EXPECT_EQ(registry.online_ids(), std::vector<relay::RelayId>{c});
@@ -109,7 +109,7 @@ TEST(AuthorityTest, HsdirFlagRequires25Hours) {
   Registry registry;
   Authority authority;
   const auto id = registry.create(
-      make_config("r", net::Ipv4(1, 2, 3, 4), 100.0), rng, kT0);
+      make_config("r", util::Ipv4(1, 2, 3, 4), 100.0), rng, kT0);
   relay::Relay& r = registry.get(id);
   r.set_online(true, kT0);
 
@@ -126,7 +126,7 @@ TEST(AuthorityTest, StableAndFastFlags) {
   Registry registry;
   Authority authority;
   const auto id = registry.create(
-      make_config("r", net::Ipv4(1, 2, 3, 4), 10.0), rng, kT0);
+      make_config("r", util::Ipv4(1, 2, 3, 4), 10.0), rng, kT0);
   relay::Relay& r = registry.get(id);
   r.set_online(true, kT0);
   auto flags = authority.compute_flags(r, 100.0, kT0 + 25 * 3600);
@@ -140,7 +140,7 @@ TEST(AuthorityTest, GuardNeedsUptimeAndBandwidth) {
   Registry registry;
   Authority authority;
   const auto id = registry.create(
-      make_config("r", net::Ipv4(1, 2, 3, 4), 200.0), rng, kT0);
+      make_config("r", util::Ipv4(1, 2, 3, 4), 200.0), rng, kT0);
   relay::Relay& r = registry.get(id);
   r.set_online(true, kT0);
   EXPECT_FALSE(has_flag(
@@ -159,7 +159,7 @@ TEST(AuthorityTest, OfflineRelayHasNoFlags) {
   util::Rng rng(9);
   Registry registry;
   Authority authority;
-  const auto id = registry.create(make_config("r", net::Ipv4(1, 2, 3, 4)),
+  const auto id = registry.create(make_config("r", util::Ipv4(1, 2, 3, 4)),
                                   rng, kT0);
   EXPECT_EQ(authority.compute_flags(registry.get(id), 100.0, kT0 + 9999), 0);
 }
@@ -172,7 +172,7 @@ TEST(AuthorityTest, TwoRelaysPerIpInConsensus) {
   util::Rng rng(10);
   Registry registry;
   Authority authority;
-  const net::Ipv4 shared(5, 5, 5, 5);
+  const util::Ipv4 shared(5, 5, 5, 5);
   for (int i = 0; i < 5; ++i) {
     const auto id = registry.create(
         make_config("r" + std::to_string(i), shared, 100.0 + i), rng, kT0);
@@ -190,7 +190,7 @@ TEST(AuthorityTest, ShadowRelayAccruesFlagsWhileHidden) {
   util::Rng rng(11);
   Registry registry;
   Authority authority;
-  const net::Ipv4 shared(5, 5, 5, 5);
+  const util::Ipv4 shared(5, 5, 5, 5);
   // Two strong actives + one weak shadow, all up from t0.
   const auto a = registry.create(make_config("a", shared, 300), rng, kT0);
   const auto b = registry.create(make_config("b", shared, 200), rng, kT0);
@@ -218,7 +218,7 @@ TEST(ConsensusTest, EntriesSortedByFingerprint) {
   Authority authority;
   for (int i = 0; i < 20; ++i) {
     const auto id = registry.create(
-        make_config("r" + std::to_string(i), net::Ipv4::random_public(rng)),
+        make_config("r" + std::to_string(i), util::Ipv4::random_public(rng)),
         rng, kT0);
     registry.get(id).set_online(true, kT0);
   }
@@ -232,7 +232,7 @@ TEST(ConsensusTest, FindByFingerprintAndRelay) {
   util::Rng rng(13);
   Registry registry;
   Authority authority;
-  const auto id = registry.create(make_config("x", net::Ipv4(1, 1, 1, 1)),
+  const auto id = registry.create(make_config("x", util::Ipv4(1, 1, 1, 1)),
                                   rng, kT0);
   registry.get(id).set_online(true, kT0);
   const Consensus consensus = authority.build_consensus(registry, kT0 + 60);
@@ -250,7 +250,7 @@ TEST(ConsensusTest, ResponsibleHsdirsAreThreeSuccessors) {
   Authority authority;
   for (int i = 0; i < 30; ++i) {
     const auto id = registry.create(
-        make_config("r" + std::to_string(i), net::Ipv4::random_public(rng)),
+        make_config("r" + std::to_string(i), util::Ipv4::random_public(rng)),
         rng, kT0 - 30 * 3600);
     registry.get(id).set_online(true, kT0 - 30 * 3600);  // all HSDir-ripe
   }
@@ -283,7 +283,7 @@ TEST(ConsensusTest, ResponsibleWrapsAroundRing) {
   Authority authority;
   for (int i = 0; i < 5; ++i) {
     const auto id = registry.create(
-        make_config("r" + std::to_string(i), net::Ipv4::random_public(rng)),
+        make_config("r" + std::to_string(i), util::Ipv4::random_public(rng)),
         rng, kT0 - 30 * 3600);
     registry.get(id).set_online(true, kT0 - 30 * 3600);
   }
@@ -301,7 +301,7 @@ TEST(ConsensusTest, FewerHsdirsThanReplicaSlots) {
   util::Rng rng(16);
   Registry registry;
   Authority authority;
-  const auto id = registry.create(make_config("solo", net::Ipv4(2, 2, 2, 2)),
+  const auto id = registry.create(make_config("solo", util::Ipv4(2, 2, 2, 2)),
                                   rng, kT0 - 30 * 3600);
   registry.get(id).set_online(true, kT0 - 30 * 3600);
   const Consensus consensus = authority.build_consensus(registry, kT0);
@@ -362,7 +362,7 @@ namespace {
 TEST(RelayTest, FractionalUptimeTracksHistory) {
   util::Rng rng(20);
   Registry registry;
-  const auto id = registry.create(make_config("r", net::Ipv4(1, 2, 3, 4)),
+  const auto id = registry.create(make_config("r", util::Ipv4(1, 2, 3, 4)),
                                   rng, kT0);
   relay::Relay& r = registry.get(id);
   r.set_online(true, kT0);
@@ -377,7 +377,7 @@ TEST(RelayTest, FractionalUptimeNeverExceedsOne) {
   util::Rng rng(21);
   Registry registry;
   // Bootstrapped with past uptime (online_since before created).
-  const auto id = registry.create(make_config("r", net::Ipv4(1, 2, 3, 5)),
+  const auto id = registry.create(make_config("r", util::Ipv4(1, 2, 3, 5)),
                                   rng, kT0);
   relay::Relay& r = registry.get(id);
   r.set_online(true, kT0 - 10 * util::kSecondsPerDay);
@@ -390,7 +390,7 @@ TEST(AuthorityTest, FlappyRelayNeverBecomesGuard) {
   Registry registry;
   Authority authority;
   const auto id = registry.create(
-      make_config("flappy", net::Ipv4(1, 2, 3, 6), 500.0), rng, kT0);
+      make_config("flappy", util::Ipv4(1, 2, 3, 6), 500.0), rng, kT0);
   relay::Relay& r = registry.get(id);
   // Nine days of 50% duty cycle (12 h on / 12 h off), then a long
   // continuous stretch that satisfies the raw-uptime rule...
@@ -414,7 +414,7 @@ TEST(AuthorityTest, SteadyRelayBecomesGuard) {
   Registry registry;
   Authority authority;
   const auto id = registry.create(
-      make_config("steady", net::Ipv4(1, 2, 3, 7), 500.0), rng, kT0);
+      make_config("steady", util::Ipv4(1, 2, 3, 7), 500.0), rng, kT0);
   relay::Relay& r = registry.get(id);
   r.set_online(true, kT0);
   const auto flags =
@@ -449,7 +449,7 @@ TEST(ChurnTest, StableNetworkHasFullSurvival) {
   Authority authority;
   for (int i = 0; i < 30; ++i) {
     const auto id = registry.create(
-        make_config("r" + std::to_string(i), net::Ipv4::random_public(rng)),
+        make_config("r" + std::to_string(i), util::Ipv4::random_public(rng)),
         rng, kT0 - 30 * 3600);
     registry.get(id).set_online(true, kT0 - 30 * 3600);
   }
@@ -467,7 +467,7 @@ TEST(ChurnTest, FingerprintSwitchCountsAsLeavePlusJoin) {
   util::Rng rng(41);
   Registry registry;
   Authority authority;
-  const auto id = registry.create(make_config("r", net::Ipv4(4, 4, 4, 4)),
+  const auto id = registry.create(make_config("r", util::Ipv4(4, 4, 4, 4)),
                                   rng, kT0);
   registry.get(id).set_online(true, kT0);
   ConsensusArchive archive;

@@ -11,7 +11,7 @@ namespace {
 struct RendezvousFixture {
   sim::World world;
   std::size_t service_index;
-  Client client{net::Ipv4(203, 0, 113, 9), 4242};
+  Client client{util::Ipv4(203, 0, 113, 9), 4242};
 
   explicit RendezvousFixture(std::uint64_t seed = 99)
       : world([&] {
@@ -85,7 +85,7 @@ TEST(RendezvousTest, FailsWithoutDescriptor) {
 
 TEST(RendezvousTest, FailsWithoutClientGuard) {
   RendezvousFixture fx;
-  Client fresh(net::Ipv4(203, 0, 113, 10), 1);  // never maintained
+  Client fresh(util::Ipv4(203, 0, 113, 10), 1);  // never maintained
   const auto outcome = rendezvous_connect(
       fresh, fx.service(), fx.world.consensus(), fx.world.directories(),
       fx.world.rng(), fx.world.now());
@@ -99,7 +99,7 @@ TEST(RendezvousTest, FailsWithoutServiceGuard) {
   config.honest_relays = 200;
   sim::World world(config);
   const auto index = world.add_service();  // guards never maintained
-  Client client(net::Ipv4(203, 0, 113, 11), 2);
+  Client client(util::Ipv4(203, 0, 113, 11), 2);
   client.maintain(world.consensus(), world.now());
   const auto outcome = rendezvous_connect(
       client, world.service(index), world.consensus(), world.directories(),
@@ -218,7 +218,7 @@ TEST(RendezvousTest, SurvivesHeavyChurn) {
   config.hourly_up_probability = 0.5;
   sim::World world(config);
   const auto index = world.add_service();
-  Client client(net::Ipv4(203, 0, 113, 50), 7);
+  Client client(util::Ipv4(203, 0, 113, 50), 7);
 
   int successes = 0, attempts = 0;
   for (int hour = 0; hour < 48; ++hour) {
@@ -251,7 +251,7 @@ namespace {
 struct StallFixture {
   sim::World world;
   std::size_t service_index;
-  Client client{net::Ipv4(203, 0, 113, 9), 4242};
+  Client client{util::Ipv4(203, 0, 113, 9), 4242};
 
   explicit StallFixture(double stall_rate, int retries)
       : world([&] {
@@ -381,14 +381,14 @@ TEST(RendezvousTest, StealthServiceRequiresCookie) {
   service.maybe_publish(world.consensus(), world.directories(), world.rng(),
                         world.now(), true);
 
-  Client member(net::Ipv4(203, 0, 113, 70), 5);
+  Client member(util::Ipv4(203, 0, 113, 70), 5);
   member.maintain(world.consensus(), world.now());
   const auto authed = rendezvous_connect(member, service, world.consensus(),
                                          world.directories(), world.rng(),
                                          world.now(), cookie);
   EXPECT_TRUE(authed.success) << to_string(authed.failure);
 
-  Client outsider(net::Ipv4(203, 0, 113, 71), 6);
+  Client outsider(util::Ipv4(203, 0, 113, 71), 6);
   outsider.maintain(world.consensus(), world.now());
   const auto blind = rendezvous_connect(outsider, service, world.consensus(),
                                         world.directories(), world.rng(),

@@ -387,7 +387,7 @@ TEST(SerialEquivalenceTest, ResponsibleHsdirsBatchMatchesSerialLoop) {
   for (int i = 0; i < 40; ++i) {
     relay::RelayConfig rc;
     rc.nickname = "n" + std::to_string(i);
-    rc.address = net::Ipv4::random_public(rng);
+    rc.address = util::Ipv4::random_public(rng);
     rc.bandwidth_kbps = 100.0;
     const auto id =
         registry.create(rc, rng, kT0 - 30 * util::kSecondsPerHour);

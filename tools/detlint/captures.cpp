@@ -1,0 +1,357 @@
+// captures pass: parallel-region write-through-reference detection.
+//
+// The deterministic parallel engine (util::parallel_for/parallel_map)
+// is only order-independent when each task writes exclusively through
+// its own index: `out[i] = ...`. A lambda that captures a name by
+// reference ([&], [&x]) and writes it WITHOUT a per-task subscript
+// commits results in scheduler order — the bug class the serial-
+// equivalence goldens only catch when the schedule happens to differ.
+//
+// The pass finds each parallel_for/parallel_map call site, resolves its
+// lambda argument (inline, or one level of `const auto body = [...]`
+// indirection — the shape every call site in this tree uses), and flags
+// write expressions whose base name is by-ref captured and whose
+// subscript chain never mentions the lambda's index parameter. Writes
+// are `=`/compound-assign, `++`/`--`, and calls to a known mutating
+// container/atomic method.
+#include "detlint/detlint.hpp"
+
+#include <cctype>
+
+#include "detlint/lex.hpp"
+
+namespace detlint {
+namespace {
+
+using lex::find_word;
+using lex::is_ident;
+using lex::is_keyword;
+using lex::match_forward;
+using lex::read_ident;
+using lex::skip_spaces;
+using lex::word_at;
+
+const std::vector<std::string>& mutating_methods() {
+  static const std::vector<std::string> kMethods = {
+      "push_back", "emplace_back", "emplace", "insert", "erase", "clear",
+      "resize", "reserve", "assign", "append", "pop_back", "push_front",
+      "pop_front", "store", "fetch_add", "fetch_sub", "reset", "swap"};
+  return kMethods;
+}
+
+/// Splits `s` at top-level commas (depth 0 w.r.t. ()/[]/{}/<> pairs —
+/// '<' handled loosely, good enough for capture and argument lists).
+std::vector<std::string> split_top_level(const std::string& s) {
+  std::vector<std::string> parts;
+  int depth = 0;
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '(' || c == '[' || c == '{' || c == '<') ++depth;
+    else if (c == ')' || c == ']' || c == '}' || c == '>') --depth;
+    else if (c == ',' && depth == 0) {
+      parts.push_back(s.substr(begin, i - begin));
+      begin = i + 1;
+    }
+  }
+  parts.push_back(s.substr(begin));
+  return parts;
+}
+
+std::string trim(const std::string& s) {
+  const std::size_t b = s.find_first_not_of(" \t\n");
+  if (b == std::string::npos) return "";
+  const std::size_t e = s.find_last_not_of(" \t\n");
+  return s.substr(b, e - b + 1);
+}
+
+struct CaptureList {
+  bool default_ref = false;                // [&]
+  std::set<std::string> by_ref;            // [&x] / [&x = expr]
+  std::set<std::string> by_value;          // [x] / [=] entries
+};
+
+CaptureList parse_captures(const std::string& inside) {
+  CaptureList caps;
+  for (const auto& raw : split_top_level(inside)) {
+    const std::string item = trim(raw);
+    if (item.empty()) continue;
+    if (item == "&") { caps.default_ref = true; continue; }
+    if (item == "=" || item == "this" || item == "*this") continue;
+    std::size_t i = 0;
+    bool by_ref = false;
+    if (item[0] == '&') { by_ref = true; i = skip_spaces(item, 1); }
+    if (i >= item.size() || !is_ident(item[i])) continue;
+    const std::string name = read_ident(item, i);
+    (by_ref ? caps.by_ref : caps.by_value).insert(name);
+  }
+  return caps;
+}
+
+/// Identifiers that look locally declared inside `body`: an identifier
+/// directly preceded by another identifier (a type name), by `>`/`&`/
+/// `*` (template/ref/pointer declarators), or inside a structured
+/// binding. Over-approximates (`a * b` marks b) — that direction only
+/// makes the check quieter, never noisier.
+std::set<std::string> local_declarations(const std::string& body) {
+  std::set<std::string> locals;
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    if (!is_ident(body[i]) ||
+        std::isdigit(static_cast<unsigned char>(body[i])) != 0 ||
+        (i > 0 && is_ident(body[i - 1])))
+      continue;
+    const std::string ident = read_ident(body, i);
+    const std::size_t prev = lex::prev_non_space(body, i);
+    if (prev != std::string::npos) {
+      const char p = body[prev];
+      bool declared = false;
+      if (p == '>' || p == '&' || p == '*') {
+        declared = true;
+      } else if (is_ident(p)) {
+        std::size_t b = prev;
+        while (b > 0 && is_ident(body[b - 1])) --b;
+        const std::string prev_word = body.substr(b, prev - b + 1);
+        static const std::vector<std::string> kTypeKeywords = {
+            "auto", "bool", "char", "int", "long", "short", "double",
+            "float", "unsigned", "signed", "const", "size_t"};
+        if (!is_keyword(prev_word) ||
+            std::find(kTypeKeywords.begin(), kTypeKeywords.end(),
+                      prev_word) != kTypeKeywords.end())
+          declared = true;
+      }
+      if (declared && !is_keyword(ident)) locals.insert(ident);
+    }
+    i += ident.size() - 1;
+  }
+  // Structured bindings: auto& [a, b] = ...;
+  for (std::size_t pos = find_word(body, "auto", 0);
+       pos != std::string::npos; pos = find_word(body, "auto", pos + 1)) {
+    std::size_t i = skip_spaces(body, pos + 4);
+    while (i < body.size() && (body[i] == '&' || body[i] == '*')) ++i;
+    i = skip_spaces(body, i);
+    if (i >= body.size() || body[i] != '[') continue;
+    const std::size_t close = match_forward(body, i, '[', ']');
+    if (close == std::string::npos) continue;
+    for (const auto& ident :
+         lex::identifiers_in(body.substr(i + 1, close - i - 2)))
+      locals.insert(ident);
+  }
+  return locals;
+}
+
+/// True when `s[pos..]` starts an assignment operator (but not ==, <=,
+/// >=, !=, or the second half of one).
+bool is_assignment_at(const std::string& s, std::size_t pos) {
+  if (pos >= s.size()) return false;
+  const char c = s[pos];
+  const char next = pos + 1 < s.size() ? s[pos + 1] : '\0';
+  if (c == '=') return next != '=';
+  if ((c == '+' || c == '-' || c == '*' || c == '/' || c == '%' ||
+       c == '&' || c == '|' || c == '^') &&
+      next == '=')
+    return pos + 2 >= s.size() || s[pos + 2] != '=';  // excludes <=, >=
+  if ((c == '<' && next == '<') || (c == '>' && next == '>'))
+    return pos + 2 < s.size() && s[pos + 2] == '=';
+  return false;
+}
+
+struct Write {
+  std::string base;      // the captured name being written
+  std::size_t pos = 0;   // offset of the base identifier
+  bool indexed = false;  // some subscript mentions the index param
+  std::string how;       // "assignment", "increment", "call to .foo()"
+};
+
+/// Collects write expressions in `body` (offsets relative to body).
+std::vector<Write> find_writes(const std::string& body,
+                               const std::string& index_param) {
+  std::vector<Write> writes;
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    if (!is_ident(body[i]) ||
+        std::isdigit(static_cast<unsigned char>(body[i])) != 0 ||
+        (i > 0 && is_ident(body[i - 1])))
+      continue;
+    const std::string base = read_ident(body, i);
+    const std::size_t start = i;
+    i += base.size() - 1;
+    if (is_keyword(base)) continue;
+
+    const std::size_t prev = lex::prev_non_space(body, start);
+    // Member selections are not base names: `out.stage = ...` writes
+    // through `out`, whose own chain walk starts at `out`.
+    if (prev != std::string::npos &&
+        (body[prev] == '.' ||
+         (body[prev] == '>' && prev >= 1 && body[prev - 1] == '-')))
+      continue;
+
+    // Prefix increment/decrement.
+    if (prev != std::string::npos && prev >= 1 &&
+        ((body[prev] == '+' && body[prev - 1] == '+') ||
+         (body[prev] == '-' && body[prev - 1] == '-'))) {
+      writes.push_back({base, start, false, "increment of '" + base + "'"});
+      continue;
+    }
+
+    // Walk the postfix chain: subscripts and member selections.
+    std::size_t p = start + base.size();
+    bool indexed = false;
+    std::string member;
+    while (true) {
+      p = skip_spaces(body, p);
+      if (p >= body.size()) break;
+      if (body[p] == '[') {
+        const std::size_t close = match_forward(body, p, '[', ']');
+        if (close == std::string::npos) break;
+        if (!index_param.empty()) {
+          const std::string sub = body.substr(p + 1, close - p - 2);
+          if (find_word(sub, index_param, 0) != std::string::npos)
+            indexed = true;
+        }
+        p = close;
+        member.clear();
+        continue;
+      }
+      if (body[p] == '.' ||
+          (body[p] == '-' && p + 1 < body.size() && body[p + 1] == '>')) {
+        const std::size_t after = body[p] == '.' ? p + 1 : p + 2;
+        const std::size_t m = skip_spaces(body, after);
+        if (m >= body.size() || !is_ident(body[m])) break;
+        member = read_ident(body, m);
+        p = m + member.size();
+        continue;
+      }
+      break;
+    }
+    if (p >= body.size()) continue;
+
+    if (is_assignment_at(body, p)) {
+      writes.push_back({base, start, indexed,
+                        "assignment through '" + base + "'"});
+    } else if (p + 1 < body.size() &&
+               ((body[p] == '+' && body[p + 1] == '+') ||
+                (body[p] == '-' && body[p + 1] == '-'))) {
+      writes.push_back({base, start, indexed,
+                        "increment of '" + base + "'"});
+    } else if (body[p] == '(' && !member.empty()) {
+      const auto& methods = mutating_methods();
+      if (std::find(methods.begin(), methods.end(), member) !=
+          methods.end()) {
+        writes.push_back({base, start, indexed,
+                          "call to '." + member + "(...)'"});
+      }
+    }
+  }
+  return writes;
+}
+
+/// Analyzes one lambda whose '[' sits at `lbracket` in `code`; pushes
+/// findings for unsafe writes to by-ref captures.
+void analyze_lambda(const std::string& path, const std::string& code,
+                    const std::vector<std::size_t>& lines,
+                    std::size_t lbracket, std::vector<Finding>& out) {
+  const std::size_t cap_close = match_forward(code, lbracket, '[', ']');
+  if (cap_close == std::string::npos) return;
+  const CaptureList caps =
+      parse_captures(code.substr(lbracket + 1, cap_close - lbracket - 2));
+  if (!caps.default_ref && caps.by_ref.empty()) return;
+
+  std::size_t p = skip_spaces(code, cap_close);
+  std::set<std::string> params;
+  std::string index_param;
+  if (p < code.size() && code[p] == '(') {
+    const std::size_t close = match_forward(code, p, '(', ')');
+    if (close == std::string::npos) return;
+    const auto parts =
+        split_top_level(code.substr(p + 1, close - p - 2));
+    for (std::size_t k = 0; k < parts.size(); ++k) {
+      const auto idents = lex::identifiers_in(parts[k]);
+      std::string name;
+      for (const auto& ident : idents)
+        if (!is_keyword(ident) || ident == "auto") name = ident;
+      if (name.empty() || name == "auto") continue;
+      params.insert(name);
+      if (k == 0) index_param = name;
+    }
+    p = skip_spaces(code, close);
+  }
+  // Optional trailing return type, mutable, noexcept.
+  while (p < code.size() && code[p] != '{') ++p;
+  if (p >= code.size()) return;
+  const std::size_t body_end = match_forward(code, p, '{', '}');
+  if (body_end == std::string::npos) return;
+  const std::string body = code.substr(p + 1, body_end - p - 2);
+  const std::size_t body_base = p + 1;
+
+  const std::set<std::string> locals = local_declarations(body);
+  for (const Write& w : find_writes(body, index_param)) {
+    if (w.indexed) continue;
+    if (params.count(w.base) != 0 || locals.count(w.base) != 0) continue;
+    const bool explicit_ref = caps.by_ref.count(w.base) != 0;
+    const bool default_ref =
+        caps.default_ref && caps.by_value.count(w.base) == 0;
+    if (!explicit_ref && !default_ref) continue;
+    out.push_back(
+        {path, lex::line_of(lines, body_base + w.pos), "ref-capture-write",
+         w.how + " inside a parallel_for/parallel_map lambda mutates "
+         "by-ref-captured state without a per-task '" +
+         (index_param.empty() ? std::string("index") : index_param) +
+         "' subscript; tasks commit in scheduler order — write through "
+         "a per-index slot instead (see docs/concurrency.md)",
+         false, "", "captures", w.base});
+  }
+}
+
+}  // namespace
+
+std::vector<Finding> check_captures(const std::string& path,
+                                    const std::string& content) {
+  const std::string code = strip_comments_and_strings(content);
+  const std::vector<std::size_t> lines = lex::index_lines(code);
+  std::vector<Finding> out;
+
+  static const std::vector<std::string> kEntries = {"parallel_for",
+                                                    "parallel_map"};
+  std::set<std::size_t> analyzed;  // lambda '[' offsets, deduped
+  for (const auto& entry : kEntries) {
+    for (std::size_t pos = find_word(code, entry, 0);
+         pos != std::string::npos; pos = find_word(code, entry, pos + 1)) {
+      const std::size_t open = skip_spaces(code, pos + entry.size());
+      if (open >= code.size() || code[open] != '(') continue;
+      const std::size_t close = match_forward(code, open, '(', ')');
+      if (close == std::string::npos) continue;
+
+      const std::string args = code.substr(open + 1, close - open - 2);
+      std::size_t arg_begin = open + 1;
+      for (const auto& raw : split_top_level(args)) {
+        const std::string arg = trim(raw);
+        const std::size_t local_off = raw.find_first_not_of(" \t\n");
+        const std::size_t abs =
+            local_off == std::string::npos ? arg_begin
+                                           : arg_begin + local_off;
+        if (!arg.empty() && arg[0] == '[') {
+          if (analyzed.insert(abs).second)
+            analyze_lambda(path, code, lines, abs, out);
+        } else if (!arg.empty() && is_ident(arg[0]) &&
+                   read_ident(arg, 0).size() == arg.size()) {
+          // One level of named-lambda indirection: `name = [...]`.
+          for (std::size_t d = find_word(code, arg, 0);
+               d != std::string::npos && d < pos;
+               d = find_word(code, arg, d + 1)) {
+            std::size_t q = skip_spaces(code, d + arg.size());
+            if (q >= code.size() || code[q] != '=') continue;
+            q = skip_spaces(code, q + 1);
+            if (q < code.size() && code[q] == '[') {
+              if (analyzed.insert(q).second)
+                analyze_lambda(path, code, lines, q, out);
+              break;
+            }
+          }
+        }
+        arg_begin += raw.size() + 1;  // past the comma
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace detlint

@@ -1,102 +1,24 @@
 #include "detlint/detlint.hpp"
 
 #include <algorithm>
-#include <cctype>
 #include <cstddef>
 #include <sstream>
+
+#include "detlint/lex.hpp"
 
 namespace detlint {
 namespace {
 
-bool is_ident(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/// True when content[pos..pos+token.size()) is `token` as a whole word.
-bool word_at(const std::string& s, std::size_t pos,
-             const std::string& token) {
-  if (pos + token.size() > s.size()) return false;
-  if (s.compare(pos, token.size(), token) != 0) return false;
-  if (pos > 0 && is_ident(s[pos - 1])) return false;
-  const std::size_t end = pos + token.size();
-  if (end < s.size() && is_ident(s[end])) return false;
-  return true;
-}
-
-std::size_t find_word(const std::string& s, const std::string& token,
-                      std::size_t from) {
-  for (std::size_t pos = s.find(token, from); pos != std::string::npos;
-       pos = s.find(token, pos + 1)) {
-    if (word_at(s, pos, token)) return pos;
-  }
-  return std::string::npos;
-}
-
-std::size_t skip_spaces(const std::string& s, std::size_t pos) {
-  while (pos < s.size() &&
-         std::isspace(static_cast<unsigned char>(s[pos])) != 0)
-    ++pos;
-  return pos;
-}
-
-std::size_t prev_non_space(const std::string& s, std::size_t pos) {
-  while (pos > 0) {
-    --pos;
-    if (std::isspace(static_cast<unsigned char>(s[pos])) == 0) return pos;
-  }
-  return std::string::npos;
-}
-
-std::string read_ident(const std::string& s, std::size_t pos) {
-  std::size_t end = pos;
-  while (end < s.size() && is_ident(s[end])) ++end;
-  return s.substr(pos, end - pos);
-}
-
-/// Position just past the matching closer for the opener at `open`
-/// (content[open] must be the opener), or npos when unbalanced.
-std::size_t match_forward(const std::string& s, std::size_t open,
-                          char opener, char closer) {
-  int depth = 0;
-  for (std::size_t i = open; i < s.size(); ++i) {
-    if (s[i] == opener) ++depth;
-    else if (s[i] == closer) {
-      --depth;
-      if (depth == 0) return i + 1;
-    }
-  }
-  return std::string::npos;
-}
-
-int line_of(const std::vector<std::size_t>& line_starts, std::size_t pos) {
-  const auto it = std::upper_bound(line_starts.begin(), line_starts.end(),
-                                   pos);
-  return static_cast<int>(it - line_starts.begin());
-}
-
-std::vector<std::size_t> index_lines(const std::string& s) {
-  std::vector<std::size_t> starts{0};
-  for (std::size_t i = 0; i < s.size(); ++i)
-    if (s[i] == '\n') starts.push_back(i + 1);
-  return starts;
-}
-
-/// Extracts every identifier token from `expr`.
-std::vector<std::string> identifiers_in(const std::string& expr) {
-  std::vector<std::string> out;
-  std::size_t i = 0;
-  while (i < expr.size()) {
-    if (is_ident(expr[i]) &&
-        std::isdigit(static_cast<unsigned char>(expr[i])) == 0 &&
-        (i == 0 || !is_ident(expr[i - 1]))) {
-      out.push_back(read_ident(expr, i));
-      i += out.back().size();
-    } else {
-      ++i;
-    }
-  }
-  return out;
-}
+using lex::find_word;
+using lex::index_lines;
+using lex::is_ident;
+using lex::identifiers_in;
+using lex::line_of;
+using lex::match_forward;
+using lex::prev_non_space;
+using lex::read_ident;
+using lex::skip_spaces;
+using lex::word_at;
 
 /// Inline annotations parsed from the ORIGINAL text: which checks each
 /// line allows, and which it allows on the following line.
@@ -141,7 +63,7 @@ Annotations parse_annotations(const std::string& content) {
 }
 
 // ---------------------------------------------------------------------
-// Individual checks. Each pushes findings; suppression happens later.
+// Determinism checks. Each pushes findings; suppression happens later.
 // ---------------------------------------------------------------------
 
 void check_banned_calls(const std::string& path, const std::string& code,
@@ -166,7 +88,7 @@ void check_banned_calls(const std::string& path, const std::string& code,
                      token + " introduces ambient nondeterminism; derive "
                      "everything from the scenario seed (util::Rng) or "
                      "sim time (util::Clock)",
-                     false, ""});
+                     false, "", "", ""});
     }
   }
 
@@ -198,7 +120,7 @@ void check_banned_calls(const std::string& path, const std::string& code,
                      token + "() reads ambient state (wall clock, libc "
                      "PRNG, environment); use util::Rng / util::Clock "
                      "seeded by the scenario",
-                     false, ""});
+                     false, "", "", ""});
     }
   }
 }
@@ -244,7 +166,7 @@ void check_unordered_iteration(const std::string& path,
                        "' leaks hash-iteration order; iterate an ordered "
                        "container or emit via util::sorted_items/"
                        "sorted_keys",
-                       false, ""});
+                       false, "", "", ""});
         break;
       }
     }
@@ -262,7 +184,7 @@ void check_unordered_iteration(const std::string& path,
           out.push_back({path, line_of(lines, pos), "unordered-iter",
                          "iterator walk over unordered container '" + name +
                          "' leaks hash-iteration order",
-                         false, ""});
+                         false, "", "", ""});
         }
       }
     }
@@ -304,7 +226,7 @@ void check_pointer_keys(const std::string& path, const std::string& code,
                        "container keyed / ordered on a pointer type ('" +
                        arg + "'): pointer order is allocation order, not "
                        "a stable ordering — key on a value id instead",
-                       false, ""});
+                       false, "", "", ""});
       }
     }
   }
@@ -343,7 +265,7 @@ void check_parallel_regions(const std::string& path, const std::string& code,
                          "parallel region shares a mutable generator "
                          "across tasks; derive a per-index stream with '" +
                          rng + ".child(index)' (see docs/concurrency.md)",
-                         false, ""});
+                         false, "", "", ""});
         }
       }
 
@@ -360,7 +282,7 @@ void check_parallel_regions(const std::string& path, const std::string& code,
                            "' inside a parallel region is ordered by the "
                            "scheduler; fill per-index slots (parallel_map) "
                            "and reduce serially",
-                           false, ""});
+                           false, "", "", ""});
           }
         }
       }
@@ -368,7 +290,58 @@ void check_parallel_regions(const std::string& path, const std::string& code,
   }
 }
 
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* kHex = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xf];
+          out += kHex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 }  // namespace
+
+const std::vector<PassInfo>& passes() {
+  static const std::vector<PassInfo> kPasses = {
+      {"determinism",
+       "ambient clocks/PRNGs, hash-order iteration, pointer keys, "
+       "parallel RNG/float hazards"},
+      {"layers",
+       "cross-module #include edges must respect the declared layer DAG "
+       "(tools/detlint/layers.txt)"},
+      {"globals",
+       "mutable namespace-scope / static / thread_local state must be "
+       "allowlisted (tools/detlint/globals_allowlist.txt)"},
+      {"captures",
+       "by-reference captures written inside parallel_for/parallel_map "
+       "bodies without a per-task index subscript"},
+      {"hotalloc",
+       "allocation and container growth inside functions annotated "
+       "'// detlint: hot'"},
+  };
+  return kPasses;
+}
+
+bool is_pass_name(const std::string& name) {
+  for (const auto& p : passes())
+    if (p.name == name) return true;
+  return false;
+}
 
 std::string strip_comments_and_strings(const std::string& content) {
   std::string out = content;
@@ -454,6 +427,43 @@ std::string strip_comments_and_strings(const std::string& content) {
   return out;
 }
 
+std::string blank_preprocessor(const std::string& stripped) {
+  std::string out = stripped;
+  bool at_line_start = true;
+  bool in_directive = false;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    if (in_directive) {
+      if (c == '\n') {
+        // A directive continues past a backslash-newline. Look in the
+        // INPUT: the directive's characters in `out` are already blanks.
+        std::size_t back = i;
+        bool continued = false;
+        while (back > 0) {
+          --back;
+          if (stripped[back] == '\\') { continued = true; break; }
+          if (std::isspace(static_cast<unsigned char>(stripped[back])) == 0)
+            break;
+        }
+        if (!continued) in_directive = false;
+        at_line_start = true;
+      } else {
+        out[i] = ' ';
+      }
+      continue;
+    }
+    if (c == '\n') {
+      at_line_start = true;
+    } else if (at_line_start && c == '#') {
+      in_directive = true;
+      out[i] = ' ';
+    } else if (std::isspace(static_cast<unsigned char>(c)) == 0) {
+      at_line_start = false;
+    }
+  }
+  return out;
+}
+
 NameSets collect_names(const std::string& content) {
   const std::string code = strip_comments_and_strings(content);
   NameSets names;
@@ -526,6 +536,23 @@ void merge_names(NameSets& into, const NameSets& from) {
   into.rngs.insert(from.rngs.begin(), from.rngs.end());
 }
 
+void apply_inline_annotations(const std::string& content,
+                              std::vector<Finding>& findings) {
+  const Annotations ann = parse_annotations(content);
+  for (Finding& f : findings) {
+    if (f.suppressed || f.line <= 0) continue;
+    const std::size_t idx = static_cast<std::size_t>(f.line) - 1;
+    const bool same = idx < ann.same_line.size() &&
+                      ann.same_line[idx].count(f.check) != 0;
+    const bool prev = idx > 0 && idx - 1 < ann.next_line.size() &&
+                      ann.next_line[idx - 1].count(f.check) != 0;
+    if (same || prev) {
+      f.suppressed = true;
+      f.suppress_reason = "inline detlint-allow annotation";
+    }
+  }
+}
+
 std::vector<Finding> scan_file(const std::string& path,
                                const std::string& content,
                                const NameSets& names) {
@@ -538,19 +565,10 @@ std::vector<Finding> scan_file(const std::string& path,
   check_pointer_keys(path, code, lines, findings);
   check_parallel_regions(path, code, lines, names, findings);
 
+  for (Finding& f : findings) f.pass = "determinism";
+
   // Inline annotations from the original (unstripped) text.
-  const Annotations ann = parse_annotations(content);
-  for (Finding& f : findings) {
-    const std::size_t idx = static_cast<std::size_t>(f.line) - 1;
-    const bool same = idx < ann.same_line.size() &&
-                      ann.same_line[idx].count(f.check) != 0;
-    const bool prev = idx > 0 && idx - 1 < ann.next_line.size() &&
-                      ann.next_line[idx - 1].count(f.check) != 0;
-    if (same || prev) {
-      f.suppressed = true;
-      f.suppress_reason = "inline detlint-allow annotation";
-    }
-  }
+  apply_inline_annotations(content, findings);
 
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
@@ -591,6 +609,47 @@ void apply_suppressions(std::vector<Finding>& findings,
       }
     }
   }
+}
+
+void sort_findings(std::vector<Finding>& findings) {
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.pass != b.pass) return a.pass < b.pass;
+              if (a.check != b.check) return a.check < b.check;
+              return a.message < b.message;
+            });
+}
+
+std::string findings_to_json(const std::vector<Finding>& findings,
+                             std::size_t files_scanned) {
+  std::vector<Finding> sorted = findings;
+  sort_findings(sorted);
+  std::size_t unsuppressed = 0;
+  std::size_t suppressed = 0;
+  for (const auto& f : sorted) (f.suppressed ? suppressed : unsuppressed)++;
+
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"schema\": \"detlint-json-v1\",\n";
+  out << "  \"files_scanned\": " << files_scanned << ",\n";
+  out << "  \"counts\": {\"unsuppressed\": " << unsuppressed
+      << ", \"suppressed\": " << suppressed << "},\n";
+  out << "  \"findings\": [";
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const Finding& f = sorted[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"file\": \"" << json_escape(f.file) << "\", \"line\": "
+        << f.line << ", \"pass\": \"" << json_escape(f.pass)
+        << "\", \"check\": \"" << json_escape(f.check)
+        << "\", \"message\": \"" << json_escape(f.message)
+        << "\", \"suppressed\": " << (f.suppressed ? "true" : "false")
+        << ", \"reason\": \"" << json_escape(f.suppress_reason) << "\"}";
+  }
+  out << (sorted.empty() ? "]\n" : "\n  ]\n");
+  out << "}\n";
+  return out.str();
 }
 
 }  // namespace detlint

@@ -1,0 +1,289 @@
+// globals pass: census of process-wide mutable state.
+//
+// A sharded World must own ALL of its state; any mutable variable that
+// lives outside an object graph rooted in the World — namespace-scope
+// globals, function-local statics, thread_locals, static data members —
+// is shared across shards by construction. This pass walks every file
+// with a small brace-matching scope tracker and reports each such
+// declaration; the checked-in allowlist (globals_allowlist.txt) is the
+// only way to keep one, and every entry must say why.
+//
+// Heuristic boundaries (documented, suppressible): const/constexpr/
+// constinit declarations are exempt (immutable after startup), and a
+// namespace-scope declaration whose statement opens a parenthesis
+// before any '=' is treated as a function declaration.
+#include "detlint/detlint.hpp"
+
+#include <cctype>
+#include <sstream>
+
+#include "detlint/lex.hpp"
+
+namespace detlint {
+namespace {
+
+using lex::is_ident;
+using lex::is_keyword;
+using lex::identifiers_in;
+
+enum class Scope { kNamespace, kClass, kFunction };
+
+bool has_word(const std::string& stmt, const std::string& word) {
+  return lex::find_word(stmt, word, 0) != std::string::npos;
+}
+
+bool is_const_decl(const std::string& stmt) {
+  return has_word(stmt, "const") || has_word(stmt, "constexpr") ||
+         has_word(stmt, "constinit") || has_word(stmt, "consteval");
+}
+
+/// The declared name: the last identifier before the first of
+/// '=', '{', '[', '(' (whichever comes first), or the last identifier
+/// of the statement. Covers `int x = 1`, `std::atomic<bool> b{true}`,
+/// `int a[3]`, and `static ThreadPool pool(make())`.
+std::string declared_name(const std::string& stmt) {
+  std::size_t limit = stmt.size();
+  for (const char delim : {'=', '{', '[', '('}) {
+    const std::size_t pos = stmt.find(delim);
+    if (pos != std::string::npos && pos < limit) limit = pos;
+  }
+  std::string name;
+  std::size_t i = 0;
+  while (i < limit) {
+    if (is_ident(stmt[i]) &&
+        std::isdigit(static_cast<unsigned char>(stmt[i])) == 0 &&
+        (i == 0 || !is_ident(stmt[i - 1]))) {
+      const std::string ident = lex::read_ident(stmt, i);
+      if (!is_keyword(ident)) name = ident;
+      i += ident.size();
+    } else {
+      ++i;
+    }
+  }
+  return name;
+}
+
+/// Number of identifier tokens that could be a type or a declared name
+/// — everything except storage/cv specifiers. `thread_local bool x`
+/// counts bool and x (a declaration needs at least those two).
+std::size_t decl_tokens(const std::string& stmt) {
+  static const std::vector<std::string> kSpecifiers = {
+      "static", "thread_local", "inline", "volatile", "mutable",
+      "register", "extern"};
+  std::size_t n = 0;
+  for (const auto& ident : identifiers_in(stmt))
+    if (std::find(kSpecifiers.begin(), kSpecifiers.end(), ident) ==
+        kSpecifiers.end())
+      ++n;
+  return n;
+}
+
+/// Statement-leading keywords that can never head a variable
+/// declaration we care about.
+bool is_non_decl_statement(const std::string& stmt) {
+  static const std::vector<std::string> kSkip = {
+      "using", "typedef", "template", "extern", "friend", "static_assert",
+      "struct", "class", "union", "enum", "concept", "return", "if",
+      "while", "for", "switch", "case", "goto", "public", "private",
+      "protected", "operator", "asm", "namespace"};
+  const std::size_t begin = lex::skip_spaces(stmt, 0);
+  if (begin >= stmt.size()) return true;
+  const std::string head = lex::read_ident(stmt, begin);
+  for (const auto& k : kSkip)
+    if (head == k) return true;
+  return false;
+}
+
+void maybe_flag(const std::string& path, const std::string& stmt,
+                int line, Scope scope, std::vector<Finding>& out) {
+  const bool is_static = has_word(stmt, "static");
+  const bool is_tls = has_word(stmt, "thread_local");
+
+  if (scope != Scope::kNamespace && !is_static && !is_tls) return;
+  if (is_const_decl(stmt)) return;
+  if (is_non_decl_statement(stmt)) return;
+
+  if (scope == Scope::kNamespace || scope == Scope::kClass) {
+    // A '(' before any '=' marks a function declaration / prototype.
+    // (Function-style variable init at these scopes is the most vexing
+    // parse; this tree brace-initializes instead.)
+    const std::size_t paren = stmt.find('(');
+    const std::size_t eq = stmt.find('=');
+    if (paren != std::string::npos &&
+        (eq == std::string::npos || paren < eq))
+      return;
+  }
+  if (decl_tokens(stmt) < 2) return;  // need at least type + name
+
+  const std::string name = declared_name(stmt);
+  if (name.empty()) return;
+
+  std::string kind;
+  switch (scope) {
+    case Scope::kNamespace:
+      kind = is_tls ? "thread_local namespace-scope variable"
+                    : "mutable namespace-scope variable";
+      break;
+    case Scope::kClass:
+      kind = is_tls ? "thread_local static data member"
+                    : "mutable static data member";
+      break;
+    case Scope::kFunction:
+      kind = is_tls ? "function-local thread_local"
+                    : "function-local static";
+      break;
+  }
+  out.push_back({path, line, "global-mutable",
+                 kind + " '" + name + "' is process-wide mutable state; "
+                 "shard-owned Worlds cannot partition it — move it into "
+                 "an object the caller owns, or allowlist it with a "
+                 "justification in globals_allowlist.txt",
+                 false, "", "globals", name});
+}
+
+/// Classifies the '{' ending `stmt`. `prev` is the last non-space
+/// character before the brace ('\0' when the statement is empty).
+enum class BraceKind { kNamespace, kClass, kFunction, kInit };
+
+BraceKind classify_brace(const std::string& stmt, char prev) {
+  if (has_word(stmt, "namespace")) return BraceKind::kNamespace;
+  if ((has_word(stmt, "class") || has_word(stmt, "struct") ||
+       has_word(stmt, "union") || has_word(stmt, "enum")) &&
+      stmt.find('(') == std::string::npos)
+    return BraceKind::kClass;
+  if (prev == ')') return BraceKind::kFunction;
+  // `) const {`, `) noexcept {`, `) -> T {`, ctor-initializer tails:
+  // after the last ')' only specifier-ish characters remain.
+  const std::size_t close = stmt.rfind(')');
+  if (close != std::string::npos) {
+    bool specifier_tail = true;
+    for (std::size_t i = close + 1; i < stmt.size(); ++i) {
+      const char c = stmt[i];
+      if (is_ident(c) || std::isspace(static_cast<unsigned char>(c)) != 0 ||
+          c == ':' || c == '<' || c == '>' || c == '&' || c == '*' ||
+          c == ',' || c == '-' || c == '{' || c == '}' || c == '[' ||
+          c == ']')
+        continue;
+      specifier_tail = false;
+      break;
+    }
+    if (specifier_tail) return BraceKind::kFunction;
+  }
+  // Control-flow blocks inside functions: `else {`, `do {`, `try {`.
+  const std::size_t last = stmt.find_last_not_of(" \t\n");
+  if (last != std::string::npos) {
+    std::size_t b = last;
+    while (b > 0 && is_ident(stmt[b - 1])) --b;
+    const std::string word = stmt.substr(b, last - b + 1);
+    if (word == "else" || word == "do" || word == "try")
+      return BraceKind::kFunction;
+  }
+  // Brace initializer: `std::atomic<bool> flag{true}`, `= {1, 2}`.
+  if (prev != '\0' && (is_ident(prev) || prev == '=' || prev == ',' ||
+                       prev == '(' || prev == '[' || prev == '>'))
+    return BraceKind::kInit;
+  return BraceKind::kFunction;  // lambdas (`[&] {`), bare blocks
+}
+
+}  // namespace
+
+std::vector<Finding> check_globals(const std::string& path,
+                                   const std::string& content) {
+  const std::string code =
+      blank_preprocessor(strip_comments_and_strings(content));
+  const std::vector<std::size_t> lines = lex::index_lines(code);
+  std::vector<Finding> out;
+
+  std::vector<Scope> scopes;  // implicit global namespace at bottom
+  std::size_t stmt_start = 0;
+  const Scope outer = Scope::kNamespace;
+
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const char c = code[i];
+    if (c == ';') {
+      const Scope scope = scopes.empty() ? outer : scopes.back();
+      const std::string stmt = code.substr(stmt_start, i - stmt_start);
+      maybe_flag(path, stmt, lex::line_of(lines, stmt_start +
+                 lex::skip_spaces(stmt, 0)), scope, out);
+      stmt_start = i + 1;
+    } else if (c == '{') {
+      const std::string stmt = code.substr(stmt_start, i - stmt_start);
+      const std::size_t prev_pos = lex::prev_non_space(code, i);
+      const char prev = (prev_pos == std::string::npos ||
+                         prev_pos < stmt_start)
+                            ? '\0'
+                            : code[prev_pos];
+      const BraceKind kind = classify_brace(stmt, prev);
+      if (kind == BraceKind::kInit) {
+        // Part of the current statement: skip to the matching '}' and
+        // keep accumulating (the statement's ';' is still ahead).
+        const std::size_t end = lex::match_forward(code, i, '{', '}');
+        if (end == std::string::npos) break;  // unbalanced; bail out
+        i = end - 1;
+        continue;
+      }
+      switch (kind) {
+        case BraceKind::kNamespace: scopes.push_back(Scope::kNamespace);
+          break;
+        case BraceKind::kClass: scopes.push_back(Scope::kClass); break;
+        default: scopes.push_back(Scope::kFunction); break;
+      }
+      stmt_start = i + 1;
+    } else if (c == '}') {
+      if (!scopes.empty()) scopes.pop_back();
+      stmt_start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<GlobalsAllowEntry> parse_globals_allowlist(
+    const std::string& text, std::vector<std::string>* errors) {
+  std::vector<GlobalsAllowEntry> out;
+  std::istringstream ss(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(ss, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream fields(line);
+    GlobalsAllowEntry entry;
+    if (!(fields >> entry.path_substring >> entry.symbol)) continue;
+    std::getline(fields, entry.reason);
+    const std::size_t b = entry.reason.find_first_not_of(" \t");
+    entry.reason = b == std::string::npos ? "" : entry.reason.substr(b);
+    entry.line = line_no;
+    if (entry.reason.empty() && errors != nullptr) {
+      errors->push_back(
+          "globals_allowlist.txt:" + std::to_string(line_no) +
+          ": entry '" + entry.symbol +
+          "' has no justification; every allowlisted global must say "
+          "why it is safe to keep ahead of sharding");
+      continue;
+    }
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+void apply_globals_allowlist(std::vector<Finding>& findings,
+                             const std::vector<GlobalsAllowEntry>& entries,
+                             std::vector<bool>* matched) {
+  if (matched != nullptr) matched->assign(entries.size(), false);
+  for (Finding& f : findings) {
+    if (f.pass != "globals" || f.suppressed) continue;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      const GlobalsAllowEntry& e = entries[i];
+      if (f.symbol == e.symbol &&
+          f.file.find(e.path_substring) != std::string::npos) {
+        f.suppressed = true;
+        f.suppress_reason = "globals allowlist: " + e.reason;
+        if (matched != nullptr) (*matched)[i] = true;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace detlint

@@ -1,0 +1,235 @@
+// layers pass: enforce the declared module dependency DAG.
+//
+// Modules are the first-level directories under src/ (util, crypto,
+// dirauth, ...). layers.txt assigns each module to a layer and declares
+// every legal cross-module include edge; an edge that points at a
+// HIGHER layer must be a `backedge` entry carrying a written
+// justification. Anything else — an undeclared edge, an include of an
+// unknown module, a plain `edge` that climbs the stack — is a finding.
+//
+// Includes are parsed from the ORIGINAL file content: the include path
+// lives inside a string literal, which the shared stripper blanks.
+#include "detlint/detlint.hpp"
+
+#include <functional>
+#include <sstream>
+
+#include "detlint/lex.hpp"
+
+namespace detlint {
+namespace {
+
+/// Splits one `#include "..."` target out of a line, or "" when the
+/// line is not a quoted include. Angle-bracket includes (system
+/// headers) are outside the DAG.
+std::string quoted_include_of(const std::string& line) {
+  std::size_t i = lex::skip_spaces(line, 0);
+  if (i >= line.size() || line[i] != '#') return "";
+  i = lex::skip_spaces(line, i + 1);
+  const std::string kw = lex::read_ident(line, i);
+  if (kw != "include") return "";
+  i = lex::skip_spaces(line, i + kw.size());
+  if (i >= line.size() || line[i] != '"') return "";
+  const std::size_t close = line.find('"', i + 1);
+  if (close == std::string::npos) return "";
+  return line.substr(i + 1, close - i - 1);
+}
+
+/// Module named by an include target: the leading path component, or ""
+/// for a same-directory include ("foo.hpp").
+std::string module_of_include(const std::string& target) {
+  const std::size_t slash = target.find('/');
+  if (slash == std::string::npos) return "";
+  return target.substr(0, slash);
+}
+
+}  // namespace
+
+std::string module_of(const std::string& path) {
+  // The component after the LAST "src/" component, so fixture trees
+  // (testdata/layers/src/<mod>/...) resolve the same way as the real
+  // tree.
+  std::size_t src = std::string::npos;
+  for (std::size_t pos = path.find("src/"); pos != std::string::npos;
+       pos = path.find("src/", pos + 1)) {
+    if (pos == 0 || path[pos - 1] == '/') src = pos;
+  }
+  if (src == std::string::npos) return "";
+  const std::size_t begin = src + 4;
+  const std::size_t slash = path.find('/', begin);
+  if (slash == std::string::npos) return "";  // file directly in src/
+  return path.substr(begin, slash - begin);
+}
+
+LayerConfig parse_layers(const std::string& text) {
+  LayerConfig config;
+  std::stringstream ss(text);
+  std::string line;
+  int line_no = 0;
+  int next_layer = 1;
+  auto error = [&](const std::string& msg) {
+    config.errors.push_back("layers.txt:" + std::to_string(line_no) + ": " +
+                            msg);
+  };
+  while (std::getline(ss, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::stringstream fields(line);
+    std::string kind;
+    if (!(fields >> kind)) continue;
+    if (kind == "layer") {
+      std::string mod;
+      int count = 0;
+      while (fields >> mod) {
+        ++count;
+        if (!config.layer_of.emplace(mod, next_layer).second)
+          error("module '" + mod + "' assigned to two layers");
+      }
+      if (count == 0) error("empty layer line");
+      ++next_layer;
+    } else if (kind == "edge" || kind == "backedge") {
+      std::string src;
+      std::string dst;
+      if (!(fields >> src >> dst)) {
+        error("expected '" + kind + " <src> <dst>'");
+        continue;
+      }
+      const auto si = config.layer_of.find(src);
+      const auto di = config.layer_of.find(dst);
+      if (si == config.layer_of.end()) {
+        error("unknown module '" + src + "' (declare its layer first)");
+        continue;
+      }
+      if (di == config.layer_of.end()) {
+        error("unknown module '" + dst + "' (declare its layer first)");
+        continue;
+      }
+      if (kind == "edge") {
+        if (si->second < di->second) {
+          error("edge " + src + " -> " + dst + " climbs from layer " +
+                std::to_string(si->second) + " to layer " +
+                std::to_string(di->second) +
+                "; a genuine upward dependency needs a justified "
+                "'backedge' entry");
+          continue;
+        }
+        config.edges.insert({src, dst});
+        config.edge_lines[{src, dst}] = line_no;
+      } else {
+        if (si->second >= di->second) {
+          error("backedge " + src + " -> " + dst +
+                " does not climb the layer order; declare it 'edge'");
+          continue;
+        }
+        std::string reason;
+        std::getline(fields, reason);
+        const std::size_t b = reason.find_first_not_of(" \t");
+        reason = b == std::string::npos ? "" : reason.substr(b);
+        if (reason.empty()) {
+          error("backedge " + src + " -> " + dst +
+                " needs a justification (why is this upward coupling "
+                "acceptable ahead of the shard refactor?)");
+          continue;
+        }
+        config.backedges[{src, dst}] = reason;
+        config.edge_lines[{src, dst}] = line_no;
+      }
+    } else {
+      error("unknown directive '" + kind + "'");
+    }
+  }
+
+  // Within a layer, declared edges are directional; a cycle among them
+  // would make the "DAG" a lie. Downward edges cannot cycle (layers are
+  // strictly ordered), so only same-layer edges need the walk.
+  std::map<std::string, std::vector<std::string>> same_layer;
+  for (const auto& e : config.edges) {
+    if (config.layer_of.at(e.first) == config.layer_of.at(e.second))
+      same_layer[e.first].push_back(e.second);
+  }
+  std::map<std::string, int> color;  // 0 unseen, 1 on stack, 2 done
+  std::function<bool(const std::string&)> has_cycle =
+      [&](const std::string& node) -> bool {
+    color[node] = 1;
+    for (const auto& next : same_layer[node]) {
+      if (color[next] == 1) {
+        config.errors.push_back("layers.txt: same-layer edges form a "
+                                "cycle through '" + node + "' -> '" +
+                                next + "'");
+        return true;
+      }
+      if (color[next] == 0 && has_cycle(next)) return true;
+    }
+    color[node] = 2;
+    return false;
+  };
+  for (const auto& [node, _] : same_layer) {
+    if (color[node] == 0 && has_cycle(node)) break;
+  }
+  return config;
+}
+
+std::vector<Finding> check_layers(
+    const std::string& path, const std::string& content,
+    const LayerConfig& config,
+    std::set<std::pair<std::string, std::string>>* observed) {
+  std::vector<Finding> out;
+  const std::string mod = module_of(path);
+  if (mod.empty()) return out;  // above the DAG (tools, tests, bench)
+
+  const auto self = config.layer_of.find(mod);
+  std::stringstream ss(content);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(ss, line)) {
+    ++line_no;
+    const std::string target = quoted_include_of(line);
+    if (target.empty()) continue;
+    const std::string inc_mod = module_of_include(target);
+    if (inc_mod.empty() || inc_mod == mod) continue;
+
+    if (self == config.layer_of.end()) {
+      out.push_back({path, line_no, "unknown-module",
+                     "file belongs to module '" + mod +
+                     "', which has no layer in layers.txt; add it to a "
+                     "'layer' line",
+                     false, "", "layers", mod});
+      break;  // one finding per file is enough
+    }
+    const auto target_it = config.layer_of.find(inc_mod);
+    if (target_it == config.layer_of.end()) {
+      out.push_back({path, line_no, "unknown-module",
+                     "#include \"" + target + "\" targets module '" +
+                     inc_mod + "', which has no layer in layers.txt",
+                     false, "", "layers", inc_mod});
+      continue;
+    }
+    if (observed != nullptr) observed->insert({mod, inc_mod});
+
+    const std::pair<std::string, std::string> edge{mod, inc_mod};
+    const bool climbs = self->second < target_it->second;
+    if (climbs) {
+      if (config.backedges.count(edge) != 0) continue;
+      out.push_back({path, line_no, "layer-backedge",
+                     "#include \"" + target + "\": module '" + mod +
+                     "' (layer " + std::to_string(self->second) +
+                     ") reaches UP to '" + inc_mod + "' (layer " +
+                     std::to_string(target_it->second) +
+                     "); invert the dependency or add a justified "
+                     "'backedge' entry to layers.txt",
+                     false, "", "layers", inc_mod});
+    } else {
+      if (config.edges.count(edge) != 0) continue;
+      out.push_back({path, line_no, "undeclared-edge",
+                     "#include \"" + target + "\": edge '" + mod +
+                     " -> " + inc_mod + "' is not declared in "
+                     "layers.txt; add an 'edge' line if this coupling "
+                     "is intended",
+                     false, "", "layers", inc_mod});
+    }
+  }
+  return out;
+}
+
+}  // namespace detlint

@@ -1,0 +1,129 @@
+// Shared lexical helpers for the detlint passes. Everything operates on
+// plain std::string views of the (usually comment/string-stripped) file
+// content; nothing allocates beyond the returned values. Header-only so
+// each pass TU can inline the hot token scans.
+#pragma once
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace detlint::lex {
+
+inline bool is_ident(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when content[pos..pos+token.size()) is `token` as a whole word.
+inline bool word_at(const std::string& s, std::size_t pos,
+                    const std::string& token) {
+  if (pos + token.size() > s.size()) return false;
+  if (s.compare(pos, token.size(), token) != 0) return false;
+  if (pos > 0 && is_ident(s[pos - 1])) return false;
+  const std::size_t end = pos + token.size();
+  if (end < s.size() && is_ident(s[end])) return false;
+  return true;
+}
+
+inline std::size_t find_word(const std::string& s, const std::string& token,
+                             std::size_t from) {
+  for (std::size_t pos = s.find(token, from); pos != std::string::npos;
+       pos = s.find(token, pos + 1)) {
+    if (word_at(s, pos, token)) return pos;
+  }
+  return std::string::npos;
+}
+
+inline std::size_t skip_spaces(const std::string& s, std::size_t pos) {
+  while (pos < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[pos])) != 0)
+    ++pos;
+  return pos;
+}
+
+inline std::size_t prev_non_space(const std::string& s, std::size_t pos) {
+  while (pos > 0) {
+    --pos;
+    if (std::isspace(static_cast<unsigned char>(s[pos])) == 0) return pos;
+  }
+  return std::string::npos;
+}
+
+inline std::string read_ident(const std::string& s, std::size_t pos) {
+  std::size_t end = pos;
+  while (end < s.size() && is_ident(s[end])) ++end;
+  return s.substr(pos, end - pos);
+}
+
+/// Position just past the matching closer for the opener at `open`
+/// (content[open] must be the opener), or npos when unbalanced.
+inline std::size_t match_forward(const std::string& s, std::size_t open,
+                                 char opener, char closer) {
+  int depth = 0;
+  for (std::size_t i = open; i < s.size(); ++i) {
+    if (s[i] == opener) ++depth;
+    else if (s[i] == closer) {
+      --depth;
+      if (depth == 0) return i + 1;
+    }
+  }
+  return std::string::npos;
+}
+
+inline int line_of(const std::vector<std::size_t>& line_starts,
+                   std::size_t pos) {
+  const auto it =
+      std::upper_bound(line_starts.begin(), line_starts.end(), pos);
+  return static_cast<int>(it - line_starts.begin());
+}
+
+inline std::vector<std::size_t> index_lines(const std::string& s) {
+  std::vector<std::size_t> starts{0};
+  for (std::size_t i = 0; i < s.size(); ++i)
+    if (s[i] == '\n') starts.push_back(i + 1);
+  return starts;
+}
+
+/// Extracts every identifier token from `expr`, in order, duplicates
+/// kept.
+inline std::vector<std::string> identifiers_in(const std::string& expr) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < expr.size()) {
+    if (is_ident(expr[i]) &&
+        std::isdigit(static_cast<unsigned char>(expr[i])) == 0 &&
+        (i == 0 || !is_ident(expr[i - 1]))) {
+      out.push_back(read_ident(expr, i));
+      i += out.back().size();
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+/// C++ keywords that can never be a declared variable name; used by the
+/// scope-tracking passes to tell declarations from control flow.
+inline bool is_keyword(const std::string& word) {
+  static const std::vector<std::string> kKeywords = {
+      "alignas",   "alignof",  "auto",      "bool",       "break",
+      "case",      "catch",    "char",      "class",      "const",
+      "constexpr", "constinit", "consteval", "continue",  "decltype",
+      "default",   "delete",   "do",        "double",     "else",
+      "enum",      "explicit", "export",    "extern",     "false",
+      "float",     "for",      "friend",    "goto",       "if",
+      "inline",    "int",      "long",      "mutable",    "namespace",
+      "new",       "noexcept", "nullptr",   "operator",   "private",
+      "protected", "public",   "register",  "requires",   "return",
+      "short",     "signed",   "sizeof",    "static",     "static_assert",
+      "struct",    "switch",   "template",  "this",       "thread_local",
+      "throw",     "true",     "try",       "typedef",    "typeid",
+      "typename",  "union",    "unsigned",  "using",      "virtual",
+      "void",      "volatile", "wchar_t",   "while"};
+  return std::find(kKeywords.begin(), kKeywords.end(), word) !=
+         kKeywords.end();
+}
+
+}  // namespace detlint::lex

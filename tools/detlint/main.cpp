@@ -1,9 +1,24 @@
-// detlint CLI: scan source roots for determinism hazards.
+// detlint CLI: the pass-pipeline shard-readiness analyzer.
 //
-//   detlint --root src --root tools [--suppressions file] [--verbose]
+//   detlint [--passes=determinism,layers,globals,captures,hotalloc]
+//           [--json] [--verbose] [--list-passes] [--check-stale]
+//           [--suppressions FILE] [--layers FILE]
+//           [--globals-allowlist FILE]
+//           [--root DIR] [path ...]
 //
-// Exits 0 when every finding is suppressed (or none exist), 1 when any
-// unsuppressed finding remains, 2 on usage/IO errors.
+// Positional paths may be files or directories; directories are walked
+// recursively (fixture trees containing "testdata" are skipped —
+// fixtures exist to contain violations; name one explicitly to scan
+// it). When run from the repository root the config files default to
+// tools/detlint/{layers.txt,globals_allowlist.txt,suppressions.txt}
+// if present.
+//
+// Exit codes:
+//   0  clean (every finding suppressed, or none)
+//   1  unsuppressed findings remain
+//   2  usage or configuration error (bad flag, unknown pass, malformed
+//      layers.txt / allowlist entry without a justification)
+//   3  I/O error (an input file exists but cannot be read)
 #include "detlint/detlint.hpp"
 
 #include <algorithm>
@@ -18,104 +33,303 @@ namespace fs = std::filesystem;
 
 namespace {
 
+struct Options {
+  std::vector<std::string> passes;  // pipeline order
+  std::vector<std::string> roots;   // dirs + files, scanned in sort order
+  std::string suppressions_path;
+  std::string layers_path;
+  std::string globals_path;
+  bool json = false;
+  bool verbose = false;
+  bool check_stale = false;
+};
+
 bool is_source_file(const fs::path& p) {
   const std::string ext = p.extension().string();
   return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
 }
 
-std::string read_file(const fs::path& p) {
+/// Reads a file, distinguishing "unreadable" from "empty": returns
+/// false when the file cannot be opened or the read fails.
+bool read_file(const fs::path& p, std::string& out) {
   std::ifstream in(p, std::ios::binary);
+  if (!in.is_open()) return false;
   std::ostringstream ss;
   ss << in.rdbuf();
-  return ss.str();
+  if (in.bad()) return false;
+  out = ss.str();
+  return true;
+}
+
+void usage(std::ostream& os) {
+  os << "usage: detlint [--passes=LIST] [--json] [--verbose]\n"
+     << "               [--list-passes] [--check-stale]\n"
+     << "               [--suppressions FILE] [--layers FILE]\n"
+     << "               [--globals-allowlist FILE] [--root DIR]\n"
+     << "               [path ...]\n";
+}
+
+bool parse_pass_list(const std::string& list, Options& opts) {
+  std::stringstream ss(list);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (item.empty()) continue;
+    if (!detlint::is_pass_name(item)) {
+      std::cerr << "detlint: unknown pass '" << item
+                << "' (see --list-passes)\n";
+      return false;
+    }
+    if (std::find(opts.passes.begin(), opts.passes.end(), item) ==
+        opts.passes.end())
+      opts.passes.push_back(item);
+  }
+  return true;
+}
+
+bool pass_enabled(const Options& opts, const std::string& name) {
+  return std::find(opts.passes.begin(), opts.passes.end(), name) !=
+         opts.passes.end();
+}
+
+/// Default config file: used only when it exists, so plain
+/// `detlint src` works both from the repo root and on bare fixture
+/// trees.
+std::string default_config(const std::string& explicit_path,
+                           const char* fallback) {
+  if (!explicit_path.empty()) return explicit_path;
+  if (fs::exists(fallback)) return fallback;
+  return "";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::vector<std::string> roots;
-  std::string suppressions_path;
-  bool verbose = false;
+  Options opts;
+  bool list_passes = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--root" && i + 1 < argc) {
-      roots.emplace_back(argv[++i]);
+      opts.roots.emplace_back(argv[++i]);
     } else if (arg == "--suppressions" && i + 1 < argc) {
-      suppressions_path = argv[++i];
+      opts.suppressions_path = argv[++i];
+    } else if (arg == "--layers" && i + 1 < argc) {
+      opts.layers_path = argv[++i];
+    } else if (arg == "--globals-allowlist" && i + 1 < argc) {
+      opts.globals_path = argv[++i];
+    } else if (arg.rfind("--passes=", 0) == 0) {
+      if (!parse_pass_list(arg.substr(9), opts)) return 2;
+    } else if (arg == "--passes" && i + 1 < argc) {
+      if (!parse_pass_list(argv[++i], opts)) return 2;
+    } else if (arg == "--json") {
+      opts.json = true;
     } else if (arg == "--verbose") {
-      verbose = true;
-    } else {
-      std::cerr << "usage: detlint --root DIR [--root DIR ...]"
-                << " [--suppressions FILE] [--verbose]\n";
+      opts.verbose = true;
+    } else if (arg == "--list-passes") {
+      list_passes = true;
+    } else if (arg == "--check-stale") {
+      opts.check_stale = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage(std::cerr);
       return 2;
+    } else {
+      opts.roots.push_back(arg);
     }
   }
-  if (roots.empty()) {
-    std::cerr << "detlint: no --root given\n";
+
+  if (list_passes) {
+    for (const auto& p : detlint::passes()) std::cout << p.name << "\n";
+    return 0;
+  }
+  if (opts.passes.empty()) {
+    for (const auto& p : detlint::passes()) opts.passes.push_back(p.name);
+  }
+  if (opts.roots.empty()) {
+    std::cerr << "detlint: no input paths given\n";
+    usage(std::cerr);
     return 2;
   }
 
   // Deterministic file order: collect, then sort by path string.
+  // Explicitly named files are scanned even inside fixture trees.
   std::vector<fs::path> files;
-  for (const auto& root : roots) {
+  for (const auto& root : opts.roots) {
     if (!fs::exists(root)) {
-      std::cerr << "detlint: root does not exist: " << root << "\n";
+      std::cerr << "detlint: path does not exist: " << root << "\n";
       return 2;
     }
-    for (const auto& entry : fs::recursive_directory_iterator(root)) {
-      if (!entry.is_regular_file()) continue;
-      const fs::path& p = entry.path();
-      // Fixture trees exist to contain violations.
-      if (p.string().find("testdata") != std::string::npos) continue;
-      if (is_source_file(p)) files.push_back(p);
+    if (fs::is_directory(root)) {
+      // Fixture trees exist to contain violations: skip them during a
+      // walk, unless the named root itself is inside one.
+      const bool fixture_root =
+          root.find("testdata") != std::string::npos;
+      for (const auto& entry : fs::recursive_directory_iterator(root)) {
+        if (!entry.is_regular_file()) continue;
+        const fs::path& p = entry.path();
+        if (!fixture_root &&
+            p.string().find("testdata") != std::string::npos)
+          continue;
+        if (is_source_file(p)) files.push_back(p);
+      }
+    } else if (!fs::is_regular_file(root)) {
+      std::cerr << "detlint: cannot read input file (not a regular "
+                << "file): " << root << "\n";
+      return 3;
+    } else {
+      files.push_back(root);
     }
   }
   std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
 
-  // Pass 1: whole-tree name collection so a member declared in a header
-  // is recognised when a .cpp iterates it.
-  detlint::NameSets names;
+  // Read everything up front. An unreadable input is an I/O error with
+  // its own exit code — silently scanning an empty stand-in would
+  // report "clean" on code that was never looked at.
   std::vector<std::pair<std::string, std::string>> contents;
   contents.reserve(files.size());
   for (const auto& p : files) {
-    contents.emplace_back(p.generic_string(), read_file(p));
-    detlint::merge_names(names, detlint::collect_names(contents.back().second));
+    std::string text;
+    if (!read_file(p, text)) {
+      std::cerr << "detlint: cannot read input file: " << p.generic_string()
+                << "\n";
+      return 3;
+    }
+    contents.emplace_back(p.generic_string(), std::move(text));
   }
 
-  std::vector<detlint::Suppression> suppressions;
-  if (!suppressions_path.empty()) {
-    if (!fs::exists(suppressions_path)) {
-      std::cerr << "detlint: suppressions file not found: "
-                << suppressions_path << "\n";
+  // Config files: explicit paths must exist; defaults apply if present.
+  const std::string suppressions_path = default_config(
+      opts.suppressions_path, "tools/detlint/suppressions.txt");
+  const std::string layers_path =
+      default_config(opts.layers_path, "tools/detlint/layers.txt");
+  const std::string globals_path = default_config(
+      opts.globals_path, "tools/detlint/globals_allowlist.txt");
+  for (const auto* explicit_path :
+       {&opts.suppressions_path, &opts.layers_path, &opts.globals_path}) {
+    if (!explicit_path->empty() && !fs::exists(*explicit_path)) {
+      std::cerr << "detlint: config file not found: " << *explicit_path
+                << "\n";
       return 2;
     }
-    suppressions = detlint::parse_suppressions(read_file(suppressions_path));
+  }
+  auto read_config = [](const std::string& path, std::string& out) {
+    if (path.empty()) return true;
+    if (!read_file(path, out)) {
+      std::cerr << "detlint: cannot read config file: " << path << "\n";
+      return false;
+    }
+    return true;
+  };
+  std::string suppressions_text;
+  std::string layers_text;
+  std::string globals_text;
+  if (!read_config(suppressions_path, suppressions_text) ||
+      !read_config(layers_path, layers_text) ||
+      !read_config(globals_path, globals_text))
+    return 3;
+
+  const std::vector<detlint::Suppression> suppressions =
+      detlint::parse_suppressions(suppressions_text);
+  const detlint::LayerConfig layer_config =
+      detlint::parse_layers(layers_text);
+  if (pass_enabled(opts, "layers") && !layer_config.errors.empty()) {
+    for (const auto& e : layer_config.errors)
+      std::cerr << "detlint: " << e << "\n";
+    return 2;
+  }
+  std::vector<std::string> allowlist_errors;
+  const std::vector<detlint::GlobalsAllowEntry> allowlist =
+      detlint::parse_globals_allowlist(globals_text, &allowlist_errors);
+  if (pass_enabled(opts, "globals") && !allowlist_errors.empty()) {
+    for (const auto& e : allowlist_errors)
+      std::cerr << "detlint: " << e << "\n";
+    return 2;
   }
 
-  // Pass 2: per-file checks.
-  std::size_t unsuppressed = 0;
-  std::size_t suppressed = 0;
+  // Whole-tree name collection (determinism pass) so a member declared
+  // in a header is recognised when a .cpp iterates it.
+  detlint::NameSets names;
+  if (pass_enabled(opts, "determinism")) {
+    for (const auto& [path, content] : contents)
+      detlint::merge_names(names, detlint::collect_names(content));
+  }
+
+  std::vector<detlint::Finding> findings;
+  std::set<std::pair<std::string, std::string>> observed_edges;
   for (const auto& [path, content] : contents) {
-    std::vector<detlint::Finding> findings =
-        detlint::scan_file(path, content, names);
-    detlint::apply_suppressions(findings, suppressions);
-    for (const auto& f : findings) {
-      if (f.suppressed) {
-        ++suppressed;
-        if (verbose) {
-          std::cout << f.file << ":" << f.line << ": [" << f.check
-                    << "] suppressed (" << f.suppress_reason << ")\n";
-        }
-      } else {
-        ++unsuppressed;
-        std::cout << f.file << ":" << f.line << ": [" << f.check << "] "
-                  << f.message << "\n";
+    std::vector<detlint::Finding> file_findings;
+    for (const auto& pass : opts.passes) {
+      std::vector<detlint::Finding> batch;
+      if (pass == "determinism") {
+        batch = detlint::scan_file(path, content, names);
+      } else if (pass == "layers") {
+        batch = detlint::check_layers(path, content, layer_config,
+                                      &observed_edges);
+      } else if (pass == "globals") {
+        batch = detlint::check_globals(path, content);
+      } else if (pass == "captures") {
+        batch = detlint::check_captures(path, content);
+      } else if (pass == "hotalloc") {
+        batch = detlint::check_hotalloc(path, content);
+      }
+      file_findings.insert(file_findings.end(), batch.begin(), batch.end());
+    }
+    detlint::apply_inline_annotations(content, file_findings);
+    findings.insert(findings.end(), file_findings.begin(),
+                    file_findings.end());
+  }
+
+  std::vector<bool> allowlist_matched;
+  detlint::apply_globals_allowlist(findings, allowlist, &allowlist_matched);
+  detlint::apply_suppressions(findings, suppressions);
+
+  // Stale-entry audit: allowlist lines and declared edges that match
+  // nothing rot into false confidence; CI fails on them.
+  if (opts.check_stale && pass_enabled(opts, "globals")) {
+    for (std::size_t i = 0; i < allowlist.size(); ++i) {
+      if (allowlist_matched[i]) continue;
+      const auto& e = allowlist[i];
+      findings.push_back({globals_path, e.line, "stale-allowlist",
+                          "allowlist entry '" + e.path_substring + " " +
+                          e.symbol + "' matched no finding; delete it",
+                          false, "", "globals", e.symbol});
+    }
+  }
+  if (opts.check_stale) {
+    if (pass_enabled(opts, "layers")) {
+      for (const auto& [edge, line] : layer_config.edge_lines) {
+        if (observed_edges.count(edge) != 0) continue;
+        findings.push_back({layers_path, line, "stale-edge",
+                            "declared edge '" + edge.first + " -> " +
+                            edge.second + "' matched no #include in the "
+                            "scanned tree; delete it",
+                            false, "", "layers", edge.second});
       }
     }
   }
 
-  std::cout << "detlint: scanned " << contents.size() << " files, "
-            << unsuppressed << " finding(s), " << suppressed
-            << " suppressed\n";
+  detlint::sort_findings(findings);
+  std::size_t unsuppressed = 0;
+  std::size_t suppressed = 0;
+  for (const auto& f : findings) (f.suppressed ? suppressed : unsuppressed)++;
+
+  if (opts.json) {
+    std::cout << detlint::findings_to_json(findings, contents.size());
+  } else {
+    for (const auto& f : findings) {
+      if (f.suppressed) {
+        if (opts.verbose) {
+          std::cout << f.file << ":" << f.line << ": [" << f.pass << "/"
+                    << f.check << "] suppressed (" << f.suppress_reason
+                    << ")\n";
+        }
+      } else {
+        std::cout << f.file << ":" << f.line << ": [" << f.pass << "/"
+                  << f.check << "] " << f.message << "\n";
+      }
+    }
+    std::cout << "detlint: scanned " << contents.size() << " files, "
+              << unsuppressed << " finding(s), " << suppressed
+              << " suppressed\n";
+  }
   return unsuppressed == 0 ? 0 : 1;
 }

@@ -1,0 +1,28 @@
+// Fixture for the captures pass: by-ref captures written inside
+// parallel_for / parallel_map lambdas without a per-shard index
+// subscript. good_captures.cpp holds the safe counterparts.
+#include <cstddef>
+#include <vector>
+
+#include "util/parallel.hpp"
+
+namespace fixture {
+
+void unsafe_accumulate(std::vector<int>& out, std::size_t n) {
+  int total = 0;
+  torsim::util::parallel_for(n, 4, [&](std::size_t shard) {
+    total += static_cast<int>(shard);  // FLAG: unsharded by-ref write
+    out[shard] += 1;                   // indexed by shard: clean
+  });
+}
+
+void unsafe_named_lambda(std::vector<int>& sink, std::size_t n) {
+  std::size_t hits = 0;
+  const auto body = [&](std::size_t i) {
+    ++hits;                            // FLAG: unsharded by-ref write
+    sink.push_back(static_cast<int>(i));  // FLAG: mutating method call
+  };
+  torsim::util::parallel_for(n, 4, body);
+}
+
+}  // namespace fixture

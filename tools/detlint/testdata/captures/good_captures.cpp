@@ -1,0 +1,25 @@
+// Safe counterparts to bad_captures.cpp: every by-ref write lands in
+// a per-shard slot subscripted by the lambda's index parameter, or the
+// capture is by value. The captures pass must stay silent here.
+#include <cstddef>
+#include <vector>
+
+#include "util/parallel.hpp"
+
+namespace fixture {
+
+void sharded_accumulate(std::vector<int>& partials, std::size_t n) {
+  torsim::util::parallel_for(n, 4, [&](std::size_t shard) {
+    partials[shard] += static_cast<int>(shard);  // per-shard slot: clean
+  });
+}
+
+void value_capture(std::size_t n) {
+  int seed = 7;
+  torsim::util::parallel_for(n, 4, [seed](std::size_t shard) {
+    int local = seed + static_cast<int>(shard);  // by-value + local: clean
+    (void)local;
+  });
+}
+
+}  // namespace fixture

@@ -1,0 +1,35 @@
+// Fixture for the globals pass: every kind of mutable state the
+// census must catch, plus the shapes it must NOT flag (const,
+// namespace alias, function prototypes, allowlisted entries).
+#include <atomic>
+#include <filesystem>
+#include <mutex>
+
+namespace fs = std::filesystem;  // alias, not a variable: clean
+
+namespace fixture {
+
+int mutable_counter = 0;              // FLAG: namespace-scope mutable
+bool enabled_flag = true;             // FLAG: namespace-scope mutable
+std::atomic<int> pending{0};          // FLAG: namespace-scope mutable
+thread_local int tls_scratch = 0;     // FLAG: thread_local mutable
+
+const int kLimit = 4;                 // const: clean
+constexpr double kRatio = 0.5;        // constexpr: clean
+int allowed_state = 0;                // allowlisted in allowlist.txt
+
+int free_function(int x);             // prototype, not a variable: clean
+
+struct Holder {
+  static int shared_calls;            // FLAG: class-scope mutable static
+  static const int kMax = 8;          // const: clean
+  int per_instance = 0;               // instance member: clean
+};
+
+inline int bump() {
+  static int calls = 0;               // FLAG: function-local static
+  int local = 0;                      // plain local: clean
+  return ++calls + local;
+}
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Fixture for the hotalloc pass: an annotated hot kernel that hits
+// the allocator four distinct ways. good_hotalloc.cpp is the clean
+// counterpart.
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+// detlint: hot
+int hot_descend(std::vector<int>& scratch, int x) {
+  std::string label = "node";               // FLAG: std::string ctor
+  scratch.push_back(x);                     // FLAG: container growth
+  auto owned = std::make_unique<int>(x);    // FLAG: make_unique
+  int* raw = new int(x);                    // FLAG: raw new
+  const int result = *owned + *raw + static_cast<int>(label.size());
+  delete raw;
+  return result;
+}
+
+// Un-annotated code may allocate freely: clean.
+std::string cold_label(int x) { return std::to_string(x); }
+
+}  // namespace fixture

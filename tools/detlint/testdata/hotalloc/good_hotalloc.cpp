@@ -1,0 +1,21 @@
+// Clean counterpart to bad_hotalloc.cpp: the annotated kernel works
+// entirely in caller-provided storage, and the allocating helper is
+// un-annotated. The hotalloc pass must stay silent here (this file
+// also backs the --json smoke test, which expects zero findings).
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+// detlint: hot
+int hot_descend(const int* keys, std::size_t count, int x) {
+  int best = 0;
+  for (std::size_t i = 0; i < count; ++i)
+    if (keys[i] <= x) best = keys[i];
+  return best;
+}
+
+std::string cold_label(int x) { return std::to_string(x); }
+
+}  // namespace fixture

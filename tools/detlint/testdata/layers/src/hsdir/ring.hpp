@@ -1,0 +1,8 @@
+// Declared downward edge (hsdir -> util): clean.
+#pragma once
+
+#include "util/base.hpp"
+
+namespace fixture::hsdir {
+int ring_size();
+}  // namespace fixture::hsdir

@@ -1,0 +1,10 @@
+// VIOLATION: hsdir -> stats is downward (stats sits in the bottom
+// layer) but layers.txt declares no such edge — the pass must report
+// an undeclared-edge here.
+#include "stats/summary.hpp"
+
+#include "hsdir/ring.hpp"
+
+namespace fixture::hsdir {
+int ring_size() { return fixture::stats::count(); }
+}  // namespace fixture::hsdir

@@ -1,0 +1,11 @@
+// VIOLATION: "mystery" never appears in a layer directive — the pass
+// must report an unknown-module for this include. The other two
+// includes ride declared edges and stay clean.
+#include "mystery/thing.hpp"
+
+#include "hsdir/ring.hpp"
+#include "util/base.hpp"
+
+namespace fixture::sim {
+int run() { return fixture::hsdir::ring_size() + fixture::util::base_value(); }
+}  // namespace fixture::sim

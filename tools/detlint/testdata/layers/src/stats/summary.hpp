@@ -1,0 +1,7 @@
+// Bottom-layer module that hsdir/sideways.cpp reaches without a
+// declared edge.
+#pragma once
+
+namespace fixture::stats {
+int count();
+}  // namespace fixture::stats

@@ -1,0 +1,6 @@
+// Clean bottom-layer header: no cross-module includes.
+#pragma once
+
+namespace fixture::util {
+int base_value();
+}  // namespace fixture::util

@@ -1,0 +1,9 @@
+// VIOLATION: util sits below hsdir, so this include climbs the layer
+// chain — the pass must report a layer-backedge here.
+#include "hsdir/ring.hpp"
+
+#include "util/base.hpp"
+
+namespace fixture::util {
+int base_value() { return fixture::hsdir::ring_size(); }
+}  // namespace fixture::util

@@ -584,7 +584,7 @@ int cmd_geoip(const Options& opt) {
   }
   const auto db = geo::GeoDatabase::standard();
   for (const auto& text : opt.positional) {
-    const auto ip = net::Ipv4::parse(text);
+    const auto ip = util::Ipv4::parse(text);
     const auto& country = db.lookup(ip);
     std::printf("%-16s %s (%s)\n", ip.to_string().c_str(),
                 country.name.c_str(), country.code.c_str());
