@@ -18,6 +18,14 @@ std::optional<Descriptor> DescriptorStore::fetch(
   return it->second;
 }
 
+bool DescriptorStore::contains(const crypto::DescriptorId& id,
+                               util::UnixTime now) const {
+  const auto it = descriptors_.find(id);
+  return it != descriptors_.end() &&
+         now - it->second.published <= kDescriptorLifetime &&
+         now >= it->second.visible_after;
+}
+
 void DescriptorStore::expire(util::UnixTime now) {
   for (auto it = descriptors_.begin(); it != descriptors_.end();) {
     if (now - it->second.published > kDescriptorLifetime)

@@ -32,6 +32,12 @@ class DescriptorStore {
   std::optional<Descriptor> fetch(const crypto::DescriptorId& id,
                                   util::UnixTime now);
 
+  /// True when fetch(id, now) would find the descriptor — same expiry
+  /// and visible_after rules — but without logging or copying. The
+  /// const read-only probe the serving layer fans out across threads
+  /// (a fetch would race on the log; see docs/serving.md).
+  bool contains(const crypto::DescriptorId& id, util::UnixTime now) const;
+
   /// Drops descriptors published more than kDescriptorLifetime before
   /// `now` (the paper: directories "erase its descriptor from memory"
   /// after the responsibility period).

@@ -127,6 +127,36 @@ std::string BenchReport::to_json() const {
     json.end_object();
   }
 
+  if (serve_section_present_) {
+    json.key("serve").begin_object();
+    json.key("clients").value(static_cast<std::int64_t>(serve_.clients));
+    json.key("threads").value(static_cast<std::int64_t>(serve_.threads));
+    json.key("requests").value(serve_.requests);
+    json.key("retries").value(serve_.retries);
+    json.key("reconnects").value(serve_.reconnects);
+    json.key("seconds").value(serve_.seconds);
+    json.key("requests_per_second");
+    if (serve_.seconds > 0.0)
+      json.value(serve_.requests_per_second);
+    else
+      json.null();  // an unmeasured run has no meaningful rate
+    json.key("latency_us").begin_object();
+    json.key("edges").begin_array();
+    for (const std::int64_t edge : serve_.latency_edges_us) json.value(edge);
+    json.end_array();
+    json.key("buckets").begin_array();
+    for (const std::int64_t bucket : serve_.latency_buckets)
+      json.value(bucket);
+    json.end_array();
+    json.key("count").value(serve_.latency_count);
+    json.key("sum").value(serve_.latency_sum_us);
+    json.key("p50").value(serve_.latency_p50_us);
+    json.key("p90").value(serve_.latency_p90_us);
+    json.key("p99").value(serve_.latency_p99_us);
+    json.end_object();
+    json.end_object();
+  }
+
   metrics_.write_json_sections(json);
   json.end_object();
   return json.str();

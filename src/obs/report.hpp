@@ -43,6 +43,33 @@ struct ScenarioSummary {
   std::int64_t flash_fetches_failed = 0;
 };
 
+/// One serving-bench run's throughput/latency telemetry — the optional
+/// "serve" section of BENCH_serve.json (schema-checked by
+/// tools/check_bench_json.py). Perf telemetry like wall_clock: the
+/// latency histogram and requests/s move machine to machine, so the
+/// section never feeds the deterministic gates.
+struct ServeSummary {
+  int clients = 0;
+  int threads = 0;
+  std::int64_t requests = 0;
+  std::int64_t retries = 0;
+  std::int64_t reconnects = 0;
+  double seconds = 0.0;
+  double requests_per_second = 0.0;
+  /// The load.latency_us histogram, flattened: strictly increasing
+  /// microsecond edges plus one bucket per edge and a trailing
+  /// overflow bucket.
+  std::vector<std::int64_t> latency_edges_us;
+  std::vector<std::int64_t> latency_buckets;
+  std::int64_t latency_count = 0;
+  std::int64_t latency_sum_us = 0;
+  /// Percentile estimates read off the bucket edges (upper edge of the
+  /// bucket holding the quantile; the last edge for overflow).
+  std::int64_t latency_p50_us = 0;
+  std::int64_t latency_p90_us = 0;
+  std::int64_t latency_p99_us = 0;
+};
+
 class BenchReport {
  public:
   explicit BenchReport(std::string name) : name_(std::move(name)) {}
@@ -112,6 +139,15 @@ class BenchReport {
     index_section_present_ = true;
   }
 
+  /// The optional "serve" telemetry section (emitted only once this
+  /// has been called, so non-serving bench documents are unchanged):
+  /// the daemon-path throughput and latency histogram measured by
+  /// bench_serve (docs/serving.md).
+  void set_serve_summary(const ServeSummary& summary) {
+    serve_ = summary;
+    serve_section_present_ = true;
+  }
+
   /// Records one scenario-pack replay; emitted as the optional
   /// "scenarios" array (present only when at least one was recorded, so
   /// non-scenario bench documents are unchanged).
@@ -151,6 +187,8 @@ class BenchReport {
   bool index_section_present_ = false;
   bool index_enabled_ = true;
   std::map<std::string, IndexStat> index_stats_;  // ordered emission
+  bool serve_section_present_ = false;
+  ServeSummary serve_;
 };
 
 }  // namespace torsim::obs

@@ -1,0 +1,103 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace torsim::serve {
+
+Client::Client(std::string socket_path)
+    : socket_path_(std::move(socket_path)) {}
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  reader_ = FrameReader();
+}
+
+void Client::connect() {
+  close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path_.empty() || socket_path_.size() >= sizeof(addr.sun_path))
+    throw std::runtime_error("serve client: bad socket path '" +
+                             socket_path_ + "'");
+  std::memcpy(addr.sun_path, socket_path_.c_str(), socket_path_.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0)
+    throw std::runtime_error(std::string("serve client: socket: ") +
+                             std::strerror(errno));
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int saved = errno;
+    close();
+    throw std::runtime_error("serve client: connect '" + socket_path_ +
+                             "': " + std::strerror(saved));
+  }
+  timeval tv{};
+  tv.tv_sec = timeout_millis_ / 1000;
+  tv.tv_usec = (timeout_millis_ % 1000) * 1000;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+}
+
+void Client::send(const Request& request) {
+  if (fd_ < 0) throw std::runtime_error("serve client: not connected");
+  const std::string frame = encode_frame(render_request(request));
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    const int saved = errno;
+    close();
+    throw std::runtime_error(std::string("serve client: send: ") +
+                             std::strerror(saved));
+  }
+}
+
+Response Client::receive() {
+  if (fd_ < 0) throw std::runtime_error("serve client: not connected");
+  std::string body;
+  while (!reader_.next_frame(body)) {
+    char buf[4096];
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n > 0) {
+      // A framing error (oversized/garbled length) poisons the reader;
+      // surface it as std::invalid_argument for the caller's
+      // reconnect path.
+      reader_.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    const int saved = errno;
+    close();
+    if (n == 0)
+      throw std::runtime_error("serve client: connection closed by peer");
+    if (saved == EAGAIN || saved == EWOULDBLOCK)
+      throw std::runtime_error("serve client: receive timed out");
+    throw std::runtime_error(std::string("serve client: recv: ") +
+                             std::strerror(saved));
+  }
+  return parse_response(body);
+}
+
+Response Client::call(const Request& request) {
+  send(request);
+  for (;;) {
+    const Response response = receive();
+    if (response.id == request.id) return response;
+  }
+}
+
+}  // namespace torsim::serve

@@ -1,0 +1,262 @@
+#include "serve/loadgen.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+#include "obs/stopwatch.hpp"
+#include "serve/client.hpp"
+#include "util/rng.hpp"
+
+namespace torsim::serve {
+namespace {
+
+/// Latency bucket edges in microseconds (powers-of-~3 up to 1 s).
+const std::vector<std::int64_t> kLatencyEdgesUs = {
+    100, 300, 1000, 3000, 10000, 30000, 100000, 300000, 1000000};
+
+struct WorkerStats {
+  std::int64_t retries = 0;
+  std::int64_t reconnects = 0;
+};
+
+void backoff(std::uint64_t ticks) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1 + 2 * ticks));
+}
+
+/// One closed-loop round trip with bounded retry-after/reconnect
+/// handling. Writes the final response into `slot`.
+void call_with_retries(Client& client, const Request& request, Response& slot,
+                       const LoadConfig& config, WorkerStats& stats,
+                       obs::Histogram* latency) {
+  for (int attempt = 0; attempt <= config.max_retries; ++attempt) {
+    try {
+      if (!client.connected()) client.connect();
+      const double t0 = obs::wall_clock_seconds();
+      const Response response = client.call(request);
+      if (response.status == Status::kRetryAfter) {
+        ++stats.retries;
+        backoff(response.retry_after);
+        continue;
+      }
+      if (latency != nullptr)
+        latency->observe(static_cast<std::int64_t>(
+            (obs::wall_clock_seconds() - t0) * 1e6));
+      slot = response;
+      return;
+    } catch (const std::invalid_argument&) {
+      // Garbled response frame (chaos corruption): drop the
+      // connection and replay.
+      client.close();
+      ++stats.reconnects;
+      backoff(1);
+    } catch (const std::runtime_error&) {
+      client.close();
+      ++stats.reconnects;
+      backoff(1);
+    }
+  }
+  throw std::runtime_error("serve load: request id " +
+                           std::to_string(request.id) +
+                           " exhausted its retry budget");
+}
+
+void run_worker_closed(const LoadConfig& config,
+                       const std::vector<Request>& mix,
+                       std::vector<Response>& responses, int worker,
+                       WorkerStats& stats, obs::Histogram* latency) {
+  Client client(config.socket_path);
+  client.set_timeout_millis(config.timeout_millis);
+  for (std::size_t i = static_cast<std::size_t>(worker); i < mix.size();
+       i += static_cast<std::size_t>(config.clients))
+    call_with_retries(client, mix[i], responses[i], config, stats, latency);
+}
+
+void run_worker_open(const LoadConfig& config, const std::vector<Request>& mix,
+                     std::vector<Response>& responses, int worker,
+                     WorkerStats& stats, obs::Histogram* latency) {
+  Client client(config.socket_path);
+  client.set_timeout_millis(config.timeout_millis);
+  std::vector<std::size_t> owned;
+  for (std::size_t i = static_cast<std::size_t>(worker); i < mix.size();
+       i += static_cast<std::size_t>(config.clients))
+    owned.push_back(i);
+  std::vector<bool> resolved(owned.size(), false);
+  std::size_t outstanding = owned.size();
+  const double t0 = obs::wall_clock_seconds();
+  int budget = config.max_retries + static_cast<int>(owned.size());
+  bool need_send_all = true;
+  while (outstanding > 0) {
+    if (budget-- < 0)
+      throw std::runtime_error(
+          "serve load: open-loop worker exhausted its retry budget");
+    try {
+      if (!client.connected()) {
+        client.connect();
+        need_send_all = true;
+      }
+      if (need_send_all) {
+        // (Re)pipeline every unresolved request; pipelined responses
+        // lost with a dead connection are simply asked for again.
+        for (std::size_t j = 0; j < owned.size(); ++j)
+          if (!resolved[j]) client.send(mix[owned[j]]);
+        need_send_all = false;
+      }
+      const Response response = client.receive();
+      for (std::size_t j = 0; j < owned.size(); ++j) {
+        if (resolved[j] || mix[owned[j]].id != response.id) continue;
+        if (response.status == Status::kRetryAfter) {
+          ++stats.retries;
+          backoff(response.retry_after);
+          client.send(mix[owned[j]]);
+          break;
+        }
+        responses[owned[j]] = response;
+        resolved[j] = true;
+        --outstanding;
+        break;
+      }
+    } catch (const std::exception&) {
+      client.close();
+      ++stats.reconnects;
+      backoff(1);
+      need_send_all = true;
+    }
+  }
+  // Open loop has no per-request latency; record the per-worker drain
+  // time once so the histogram still reflects the run.
+  if (latency != nullptr && !owned.empty())
+    latency->observe(static_cast<std::int64_t>(
+        (obs::wall_clock_seconds() - t0) * 1e6 /
+        static_cast<double>(owned.size())));
+}
+
+}  // namespace
+
+const std::vector<std::int64_t>& latency_edges_us() {
+  return kLatencyEdgesUs;
+}
+
+std::vector<Request> default_request_mix(std::uint64_t seed, int requests,
+                                         std::uint64_t services,
+                                         int clients) {
+  const util::Rng base(seed ^ 0x6c6f6164ULL);  // "load"
+  std::vector<Request> mix;
+  mix.reserve(static_cast<std::size_t>(requests));
+  const std::uint64_t n = services > 0 ? services : 1;
+  for (int i = 0; i < requests; ++i) {
+    util::Rng rng = base.child(static_cast<std::uint64_t>(i));
+    Request request;
+    request.id = static_cast<std::uint64_t>(i) + 1;
+    request.client =
+        clients > 0 ? static_cast<std::uint64_t>(i % clients) : 0;
+    const std::int64_t roll = rng.uniform_int(0, 99);
+    if (roll < 10) {
+      request.kind = QueryKind::kStats;
+    } else if (roll < 40) {
+      request.kind = QueryKind::kHarvest;
+      request.first = static_cast<std::uint64_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      request.count = static_cast<std::uint64_t>(rng.uniform_int(
+          1, std::min<std::int64_t>(8, static_cast<std::int64_t>(
+                                           n - request.first))));
+    } else if (roll < 65) {
+      request.kind = QueryKind::kResolve;
+      request.first = static_cast<std::uint64_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      request.count = static_cast<std::uint64_t>(rng.uniform_int(
+          1, std::min<std::int64_t>(8, static_cast<std::int64_t>(
+                                           n - request.first))));
+    } else if (roll < 85) {
+      request.kind = QueryKind::kScan;
+      request.first = static_cast<std::uint64_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      request.count = static_cast<std::uint64_t>(rng.uniform_int(
+          1, std::min<std::int64_t>(4, static_cast<std::int64_t>(
+                                           n - request.first))));
+      request.seed = rng.next();
+    } else {
+      request.kind = QueryKind::kPopularity;
+      request.requests = static_cast<std::uint64_t>(rng.uniform_int(50, 200));
+      request.top = static_cast<std::uint64_t>(rng.uniform_int(1, 5));
+      request.seed = rng.next();
+    }
+    mix.push_back(request);
+  }
+  return mix;
+}
+
+LoadResult run_load(const LoadConfig& config) {
+  if (config.clients < 1)
+    throw std::invalid_argument("serve load: clients must be >= 1");
+  LoadResult result;
+  result.requests = config.script.empty()
+                        ? default_request_mix(config.seed, config.requests,
+                                              config.services, config.clients)
+                        : config.script;
+  result.responses.resize(result.requests.size());
+
+  obs::Histogram* latency = nullptr;
+  if (config.telemetry != nullptr)
+    latency = &config.telemetry->histogram("load.latency_us", kLatencyEdgesUs);
+
+  const int workers =
+      static_cast<int>(std::min<std::size_t>(
+          static_cast<std::size_t>(config.clients), result.requests.size()));
+  std::vector<WorkerStats> stats(
+      static_cast<std::size_t>(std::max(workers, 1)));
+  std::vector<std::exception_ptr> errors(
+      static_cast<std::size_t>(std::max(workers, 1)));
+  std::vector<std::thread> threads;
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      try {
+        if (config.open_loop)
+          run_worker_open(config, result.requests, result.responses, w,
+                          stats[static_cast<std::size_t>(w)], latency);
+        else
+          run_worker_closed(config, result.requests, result.responses, w,
+                            stats[static_cast<std::size_t>(w)], latency);
+      } catch (...) {
+        errors[static_cast<std::size_t>(w)] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const std::exception_ptr& error : errors)
+    if (error) std::rethrow_exception(error);
+
+  for (const WorkerStats& s : stats) {
+    result.retries += s.retries;
+    result.reconnects += s.reconnects;
+  }
+
+  if (config.shutdown) {
+    Request request;
+    request.id = result.requests.size() + 1;
+    request.client = 0;
+    request.kind = QueryKind::kShutdown;
+    Client client(config.socket_path);
+    client.set_timeout_millis(config.timeout_millis);
+    WorkerStats s;
+    Response response;
+    call_with_retries(client, request, response, config, s, nullptr);
+    result.retries += s.retries;
+    result.reconnects += s.reconnects;
+    result.requests.push_back(request);
+    result.responses.push_back(response);
+  }
+
+  if (config.telemetry != nullptr) {
+    obs::MetricsRegistry& t = *config.telemetry;
+    t.counter("load.requests_total")
+        .inc(static_cast<std::int64_t>(result.requests.size()));
+    t.counter("load.retries_total").inc(result.retries);
+    t.counter("load.reconnects_total").inc(result.reconnects);
+  }
+  return result;
+}
+
+}  // namespace torsim::serve

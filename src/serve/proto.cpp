@@ -1,0 +1,401 @@
+#include "serve/proto.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace torsim::serve {
+namespace {
+
+constexpr std::string_view kRequestHeader = "torsim-serve-v1 request";
+constexpr std::string_view kResponseHeader = "torsim-serve-v1 response";
+constexpr std::string_view kDataIndent = "  ";
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& message) {
+  throw std::invalid_argument("serve parse error at line " +
+                              std::to_string(line_no + 1) + ": " + message);
+}
+
+std::uint64_t parse_u64(std::string_view value, std::size_t line_no,
+                        const std::string& what) {
+  std::size_t consumed = 0;
+  std::uint64_t parsed = 0;
+  try {
+    parsed = std::stoull(std::string(value), &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed != value.size() || value.empty() || value.front() == '-')
+    fail(line_no, what + " must be a non-negative integer, got '" +
+                      std::string(value) + "'");
+  return parsed;
+}
+
+/// Cursor over pre-split lines. Significant lines are everything except
+/// blanks and '#' comments; data payload lines are read raw (a payload
+/// may legitimately start with '#').
+struct LineCursor {
+  const std::vector<std::string>& lines;
+  std::size_t pos = 0;
+
+  std::size_t peek() const {
+    std::size_t i = pos;
+    while (i < lines.size()) {
+      const std::string_view t = util::trim(lines[i]);
+      if (!t.empty() && t.front() != '#') break;
+      ++i;
+    }
+    return i;
+  }
+
+  bool at_end() const { return peek() >= lines.size(); }
+
+  std::size_t next(const std::string& what) {
+    const std::size_t i = peek();
+    if (i >= lines.size())
+      fail(lines.size(), "unexpected end of input: expected " + what);
+    pos = i + 1;
+    return i;
+  }
+};
+
+struct Field {
+  std::string value;
+  std::size_t line_no = 0;
+};
+
+/// Consumes the next significant line, which must be "<key> <value>".
+Field expect_field(LineCursor& cursor, std::string_view key) {
+  const std::size_t i = cursor.next("'" + std::string(key) + "'");
+  const std::string_view line = util::trim(cursor.lines[i]);
+  const std::size_t space = line.find(' ');
+  const std::string_view got =
+      space == std::string_view::npos ? line : line.substr(0, space);
+  if (got != key)
+    fail(i, "expected '" + std::string(key) + "', got '" + std::string(got) +
+                "'");
+  const std::string_view value =
+      space == std::string_view::npos
+          ? std::string_view{}
+          : util::trim(line.substr(space + 1));
+  if (value.empty())
+    fail(i, "'" + std::string(key) + "' needs a value");
+  return {std::string(value), i};
+}
+
+std::uint64_t expect_u64(LineCursor& cursor, std::string_view key) {
+  const Field f = expect_field(cursor, key);
+  return parse_u64(f.value, f.line_no, "'" + std::string(key) + "'");
+}
+
+std::vector<std::string> split_lines(std::string_view text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) {
+      if (start < text.size())
+        lines.emplace_back(text.substr(start));
+      break;
+    }
+    lines.emplace_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+Request parse_request_at(LineCursor& cursor) {
+  const std::size_t header_line = cursor.next("the request header");
+  if (util::trim(cursor.lines[header_line]) != kRequestHeader)
+    fail(header_line, "expected '" + std::string(kRequestHeader) +
+                          "' header, got '" +
+                          std::string(util::trim(cursor.lines[header_line])) +
+                          "'");
+  Request request;
+  request.id = expect_u64(cursor, "id");
+  request.client = expect_u64(cursor, "client");
+  const Field kind_field = expect_field(cursor, "kind");
+  try {
+    request.kind = query_kind_from_name(kind_field.value);
+  } catch (const std::invalid_argument& error) {
+    fail(kind_field.line_no, error.what());
+  }
+  switch (request.kind) {
+    case QueryKind::kStats:
+    case QueryKind::kShutdown:
+      break;
+    case QueryKind::kHarvest:
+    case QueryKind::kResolve:
+      request.first = expect_u64(cursor, "first");
+      request.count = expect_u64(cursor, "count");
+      break;
+    case QueryKind::kScan:
+      request.first = expect_u64(cursor, "first");
+      request.count = expect_u64(cursor, "count");
+      request.seed = expect_u64(cursor, "seed");
+      break;
+    case QueryKind::kPopularity:
+      request.requests = expect_u64(cursor, "requests");
+      request.top = expect_u64(cursor, "top");
+      request.seed = expect_u64(cursor, "seed");
+      break;
+    case QueryKind::kScenarioStep:
+      request.hours = expect_u64(cursor, "hours");
+      break;
+  }
+  return request;
+}
+
+void reject_trailing(const LineCursor& cursor) {
+  if (!cursor.at_end())
+    fail(cursor.peek(), "unexpected trailing content '" +
+                            std::string(util::trim(
+                                cursor.lines[cursor.peek()])) +
+                            "'");
+}
+
+}  // namespace
+
+std::string_view query_kind_name(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kStats: return "stats";
+    case QueryKind::kHarvest: return "harvest";
+    case QueryKind::kResolve: return "resolve";
+    case QueryKind::kScan: return "scan";
+    case QueryKind::kPopularity: return "popularity";
+    case QueryKind::kScenarioStep: return "scenario-step";
+    case QueryKind::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+QueryKind query_kind_from_name(std::string_view name) {
+  if (name == "stats") return QueryKind::kStats;
+  if (name == "harvest") return QueryKind::kHarvest;
+  if (name == "resolve") return QueryKind::kResolve;
+  if (name == "scan") return QueryKind::kScan;
+  if (name == "popularity") return QueryKind::kPopularity;
+  if (name == "scenario-step") return QueryKind::kScenarioStep;
+  if (name == "shutdown") return QueryKind::kShutdown;
+  throw std::invalid_argument("unknown query kind '" + std::string(name) +
+                              "'");
+}
+
+bool is_mutating(QueryKind kind) {
+  return kind == QueryKind::kScenarioStep || kind == QueryKind::kShutdown;
+}
+
+std::string_view status_name(Status status) {
+  switch (status) {
+    case Status::kOk: return "ok";
+    case Status::kError: return "error";
+    case Status::kRetryAfter: return "retry-after";
+  }
+  return "unknown";
+}
+
+Status status_from_name(std::string_view name) {
+  if (name == "ok") return Status::kOk;
+  if (name == "error") return Status::kError;
+  if (name == "retry-after") return Status::kRetryAfter;
+  throw std::invalid_argument("unknown status '" + std::string(name) + "'");
+}
+
+Request parse_request(std::string_view text) {
+  const std::vector<std::string> lines = split_lines(text);
+  LineCursor cursor{lines};
+  const Request request = parse_request_at(cursor);
+  reject_trailing(cursor);
+  return request;
+}
+
+std::string render_request(const Request& request) {
+  std::string out(kRequestHeader);
+  out += '\n';
+  out += "id " + std::to_string(request.id) + '\n';
+  out += "client " + std::to_string(request.client) + '\n';
+  out += "kind " + std::string(query_kind_name(request.kind)) + '\n';
+  switch (request.kind) {
+    case QueryKind::kStats:
+    case QueryKind::kShutdown:
+      break;
+    case QueryKind::kHarvest:
+    case QueryKind::kResolve:
+      out += "first " + std::to_string(request.first) + '\n';
+      out += "count " + std::to_string(request.count) + '\n';
+      break;
+    case QueryKind::kScan:
+      out += "first " + std::to_string(request.first) + '\n';
+      out += "count " + std::to_string(request.count) + '\n';
+      out += "seed " + std::to_string(request.seed) + '\n';
+      break;
+    case QueryKind::kPopularity:
+      out += "requests " + std::to_string(request.requests) + '\n';
+      out += "top " + std::to_string(request.top) + '\n';
+      out += "seed " + std::to_string(request.seed) + '\n';
+      break;
+    case QueryKind::kScenarioStep:
+      out += "hours " + std::to_string(request.hours) + '\n';
+      break;
+  }
+  return out;
+}
+
+Response parse_response(std::string_view text) {
+  const std::vector<std::string> lines = split_lines(text);
+  LineCursor cursor{lines};
+
+  const std::size_t header_line = cursor.next("the response header");
+  if (util::trim(lines[header_line]) != kResponseHeader)
+    fail(header_line, "expected '" + std::string(kResponseHeader) +
+                          "' header, got '" +
+                          std::string(util::trim(lines[header_line])) + "'");
+  Response response;
+  response.id = expect_u64(cursor, "id");
+  const Field status_field = expect_field(cursor, "status");
+  try {
+    response.status = status_from_name(status_field.value);
+  } catch (const std::invalid_argument& error) {
+    fail(status_field.line_no, error.what());
+  }
+  switch (response.status) {
+    case Status::kOk: {
+      const std::uint64_t n = expect_u64(cursor, "data");
+      for (std::uint64_t j = 0; j < n; ++j) {
+        if (cursor.pos >= lines.size())
+          fail(lines.size(), "unexpected end of input: expected data line " +
+                                 std::to_string(j + 1) + " of " +
+                                 std::to_string(n));
+        const std::string& raw = lines[cursor.pos];
+        if (!util::starts_with(raw, kDataIndent))
+          fail(cursor.pos, "data line must start with two spaces");
+        const std::string content = raw.substr(kDataIndent.size());
+        if (content.empty() || content.front() == ' ')
+          fail(cursor.pos, "data line must carry non-indented content");
+        response.data.push_back(content);
+        ++cursor.pos;
+      }
+      break;
+    }
+    case Status::kError: {
+      const Field f = expect_field(cursor, "error");
+      response.error = f.value;
+      break;
+    }
+    case Status::kRetryAfter:
+      response.retry_after = expect_u64(cursor, "retry-after");
+      break;
+  }
+  reject_trailing(cursor);
+  return response;
+}
+
+std::string render_response(const Response& response) {
+  std::string out(kResponseHeader);
+  out += '\n';
+  out += "id " + std::to_string(response.id) + '\n';
+  out += "status " + std::string(status_name(response.status)) + '\n';
+  switch (response.status) {
+    case Status::kOk:
+      out += "data " + std::to_string(response.data.size()) + '\n';
+      for (const std::string& line : response.data) {
+        out += kDataIndent;
+        out += line;
+        out += '\n';
+      }
+      break;
+    case Status::kError:
+      out += "error " + response.error + '\n';
+      break;
+    case Status::kRetryAfter:
+      out += "retry-after " + std::to_string(response.retry_after) + '\n';
+      break;
+  }
+  return out;
+}
+
+std::vector<Request> parse_script(std::string_view text) {
+  const std::vector<std::string> lines = split_lines(text);
+  LineCursor cursor{lines};
+  std::vector<Request> requests;
+  while (!cursor.at_end()) requests.push_back(parse_request_at(cursor));
+  return requests;
+}
+
+std::string validate_request(const Request& request) {
+  switch (request.kind) {
+    case QueryKind::kStats:
+    case QueryKind::kShutdown:
+      break;
+    case QueryKind::kHarvest:
+    case QueryKind::kResolve:
+    case QueryKind::kScan:
+      if (request.count == 0) return "count must be >= 1";
+      break;
+    case QueryKind::kPopularity:
+      if (request.requests == 0) return "requests must be >= 1";
+      if (request.top == 0) return "top must be >= 1";
+      break;
+    case QueryKind::kScenarioStep:
+      if (request.hours == 0) return "hours must be >= 1";
+      break;
+  }
+  return {};
+}
+
+std::string encode_frame(std::string_view body) {
+  if (body.size() > kMaxFrameBytes)
+    throw std::invalid_argument(
+        "serve frame error: body of " + std::to_string(body.size()) +
+        " bytes exceeds the frame cap");
+  std::string frame;
+  frame.reserve(4 + body.size());
+  const std::uint32_t n = static_cast<std::uint32_t>(body.size());
+  frame.push_back(static_cast<char>((n >> 24) & 0xff));
+  frame.push_back(static_cast<char>((n >> 16) & 0xff));
+  frame.push_back(static_cast<char>((n >> 8) & 0xff));
+  frame.push_back(static_cast<char>(n & 0xff));
+  frame.append(body);
+  return frame;
+}
+
+std::size_t FrameReader::feed(std::string_view bytes) {
+  if (poisoned_)
+    throw std::invalid_argument(
+        "serve frame error: reader poisoned by an oversized frame");
+  buffer_.append(bytes);
+  while (buffer_.size() - read_pos_ >= 4) {
+    const auto* p =
+        reinterpret_cast<const unsigned char*>(buffer_.data() + read_pos_);
+    const std::uint32_t n = (static_cast<std::uint32_t>(p[0]) << 24) |
+                            (static_cast<std::uint32_t>(p[1]) << 16) |
+                            (static_cast<std::uint32_t>(p[2]) << 8) |
+                            static_cast<std::uint32_t>(p[3]);
+    if (n > kMaxFrameBytes) {
+      poisoned_ = true;
+      throw std::invalid_argument(
+          "serve frame error: declared length " + std::to_string(n) +
+          " exceeds the frame cap");
+    }
+    if (buffer_.size() - read_pos_ < 4 + static_cast<std::size_t>(n)) break;
+    complete_.emplace_back(buffer_, read_pos_ + 4, n);
+    read_pos_ += 4 + static_cast<std::size_t>(n);
+  }
+  if (read_pos_ > 0 && read_pos_ == buffer_.size()) {
+    buffer_.clear();
+    read_pos_ = 0;
+  } else if (read_pos_ > (std::size_t{64} << 10)) {
+    buffer_.erase(0, read_pos_);
+    read_pos_ = 0;
+  }
+  return complete_.size();
+}
+
+bool FrameReader::next_frame(std::string& body) {
+  if (complete_.empty()) return false;
+  body = std::move(complete_.front());
+  complete_.erase(complete_.begin());
+  return true;
+}
+
+}  // namespace torsim::serve

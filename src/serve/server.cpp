@@ -1,0 +1,293 @@
+#include "serve/server.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace torsim::serve {
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Server::Server(WorldSession& session, ServerConfig config)
+    : session_(session), config_(std::move(config)), chaos_(config_.chaos) {}
+
+Server::~Server() {
+  for (Connection& c : connections_)
+    if (c.fd >= 0) ::close(c.fd);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    ::unlink(config_.socket_path.c_str());
+  }
+  for (const int fd : wake_fds_)
+    if (fd >= 0) ::close(fd);
+}
+
+void Server::start() {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (config_.socket_path.empty() ||
+      config_.socket_path.size() >= sizeof(addr.sun_path))
+    throw std::runtime_error("serve: socket path empty or longer than " +
+                             std::to_string(sizeof(addr.sun_path) - 1) +
+                             " bytes: '" + config_.socket_path + "'");
+  std::memcpy(addr.sun_path, config_.socket_path.c_str(),
+              config_.socket_path.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw_errno("serve: socket");
+  ::unlink(config_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0)
+    throw_errno("serve: bind '" + config_.socket_path + "'");
+  if (::listen(listen_fd_, 64) != 0) throw_errno("serve: listen");
+  set_nonblocking(listen_fd_);
+
+  if (::pipe(wake_fds_) != 0) throw_errno("serve: pipe");
+  set_nonblocking(wake_fds_[0]);
+  set_nonblocking(wake_fds_[1]);
+}
+
+void Server::stop() {
+  // Async-signal-unsafe state stays on the loop thread; the pipe write
+  // is the only cross-thread communication.
+  const char byte = 's';
+  (void)::write(wake_fds_[1], &byte, 1);
+}
+
+void Server::accept_connections() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) break;
+    set_nonblocking(fd);
+    Connection connection;
+    connection.fd = fd;
+    connection.conn_id = next_conn_id_++;
+    if (config_.telemetry != nullptr)
+      config_.telemetry->counter("serve_edge.accepts").inc();
+    if (chaos_.enabled()) {
+      switch (chaos_.connect_fault(connection.conn_id, 0, 1)) {
+        case fault::ConnectFault::kDrop:
+          ::close(fd);
+          if (config_.telemetry != nullptr)
+            config_.telemetry->counter("serve_edge.chaos_dropped").inc();
+          continue;
+        case fault::ConnectFault::kTimeout:
+          connection.delay_ticks = 3;
+          if (config_.telemetry != nullptr)
+            config_.telemetry->counter("serve_edge.chaos_delayed").inc();
+          break;
+        case fault::ConnectFault::kCorrupt:
+          connection.corrupt = true;
+          if (config_.telemetry != nullptr)
+            config_.telemetry->counter("serve_edge.chaos_corrupted").inc();
+          break;
+        case fault::ConnectFault::kNone:
+          break;
+      }
+    }
+    connections_.push_back(std::move(connection));
+  }
+}
+
+void Server::enqueue_frame(Connection& connection, const std::string& body) {
+  Request request;
+  try {
+    request = parse_request(body);
+  } catch (const std::invalid_argument& error) {
+    Response response;
+    response.status = Status::kError;
+    response.error = error.what();
+    queue_response(connection.conn_id, response);
+    if (config_.telemetry != nullptr)
+      config_.telemetry->counter("serve_edge.parse_errors").inc();
+    return;
+  }
+  if (pending_.size() >= static_cast<std::size_t>(config_.queue_capacity)) {
+    Response response;
+    response.id = request.id;
+    response.status = Status::kRetryAfter;
+    response.retry_after = config_.retry_after;
+    queue_response(connection.conn_id, response);
+    if (config_.telemetry != nullptr)
+      config_.telemetry->counter("serve_edge.admission_rejects").inc();
+    return;
+  }
+  pending_.push_back({next_seq_++, request, connection.conn_id});
+}
+
+bool Server::read_connection(Connection& connection) {
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(connection.fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      try {
+        connection.reader.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+      } catch (const std::invalid_argument&) {
+        // Oversized/garbled framing: the connection is unrecoverable.
+        return false;
+      }
+      std::string body;
+      while (connection.reader.next_frame(body)) enqueue_frame(connection, body);
+      continue;
+    }
+    if (n == 0) return false;  // peer closed
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    if (errno == EINTR) continue;
+    return false;
+  }
+}
+
+void Server::queue_response(std::uint64_t conn_id, const Response& response) {
+  const auto it = std::find_if(
+      connections_.begin(), connections_.end(),
+      [conn_id](const Connection& c) { return c.conn_id == conn_id; });
+  if (it == connections_.end()) return;  // owner vanished; drop the answer
+  std::string body = render_response(response);
+  if (it->corrupt && !body.empty()) body[body.size() / 2] ^= 0x20;
+  it->out += encode_frame(body);
+  if (it->delay_ticks > 0) it->ready_tick = tick_ + it->delay_ticks;
+}
+
+bool Server::write_connection(Connection& connection) {
+  if (tick_ < connection.ready_tick) return true;  // chaos delay window
+  while (connection.out_pos < connection.out.size()) {
+    const ssize_t n =
+        ::send(connection.fd, connection.out.data() + connection.out_pos,
+               connection.out.size() - connection.out_pos, MSG_NOSIGNAL);
+    if (n > 0) {
+      connection.out_pos += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  connection.out.clear();
+  connection.out_pos = 0;
+  return true;
+}
+
+void Server::run_batch() {
+  if (pending_.empty()) return;
+  const std::size_t take =
+      std::min(pending_.size(), static_cast<std::size_t>(config_.max_batch));
+  std::vector<Pending> batch(pending_.begin(),
+                             pending_.begin() + static_cast<std::ptrdiff_t>(take));
+  pending_.erase(pending_.begin(),
+                 pending_.begin() + static_cast<std::ptrdiff_t>(take));
+  // The determinism contract's batch order: arrival sequence first,
+  // client id as the (currently redundant) tiebreak.
+  std::sort(batch.begin(), batch.end(), [](const Pending& a, const Pending& b) {
+    if (a.seq != b.seq) return a.seq < b.seq;
+    return a.request.client < b.request.client;
+  });
+  std::vector<Request> requests;
+  requests.reserve(batch.size());
+  for (const Pending& p : batch) requests.push_back(p.request);
+  const std::vector<Response> responses = session_.execute_batch(requests);
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    queue_response(batch[i].conn_id, responses[i]);
+  if (config_.telemetry != nullptr) {
+    obs::MetricsRegistry& t = *config_.telemetry;
+    t.counter("serve_edge.batches").inc();
+    t.counter("serve_edge.requests").inc(static_cast<std::int64_t>(take));
+    t.histogram("serve_edge.batch_size", {1, 4, 16, 64, 256})
+        .observe(static_cast<std::int64_t>(take));
+    t.gauge("serve_edge.queue_depth")
+        .set(static_cast<std::int64_t>(pending_.size()));
+  }
+}
+
+void Server::close_connection(Connection& connection) {
+  if (connection.fd >= 0) ::close(connection.fd);
+  connection.fd = -1;
+}
+
+void Server::drain_and_close() {
+  // Best-effort flush of answers already queued (the shutdown ack in
+  // particular) before the socket goes away.
+  for (int round = 0; round < 200; ++round) {
+    bool pending_bytes = false;
+    for (Connection& c : connections_) {
+      if (c.fd < 0) continue;
+      c.ready_tick = 0;  // chaos delays do not outlive shutdown
+      if (!write_connection(c)) close_connection(c);
+      if (c.fd >= 0 && c.out_pos < c.out.size()) pending_bytes = true;
+    }
+    if (!pending_bytes) break;
+    ::poll(nullptr, 0, 5);
+  }
+  for (Connection& c : connections_) close_connection(c);
+  connections_.clear();
+}
+
+void Server::run() {
+  if (listen_fd_ < 0)
+    throw std::logic_error("serve: Server::run() before start()");
+  while (!stop_requested_ && !session_.shutdown_requested()) {
+    std::vector<pollfd> fds;
+    fds.push_back({listen_fd_, POLLIN, 0});
+    fds.push_back({wake_fds_[0], POLLIN, 0});
+    for (const Connection& c : connections_) {
+      short events = POLLIN;
+      if (c.out_pos < c.out.size() && tick_ >= c.ready_tick)
+        events = static_cast<short>(events | POLLOUT);
+      fds.push_back({c.fd, events, 0});
+    }
+    const int ready = ::poll(fds.data(), fds.size(), config_.tick_millis);
+    ++tick_;
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("serve: poll");
+    }
+    if ((fds[1].revents & POLLIN) != 0) {
+      char drain[64];
+      while (::read(wake_fds_[0], drain, sizeof drain) > 0) {
+      }
+      stop_requested_ = true;
+    }
+    // Connections accepted below were not polled this tick, so the
+    // revents walk covers only the pre-accept population.
+    const std::size_t polled = fds.size() - 2;
+    if ((fds[0].revents & POLLIN) != 0) accept_connections();
+    for (std::size_t i = 0; i < polled; ++i) {
+      Connection& c = connections_[i];
+      const short revents = fds[2 + i].revents;
+      if ((revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+          (revents & POLLIN) == 0) {
+        close_connection(c);
+        continue;
+      }
+      if ((revents & POLLIN) != 0 && !read_connection(c)) {
+        close_connection(c);
+        continue;
+      }
+      if (!write_connection(c)) close_connection(c);
+    }
+    run_batch();
+    for (Connection& c : connections_)
+      if (c.fd >= 0 && !write_connection(c)) close_connection(c);
+    std::erase_if(connections_,
+                  [](const Connection& c) { return c.fd < 0; });
+  }
+  drain_and_close();
+}
+
+}  // namespace torsim::serve

@@ -1,0 +1,112 @@
+// The async shell of the serving subsystem: a poll-based unix-socket
+// event loop that frames requests off connections, applies admission
+// control, and drives the deterministic WorldSession batcher.
+//
+// Split-of-concerns contract (docs/serving.md): everything
+// scheduling-dependent lives here (arrival order, tick boundaries,
+// queue depth, chaos) and is only ever surfaced as *edge telemetry*;
+// everything answer-shaped lives in WorldSession and is byte-stable.
+// The batcher orders each tick's requests by (arrival-seq, client-id)
+// before execution, and clients match responses by request id, so the
+// rendered answers are independent of how requests landed in ticks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/injector.hpp"
+#include "obs/metrics.hpp"
+#include "serve/proto.hpp"
+#include "serve/session.hpp"
+
+namespace torsim::serve {
+
+struct ServerConfig {
+  /// Filesystem path of the unix-domain listening socket.
+  std::string socket_path;
+  /// Requests executed per batch tick.
+  int max_batch = 256;
+  /// Pending-queue cap; arrivals beyond it are rejected with a
+  /// retry-after response instead of queueing unboundedly.
+  int queue_capacity = 1024;
+  /// Back-off hint carried in retry-after responses, in ticks.
+  std::uint64_t retry_after = 1;
+  /// Poll timeout / batch flush cadence in milliseconds.
+  int tick_millis = 5;
+  /// Connection-level chaos (fault::FaultInjector over connection ids):
+  /// drop connections at accept, delay their responses, or garble
+  /// response bytes. Exercises client retry paths; defaults off.
+  fault::FaultPlan chaos{};
+  /// Optional sink for edge telemetry ("serve_edge.*": accepts,
+  /// batches, admission rejects, queue depth, batch-size histogram).
+  /// Scheduling-dependent by nature — never part of the deterministic
+  /// goldens. Must outlive the server.
+  obs::MetricsRegistry* telemetry = nullptr;
+};
+
+class Server {
+ public:
+  /// The session must outlive the server.
+  Server(WorldSession& session, ServerConfig config);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds and listens (unlinking a stale socket file first). Throws
+  /// std::runtime_error on socket errors.
+  void start();
+
+  /// Runs the event loop until a shutdown request executes or stop()
+  /// is called. start() must have succeeded.
+  void run();
+
+  /// Thread-safe: wakes the loop and makes run() return after the
+  /// current tick.
+  void stop();
+
+  const std::string& socket_path() const { return config_.socket_path; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::uint64_t conn_id = 0;
+    FrameReader reader;
+    std::string out;           ///< bytes awaiting write
+    std::size_t out_pos = 0;
+    bool corrupt = false;      ///< chaos: garble one byte per response
+    std::uint64_t ready_tick = 0;  ///< chaos: hold writes until this tick
+    std::uint64_t delay_ticks = 0;
+  };
+
+  struct Pending {
+    std::uint64_t seq = 0;
+    Request request;
+    std::uint64_t conn_id = 0;
+  };
+
+  void accept_connections();
+  /// Reads available bytes; returns false when the connection died.
+  bool read_connection(Connection& connection);
+  /// Writes buffered bytes; returns false when the connection died.
+  bool write_connection(Connection& connection);
+  void enqueue_frame(Connection& connection, const std::string& body);
+  void queue_response(std::uint64_t conn_id, const Response& response);
+  void run_batch();
+  void close_connection(Connection& connection);
+  void drain_and_close();
+
+  WorldSession& session_;
+  ServerConfig config_;
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  ///< self-pipe: stop() wakes poll()
+  bool stop_requested_ = false;  ///< loop-thread view, set via the pipe
+  std::vector<Connection> connections_;
+  std::vector<Pending> pending_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_conn_id_ = 0;
+  std::uint64_t tick_ = 0;
+  fault::FaultInjector chaos_;
+};
+
+}  // namespace torsim::serve

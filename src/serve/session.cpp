@@ -1,0 +1,286 @@
+#include "serve/session.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+#include "fault/injector.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace torsim::serve {
+namespace {
+
+/// Candidate ports for the simulated scan query — the common
+/// hidden-service ports the paper's port harvest surfaced (HTTP(S),
+/// SSH, IRC, alt-HTTP, Bitcoin).
+constexpr std::array<std::uint16_t, 6> kScanPorts = {22, 80, 443,
+                                                     6667, 8080, 8333};
+
+std::string bool01(bool value) { return value ? "1" : "0"; }
+
+}  // namespace
+
+WorldSession::WorldSession(SessionConfig config) : config_(config) {
+  world_ = std::make_unique<sim::World>(config_.world);
+  for (int i = 0; i < config_.services; ++i) world_->add_service();
+  world_->run_hours(config_.warmup_hours);
+  if (config_.metrics != nullptr) {
+    obs::MetricsRegistry& m = *config_.metrics;
+    counters_.requests = &m.counter("serve.requests_total");
+    counters_.data_lines = &m.counter("serve.data_lines_total");
+    counters_.errors = &m.counter("serve.errors_total");
+    static constexpr QueryKind kAllKinds[] = {
+        QueryKind::kStats,        QueryKind::kHarvest,
+        QueryKind::kResolve,      QueryKind::kScan,
+        QueryKind::kPopularity,   QueryKind::kScenarioStep,
+        QueryKind::kShutdown};
+    for (const QueryKind kind : kAllKinds) {
+      std::string name(query_kind_name(kind));
+      std::replace(name.begin(), name.end(), '-', '_');
+      counters_.by_kind[static_cast<int>(kind)] =
+          &m.counter("serve.query_" + name);
+    }
+  }
+}
+
+Response WorldSession::execute(const Request& request) {
+  return execute_batch({request}).front();
+}
+
+std::vector<Response> WorldSession::execute_batch(
+    const std::vector<Request>& batch) {
+  std::vector<Response> responses(batch.size());
+  std::size_t run_start = 0;
+  while (run_start < batch.size()) {
+    if (is_mutating(batch[run_start].kind)) {
+      responses[run_start] = execute_mutating(batch[run_start]);
+      ++run_start;
+      continue;
+    }
+    std::size_t run_end = run_start;
+    while (run_end < batch.size() && !is_mutating(batch[run_end].kind))
+      ++run_end;
+    const std::size_t n = run_end - run_start;
+    auto run = util::parallel_map(n, config_.threads, [&](std::size_t i) {
+      return execute_readonly(batch[run_start + i]);
+    });
+    for (std::size_t i = 0; i < n; ++i)
+      responses[run_start + i] = std::move(run[i]);
+    run_start = run_end;
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    count_query(batch[i], responses[i]);
+  return responses;
+}
+
+void WorldSession::count_query(const Request& request,
+                               const Response& response) {
+  if (config_.metrics == nullptr) return;
+  counters_.requests->inc();
+  counters_.by_kind[static_cast<int>(request.kind)]->inc();
+  if (response.status == Status::kError)
+    counters_.errors->inc();
+  else
+    counters_.data_lines->inc(
+        static_cast<std::int64_t>(response.data.size()));
+}
+
+Response WorldSession::range_error(const Request& request) const {
+  Response response;
+  response.id = request.id;
+  response.status = Status::kError;
+  response.error =
+      "service range [" + std::to_string(request.first) + ", " +
+      std::to_string(request.first + request.count) + ") out of range (have " +
+      std::to_string(world_->service_count()) + ")";
+  return response;
+}
+
+Response WorldSession::execute_readonly(const Request& request) const {
+  Response response;
+  response.id = request.id;
+  const std::string invalid = validate_request(request);
+  if (!invalid.empty()) {
+    response.status = Status::kError;
+    response.error = invalid;
+    return response;
+  }
+  try {
+    const sim::World& world = *world_;
+    switch (request.kind) {
+      case QueryKind::kStats: {
+        const sim::NetworkStats s = world.network_stats();
+        response.data.push_back(
+            "hour " + std::to_string(s.hours_since_start) + " relays_online " +
+            std::to_string(s.relays_online) + " hsdirs " +
+            std::to_string(s.hsdir_count) + " services_online " +
+            std::to_string(s.services_online) + " descriptors_stored " +
+            std::to_string(s.descriptors_stored) + " consensus_valid_after " +
+            std::to_string(s.consensus_valid_after));
+        break;
+      }
+      case QueryKind::kHarvest: {
+        const std::size_t n = world.service_count();
+        if (request.first > n || request.count > n - request.first)
+          return range_error(request);
+        for (std::uint64_t i = request.first;
+             i < request.first + request.count; ++i) {
+          const sim::ServiceView v =
+              world.service_view(static_cast<std::size_t>(i));
+          response.data.push_back(
+              "service " + std::to_string(v.index) + " onion " + v.onion +
+              " online " + bool01(v.online) + " period " +
+              std::to_string(v.last_published_period) + " desc0 " +
+              v.descriptor_hex[0] + " desc1 " + v.descriptor_hex[1]);
+        }
+        break;
+      }
+      case QueryKind::kResolve: {
+        const std::size_t n = world.service_count();
+        if (request.first > n || request.count > n - request.first)
+          return range_error(request);
+        for (std::uint64_t i = request.first;
+             i < request.first + request.count; ++i) {
+          const sim::ResolveView v =
+              world.resolve_view(static_cast<std::size_t>(i));
+          response.data.push_back(
+              "service " + std::to_string(v.index) + " resolved0 " +
+              bool01(v.resolved[0]) + " resolved1 " + bool01(v.resolved[1]) +
+              " unresponsive " + std::to_string(v.dirs_unresponsive));
+        }
+        break;
+      }
+      case QueryKind::kScan: {
+        const std::size_t n = world.service_count();
+        if (request.first > n || request.count > n - request.first)
+          return range_error(request);
+        const fault::FaultInjector* injector = world.fault_injector();
+        // Pure derivation base: (world seed, query seed) fixes every
+        // per-service stream, independent of execution order/thread.
+        const util::Rng base =
+            util::Rng(world.config().seed ^ 0x7365727665ULL)
+                .child(request.seed);
+        for (std::uint64_t i = request.first;
+             i < request.first + request.count; ++i) {
+          const sim::ServiceView v =
+              world.service_view(static_cast<std::size_t>(i));
+          util::Rng rng = base.child(i);
+          std::string ports;
+          int open = 0;
+          if (v.online) {
+            const std::uint64_t key = fault::FaultInjector::key_of(v.onion);
+            for (const std::uint16_t port : kScanPorts) {
+              if (!rng.bernoulli(port == 80 ? 0.6 : 0.25)) continue;
+              if (injector != nullptr &&
+                  injector->connect_fault(key, port, 1) !=
+                      fault::ConnectFault::kNone)
+                continue;
+              if (!ports.empty()) ports += ',';
+              ports += std::to_string(port);
+              ++open;
+            }
+          }
+          response.data.push_back("service " + std::to_string(i) + " open " +
+                                  std::to_string(open) + " ports " +
+                                  (ports.empty() ? "-" : ports));
+        }
+        break;
+      }
+      case QueryKind::kPopularity: {
+        const std::size_t n = world.service_count();
+        if (n == 0) {
+          response.status = Status::kError;
+          response.error = "popularity query needs at least one service";
+          return response;
+        }
+        // Zipf(s=1) fetch popularity over service indexes: cumulative
+        // harmonic weights, one uniform draw per simulated fetch.
+        std::vector<double> cumulative(n);
+        double total = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+          total += 1.0 / static_cast<double>(j + 1);
+          cumulative[j] = total;
+        }
+        const util::Rng base =
+            util::Rng(world.config().seed ^ 0x706f70ULL).child(request.seed);
+        std::vector<std::uint64_t> tally(n, 0);
+        for (std::uint64_t d = 0; d < request.requests; ++d) {
+          const double u = base.child(d).uniform01() * total;
+          const std::size_t j = static_cast<std::size_t>(
+              std::lower_bound(cumulative.begin(), cumulative.end(), u) -
+              cumulative.begin());
+          ++tally[std::min(j, n - 1)];
+        }
+        std::vector<std::size_t> order(n);
+        for (std::size_t j = 0; j < n; ++j) order[j] = j;
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                    if (tally[a] != tally[b]) return tally[a] > tally[b];
+                    return a < b;
+                  });
+        const std::uint64_t top =
+            std::min<std::uint64_t>(request.top, order.size());
+        for (std::uint64_t r = 0; r < top; ++r) {
+          response.data.push_back(
+              "rank " + std::to_string(r + 1) + " service " +
+              std::to_string(order[static_cast<std::size_t>(r)]) +
+              " requests " +
+              std::to_string(tally[order[static_cast<std::size_t>(r)]]));
+        }
+        break;
+      }
+      case QueryKind::kScenarioStep:
+      case QueryKind::kShutdown:
+        // Unreachable: the batcher routes mutating kinds to
+        // execute_mutating.
+        response.status = Status::kError;
+        response.error = "mutating request on the read-only path";
+        break;
+    }
+  } catch (const std::exception& error) {
+    response.status = Status::kError;
+    response.data.clear();
+    response.error = error.what();
+  }
+  return response;
+}
+
+Response WorldSession::execute_mutating(const Request& request) {
+  Response response;
+  response.id = request.id;
+  const std::string invalid = validate_request(request);
+  if (!invalid.empty()) {
+    response.status = Status::kError;
+    response.error = invalid;
+    return response;
+  }
+  try {
+    switch (request.kind) {
+      case QueryKind::kScenarioStep: {
+        world_->run_hours(static_cast<int>(request.hours));
+        Request stats_probe;
+        stats_probe.id = request.id;
+        stats_probe.kind = QueryKind::kStats;
+        return execute_readonly(stats_probe);
+      }
+      case QueryKind::kShutdown:
+        shutdown_ = true;
+        response.data.push_back("bye");
+        break;
+      default:
+        response.status = Status::kError;
+        response.error = "read-only request on the mutating path";
+        break;
+    }
+  } catch (const std::exception& error) {
+    response.status = Status::kError;
+    response.data.clear();
+    response.error = error.what();
+  }
+  return response;
+}
+
+}  // namespace torsim::serve

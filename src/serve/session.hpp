@@ -1,0 +1,86 @@
+// The deterministic core of the serving subsystem: a WorldSession owns
+// a resident, warmed-up sim::World and executes typed protocol queries
+// against it. Read-only queries are pure functions of (world state,
+// request fields) — they touch no logs, no world RNG, and no locked
+// caches — so a batch of them fans out via util/parallel and commits
+// results in batch order, byte-identical to executing the same
+// requests one at a time (the batch-equals-serial contract the
+// equivalence goldens enforce; see docs/serving.md).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/proto.hpp"
+#include "sim/world.hpp"
+
+namespace torsim::serve {
+
+struct SessionConfig {
+  /// The resident world. Seed, relay population, fault plan, and the
+  /// world-side metrics sink all come through here.
+  sim::WorldConfig world{};
+  /// Hidden services added after bootstrap (query targets).
+  int services = 16;
+  /// Hours stepped before the session starts answering, so services
+  /// have published and churn has settled.
+  int warmup_hours = 2;
+  /// Fan-out width for read-only batch runs; 1 = serial. Results are
+  /// bit-identical for every value (util/parallel contract).
+  int threads = 1;
+  /// Optional sink for the deterministic "serve.*" session counters
+  /// (per-kind query totals, data lines, errors). These depend only on
+  /// the executed request set, so a daemon session and a CLI session
+  /// fed the same queries emit byte-identical registries. Must outlive
+  /// the session.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+class WorldSession {
+ public:
+  explicit WorldSession(SessionConfig config);
+
+  /// Executes one request (the CLI single-shot path). Equivalent to
+  /// execute_batch({request}) by construction.
+  Response execute(const Request& request);
+
+  /// Executes a batch in order. The caller (the server's batcher)
+  /// supplies requests already ordered by (arrival-seq, client-id);
+  /// maximal runs of read-only requests fan out via parallel_map while
+  /// mutating requests (scenario-step, shutdown) execute serially as
+  /// barriers between runs. Response i answers batch[i].
+  std::vector<Response> execute_batch(const std::vector<Request>& batch);
+
+  sim::World& world() { return *world_; }
+  const sim::World& world() const { return *world_; }
+
+  /// True once a shutdown request has been executed; the server drains
+  /// and stops when it sees this.
+  bool shutdown_requested() const { return shutdown_; }
+
+  const SessionConfig& config() const { return config_; }
+
+ private:
+  Response execute_readonly(const Request& request) const;
+  Response execute_mutating(const Request& request);
+  Response range_error(const Request& request) const;
+  void count_query(const Request& request, const Response& response);
+
+  SessionConfig config_;
+  std::unique_ptr<sim::World> world_;
+  bool shutdown_ = false;
+
+  // Cached handles into config_.metrics (registration locks; the
+  // increments from parallel regions do not).
+  struct SessionCounters {
+    obs::Counter* requests = nullptr;
+    obs::Counter* data_lines = nullptr;
+    obs::Counter* errors = nullptr;
+    obs::Counter* by_kind[7] = {};
+  };
+  SessionCounters counters_{};
+};
+
+}  // namespace torsim::serve

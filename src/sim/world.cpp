@@ -1,7 +1,10 @@
 #include "sim/world.hpp"
 
 #include <algorithm>
+#include <span>
 #include <stdexcept>
+
+#include "util/encoding.hpp"
 
 namespace torsim::sim {
 
@@ -151,6 +154,64 @@ std::size_t World::add_service(crypto::KeyPair key) {
   // without waiting for the next hour step.
   services_.back()->maybe_publish(consensus_, dirnet_, rng_, clock_.now());
   return services_.size() - 1;
+}
+
+ServiceView World::service_view(std::size_t index) const {
+  if (index >= services_.size())
+    throw std::out_of_range("World::service_view: bad service index");
+  const hs::ServiceHost& host = *services_[index];
+  ServiceView view;
+  view.index = index;
+  view.onion = host.onion_address();
+  view.online = host.online();
+  view.last_published_period = host.last_published_period();
+  const auto ids = host.current_descriptor_ids(clock_.now());
+  for (std::size_t r = 0; r < view.descriptor_hex.size() && r < ids.size();
+       ++r) {
+    view.descriptor_hex[r] =
+        util::hex_encode(std::span<const std::uint8_t>(ids[r]));
+  }
+  return view;
+}
+
+NetworkStats World::network_stats() const {
+  NetworkStats stats;
+  const util::UnixTime start =
+      config_.start != 0 ? config_.start : default_start_time();
+  stats.hours_since_start = (clock_.now() - start) / util::kSecondsPerHour;
+  for (const relay::Relay& r : registry_.all())
+    if (r.online()) ++stats.relays_online;
+  stats.hsdir_count = static_cast<std::int64_t>(consensus_.hsdir_count());
+  for (const auto& service : services_)
+    if (service->online()) ++stats.services_online;
+  for (const auto& [relay_id, store] : dirnet_.stores())
+    stats.descriptors_stored += static_cast<std::int64_t>(store.size());
+  stats.consensus_valid_after = consensus_.valid_after();
+  return stats;
+}
+
+ResolveView World::resolve_view(std::size_t index) const {
+  if (index >= services_.size())
+    throw std::out_of_range("World::resolve_view: bad service index");
+  const util::UnixTime now = clock_.now();
+  const auto ids = services_[index]->current_descriptor_ids(now);
+  ResolveView view;
+  view.index = index;
+  for (std::size_t r = 0; r < view.resolved.size() && r < ids.size(); ++r) {
+    for (const dirauth::ConsensusEntry* e :
+         consensus_.responsible_hsdirs(ids[r])) {
+      if (injector_ != nullptr && injector_->hsdir_unresponsive(e->relay, now)) {
+        ++view.dirs_unresponsive;
+        continue;
+      }
+      const hsdir::DescriptorStore* store = dirnet_.find_store(e->relay);
+      if (store != nullptr && store->contains(ids[r], now)) {
+        view.resolved[r] = true;
+        break;
+      }
+    }
+  }
+  return view;
 }
 
 void World::set_churn_exempt(relay::RelayId id, bool exempt) {

@@ -3,8 +3,11 @@
 // directories) that the measurement and attack experiments run against.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "dirauth/archive.hpp"
@@ -20,6 +23,46 @@
 #include "util/time.hpp"
 
 namespace torsim::sim {
+
+/// Plain-data snapshot of one hidden service — what the serving layer
+/// (src/serve) reads instead of reaching into hs/crypto types directly
+/// (its layer contract is serve -> sim/obs/fault/util only). All fields
+/// are pure functions of const world state at `now`, so snapshots may
+/// be taken from parallel regions.
+struct ServiceView {
+  std::size_t index = 0;
+  std::string onion;  ///< 16-char base32 address, no ".onion" suffix
+  bool online = false;
+  std::uint32_t last_published_period = 0;
+  /// Current descriptor ids (replica 0 and 1) as lowercase hex.
+  std::array<std::string, 2> descriptor_hex{};
+
+  bool operator==(const ServiceView&) const = default;
+};
+
+/// Plain-data network totals at the current hour.
+struct NetworkStats {
+  std::int64_t hours_since_start = 0;
+  std::int64_t relays_online = 0;
+  std::int64_t hsdir_count = 0;
+  std::int64_t services_online = 0;
+  std::int64_t descriptors_stored = 0;
+  util::UnixTime consensus_valid_after = 0;
+
+  bool operator==(const NetworkStats&) const = default;
+};
+
+/// Outcome of a read-only resolve probe for one service: for each
+/// replica, whether any responsive responsible directory currently
+/// holds the descriptor (plus how many responsible directories an
+/// injected outage made unresponsive along the way).
+struct ResolveView {
+  std::size_t index = 0;
+  std::array<bool, 2> resolved{};
+  std::int64_t dirs_unresponsive = 0;
+
+  bool operator==(const ResolveView&) const = default;
+};
 
 struct WorldConfig {
   std::uint64_t seed = 20130204;
@@ -104,6 +147,27 @@ class World {
     return *services_[index];
   }
   std::size_t service_count() const { return services_.size(); }
+
+  // --- read-only query surface (src/serve) --------------------------
+  // Const, allocation-only views over current world state. They touch
+  // no logs, caches with locks, or the world RNG, so the serving
+  // batcher may evaluate them concurrently from parallel_map workers;
+  // see docs/serving.md for the determinism contract.
+
+  /// Snapshot of service `index` at the current hour. Throws
+  /// std::out_of_range on a bad index.
+  ServiceView service_view(std::size_t index) const;
+
+  /// Network totals at the current hour.
+  NetworkStats network_stats() const;
+
+  /// Read-only resolve probe for service `index`: walks the
+  /// responsible HSDir sets of both replica descriptor ids in ring
+  /// order, skipping (and counting) directories inside an injected
+  /// outage window, exactly as DirectoryNetwork::fetch_from would —
+  /// but via const DescriptorStore::contains, with no fetch logging.
+  /// Throws std::out_of_range on a bad index.
+  ResolveView resolve_view(std::size_t index) const;
 
   // --- honest relays ------------------------------------------------
   /// Marks a relay as exempt from honest churn (attacker relays are

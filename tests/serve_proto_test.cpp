@@ -1,0 +1,439 @@
+// Wire-protocol tests for serve/proto: canonical round-trips, strict
+// rejection with exact line-numbered messages (the goldens mirror
+// scenario_dsl_test), mutation/truncation fuzz, and framing.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "serve/proto.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace torsim;
+using serve::FrameReader;
+using serve::QueryKind;
+using serve::Request;
+using serve::Response;
+using serve::Status;
+
+Request stats_request(std::uint64_t id = 7) {
+  Request request;
+  request.id = id;
+  request.client = 2;
+  request.kind = QueryKind::kStats;
+  return request;
+}
+
+Request scan_request() {
+  Request request;
+  request.id = 41;
+  request.client = 3;
+  request.kind = QueryKind::kScan;
+  request.first = 5;
+  request.count = 4;
+  request.seed = 9000000001ULL;
+  return request;
+}
+
+/// A valid request with random per-kind fields; unused fields stay 0
+/// so equality round-trips hold exactly.
+Request random_request(util::Rng& rng) {
+  Request request;
+  request.id = rng.next() % 1000000;
+  request.client = rng.next() % 64;
+  switch (rng.uniform_int(0, 6)) {
+    case 0: request.kind = QueryKind::kStats; break;
+    case 1:
+      request.kind = QueryKind::kHarvest;
+      request.first = rng.next() % 100;
+      request.count = 1 + rng.next() % 16;
+      break;
+    case 2:
+      request.kind = QueryKind::kResolve;
+      request.first = rng.next() % 100;
+      request.count = 1 + rng.next() % 16;
+      break;
+    case 3:
+      request.kind = QueryKind::kScan;
+      request.first = rng.next() % 100;
+      request.count = 1 + rng.next() % 16;
+      request.seed = rng.next();
+      break;
+    case 4:
+      request.kind = QueryKind::kPopularity;
+      request.requests = 1 + rng.next() % 500;
+      request.top = 1 + rng.next() % 10;
+      request.seed = rng.next();
+      break;
+    case 5:
+      request.kind = QueryKind::kScenarioStep;
+      request.hours = 1 + rng.next() % 48;
+      break;
+    default: request.kind = QueryKind::kShutdown; break;
+  }
+  return request;
+}
+
+Response random_response(util::Rng& rng) {
+  Response response;
+  response.id = rng.next() % 1000000;
+  switch (rng.uniform_int(0, 2)) {
+    case 0: {
+      response.status = Status::kOk;
+      const std::uint64_t n = rng.next() % 5;
+      for (std::uint64_t j = 0; j < n; ++j)
+        response.data.push_back("line " + std::to_string(j) + " value " +
+                                std::to_string(rng.next() % 1000));
+      break;
+    }
+    case 1:
+      response.status = Status::kError;
+      response.error = "failure mode " + std::to_string(rng.next() % 100);
+      break;
+    default:
+      response.status = Status::kRetryAfter;
+      response.retry_after = 1 + rng.next() % 8;
+      break;
+  }
+  return response;
+}
+
+void expect_parse_error(const std::string& text, const std::string& message) {
+  try {
+    (void)serve::parse_request(text);
+    FAIL() << "expected parse failure for:\n" << text;
+  } catch (const std::invalid_argument& error) {
+    EXPECT_EQ(std::string(error.what()), message);
+  }
+}
+
+void expect_response_parse_error(const std::string& text,
+                                 const std::string& message) {
+  try {
+    (void)serve::parse_response(text);
+    FAIL() << "expected parse failure for:\n" << text;
+  } catch (const std::invalid_argument& error) {
+    EXPECT_EQ(std::string(error.what()), message);
+  }
+}
+
+// --- canonical round-trips ------------------------------------------
+
+TEST(ServeProto, RequestRoundTripsForEveryKind) {
+  std::vector<Request> requests;
+  requests.push_back(stats_request());
+  requests.push_back(scan_request());
+  Request harvest;
+  harvest.id = 1;
+  harvest.kind = QueryKind::kHarvest;
+  harvest.first = 0;
+  harvest.count = 8;
+  requests.push_back(harvest);
+  Request resolve = harvest;
+  resolve.kind = QueryKind::kResolve;
+  requests.push_back(resolve);
+  Request popularity;
+  popularity.id = 12;
+  popularity.kind = QueryKind::kPopularity;
+  popularity.requests = 200;
+  popularity.top = 5;
+  popularity.seed = 33;
+  requests.push_back(popularity);
+  Request step;
+  step.id = 13;
+  step.kind = QueryKind::kScenarioStep;
+  step.hours = 24;
+  requests.push_back(step);
+  Request bye;
+  bye.id = 14;
+  bye.kind = QueryKind::kShutdown;
+  requests.push_back(bye);
+
+  for (const Request& request : requests) {
+    const std::string text = serve::render_request(request);
+    EXPECT_EQ(serve::parse_request(text), request) << text;
+    // Canonical: render(parse(render(r))) == render(r).
+    EXPECT_EQ(serve::render_request(serve::parse_request(text)), text);
+  }
+}
+
+TEST(ServeProto, RandomRequestRoundTripProperty) {
+  util::Rng rng(0x9e47);
+  for (int i = 0; i < 500; ++i) {
+    const Request request = random_request(rng);
+    EXPECT_EQ(serve::parse_request(serve::render_request(request)), request);
+  }
+}
+
+TEST(ServeProto, RandomResponseRoundTripProperty) {
+  util::Rng rng(0x51ab);
+  for (int i = 0; i < 500; ++i) {
+    const Response response = random_response(rng);
+    const std::string text = serve::render_response(response);
+    EXPECT_EQ(serve::parse_response(text), response) << text;
+    EXPECT_EQ(serve::render_response(serve::parse_response(text)), text);
+  }
+}
+
+TEST(ServeProto, CommentsAndBlankLinesAreIgnored) {
+  const std::string text =
+      "# a comment\n\ntorsim-serve-v1 request\n# another\nid 7\n\n"
+      "client 2\nkind stats\n# trailing comment\n";
+  EXPECT_EQ(serve::parse_request(text), stats_request());
+}
+
+TEST(ServeProto, ScriptParsesMultipleRequests) {
+  const std::string text = serve::render_request(stats_request()) + "\n" +
+                           serve::render_request(scan_request()) +
+                           "# done\n";
+  const std::vector<Request> script = serve::parse_script(text);
+  ASSERT_EQ(script.size(), 2u);
+  EXPECT_EQ(script[0], stats_request());
+  EXPECT_EQ(script[1], scan_request());
+}
+
+TEST(ServeProto, ScriptErrorsUseWholeScriptLineNumbers) {
+  // First request spans lines 1-4; the second request's bad kind sits
+  // on line 8 of the script.
+  const std::string text = serve::render_request(stats_request()) +
+                           "torsim-serve-v1 request\nid 8\nclient 0\n"
+                           "kind frobnicate\n";
+  try {
+    (void)serve::parse_script(text);
+    FAIL() << "expected parse failure";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_EQ(std::string(error.what()),
+              "serve parse error at line 8: unknown query kind 'frobnicate'");
+  }
+}
+
+// --- exact rejection goldens ----------------------------------------
+
+TEST(ServeProtoRejects, EmptyDocument) {
+  expect_parse_error(
+      "", "serve parse error at line 1: unexpected end of input: expected "
+          "the request header");
+}
+
+TEST(ServeProtoRejects, WrongHeader) {
+  expect_parse_error("garbage\n",
+                     "serve parse error at line 1: expected "
+                     "'torsim-serve-v1 request' header, got 'garbage'");
+}
+
+TEST(ServeProtoRejects, TruncatedAfterHeader) {
+  expect_parse_error("torsim-serve-v1 request\n",
+                     "serve parse error at line 2: unexpected end of input: "
+                     "expected 'id'");
+}
+
+TEST(ServeProtoRejects, FieldWithoutValue) {
+  expect_parse_error("torsim-serve-v1 request\nid\n",
+                     "serve parse error at line 2: 'id' needs a value");
+}
+
+TEST(ServeProtoRejects, NegativeInteger) {
+  expect_parse_error(
+      "torsim-serve-v1 request\nid -3\n",
+      "serve parse error at line 2: 'id' must be a non-negative integer, "
+      "got '-3'");
+}
+
+TEST(ServeProtoRejects, NonNumericInteger) {
+  expect_parse_error(
+      "torsim-serve-v1 request\nid 1\nclient 0\nkind scan\nfirst 0\n"
+      "count 2\nseed banana\n",
+      "serve parse error at line 7: 'seed' must be a non-negative integer, "
+      "got 'banana'");
+}
+
+TEST(ServeProtoRejects, OutOfOrderFields) {
+  expect_parse_error("torsim-serve-v1 request\nclient 1\n",
+                     "serve parse error at line 2: expected 'id', got "
+                     "'client'");
+}
+
+TEST(ServeProtoRejects, UnknownKind) {
+  expect_parse_error(
+      "torsim-serve-v1 request\nid 1\nclient 0\nkind frobnicate\n",
+      "serve parse error at line 4: unknown query kind 'frobnicate'");
+}
+
+TEST(ServeProtoRejects, TrailingContent) {
+  expect_parse_error(
+      serve::render_request(stats_request()) + "extra stuff\n",
+      "serve parse error at line 5: unexpected trailing content "
+      "'extra stuff'");
+}
+
+TEST(ServeProtoRejects, ResponseUnknownStatus) {
+  expect_response_parse_error(
+      "torsim-serve-v1 response\nid 1\nstatus bogus\n",
+      "serve parse error at line 3: unknown status 'bogus'");
+}
+
+TEST(ServeProtoRejects, ResponseMissingDataLine) {
+  expect_response_parse_error(
+      "torsim-serve-v1 response\nid 1\nstatus ok\ndata 2\n  only one\n",
+      "serve parse error at line 6: unexpected end of input: expected data "
+      "line 2 of 2");
+}
+
+TEST(ServeProtoRejects, ResponseDataLineWithoutIndent) {
+  expect_response_parse_error(
+      "torsim-serve-v1 response\nid 1\nstatus ok\ndata 1\nno indent\n",
+      "serve parse error at line 5: data line must start with two spaces");
+}
+
+TEST(ServeProtoRejects, ResponseOverIndentedDataLine) {
+  expect_response_parse_error(
+      "torsim-serve-v1 response\nid 1\nstatus ok\ndata 1\n   deep\n",
+      "serve parse error at line 5: data line must carry non-indented "
+      "content");
+}
+
+// --- mutation / truncation fuzz -------------------------------------
+
+TEST(ServeProtoFuzz, ThreeHundredSingleByteGarbles) {
+  const std::string base = serve::render_request(scan_request());
+  util::Rng rng(0xfa2b);
+  int rejected = 0;
+  int reparsed = 0;
+  for (int m = 0; m < 300; ++m) {
+    std::string doc = base;
+    const std::size_t pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(doc.size()) - 1));
+    doc[pos] = static_cast<char>(rng.uniform_int(32, 126));
+    try {
+      const Request request = serve::parse_request(doc);
+      // A mutation that still parses must itself round-trip — the
+      // parser never accepts a document it cannot re-render.
+      EXPECT_EQ(serve::parse_request(serve::render_request(request)),
+                request);
+      ++reparsed;
+    } catch (const std::invalid_argument& error) {
+      EXPECT_EQ(std::string(error.what())
+                    .rfind("serve parse error at line ", 0),
+                0u)
+          << error.what();
+      ++rejected;
+    }
+  }
+  // The mix has to exercise both outcomes for the fuzz to mean much:
+  // most single-byte garbles reject, while a digit-for-digit swap (or
+  // an identity swap) still parses and must stay canonical.
+  EXPECT_GT(rejected, 200);
+  EXPECT_GE(reparsed, 1);
+}
+
+TEST(ServeProtoFuzz, ThreeHundredResponseGarbles) {
+  Response response;
+  response.id = 9;
+  response.status = Status::kOk;
+  response.data = {"hour 2 relays_online 60 hsdirs 44",
+                   "service 1 open 2 ports 80,443"};
+  const std::string base = serve::render_response(response);
+  util::Rng rng(0x77e1);
+  for (int m = 0; m < 300; ++m) {
+    std::string doc = base;
+    const std::size_t pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(doc.size()) - 1));
+    doc[pos] = static_cast<char>(rng.uniform_int(32, 126));
+    try {
+      const Response parsed = serve::parse_response(doc);
+      EXPECT_EQ(serve::parse_response(serve::render_response(parsed)),
+                parsed);
+    } catch (const std::invalid_argument& error) {
+      EXPECT_EQ(std::string(error.what())
+                    .rfind("serve parse error at line ", 0),
+                0u)
+          << error.what();
+    }
+  }
+}
+
+TEST(ServeProtoFuzz, EveryTruncationIsHandled) {
+  const std::string base = serve::render_request(scan_request());
+  int rejected = 0;
+  for (std::size_t cut = 0; cut < base.size(); ++cut) {
+    const std::string doc = base.substr(0, cut);
+    try {
+      (void)serve::parse_request(doc);
+    } catch (const std::invalid_argument& error) {
+      EXPECT_EQ(std::string(error.what())
+                    .rfind("serve parse error at line ", 0),
+                0u)
+          << error.what();
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0);
+}
+
+// --- framing ---------------------------------------------------------
+
+TEST(ServeFraming, EncodeDecodeRoundTrip) {
+  FrameReader reader;
+  const std::string body = serve::render_request(scan_request());
+  EXPECT_EQ(reader.feed(serve::encode_frame(body)), 1u);
+  std::string out;
+  ASSERT_TRUE(reader.next_frame(out));
+  EXPECT_EQ(out, body);
+  EXPECT_FALSE(reader.next_frame(out));
+  EXPECT_EQ(reader.pending_bytes(), 0u);
+}
+
+TEST(ServeFraming, ByteAtATimeFeedReassembles) {
+  const std::string frame = serve::encode_frame("hello serve");
+  FrameReader reader;
+  for (std::size_t i = 0; i + 1 < frame.size(); ++i)
+    reader.feed(std::string_view(frame).substr(i, 1));
+  EXPECT_EQ(reader.feed(std::string_view(frame).substr(frame.size() - 1)),
+            1u);
+  std::string out;
+  ASSERT_TRUE(reader.next_frame(out));
+  EXPECT_EQ(out, "hello serve");
+}
+
+TEST(ServeFraming, MultipleFramesInOneFeed) {
+  const std::string bytes = serve::encode_frame("one") +
+                            serve::encode_frame("") +
+                            serve::encode_frame("three");
+  FrameReader reader;
+  EXPECT_EQ(reader.feed(bytes), 3u);
+  std::string out;
+  ASSERT_TRUE(reader.next_frame(out));
+  EXPECT_EQ(out, "one");
+  ASSERT_TRUE(reader.next_frame(out));
+  EXPECT_EQ(out, "");
+  ASSERT_TRUE(reader.next_frame(out));
+  EXPECT_EQ(out, "three");
+}
+
+TEST(ServeFraming, PartialFrameReportsPendingBytes) {
+  FrameReader reader;
+  const std::string frame = serve::encode_frame("abcdef");
+  reader.feed(std::string_view(frame).substr(0, 7));
+  EXPECT_EQ(reader.pending_bytes(), 7u);
+  std::string out;
+  EXPECT_FALSE(reader.next_frame(out));
+}
+
+TEST(ServeFraming, OversizedDeclaredLengthPoisonsTheReader) {
+  FrameReader reader;
+  // Declared length 0x7fffffff, far beyond kMaxFrameBytes.
+  const std::string header = {"\x7f\xff\xff\xff", 4};
+  EXPECT_THROW(reader.feed(header), std::invalid_argument);
+  // Poisoned: every later feed throws too, even with innocent bytes.
+  EXPECT_THROW(reader.feed("x"), std::invalid_argument);
+}
+
+TEST(ServeFraming, EncodeRejectsOversizedBody) {
+  const std::string big(serve::kMaxFrameBytes + 1, 'a');
+  EXPECT_THROW((void)serve::encode_frame(big), std::invalid_argument);
+}
+
+}  // namespace

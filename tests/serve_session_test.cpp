@@ -1,0 +1,277 @@
+// WorldSession tests: query payload shapes, the batch-equals-serial
+// determinism contract at several thread counts, mutating requests as
+// batch barriers, and byte-stable session metrics.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/loadgen.hpp"
+#include "serve/proto.hpp"
+#include "serve/session.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace torsim;
+using serve::QueryKind;
+using serve::Request;
+using serve::Response;
+using serve::SessionConfig;
+using serve::Status;
+using serve::WorldSession;
+
+SessionConfig toy_config(int threads = 1,
+                         obs::MetricsRegistry* metrics = nullptr) {
+  SessionConfig config;
+  config.world.seed = 20130204;
+  config.world.honest_relays = 60;
+  config.services = 6;
+  config.warmup_hours = 2;
+  config.threads = threads;
+  config.metrics = metrics;
+  return config;
+}
+
+Request make(QueryKind kind, std::uint64_t id) {
+  Request request;
+  request.id = id;
+  request.kind = kind;
+  return request;
+}
+
+std::string render_all(const std::vector<Response>& responses) {
+  std::string out;
+  for (const Response& response : responses)
+    out += serve::render_response(response);
+  return out;
+}
+
+/// A mixed workload over every read-only kind plus a mutating step in
+/// the middle (a barrier the batcher must respect).
+std::vector<Request> mixed_batch() {
+  std::vector<Request> batch;
+  batch.push_back(make(QueryKind::kStats, 1));
+  Request harvest = make(QueryKind::kHarvest, 2);
+  harvest.first = 0;
+  harvest.count = 6;
+  batch.push_back(harvest);
+  Request resolve = make(QueryKind::kResolve, 3);
+  resolve.first = 2;
+  resolve.count = 3;
+  batch.push_back(resolve);
+  Request scan = make(QueryKind::kScan, 4);
+  scan.first = 0;
+  scan.count = 6;
+  scan.seed = 99;
+  batch.push_back(scan);
+  Request popularity = make(QueryKind::kPopularity, 5);
+  popularity.requests = 120;
+  popularity.top = 4;
+  popularity.seed = 7;
+  batch.push_back(popularity);
+  Request step = make(QueryKind::kScenarioStep, 6);
+  step.hours = 2;
+  batch.push_back(step);
+  // After the barrier the same queries must see the stepped world.
+  Request stats2 = make(QueryKind::kStats, 7);
+  batch.push_back(stats2);
+  Request scan2 = scan;
+  scan2.id = 8;
+  batch.push_back(scan2);
+  return batch;
+}
+
+TEST(ServeSession, StatsHasTheDocumentedShape) {
+  WorldSession session(toy_config());
+  const Response response = session.execute(make(QueryKind::kStats, 9));
+  ASSERT_EQ(response.status, Status::kOk);
+  ASSERT_EQ(response.data.size(), 1u);
+  const std::vector<std::string> words =
+      util::split(response.data.front(), ' ');
+  ASSERT_EQ(words.size(), 12u) << response.data.front();
+  EXPECT_EQ(words[0], "hour");
+  EXPECT_EQ(words[1], "2");  // warmup_hours
+  EXPECT_EQ(words[2], "relays_online");
+  EXPECT_EQ(words[4], "hsdirs");
+  EXPECT_EQ(words[6], "services_online");
+  EXPECT_EQ(words[8], "descriptors_stored");
+  EXPECT_EQ(words[10], "consensus_valid_after");
+}
+
+TEST(ServeSession, HarvestReturnsOneLinePerService) {
+  WorldSession session(toy_config());
+  Request request = make(QueryKind::kHarvest, 1);
+  request.first = 1;
+  request.count = 4;
+  const Response response = session.execute(request);
+  ASSERT_EQ(response.status, Status::kOk);
+  ASSERT_EQ(response.data.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::vector<std::string> words =
+        util::split(response.data[i], ' ');
+    ASSERT_EQ(words.size(), 12u) << response.data[i];
+    EXPECT_EQ(words[0], "service");
+    EXPECT_EQ(words[1], std::to_string(i + 1));
+    EXPECT_EQ(words[2], "onion");
+    EXPECT_EQ(words[3].size(), 16u);  // onion addresses are 16 base32 chars
+    // Descriptor ids are 40 hex chars (SHA-1).
+    EXPECT_EQ(words[9].size(), 40u);
+    EXPECT_EQ(words[11].size(), 40u);
+  }
+}
+
+TEST(ServeSession, RangeErrorsAreExactAndStable) {
+  WorldSession session(toy_config());
+  Request request = make(QueryKind::kHarvest, 1);
+  request.first = 4;
+  request.count = 5;
+  const Response response = session.execute(request);
+  ASSERT_EQ(response.status, Status::kError);
+  EXPECT_EQ(response.error, "service range [4, 9) out of range (have 6)");
+}
+
+TEST(ServeSession, InvalidParametersAreRejectedNotExecuted) {
+  WorldSession session(toy_config());
+  Request request = make(QueryKind::kScan, 1);
+  request.count = 0;
+  const Response response = session.execute(request);
+  ASSERT_EQ(response.status, Status::kError);
+  EXPECT_EQ(response.error, "count must be >= 1");
+
+  Request popularity = make(QueryKind::kPopularity, 2);
+  popularity.requests = 10;
+  popularity.top = 0;
+  EXPECT_EQ(session.execute(popularity).error, "top must be >= 1");
+}
+
+TEST(ServeSession, ScanIsAPureFunctionOfItsSeed) {
+  WorldSession session(toy_config());
+  Request request = make(QueryKind::kScan, 1);
+  request.first = 0;
+  request.count = 6;
+  request.seed = 42;
+  const Response first = session.execute(request);
+  const Response again = session.execute(request);
+  EXPECT_EQ(first, again);
+  Request other = request;
+  other.seed = 43;
+  EXPECT_NE(session.execute(other).data, first.data);
+}
+
+TEST(ServeSession, PopularityRanksAreSortedAndComplete) {
+  WorldSession session(toy_config());
+  Request request = make(QueryKind::kPopularity, 1);
+  request.requests = 300;
+  request.top = 6;
+  request.seed = 5;
+  const Response response = session.execute(request);
+  ASSERT_EQ(response.status, Status::kOk);
+  ASSERT_EQ(response.data.size(), 6u);
+  std::uint64_t previous = ~0ULL;
+  std::uint64_t total = 0;
+  for (std::size_t r = 0; r < response.data.size(); ++r) {
+    const std::vector<std::string> words =
+        util::split(response.data[r], ' ');
+    ASSERT_EQ(words.size(), 6u) << response.data[r];
+    EXPECT_EQ(words[0], "rank");
+    EXPECT_EQ(words[1], std::to_string(r + 1));
+    const std::uint64_t count = std::stoull(words[5]);
+    EXPECT_LE(count, previous);  // non-increasing tallies
+    previous = count;
+    total += count;
+  }
+  EXPECT_EQ(total, 300u);  // every draw lands on some service
+}
+
+TEST(ServeSession, ShutdownAcknowledgesAndLatches) {
+  WorldSession session(toy_config());
+  EXPECT_FALSE(session.shutdown_requested());
+  const Response response = session.execute(make(QueryKind::kShutdown, 1));
+  ASSERT_EQ(response.status, Status::kOk);
+  ASSERT_EQ(response.data, std::vector<std::string>{"bye"});
+  EXPECT_TRUE(session.shutdown_requested());
+}
+
+TEST(ServeSession, ScenarioStepAdvancesTheWorldAsABarrier) {
+  WorldSession batch_session(toy_config(4));
+  const std::vector<Request> batch = mixed_batch();
+  const std::vector<Response> responses =
+      batch_session.execute_batch(batch);
+  ASSERT_EQ(responses.size(), batch.size());
+  // Request 1 (stats, pre-step) reports hour 2; request 6's probe and
+  // request 7 report hour 4 — the step really happened between them.
+  EXPECT_EQ(util::split(responses[0].data.front(), ' ')[1], "2");
+  EXPECT_EQ(util::split(responses[5].data.front(), ' ')[1], "4");
+  EXPECT_EQ(util::split(responses[6].data.front(), ' ')[1], "4");
+}
+
+TEST(ServeSession, BatchEqualsSerialAcrossThreadCounts) {
+  const std::vector<Request> batch = mixed_batch();
+
+  // The serial reference: a fresh session executing one at a time.
+  WorldSession reference(toy_config(1));
+  std::vector<Response> serial;
+  for (const Request& request : batch)
+    serial.push_back(reference.execute(request));
+  const std::string expected = render_all(serial);
+
+  for (const int threads : {1, 4, 8}) {
+    WorldSession session(toy_config(threads));
+    const std::vector<Response> batched = session.execute_batch(batch);
+    EXPECT_EQ(render_all(batched), expected) << "threads=" << threads;
+  }
+}
+
+TEST(ServeSession, DefaultMixMatchesAcrossThreadCounts) {
+  const std::vector<Request> mix =
+      serve::default_request_mix(20130204, 40, 6, 4);
+  std::string expected;
+  for (const int threads : {1, 4, 8}) {
+    WorldSession session(toy_config(threads));
+    const std::string got = render_all(session.execute_batch(mix));
+    if (expected.empty()) expected = got;
+    EXPECT_EQ(got, expected) << "threads=" << threads;
+  }
+}
+
+TEST(ServeSession, SessionMetricsAreByteStableAcrossBatchShapes) {
+  const std::vector<Request> batch = mixed_batch();
+
+  obs::MetricsRegistry serial_metrics;
+  WorldSession serial_session(toy_config(1, &serial_metrics));
+  for (const Request& request : batch) serial_session.execute(request);
+
+  obs::MetricsRegistry batch_metrics;
+  WorldSession batch_session(toy_config(8, &batch_metrics));
+  batch_session.execute_batch(batch);
+
+  EXPECT_EQ(serial_metrics.to_text(), batch_metrics.to_text());
+  // And the counters actually counted.
+  EXPECT_NE(serial_metrics.to_text().find("serve.requests_total"),
+            std::string::npos);
+}
+
+TEST(ServeSession, ErrorsInsideAParallelRunStayPerRequest) {
+  WorldSession session(toy_config(4));
+  std::vector<Request> batch;
+  Request good = make(QueryKind::kHarvest, 1);
+  good.first = 0;
+  good.count = 2;
+  batch.push_back(good);
+  Request bad = make(QueryKind::kHarvest, 2);
+  bad.first = 100;
+  bad.count = 1;
+  batch.push_back(bad);
+  Request also_good = make(QueryKind::kStats, 3);
+  batch.push_back(also_good);
+  const std::vector<Response> responses = session.execute_batch(batch);
+  EXPECT_EQ(responses[0].status, Status::kOk);
+  EXPECT_EQ(responses[1].status, Status::kError);
+  EXPECT_EQ(responses[1].error,
+            "service range [100, 101) out of range (have 6)");
+  EXPECT_EQ(responses[2].status, Status::kOk);
+}
+
+}  // namespace

@@ -155,6 +155,75 @@ class Checker:
                     self.require(self.is_num(stat["speedup"]),
                                  f"{where}.speedup must be a number")
 
+    def check_serve(self, serve):
+        # Optional section: only BENCH_serve.json carries it (the
+        # daemon-path throughput/latency telemetry from bench_serve),
+        # but when present anywhere it must be well-formed. Like
+        # wall_clock it is perf telemetry, never golden-compared.
+        if serve is None:
+            return
+        if not self.require(isinstance(serve, dict),
+                            "serve must be an object"):
+            return
+        for key, floor in (("clients", 1), ("threads", 0), ("requests", 1),
+                           ("retries", 0), ("reconnects", 0)):
+            value = serve.get(key)
+            self.require(self.is_int(value) and value >= floor,
+                         f"serve.{key} must be an integer >= {floor}")
+        seconds = serve.get("seconds")
+        self.require(self.is_num(seconds) and seconds >= 0,
+                     "serve.seconds must be a non-negative number")
+        if "requests_per_second" not in serve:
+            self.error("serve missing requests_per_second")
+        elif self.is_num(seconds):
+            # The n/a rule: an unmeasured run has no meaningful rate ->
+            # requests_per_second is null, never 0 or inf.
+            if seconds == 0:
+                self.require(serve["requests_per_second"] is None,
+                             "serve.requests_per_second must be null "
+                             "when seconds == 0")
+            else:
+                rps = serve["requests_per_second"]
+                self.require(self.is_num(rps) and rps >= 0,
+                             "serve.requests_per_second must be a "
+                             "non-negative number")
+        latency = serve.get("latency_us")
+        if not self.require(isinstance(latency, dict),
+                            "serve.latency_us must be an object"):
+            return
+        edges = latency.get("edges")
+        buckets = latency.get("buckets")
+        ok_edges = self.require(
+            isinstance(edges, list) and edges
+            and all(self.is_int(e) for e in edges)
+            and all(a < b for a, b in zip(edges, edges[1:])),
+            "serve.latency_us.edges must be strictly increasing integers")
+        ok_buckets = self.require(
+            isinstance(buckets, list)
+            and all(self.is_int(b) and b >= 0 for b in buckets),
+            "serve.latency_us.buckets must be non-negative integers")
+        if ok_edges and ok_buckets:
+            self.require(len(buckets) == len(edges) + 1,
+                         "serve.latency_us: need len(edges)+1 buckets")
+        count = latency.get("count")
+        if self.require(self.is_int(count) and count >= 0,
+                        "serve.latency_us.count must be a non-negative "
+                        "integer") and ok_buckets:
+            self.require(sum(buckets) == count,
+                         "serve.latency_us: bucket counts must sum to count")
+        self.require(self.is_int(latency.get("sum")),
+                     "serve.latency_us.sum must be an integer")
+        quantiles = []
+        for key in ("p50", "p90", "p99"):
+            value = latency.get(key)
+            if self.require(self.is_int(value) and value >= 0,
+                            f"serve.latency_us.{key} must be a "
+                            f"non-negative integer"):
+                quantiles.append(value)
+        if len(quantiles) == 3:
+            self.require(quantiles[0] <= quantiles[1] <= quantiles[2],
+                         "serve.latency_us: p50 <= p90 <= p99 must hold")
+
     def check_scenarios(self, scenarios):
         # Optional section: only BENCH_scenarios.json carries it, but
         # when present anywhere it must be well-formed.
@@ -250,6 +319,7 @@ class Checker:
                      "peak_rss_bytes must be a positive integer")
         self.check_cache(doc.get("cache"))
         self.check_index(doc.get("index"))
+        self.check_serve(doc.get("serve"))
         self.check_scenarios(doc.get("scenarios"))
         self.check_metrics(doc)
 

@@ -1,0 +1,21 @@
+#!/bin/sh
+# Drift gate for the torsim command table: every command that
+# `torsim --list-commands` enumerates must accept --help with exit 0.
+# Because --list-commands and usage() read the same kCommands table,
+# this catches a command wired into dispatch but broken under --help
+# (or a table entry with no working handler) the moment it lands.
+set -eu
+
+bin="$1"
+list="$("$bin" --list-commands)"
+if [ -z "$list" ]; then
+  echo "error: --list-commands printed nothing" >&2
+  exit 1
+fi
+for command in $list; do
+  if ! "$bin" "$command" --help >/dev/null; then
+    echo "error: '$bin $command --help' did not exit 0" >&2
+    exit 1
+  fi
+done
+echo "checked --help for $(echo "$list" | wc -l) commands"

@@ -10,6 +10,13 @@
 //   torsim consensus   [--hours N] [--out FILE]              dir-spec dump
 //   torsim scenario    run|check|list [PACK]                 scenario packs
 //   torsim geoip IP [IP...]                                  GeoIP lookups
+//   torsim serve       --socket PATH [--services N]          warm-world daemon
+//   torsim load        --socket PATH [--clients N]           load generator
+//   torsim query       [--requests N] [--script FILE]        in-process answers
+//
+// The command list below is driven by kCommands: usage(), dispatch,
+// the unknown-command error, and the hidden --list-commands flag all
+// read the same table, so they cannot drift apart.
 #include <array>
 #include <cstdio>
 #include <cstring>
@@ -18,6 +25,11 @@
 #include <set>
 #include <string>
 #include <vector>
+
+#include "serve/loadgen.hpp"
+#include "serve/server.hpp"
+#include "serve/session.hpp"
+#include "serve_common.hpp"
 
 #include "attack/harvester.hpp"
 #include "content/pipeline.hpp"
@@ -63,6 +75,20 @@ struct Options {
   std::string metrics_out;
   /// Chrome trace_event JSON destination (--trace-out FILE).
   std::string trace_out;
+
+  // Serving subsystem knobs (serve / load / query; docs/serving.md).
+  std::string socket;       ///< --socket PATH (unix-domain socket)
+  int services = 16;        ///< --services N (resident hidden services)
+  int clients = 4;          ///< --clients N (load worker connections)
+  int requests = 100;       ///< --requests N (generated mix length)
+  bool open_loop = false;   ///< --open-loop (pipeline instead of RPC)
+  bool shutdown = false;    ///< --shutdown (append a shutdown request)
+  std::string script;       ///< --script FILE (explicit request list)
+  int batch_max = 256;      ///< --batch-max N (requests per tick)
+  int queue_cap = 1024;     ///< --queue-cap N (admission-control bound)
+  std::string chaos_spec;   ///< --chaos SPEC (connection-level faults)
+  std::string telemetry_out;  ///< --telemetry-out FILE (edge/load telemetry)
+
   std::vector<std::string> positional;
 
   /// Wired by main() when --metrics-out / --trace-out are given; the
@@ -113,6 +139,17 @@ Options parse_options(int argc, char** argv, int first) {
     else if (arg == "--metrics-out") opt.metrics_out = next();
     else if (arg == "--trace-out") opt.trace_out = next();
     else if (arg == "--log-level") util::set_log_level(parse_log_level(next()));
+    else if (arg == "--socket") opt.socket = next();
+    else if (arg == "--services") opt.services = std::stoi(next());
+    else if (arg == "--clients") opt.clients = std::stoi(next());
+    else if (arg == "--requests") opt.requests = std::stoi(next());
+    else if (arg == "--open-loop") opt.open_loop = true;
+    else if (arg == "--shutdown") opt.shutdown = true;
+    else if (arg == "--script") opt.script = next();
+    else if (arg == "--batch-max") opt.batch_max = std::stoi(next());
+    else if (arg == "--queue-cap") opt.queue_cap = std::stoi(next());
+    else if (arg == "--chaos") opt.chaos_spec = next();
+    else if (arg == "--telemetry-out") opt.telemetry_out = next();
     else if (!arg.empty() && arg[0] == '-')
       throw std::invalid_argument("unknown option " + arg);
     else opt.positional.push_back(arg);
@@ -592,6 +629,143 @@ int cmd_geoip(const Options& opt) {
   return 0;
 }
 
+tools::ServeParams serve_params(const Options& opt) {
+  tools::ServeParams params;
+  params.scale = opt.scale;
+  params.seed = opt.seed;
+  params.services = opt.services;
+  params.warmup_hours = opt.hours;
+  params.threads = opt.threads;
+  params.faults = opt.faults;
+  return params;
+}
+
+/// Reads a --script file whole; throws on open failure so script typos
+/// fail like any other bad flag value.
+std::string read_script_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr)
+    throw std::invalid_argument("cannot open script file '" + path + "'");
+  std::string text;
+  char buffer[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof buffer, f)) > 0)
+    text.append(buffer, n);
+  std::fclose(f);
+  return text;
+}
+
+/// The request stream `torsim load` and `torsim query` share: the
+/// seeded default mix (or a parsed --script), plus the trailing
+/// shutdown request when --shutdown is given — identical inputs are
+/// what makes their CSVs byte-comparable.
+std::vector<serve::Request> request_mix(const Options& opt,
+                                        bool append_shutdown) {
+  std::vector<serve::Request> mix =
+      opt.script.empty()
+          ? serve::default_request_mix(
+                opt.seed, opt.requests,
+                static_cast<std::uint64_t>(opt.services), opt.clients)
+          : serve::parse_script(read_script_file(opt.script));
+  if (append_shutdown) {
+    serve::Request request;
+    request.id = mix.size() + 1;
+    request.kind = serve::QueryKind::kShutdown;
+    mix.push_back(request);
+  }
+  return mix;
+}
+
+int cmd_serve(const Options& opt) {
+  if (opt.socket.empty())
+    throw std::invalid_argument("serve needs --socket PATH");
+  serve::WorldSession session(
+      tools::make_session_config(serve_params(opt), opt.metrics));
+  serve::ServerConfig sc;
+  sc.socket_path = opt.socket;
+  sc.max_batch = opt.batch_max;
+  sc.queue_capacity = opt.queue_cap;
+  if (!opt.chaos_spec.empty()) sc.chaos = fault::FaultPlan::parse(opt.chaos_spec);
+  obs::MetricsRegistry telemetry;
+  sc.telemetry = &telemetry;
+  serve::Server server(session, sc);
+  server.start();
+  std::printf("torsimd listening on %s (services %d, warmup %dh)\n",
+              server.socket_path().c_str(), opt.services, opt.hours);
+  std::fflush(stdout);
+  server.run();
+  std::printf("torsimd: event loop exited\n");
+  if (!opt.telemetry_out.empty())
+    return write_text_file(opt.telemetry_out, telemetry.to_json(),
+                           "serve telemetry");
+  return 0;
+}
+
+int cmd_load(const Options& opt) {
+  if (opt.socket.empty())
+    throw std::invalid_argument("load needs --socket PATH");
+  serve::LoadConfig lc;
+  lc.socket_path = opt.socket;
+  lc.clients = opt.clients;
+  lc.requests = opt.requests;
+  lc.open_loop = opt.open_loop;
+  lc.seed = opt.seed;
+  lc.services = static_cast<std::uint64_t>(opt.services);
+  lc.shutdown = opt.shutdown;
+  if (!opt.script.empty())
+    lc.script = serve::parse_script(read_script_file(opt.script));
+  obs::MetricsRegistry telemetry;
+  lc.telemetry = &telemetry;
+  const serve::LoadResult result = serve::run_load(lc);
+  std::int64_t ok = 0, errors = 0;
+  for (const serve::Response& response : result.responses) {
+    if (response.status == serve::Status::kOk) ++ok;
+    else ++errors;
+  }
+  std::printf("load: %zu requests (%s loop), %lld ok, %lld errors, "
+              "%lld retries, %lld reconnects\n",
+              result.requests.size(), opt.open_loop ? "open" : "closed",
+              static_cast<long long>(ok), static_cast<long long>(errors),
+              static_cast<long long>(result.retries),
+              static_cast<long long>(result.reconnects));
+  if (!opt.csv.empty()) {
+    util::CsvWriter csv(opt.csv);
+    tools::write_result_csv(csv, result.requests, result.responses);
+    std::printf("wrote %zu rows to %s\n", csv.rows_written(),
+                opt.csv.c_str());
+  }
+  if (!opt.telemetry_out.empty())
+    return write_text_file(opt.telemetry_out, telemetry.to_json(),
+                           "load telemetry");
+  return 0;
+}
+
+int cmd_query(const Options& opt) {
+  serve::WorldSession session(
+      tools::make_session_config(serve_params(opt), opt.metrics));
+  const std::vector<serve::Request> mix = request_mix(opt, opt.shutdown);
+  // One request at a time: this is the serial reference the daemon's
+  // batched execution must match byte-for-byte (docs/serving.md).
+  std::vector<serve::Response> responses;
+  responses.reserve(mix.size());
+  for (const serve::Request& request : mix)
+    responses.push_back(session.execute(request));
+  std::int64_t ok = 0, errors = 0;
+  for (const serve::Response& response : responses) {
+    if (response.status == serve::Status::kOk) ++ok;
+    else ++errors;
+  }
+  std::printf("query: %zu requests, %lld ok, %lld errors\n", mix.size(),
+              static_cast<long long>(ok), static_cast<long long>(errors));
+  if (!opt.csv.empty()) {
+    util::CsvWriter csv(opt.csv);
+    tools::write_result_csv(csv, mix, responses);
+    std::printf("wrote %zu rows to %s\n", csv.rows_written(),
+                opt.csv.c_str());
+  }
+  return 0;
+}
+
 int write_text_file(const std::string& path, const std::string& text,
                     const char* what) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -605,26 +779,63 @@ int write_text_file(const std::string& path, const std::string& text,
   return 0;
 }
 
-void usage() {
+/// The single source of truth for the command list. usage(), the
+/// dispatcher, the unknown-command error, and --list-commands all walk
+/// this table; the cli_help_lists_every_command smoke test walks
+/// --list-commands, so adding a command here is the whole job.
+struct Command {
+  const char* name;
+  int (*run)(const Options&);
+  /// Whether bare (non-flag) operands are legal after the command name.
+  bool takes_positional;
+  const char* summary;
+};
+
+const Command kCommands[] = {
+    {"scan", cmd_scan, false,
+     "port-scan the synthetic landscape (Fig. 1)"},
+    {"crawl", cmd_crawl, false,
+     "crawl HTTP(S) destinations (Table I + certificates)"},
+    {"classify", cmd_classify, false,
+     "language + topic classification (Fig. 2)"},
+    {"popularity", cmd_popularity, false,
+     "request resolution and ranking (Table II)"},
+    {"botnet", cmd_botnet, false, "Goldnet infrastructure inference"},
+    {"harvest", cmd_harvest, false,
+     "shadow-relay onion harvesting (Sec. II)"},
+    {"trackdet", cmd_trackdet, false,
+     "Silk Road tracking detection (Sec. VII)"},
+    {"consensus", cmd_consensus, false,
+     "dump a dir-spec consensus archive"},
+    {"report", cmd_report, false,
+     "full-pipeline measured-vs-paper markdown report"},
+    {"scenario", cmd_scenario, true,
+     "run|check|list longitudinal scenario packs (docs/scenarios.md)"},
+    {"geoip", cmd_geoip, true, "look up synthetic GeoIP for addresses"},
+    {"serve", cmd_serve, false,
+     "warm-world query daemon on a unix socket (docs/serving.md)"},
+    {"load", cmd_load, false,
+     "closed/open-loop load generator against a serve socket"},
+    {"query", cmd_query, false,
+     "answer a request mix in-process (serve equivalence reference)"},
+};
+
+const Command* find_command(const std::string& name) {
+  for (const Command& command : kCommands)
+    if (name == command.name) return &command;
+  return nullptr;
+}
+
+void usage(std::FILE* out) {
+  std::fprintf(out,
+               "torsim — Tor hidden-service landscape reproduction "
+               "(Biryukov et al., ICDCS 2014)\n\n"
+               "usage: torsim COMMAND [options]\n\ncommands:\n");
+  for (const Command& command : kCommands)
+    std::fprintf(out, "  %-11s %s\n", command.name, command.summary);
   std::fprintf(
-      stderr,
-      "torsim — Tor hidden-service landscape reproduction "
-      "(Biryukov et al., ICDCS 2014)\n\n"
-      "commands:\n"
-      "  scan        port-scan the synthetic landscape (Fig. 1)\n"
-      "  crawl       crawl HTTP(S) destinations (Table I + certificates)\n"
-      "  classify    language + topic classification (Fig. 2)\n"
-      "  popularity  request resolution and ranking (Table II)\n"
-      "  botnet      Goldnet infrastructure inference\n"
-      "  harvest     shadow-relay onion harvesting (Sec. II)\n"
-      "  trackdet    Silk Road tracking detection (Sec. VII)\n"
-      "  consensus   dump a dir-spec consensus archive\n"
-      "  report      full-pipeline measured-vs-paper markdown report\n"
-      "  scenario    run|check|list longitudinal scenario packs\n"
-      "              (docs/scenarios.md; honours --threads --faults\n"
-      "              --cache --csv --metrics-out --trace-out)\n"
-      "  geoip       look up synthetic GeoIP for addresses\n\n"
-      "options: --scale S --seed N --csv FILE --out FILE --ips N "
+      out,
+      "\noptions: --scale S --seed N --csv FILE --out FILE --ips N "
       "--relays M --hours N --threads T --cache MODE --faults SPEC\n"
       "         --metrics-out FILE --trace-out FILE --log-level LEVEL\n"
       "  --threads T   fan-out workers (0 = one per hardware thread,\n"
@@ -640,24 +851,52 @@ void usage() {
       "                for every --threads value; docs/observability.md)\n"
       "  --trace-out FILE    sim-time Chrome trace_event JSON (open in\n"
       "                chrome://tracing or Perfetto)\n"
-      "  --log-level LEVEL   debug|info|warn|error|off (default warn)\n");
+      "  --log-level LEVEL   debug|info|warn|error|off (default warn)\n"
+      "\nserving options (serve/load/query; docs/serving.md):\n"
+      "  --socket PATH --services N --clients N --requests N\n"
+      "  --open-loop --shutdown --script FILE --batch-max N\n"
+      "  --queue-cap N --chaos SPEC --telemetry-out FILE\n"
+      "  (serve warms --services services for --hours hours; load and\n"
+      "  query share one seeded request mix, so their --csv outputs are\n"
+      "  byte-comparable — the serve equivalence gate)\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Global --help/-h anywhere on the line wins, exits 0, and prints to
+  // stdout — so `torsim --help` and `torsim CMD --help` both work and
+  // the per-command help smoke test can loop over every entry.
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--help") == 0 ||
+        std::strcmp(argv[i], "-h") == 0) {
+      usage(stdout);
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--list-commands") == 0) {
+      for (const Command& command : kCommands)
+        std::printf("%s\n", command.name);
+      return 0;
+    }
+  }
   if (argc < 2) {
-    usage();
+    usage(stderr);
     return 1;
   }
-  const std::string command = argv[1];
+  const std::string command_name = argv[1];
   try {
+    const Command* command = find_command(command_name);
+    if (command == nullptr) {
+      std::fprintf(stderr, "error: unknown command '%s'\n\n",
+                   command_name.c_str());
+      usage(stderr);
+      return 1;
+    }
     Options opt = parse_options(argc, argv, 2);
-    // Only geoip and scenario take positional operands; anywhere else a
-    // stray word is almost certainly a typo'd flag value, so fail loudly
-    // instead of silently ignoring it.
-    if (command != "geoip" && command != "scenario" &&
-        !opt.positional.empty())
+    // A stray bare word after a flags-only command is almost certainly
+    // a typo'd flag value, so fail loudly instead of silently ignoring
+    // it.
+    if (!command->takes_positional && !opt.positional.empty())
       throw std::invalid_argument("unexpected argument '" +
                                   opt.positional.front() + "'");
 
@@ -668,27 +907,7 @@ int main(int argc, char** argv) {
     if (!opt.metrics_out.empty()) opt.metrics = &metrics;
     if (!opt.trace_out.empty()) opt.trace = &trace;
 
-    const auto dispatch = [&]() -> int {
-      if (command == "scan") return cmd_scan(opt);
-      if (command == "crawl") return cmd_crawl(opt);
-      if (command == "classify") return cmd_classify(opt);
-      if (command == "popularity") return cmd_popularity(opt);
-      if (command == "botnet") return cmd_botnet(opt);
-      if (command == "harvest") return cmd_harvest(opt);
-      if (command == "trackdet") return cmd_trackdet(opt);
-      if (command == "consensus") return cmd_consensus(opt);
-      if (command == "report") return cmd_report(opt);
-      if (command == "scenario") return cmd_scenario(opt);
-      if (command == "geoip") return cmd_geoip(opt);
-      return -1;
-    };
-    const int rc = dispatch();
-    if (rc == -1) {
-      std::fprintf(stderr, "error: unknown command '%s'\n\n",
-                   command.c_str());
-      usage();
-      return 1;
-    }
+    const int rc = command->run(opt);
     if (rc != 0) return rc;
     if (opt.metrics != nullptr &&
         write_text_file(opt.metrics_out, metrics.to_json(), "metrics") != 0)
