@@ -46,12 +46,18 @@ std::vector<relay::RelayId> DirectoryNetwork::publish(
           failure_log_.push_back({fault::FailureKind::kPublishDelayed,
                                   descriptor_key, e->relay, attempt});
         }
-        store_for(e->relay).store(std::move(copy));
+        DescriptorStore& target = store_for(e->relay);
+        target.observe_epoch(consensus.generation());
+        target.store(std::move(copy));
         receivers.push_back(e->relay);
         ++stored;
         continue;
       }
-      store_for(e->relay).store(descriptors[i]);
+      // Each touched store learns the publish round's consensus
+      // generation — its cue to compact dead arena spans (store.hpp).
+      DescriptorStore& target = store_for(e->relay);
+      target.observe_epoch(consensus.generation());
+      target.store(descriptors[i]);
       receivers.push_back(e->relay);
       ++stored;
     }

@@ -1,9 +1,54 @@
 #include "hsdir/store.hpp"
 
+#include <cstring>
+#include <utility>
+
 namespace torsim::hsdir {
 
 void DescriptorStore::store(Descriptor descriptor) {
-  descriptors_[descriptor.descriptor_id] = std::move(descriptor);
+  StoredDescriptor s;
+  s.permanent_id = descriptor.permanent_id;
+  s.replica = descriptor.replica;
+  s.time_period = descriptor.time_period;
+  s.published = descriptor.published;
+  s.visible_after = descriptor.visible_after;
+  s.key_size = static_cast<std::uint32_t>(descriptor.service_public_key.size());
+  s.key_offset = arena_.append(descriptor.service_public_key.data(),
+                               descriptor.service_public_key.size());
+  s.intro_count =
+      static_cast<std::uint32_t>(descriptor.introduction_points.size());
+  s.intro_offset = arena_.append(
+      descriptor.introduction_points.data(),
+      descriptor.introduction_points.size() * sizeof(crypto::Fingerprint));
+
+  // A refresh orphans the old payload span (the append above is the new
+  // one); the old bytes stay dead in the arena until compaction.
+  const auto it = descriptors_.find(descriptor.descriptor_id);
+  if (it != descriptors_.end()) {
+    live_payload_bytes_ -= payload_bytes(it->second);
+    it->second = s;
+  } else {
+    descriptors_.emplace(descriptor.descriptor_id, s);
+  }
+  live_payload_bytes_ += payload_bytes(s);
+}
+
+Descriptor DescriptorStore::materialize(const crypto::DescriptorId& id,
+                                        const StoredDescriptor& s) const {
+  Descriptor d;
+  d.descriptor_id = id;
+  d.permanent_id = s.permanent_id;
+  d.replica = s.replica;
+  d.time_period = s.time_period;
+  d.published = s.published;
+  d.visible_after = s.visible_after;
+  d.service_public_key.resize(s.key_size);
+  std::memcpy(d.service_public_key.data(), arena_.at(s.key_offset),
+              s.key_size);
+  d.introduction_points.resize(s.intro_count);
+  std::memcpy(d.introduction_points.data(), arena_.at(s.intro_offset),
+              s.intro_count * sizeof(crypto::Fingerprint));
+  return d;
 }
 
 std::optional<Descriptor> DescriptorStore::fetch(
@@ -15,7 +60,7 @@ std::optional<Descriptor> DescriptorStore::fetch(
       now >= it->second.visible_after;
   if (logging_) fetch_log_.push_back({id, now, found});
   if (!found) return std::nullopt;
-  return it->second;
+  return materialize(id, it->second);
 }
 
 bool DescriptorStore::contains(const crypto::DescriptorId& id,
@@ -28,17 +73,40 @@ bool DescriptorStore::contains(const crypto::DescriptorId& id,
 
 void DescriptorStore::expire(util::UnixTime now) {
   for (auto it = descriptors_.begin(); it != descriptors_.end();) {
-    if (now - it->second.published > kDescriptorLifetime)
+    if (now - it->second.published > kDescriptorLifetime) {
+      live_payload_bytes_ -= payload_bytes(it->second);
       it = descriptors_.erase(it);
-    else
+    } else {
       ++it;
+    }
   }
+}
+
+void DescriptorStore::observe_epoch(std::uint64_t generation) {
+  if (generation == epoch_) return;
+  epoch_ = generation;
+  // Compact only when the dead share dominates: arena > 2x live means
+  // more than half the bytes are orphaned re-publish/expiry leftovers.
+  if (arena_.bytes_used() > 2 * live_payload_bytes_) compact();
+}
+
+void DescriptorStore::compact() {
+  util::ByteArena fresh;
+  fresh.reserve(live_payload_bytes_);
+  for (auto& [id, s] : descriptors_) {
+    s.key_offset = fresh.append(arena_.at(s.key_offset), s.key_size);
+    s.intro_offset = fresh.append(
+        arena_.at(s.intro_offset),
+        s.intro_count * sizeof(crypto::Fingerprint));
+  }
+  arena_.swap(fresh);
+  ++compactions_;
 }
 
 std::vector<Descriptor> DescriptorStore::all_descriptors() const {
   std::vector<Descriptor> out;
   out.reserve(descriptors_.size());
-  for (const auto& [id, d] : descriptors_) out.push_back(d);
+  for (const auto& [id, s] : descriptors_) out.push_back(materialize(id, s));
   return out;
 }
 

@@ -1,13 +1,23 @@
 // The descriptor store one HSDir relay operates, including the fetch log
 // an attacker-controlled HSDir keeps (the data source for the paper's
 // popularity measurement, Sec. V).
+//
+// Storage layout (ROADMAP item 3, docs/data-layout.md): the map holds
+// fixed-size StoredDescriptor metadata; the variable-length payloads
+// (service public key, introduction-point list) live in a per-store
+// util::ByteArena addressed by offset. Re-publishing a descriptor
+// appends fresh payload bytes and orphans the old span; the arena is
+// compacted when a new consensus generation is observed and the dead
+// share has grown past the live bytes (see observe_epoch()).
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <vector>
 
 #include "hsdir/descriptor.hpp"
+#include "util/arena.hpp"
 
 namespace torsim::hsdir {
 
@@ -29,6 +39,8 @@ class DescriptorStore {
 
   /// Looks a descriptor up by id, honouring expiry at time `now`.
   /// If logging is enabled the request is recorded either way.
+  /// The returned Descriptor owns its payloads (copied out of the
+  /// arena) — callers never hold arena pointers across a compaction.
   std::optional<Descriptor> fetch(const crypto::DescriptorId& id,
                                   util::UnixTime now);
 
@@ -40,8 +52,21 @@ class DescriptorStore {
 
   /// Drops descriptors published more than kDescriptorLifetime before
   /// `now` (the paper: directories "erase its descriptor from memory"
-  /// after the responsibility period).
+  /// after the responsibility period). Payload bytes become dead arena
+  /// space, reclaimed at the next compacting epoch observation.
   void expire(util::UnixTime now);
+
+  /// Tells the store which consensus generation the current publish
+  /// round runs under. On a generation change the store compacts its
+  /// payload arena iff dead bytes exceed live bytes — a deterministic
+  /// byte-count rule, independent of wall clock and call pattern
+  /// within a generation. Generation semantics (copy restamps, move
+  /// transfers and zeroes the source — dirauth/consensus.hpp) make the
+  /// stamp usable only for equality, which is all this needs: any
+  /// *change* is a safe compaction point, and generation 0 (moved-from
+  /// consensus) never reaches here because a gen-0 consensus is empty
+  /// and routes no publishes (pinned by tests/data_layout_test.cpp).
+  void observe_epoch(std::uint64_t generation);
 
   /// Enables request logging (what a measuring/malicious HSDir does).
   void enable_logging(bool enabled) { logging_ = enabled; }
@@ -51,13 +76,43 @@ class DescriptorStore {
   void clear_fetch_log() { fetch_log_.clear(); }
 
   /// Every descriptor currently held (the harvesting attack reads this
-  /// out of its own relays).
+  /// out of its own relays). Owned copies, id order.
   std::vector<Descriptor> all_descriptors() const;
 
   std::size_t size() const { return descriptors_.size(); }
 
+  /// Arena telemetry for the BENCH JSON "population" section.
+  std::size_t arena_bytes() const { return arena_.bytes_used(); }
+  std::size_t live_payload_bytes() const { return live_payload_bytes_; }
+  std::uint64_t observed_epoch() const { return epoch_; }
+  std::int64_t compactions() const { return compactions_; }
+
  private:
-  std::map<crypto::DescriptorId, Descriptor> descriptors_;
+  /// Fixed-size metadata; variable-length payloads are arena spans.
+  struct StoredDescriptor {
+    crypto::PermanentId permanent_id{};
+    std::uint8_t replica = 0;
+    std::uint32_t time_period = 0;
+    util::UnixTime published = 0;
+    util::UnixTime visible_after = 0;
+    util::ByteArena::Offset key_offset = 0;
+    std::uint32_t key_size = 0;
+    util::ByteArena::Offset intro_offset = 0;
+    std::uint32_t intro_count = 0;
+  };
+
+  std::size_t payload_bytes(const StoredDescriptor& s) const {
+    return s.key_size + s.intro_count * sizeof(crypto::Fingerprint);
+  }
+  Descriptor materialize(const crypto::DescriptorId& id,
+                         const StoredDescriptor& s) const;
+  void compact();
+
+  std::map<crypto::DescriptorId, StoredDescriptor> descriptors_;
+  util::ByteArena arena_;
+  std::size_t live_payload_bytes_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::int64_t compactions_ = 0;
   std::vector<FetchRecord> fetch_log_;
   bool logging_ = false;
 };

@@ -157,6 +157,28 @@ std::string BenchReport::to_json() const {
     json.end_object();
   }
 
+  if (population_section_present_) {
+    json.key("population").begin_object();
+    json.key("services").value(population_.services);
+    json.key("column_bytes").value(population_.column_bytes);
+    json.key("index_bytes").value(population_.index_bytes);
+    json.key("interner_bytes").value(population_.interner_bytes);
+    json.key("interner_strings").value(population_.interner_strings);
+    json.key("legacy_record_bytes").value(population_.legacy_record_bytes);
+    json.key("soa_rss_delta_bytes").value(population_.soa_rss_delta_bytes);
+    json.key("legacy_rss_delta_bytes")
+        .value(population_.legacy_rss_delta_bytes);
+    json.key("rss_reduction_bytes")
+        .value(population_.legacy_rss_delta_bytes -
+               population_.soa_rss_delta_bytes);
+    json.key("arena_bytes").value(population_.arena_bytes);
+    json.key("arena_live_bytes").value(population_.arena_live_bytes);
+    json.key("arena_compactions").value(population_.arena_compactions);
+    json.key("peak_rss_budget_bytes")
+        .value(population_.peak_rss_budget_bytes);
+    json.end_object();
+  }
+
   metrics_.write_json_sections(json);
   json.end_object();
   return json.str();

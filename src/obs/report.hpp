@@ -70,6 +70,35 @@ struct ServeSummary {
   std::int64_t latency_p99_us = 0;
 };
 
+/// One data-layout measurement — the optional "population" section of
+/// BENCH_population.json (schema-checked by tools/check_bench_json.py,
+/// docs/data-layout.md). The byte-accounting fields are deterministic
+/// for a fixed scale; the *_rss_delta fields are measured perf
+/// telemetry like wall_clock. peak_rss_budget_bytes is the one field
+/// the schema checker enforces as a gate: the document's
+/// peak_rss_bytes must stay under it.
+struct PopulationSummary {
+  std::int64_t services = 0;
+  std::int64_t column_bytes = 0;
+  std::int64_t index_bytes = 0;
+  std::int64_t interner_bytes = 0;
+  std::int64_t interner_strings = 0;
+  std::int64_t legacy_record_bytes = 0;
+  /// Measured current-RSS growth while building each layout's shell
+  /// (columns vs an array-of-structs mirror); their difference is the
+  /// observed reduction.
+  std::int64_t soa_rss_delta_bytes = 0;
+  std::int64_t legacy_rss_delta_bytes = 0;
+  /// hsdir descriptor-arena totals after a publish round (0 when the
+  /// bench did not exercise the directory layer).
+  std::int64_t arena_bytes = 0;
+  std::int64_t arena_live_bytes = 0;
+  std::int64_t arena_compactions = 0;
+  /// Peak-RSS ceiling for this run; check_bench_json.py fails the
+  /// document when peak_rss_bytes exceeds it.
+  std::int64_t peak_rss_budget_bytes = 0;
+};
+
 class BenchReport {
  public:
   explicit BenchReport(std::string name) : name_(std::move(name)) {}
@@ -148,6 +177,15 @@ class BenchReport {
     serve_section_present_ = true;
   }
 
+  /// The optional "population" telemetry section (emitted only once
+  /// this has been called, so other bench documents are unchanged):
+  /// SoA-vs-legacy layout byte accounting and the peak-RSS budget
+  /// (docs/data-layout.md).
+  void set_population_summary(const PopulationSummary& summary) {
+    population_ = summary;
+    population_section_present_ = true;
+  }
+
   /// Records one scenario-pack replay; emitted as the optional
   /// "scenarios" array (present only when at least one was recorded, so
   /// non-scenario bench documents are unchanged).
@@ -189,6 +227,8 @@ class BenchReport {
   std::map<std::string, IndexStat> index_stats_;  // ordered emission
   bool serve_section_present_ = false;
   ServeSummary serve_;
+  bool population_section_present_ = false;
+  PopulationSummary population_;
 };
 
 }  // namespace torsim::obs

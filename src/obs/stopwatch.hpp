@@ -24,6 +24,12 @@ double wall_clock_seconds();
 /// when the platform does not report it.
 std::int64_t peak_rss_bytes();
 
+/// The process's *current* resident set size in bytes
+/// (/proc/self/statm), or 0 when the platform does not report it.
+/// bench_population reads this before/after building each layout to
+/// measure the delta peak_rss_bytes cannot see (peak never goes down).
+std::int64_t current_rss_bytes();
+
 /// Accumulating named phase timers for a bench/CLI run:
 ///   PhaseTimer timer;
 ///   { PhaseTimer::Scope s = timer.scope("population"); build(); }

@@ -18,9 +18,9 @@ BotnetInferenceReport infer_botnet_infrastructure(
   const std::size_t depth = std::min(config.probe_top, ranking.ranking.size());
   for (std::size_t i = 0; i < depth; ++i) {
     const RankedService& row = ranking.ranking[i];
-    const population::ServiceRecord* svc = pop.find(row.onion);
-    if (svc == nullptr) continue;
-    const net::PortService* web = svc->profile.service_at(net::kPortHttp);
+    const auto svc = pop.find(row.onion);
+    if (!svc) continue;
+    const net::PortService* web = svc->profile().service_at(net::kPortHttp);
     if (web == nullptr || !web->http) continue;
     const net::HttpResponse& http = *web->http;
 
@@ -70,13 +70,13 @@ CategoryShares category_shares(const ResolutionReport& ranking,
   double botnet = 0, adult = 0, market = 0, other = 0;
   for (const RankedService& row : ranking.ranking) {
     shares.total_requests += row.requests;
-    const auto* svc = pop.find(row.onion);
+    const auto svc = pop.find(row.onion);
     const double r = static_cast<double>(row.requests);
-    if (svc == nullptr) {
+    if (!svc) {
       other += r;
       continue;
     }
-    switch (svc->klass) {
+    switch (svc->klass()) {
       case population::ServiceClass::kGoldnetCnC:
       case population::ServiceClass::kSkynetCnC:
       case population::ServiceClass::kSkynetBot:
@@ -84,13 +84,13 @@ CategoryShares category_shares(const ResolutionReport& ranking,
         botnet += r;
         break;
       default:
-        if (svc->topic == content::Topic::kAdult)
+        if (svc->topic() == content::Topic::kAdult)
           adult += r;
-        else if (svc->label == "SilkRoad" ||
-                 svc->label == "BlackMarketReloaded" ||
-                 svc->label == "SilkroadPhishing" ||
-                 svc->topic == content::Topic::kDrugs ||
-                 svc->topic == content::Topic::kCounterfeit)
+        else if (svc->label() == "SilkRoad" ||
+                 svc->label() == "BlackMarketReloaded" ||
+                 svc->label() == "SilkroadPhishing" ||
+                 svc->topic() == content::Topic::kDrugs ||
+                 svc->topic() == content::Topic::kCounterfeit)
           market += r;
         else
           other += r;

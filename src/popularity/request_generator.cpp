@@ -20,13 +20,14 @@ RequestStream RequestGenerator::generate(
       static_cast<double>(2 * util::kSecondsPerHour);
 
   // --- Real requests: Poisson per requested service -----------------
-  for (const population::ServiceRecord& svc : pop.services()) {
-    if (svc.requests_per_2h <= 0.0) continue;
-    const std::int64_t n = rng.poisson(svc.requests_per_2h * window_2h_units);
+  for (const population::Population::ServiceRef svc : pop.services()) {
+    if (svc.requests_per_2h() <= 0.0) continue;
+    const std::int64_t n =
+        rng.poisson(svc.requests_per_2h() * window_2h_units);
     if (n == 0) continue;
     ++stream.real_ids;  // counts requested services; ids tallied below
     const auto permanent_id =
-        crypto::permanent_id_from_fingerprint(svc.key.fingerprint());
+        crypto::permanent_id_from_fingerprint(svc.key().fingerprint());
     for (std::int64_t i = 0; i < n; ++i) {
       DescriptorRequest req;
       req.time = t0 + rng.uniform_int(0, config_.window_length - 1);

@@ -20,8 +20,8 @@ void DescriptorResolver::build_dictionary(
     const population::Population& pop) {
   std::vector<std::string> onions;
   onions.reserve(pop.size());
-  for (const population::ServiceRecord& svc : pop.services())
-    onions.push_back(svc.onion);
+  for (const population::Population::ServiceRef svc : pop.services())
+    onions.emplace_back(svc.onion());
   build_dictionary_from_onions(onions);
 }
 
@@ -46,9 +46,14 @@ void DescriptorResolver::build_dictionary_from_onions(
   };
   const std::vector<std::vector<crypto::DescriptorId>> derived =
       util::parallel_map(onions.size(), config_.threads, derive_one);
-  for (std::size_t i = 0; i < derived.size(); ++i)
+  // Interning happens here, in the serial fold — never in the parallel
+  // derivation above (the interner's contract, docs/data-layout.md).
+  for (std::size_t i = 0; i < derived.size(); ++i) {
+    const util::StringInterner::Id onion_id =
+        util::global_interner().intern(onions[i]);
     for (const crypto::DescriptorId& id : derived[i])
-      dictionary_[id] = onions[i];
+      dictionary_[id] = onion_id;
+  }
   if (config_.metrics != nullptr) {
     obs::MetricsRegistry& m = *config_.metrics;
     m.counter("resolver.onions_derived")
@@ -76,7 +81,7 @@ ResolutionReport DescriptorResolver::resolve(
 void DescriptorResolver::tally_requests(
     const RequestStream& stream,
     std::map<crypto::DescriptorId, std::int64_t>& id_counts,
-    std::map<std::string, std::int64_t>& onion_counts,
+    std::map<util::StringInterner::Id, std::int64_t>& onion_counts,
     ResolutionReport& report) const {
   for (const DescriptorRequest& req : stream.requests)
     ++id_counts[req.descriptor_id];
@@ -97,20 +102,23 @@ ResolutionReport DescriptorResolver::resolve_internal(
   report.total_requests = static_cast<std::int64_t>(stream.requests.size());
 
   std::map<crypto::DescriptorId, std::int64_t> id_counts;
-  std::map<std::string, std::int64_t> onion_counts;
+  std::map<util::StringInterner::Id, std::int64_t> onion_counts;
   tally_requests(stream, id_counts, onion_counts, report);
   report.resolved_onions = static_cast<std::int64_t>(onion_counts.size());
 
+  // Iteration is in intern-id order, not lexicographic — harmless: the
+  // sort below totally orders rows by (requests, onion).
   report.ranking.reserve(onion_counts.size());
-  for (const auto& [onion, count] : onion_counts) {
+  for (const auto& [onion_id, count] : onion_counts) {
+    const std::string_view onion = util::global_interner().view(onion_id);
     RankedService row;
-    row.onion = onion;
+    row.onion = std::string(onion);
     row.requests = count;
     if (pop != nullptr) {
-      if (const population::ServiceRecord* svc = pop->find(onion)) {
-        row.label = svc->label;
-        row.paper_alias = svc->paper_alias;
-        row.paper_rank = svc->paper_rank;
+      if (const auto svc = pop->find(onion)) {
+        row.label = std::string(svc->label());
+        row.paper_alias = std::string(svc->paper_alias());
+        row.paper_rank = svc->paper_rank();
       }
     }
     report.ranking.push_back(std::move(row));

@@ -15,6 +15,7 @@
 
 #include "obs/metrics.hpp"
 #include "popularity/request_generator.hpp"
+#include "util/interner.hpp"
 
 namespace torsim::popularity {
 
@@ -85,7 +86,7 @@ class DescriptorResolver {
       const crypto::DescriptorId& id) const {
     const auto it = dictionary_.find(id);
     if (it == dictionary_.end()) return std::nullopt;
-    return it->second;
+    return std::string(util::global_interner().view(it->second));
   }
 
  private:
@@ -93,15 +94,20 @@ class DescriptorResolver {
                                     const population::Population* pop) const;
 
   /// The hot request-log join: per-id counts, then dictionary probes
-  /// folding resolved ids into per-onion counts (Sec. V method).
+  /// folding resolved ids into per-onion counts (Sec. V method). The
+  /// per-onion key is the 4-byte intern id: the join allocates map
+  /// nodes only, never onion strings.
   void tally_requests(
       const RequestStream& stream,
       std::map<crypto::DescriptorId, std::int64_t>& id_counts,
-      std::map<std::string, std::int64_t>& onion_counts,
+      std::map<util::StringInterner::Id, std::int64_t>& onion_counts,
       ResolutionReport& report) const;
 
   ResolverConfig config_;
-  std::map<crypto::DescriptorId, std::string> dictionary_;
+  /// Values are ids into util::global_interner() — the dictionary keeps
+  /// one 4-byte handle per derived descriptor id instead of ~12 owned
+  /// copies of every onion string (one per derivation day).
+  std::map<crypto::DescriptorId, util::StringInterner::Id> dictionary_;
 };
 
 }  // namespace torsim::popularity

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "content/corpus.hpp"
 #include "content/html.hpp"
@@ -73,6 +74,35 @@ net::TlsCertificate torhost_certificate() {
   return cert;
 }
 
+/// Mirror of the retired array-of-structs ServiceRecord, kept only so
+/// MemoryFootprint::legacy_record_bytes tracks the real ABI cost the
+/// SoA columns replaced (bench_population reports the delta).
+struct LegacyRecordShape {
+  std::size_t index;
+  crypto::KeyPair key;
+  std::string onion;
+  ServiceClass klass;
+  std::string label;
+  std::string paper_alias;
+  net::ServiceProfile profile;
+  content::Topic topic;
+  content::Language language;
+  bool published_at_scan;
+  double daily_availability;
+  bool alive_at_crawl;
+  double requests_per_2h;
+  int paper_rank;
+  int physical_server;
+};
+
+/// Heap bytes one owning std::string of `size` chars cost in the legacy
+/// layout: nothing inside the SSO buffer, one minimum malloc chunk
+/// above it (every string in this population fits a 32-byte chunk).
+std::size_t legacy_string_heap_bytes(std::size_t size) {
+  constexpr std::size_t kSsoCapacity = 15;
+  return size <= kSsoCapacity ? 0 : 32;
+}
+
 }  // namespace
 
 const char* to_string(ServiceClass klass) {
@@ -96,45 +126,158 @@ const char* to_string(ServiceClass klass) {
   return "?";
 }
 
-const ServiceRecord* Population::find(const std::string& onion) const {
+std::optional<Population::ServiceRef> Population::find(
+    std::string_view onion) const {
   const auto it = by_onion_.find(onion);
-  return it == by_onion_.end() ? nullptr : &services_[it->second];
+  if (it == by_onion_.end()) return std::nullopt;
+  return ServiceRef(this, it->second);
 }
 
-std::vector<const ServiceRecord*> Population::of_class(
-    ServiceClass klass) const {
-  std::vector<const ServiceRecord*> out;
-  for (const ServiceRecord& s : services_)
-    if (s.klass == klass) out.push_back(&s);
+std::vector<ServiceId> Population::of_class(ServiceClass klass) const {
+  std::vector<ServiceId> out;
+  for (ServiceId id = 0; id < klasses_.size(); ++id)
+    if (klasses_[id] == klass) out.push_back(id);
   return out;
 }
 
 std::size_t Population::published_count() const {
   std::size_t n = 0;
-  for (const ServiceRecord& s : services_)
-    if (s.published_at_scan) ++n;
+  for (const std::uint8_t published : published_at_scan_)
+    if (published != 0) ++n;
   return n;
 }
+
+Population::MemoryFootprint Population::memory_footprint() const {
+  const auto column = [](const auto& v) {
+    return v.capacity() * sizeof(typename std::decay_t<decltype(v)>::value_type);
+  };
+  MemoryFootprint f;
+  f.services = size();
+  f.column_bytes = column(keys_) + column(onions_) + column(klasses_) +
+                   column(labels_) + column(aliases_) + column(profiles_) +
+                   column(topics_) + column(languages_) +
+                   column(published_at_scan_) + column(daily_availability_) +
+                   column(alive_at_crawl_) + column(requests_per_2h_) +
+                   column(paper_ranks_) + column(physical_servers_);
+  // One bucket pointer + one node (key view, id, chain pointer) per
+  // entry — the same estimate style as StringInterner::bytes().
+  f.index_bytes = by_onion_.size() *
+                  (sizeof(std::string_view) + sizeof(ServiceId) +
+                   2 * sizeof(void*));
+  f.interner_bytes = util::global_interner().bytes();
+  f.legacy_record_bytes = size() * sizeof(LegacyRecordShape);
+  const util::StringInterner& interner = util::global_interner();
+  for (ServiceId id = 0; id < onions_.size(); ++id) {
+    f.legacy_record_bytes += legacy_string_heap_bytes(
+        interner.view(onions_[id]).size());
+    f.legacy_record_bytes += legacy_string_heap_bytes(
+        interner.view(labels_[id]).size());
+    f.legacy_record_bytes += legacy_string_heap_bytes(
+        interner.view(aliases_[id]).size());
+  }
+  return f;
+}
+
+/// Build-time handle: every accessor re-indexes the columns through the
+/// population pointer, so column growth between calls can never leave a
+/// dangling reference (the legacy builder handed out ServiceRecord&
+/// into a reallocating vector — the invalidation bug class this layout
+/// retires; tests/data_layout_test.cpp pins it).
+class Population::MutableRef {
+ public:
+  MutableRef(Population* pop, ServiceId id) : pop_(pop), id_(id) {}
+
+  ServiceId index() const { return id_; }
+  std::string_view onion() const { return pop_->onion(id_); }
+  net::ServiceProfile& profile() { return pop_->profiles_[id_]; }
+  content::Topic topic() const { return pop_->topics_[id_]; }
+  content::Language language() const { return pop_->languages_[id_]; }
+  int physical_server() const { return pop_->physical_servers_[id_]; }
+
+  void set_label(std::string_view v) {
+    pop_->labels_[id_] = util::global_interner().intern(v);
+  }
+  void set_paper_alias(std::string_view v) {
+    pop_->aliases_[id_] = util::global_interner().intern(v);
+  }
+  void set_topic(content::Topic t) { pop_->topics_[id_] = t; }
+  void set_language(content::Language l) { pop_->languages_[id_] = l; }
+  void set_published_at_scan(bool b) {
+    pop_->published_at_scan_[id_] = b ? 1 : 0;
+  }
+  void set_daily_availability(double v) {
+    pop_->daily_availability_[id_] = v;
+  }
+  void set_alive_at_crawl(bool b) { pop_->alive_at_crawl_[id_] = b ? 1 : 0; }
+  void set_requests_per_2h(double v) { pop_->requests_per_2h_[id_] = v; }
+  void set_paper_rank(int r) { pop_->paper_ranks_[id_] = r; }
+  void set_physical_server(int s) { pop_->physical_servers_[id_] = s; }
+
+ private:
+  Population* pop_;
+  ServiceId id_;
+};
 
 Population Population::generate(const PopulationConfig& config) {
   Population pop(config);
   util::Rng rng(config.seed);
   content::PageGenerator pages;
   const double s = config.scale;
+  util::StringInterner& interner = util::global_interner();
+  const util::StringInterner::Id empty_id = interner.intern("");
+
+  // Satellite fix: the legacy builder reserved only by_onion_; the
+  // column vectors grew by doubling. The section counts below are all
+  // deterministic functions of the scale, so the exact final size is
+  // known up front: the inflated class counts (sections 1–8), topped up
+  // by section 9 to the paper's 39,824-service total when that is
+  // larger (it is at every non-degenerate scale).
+  const std::int64_t pinned =
+      static_cast<std::int64_t>(table2_rows().size()) +
+      std::max<std::int64_t>(1, std::llround(15 * s));
+  const std::int64_t inflated =
+      scaled(s, 13854) + scaled(s, 2661) + scaled(s, 1168) + scaled(s, 34) +
+      scaled(s, 57) + scaled(s, 107) + scaled(s, 1238) + scaled(s, 385) +
+      scaled(s, 138) + scaled(s, 113) + scaled(s, 886);
+  const std::size_t expected_total = static_cast<std::size_t>(
+      std::max<std::int64_t>(pinned + inflated, std::llround(39824 * s)));
+  pop.keys_.reserve(expected_total);
+  pop.onions_.reserve(expected_total);
+  pop.klasses_.reserve(expected_total);
+  pop.labels_.reserve(expected_total);
+  pop.aliases_.reserve(expected_total);
+  pop.profiles_.reserve(expected_total);
+  pop.topics_.reserve(expected_total);
+  pop.languages_.reserve(expected_total);
+  pop.published_at_scan_.reserve(expected_total);
+  pop.daily_availability_.reserve(expected_total);
+  pop.alive_at_crawl_.reserve(expected_total);
+  pop.requests_per_2h_.reserve(expected_total);
+  pop.paper_ranks_.reserve(expected_total);
+  pop.physical_servers_.reserve(expected_total);
 
   const auto add_service = [&](ServiceClass klass,
-                               crypto::KeyPair key) -> ServiceRecord& {
-    ServiceRecord record(std::move(key));
-    record.index = pop.services_.size();
-    record.onion = crypto::onion_address(
-        crypto::permanent_id_from_fingerprint(record.key.fingerprint()));
-    record.klass = klass;
-    record.daily_availability = rng.uniform(0.80, 0.94);
-    record.alive_at_crawl = rng.bernoulli(0.95);
-    pop.services_.push_back(std::move(record));
-    return pop.services_.back();
+                               crypto::KeyPair key) -> MutableRef {
+    const ServiceId id = static_cast<ServiceId>(pop.keys_.size());
+    const std::string onion = crypto::onion_address(
+        crypto::permanent_id_from_fingerprint(key.fingerprint()));
+    pop.keys_.push_back(std::move(key));
+    pop.onions_.push_back(interner.intern(onion));
+    pop.klasses_.push_back(klass);
+    pop.labels_.push_back(empty_id);
+    pop.aliases_.push_back(empty_id);
+    pop.profiles_.emplace_back();
+    pop.topics_.push_back(content::Topic::kOther);
+    pop.languages_.push_back(content::Language::kEnglish);
+    pop.published_at_scan_.push_back(1);
+    pop.daily_availability_.push_back(rng.uniform(0.80, 0.94));
+    pop.alive_at_crawl_.push_back(rng.bernoulli(0.95) ? 1 : 0);
+    pop.requests_per_2h_.push_back(0.0);
+    pop.paper_ranks_.push_back(0);
+    pop.physical_servers_.push_back(-1);
+    return MutableRef(&pop, id);
   };
-  const auto add = [&](ServiceClass klass) -> ServiceRecord& {
+  const auto add = [&](ServiceClass klass) -> MutableRef {
     return add_service(klass, crypto::KeyPair::generate(rng));
   };
 
@@ -148,7 +291,7 @@ Population Population::generate(const PopulationConfig& config) {
   // rest real pages with paper-calibrated topic/language mixes. (The
   // stub/error rates are set so the *measured* Sec. IV funnel lands on
   // the paper's 2,348 / 73 exclusions after scan+crawl losses.)
-  const auto fill_http_page = [&](ServiceRecord& svc, std::uint16_t port,
+  const auto fill_http_page = [&](MutableRef svc, std::uint16_t port,
                                   bool allow_stub = true) {
     const double roll = rng.uniform01();
     net::PortService service;
@@ -160,12 +303,13 @@ Population Population::generate(const PopulationConfig& config) {
       service.http = make_page_response(
           std::string(content::html_error_page()), true);
     } else {
-      svc.topic = sample_topic(rng);
-      svc.language = sample_language(rng);
+      svc.set_topic(sample_topic(rng));
+      svc.set_language(sample_language(rng));
       service.http = make_page_response(
-          pages.generate(svc.topic, svc.language, page_words(), rng), false);
+          pages.generate(svc.topic(), svc.language(), page_words(), rng),
+          false);
     }
-    svc.profile.listen(port, std::move(service));
+    svc.profile().listen(port, std::move(service));
   };
 
   // ---------------------------------------------------------------
@@ -184,20 +328,20 @@ Population Population::generate(const PopulationConfig& config) {
     else if (label == "Adult")
       klass = ServiceClass::kWebSite;
 
-    ServiceRecord& svc = add(klass);
-    svc.label = label;
-    svc.paper_alias = std::string(row.paper_onion);
-    svc.paper_rank = row.paper_rank;
-    svc.requests_per_2h = static_cast<double>(row.requests_per_2h);
-    svc.published_at_scan = true;
-    svc.daily_availability = 0.98;
-    svc.alive_at_crawl = true;
+    MutableRef svc = add(klass);
+    svc.set_label(label);
+    svc.set_paper_alias(row.paper_onion);
+    svc.set_paper_rank(row.paper_rank);
+    svc.set_requests_per_2h(static_cast<double>(row.requests_per_2h));
+    svc.set_published_at_scan(true);
+    svc.set_daily_availability(0.98);
+    svc.set_alive_at_crawl(true);
 
     switch (klass) {
       case ServiceClass::kGoldnetCnC: {
         // Port 80 only; 503 errors; server-status exposed; two physical
         // servers distinguishable by identical Apache uptimes.
-        svc.physical_server = goldnet_group_toggle++ % 2;
+        svc.set_physical_server(goldnet_group_toggle++ % 2);
         net::PortService web;
         web.protocol = net::Protocol::kHttp;
         net::HttpResponse resp;
@@ -208,35 +352,35 @@ Population Population::generate(const PopulationConfig& config) {
         resp.traffic_bytes_per_sec = 330.0 * 1024.0 + rng.uniform(-5e3, 5e3);
         resp.requests_per_sec = 10.0 + rng.uniform(-0.8, 0.8);
         resp.apache_uptime_seconds =
-            svc.physical_server == 0 ? 8123456 : 12345678;
+            svc.physical_server() == 0 ? 8123456 : 12345678;
         web.http = resp;
-        svc.profile.listen(net::kPortHttp, std::move(web));
+        svc.profile().listen(net::kPortHttp, std::move(web));
         break;
       }
       case ServiceClass::kSkynetCnC: {
         net::PortService irc;
         irc.protocol = net::Protocol::kIrc;
         irc.banner = ":skynet NOTICE AUTH :*** Looking up your hostname...";
-        svc.profile.listen(net::kPortIrc, std::move(irc));
-        svc.profile.set_abnormal_close(net::kPortSkynet);
+        svc.profile().listen(net::kPortIrc, std::move(irc));
+        svc.profile().set_abnormal_close(net::kPortSkynet);
         break;
       }
       case ServiceClass::kBitcoinMiner: {
         net::PortService pool;
         pool.protocol = net::Protocol::kBitcoinPool;
         pool.banner = "{\"id\":1,\"method\":\"mining.subscribe\"}";
-        svc.profile.listen(3333, std::move(pool));
+        svc.profile().listen(3333, std::move(pool));
         break;
       }
       case ServiceClass::kWebSite: {  // pinned Adult sites
-        svc.topic = content::Topic::kAdult;
-        svc.language = content::Language::kEnglish;
+        svc.set_topic(content::Topic::kAdult);
+        svc.set_language(content::Language::kEnglish);
         net::PortService web;
         web.protocol = net::Protocol::kHttp;
         web.http = make_page_response(
             pages.generate_english(content::Topic::kAdult, page_words(), rng),
             false);
-        svc.profile.listen(net::kPortHttp, std::move(web));
+        svc.profile().listen(net::kPortHttp, std::move(web));
         break;
       }
       default: {  // kNamed: pinned non-botnet services
@@ -250,13 +394,13 @@ Population Population::generate(const PopulationConfig& config) {
           topic = content::Topic::kTechnology;
         else if (label == "FreedomHosting" || label == "TorHost")
           topic = content::Topic::kAnonymity;
-        svc.topic = topic;
-        svc.language = content::Language::kEnglish;
+        svc.set_topic(topic);
+        svc.set_language(content::Language::kEnglish);
         net::PortService web;
         web.protocol = net::Protocol::kHttp;
         web.http = make_page_response(
             pages.generate_english(topic, page_words(), rng), false);
-        svc.profile.listen(net::kPortHttp, std::move(web));
+        svc.profile().listen(net::kPortHttp, std::move(web));
         break;
       }
     }
@@ -277,17 +421,17 @@ Population Population::generate(const PopulationConfig& config) {
         if (util::starts_with(onion, "sil")) break;
         key = crypto::KeyPair::generate(rng);
       }
-      ServiceRecord& svc = add_service(ServiceClass::kWebSite, std::move(key));
-      svc.label = "SilkroadPhishing";
-      svc.topic = content::Topic::kCounterfeit;
-      svc.language = content::Language::kEnglish;
+      MutableRef svc = add_service(ServiceClass::kWebSite, std::move(key));
+      svc.set_label("SilkroadPhishing");
+      svc.set_topic(content::Topic::kCounterfeit);
+      svc.set_language(content::Language::kEnglish);
       net::PortService web;
       web.protocol = net::Protocol::kHttp;
       web.http = make_page_response(
           pages.generate_english(content::Topic::kCounterfeit, page_words(),
                                  rng),
           false);
-      svc.profile.listen(net::kPortHttp, std::move(web));
+      svc.profile().listen(net::kPortHttp, std::move(web));
     }
   }
 
@@ -295,16 +439,16 @@ Population Population::generate(const PopulationConfig& config) {
   // 2. Skynet bots: no open ports, only the 55080 abnormal close.
   // ---------------------------------------------------------------
   for (std::int64_t i = 0, n = scaled(s, 13854); i < n; ++i) {
-    ServiceRecord& svc = add(ServiceClass::kSkynetBot);
-    svc.label = "Skynet";
-    svc.profile.set_abnormal_close(net::kPortSkynet);
+    MutableRef svc = add(ServiceClass::kSkynetBot);
+    svc.set_label("Skynet");
+    svc.profile().set_abnormal_close(net::kPortSkynet);
   }
 
   // ---------------------------------------------------------------
   // 3. Plain HTTP sites (port 80 only).
   // ---------------------------------------------------------------
   for (std::int64_t i = 0, n = scaled(s, 2661); i < n; ++i) {
-    ServiceRecord& svc = add(ServiceClass::kWebSite);
+    MutableRef svc = add(ServiceClass::kWebSite);
     fill_http_page(svc, net::kPortHttp);
   }
 
@@ -314,23 +458,23 @@ Population Population::generate(const PopulationConfig& config) {
   //    hosting service's default page.
   // ---------------------------------------------------------------
   for (std::int64_t i = 0, n = scaled(s, 1168); i < n; ++i) {
-    ServiceRecord& svc = add(ServiceClass::kTorHostSite);
-    svc.label = "TorHostHosted";
+    MutableRef svc = add(ServiceClass::kTorHostSite);
+    svc.set_label("TorHostHosted");
     const bool default_page = rng.bernoulli(0.62);
     std::string body;
     if (default_page) {
       body = std::string(content::torhost_default_page());
-      svc.topic = content::Topic::kOther;
-      svc.language = content::Language::kEnglish;
+      svc.set_topic(content::Topic::kOther);
+      svc.set_language(content::Language::kEnglish);
     } else {
-      svc.topic = sample_topic(rng);
-      svc.language = sample_language(rng);
-      body = pages.generate(svc.topic, svc.language, page_words(), rng);
+      svc.set_topic(sample_topic(rng));
+      svc.set_language(sample_language(rng));
+      body = pages.generate(svc.topic(), svc.language(), page_words(), rng);
     }
     net::PortService web;
     web.protocol = net::Protocol::kHttp;
     web.http = make_page_response(body, false);
-    svc.profile.listen(net::kPortHttp, web);
+    svc.profile().listen(net::kPortHttp, web);
 
     net::PortService tls;
     tls.protocol = net::Protocol::kHttps;
@@ -340,7 +484,7 @@ Population Population::generate(const PopulationConfig& config) {
                   : body + " secure area members only additional content",
         false);
     tls.certificate = torhost_certificate();
-    svc.profile.listen(net::kPortHttps, std::move(tls));
+    svc.profile().listen(net::kPortHttps, std::move(tls));
   }
 
   // ---------------------------------------------------------------
@@ -354,16 +498,16 @@ Population Population::generate(const PopulationConfig& config) {
     const std::int64_t n_match = scaled(s, 107);
     for (std::int64_t i = 0, n = n_public_dns + n_mismatch + n_match; i < n;
          ++i) {
-      ServiceRecord& svc = add(ServiceClass::kHttpsSite);
-      svc.topic = sample_topic(rng);
-      svc.language = sample_language(rng);
+      MutableRef svc = add(ServiceClass::kHttpsSite);
+      svc.set_topic(sample_topic(rng));
+      svc.set_language(sample_language(rng));
       const std::string body =
-          pages.generate(svc.topic, svc.language, page_words(), rng);
+          pages.generate(svc.topic(), svc.language(), page_words(), rng);
 
       net::PortService web;
       web.protocol = net::Protocol::kHttp;
       web.http = make_page_response(body, false);
-      svc.profile.listen(net::kPortHttp, web);
+      svc.profile().listen(net::kPortHttp, web);
 
       net::PortService tls;
       tls.protocol = net::Protocol::kHttps;
@@ -381,18 +525,18 @@ Population Population::generate(const PopulationConfig& config) {
             "host" + std::to_string(i) + ".example-clearnet.com";
         cert.self_signed = true;
         cert.matches_requested_host = false;
-        svc.label = "CertLeaksDns";
+        svc.set_label("CertLeaksDns");
       } else if (i < n_public_dns + n_mismatch) {
         cert.common_name = "wrongservice" + std::to_string(i) + ".onion";
         cert.self_signed = true;
         cert.matches_requested_host = false;
       } else {
-        cert.common_name = svc.onion + ".onion";
+        cert.common_name = std::string(svc.onion()) + ".onion";
         cert.self_signed = true;
         cert.matches_requested_host = true;
       }
       tls.certificate = cert;
-      svc.profile.listen(net::kPortHttps, std::move(tls));
+      svc.profile().listen(net::kPortHttps, std::move(tls));
     }
   }
 
@@ -400,34 +544,34 @@ Population Population::generate(const PopulationConfig& config) {
   // 6. SSH-only hosts.
   // ---------------------------------------------------------------
   for (std::int64_t i = 0, n = scaled(s, 1238); i < n; ++i) {
-    ServiceRecord& svc = add(ServiceClass::kSshHost);
+    MutableRef svc = add(ServiceClass::kSshHost);
     net::PortService ssh;
     ssh.protocol = net::Protocol::kSsh;
     ssh.banner = std::string(content::ssh_banner());
-    svc.profile.listen(net::kPortSsh, std::move(ssh));
+    svc.profile().listen(net::kPortSsh, std::move(ssh));
   }
 
   // ---------------------------------------------------------------
   // 7. TorChat / port-4050 / IRC clusters.
   // ---------------------------------------------------------------
   for (std::int64_t i = 0, n = scaled(s, 385); i < n; ++i) {
-    ServiceRecord& svc = add(ServiceClass::kTorChat);
+    MutableRef svc = add(ServiceClass::kTorChat);
     net::PortService chat;
     chat.protocol = net::Protocol::kTorChat;
-    svc.profile.listen(net::kPortTorChat, std::move(chat));
+    svc.profile().listen(net::kPortTorChat, std::move(chat));
   }
   for (std::int64_t i = 0, n = scaled(s, 138); i < n; ++i) {
-    ServiceRecord& svc = add(ServiceClass::kPort4050);
+    MutableRef svc = add(ServiceClass::kPort4050);
     net::PortService raw;
     raw.protocol = net::Protocol::kRawTcp;
-    svc.profile.listen(net::kPort4050, std::move(raw));
+    svc.profile().listen(net::kPort4050, std::move(raw));
   }
   for (std::int64_t i = 0, n = scaled(s, 113); i < n; ++i) {
-    ServiceRecord& svc = add(ServiceClass::kIrcServer);
+    MutableRef svc = add(ServiceClass::kIrcServer);
     net::PortService irc;
     irc.protocol = net::Protocol::kIrc;
     irc.banner = ":server NOTICE AUTH :*** Found your hostname";
-    svc.profile.listen(net::kPortIrc, std::move(irc));
+    svc.profile().listen(net::kPortIrc, std::move(irc));
   }
 
   // ---------------------------------------------------------------
@@ -453,7 +597,7 @@ Population Population::generate(const PopulationConfig& config) {
       port_pool.push_back(candidate);
     }
     for (std::int64_t i = 0; i < n_other; ++i) {
-      ServiceRecord& svc = add(ServiceClass::kOtherPort);
+      MutableRef svc = add(ServiceClass::kOtherPort);
       std::uint16_t port;
       if (i < n_8080) {
         port = net::kPortHttpAlt;
@@ -465,7 +609,7 @@ Population Population::generate(const PopulationConfig& config) {
       } else {
         net::PortService raw;
         raw.protocol = net::Protocol::kRawTcp;
-        svc.profile.listen(port, std::move(raw));
+        svc.profile().listen(port, std::move(raw));
       }
     }
   }
@@ -476,17 +620,16 @@ Population Population::generate(const PopulationConfig& config) {
   // ---------------------------------------------------------------
   const std::int64_t target_total = std::llround(39824 * s);
   const std::int64_t target_published = std::llround(24511 * s);
-  const std::int64_t have =
-      static_cast<std::int64_t>(pop.services_.size());
+  const std::int64_t have = static_cast<std::int64_t>(pop.keys_.size());
   const std::int64_t dark =
       std::max<std::int64_t>(0, target_published - have);
   for (std::int64_t i = 0; i < dark; ++i) add(ServiceClass::kDark);
   const std::int64_t unpublished = std::max<std::int64_t>(
-      0, target_total - static_cast<std::int64_t>(pop.services_.size()));
+      0, target_total - static_cast<std::int64_t>(pop.keys_.size()));
   for (std::int64_t i = 0; i < unpublished; ++i) {
-    ServiceRecord& svc = add(ServiceClass::kUnpublished);
-    svc.published_at_scan = false;
-    svc.alive_at_crawl = false;
+    MutableRef svc = add(ServiceClass::kUnpublished);
+    svc.set_published_at_scan(false);
+    svc.set_alive_at_crawl(false);
   }
 
   // ---------------------------------------------------------------
@@ -497,9 +640,9 @@ Population Population::generate(const PopulationConfig& config) {
   // ---------------------------------------------------------------
   {
     std::vector<std::size_t> candidates;
-    for (const ServiceRecord& svc : pop.services_)
-      if (svc.published_at_scan && svc.requests_per_2h == 0.0)
-        candidates.push_back(svc.index);
+    for (std::size_t i = 0; i < pop.keys_.size(); ++i)
+      if (pop.published_at_scan_[i] != 0 && pop.requests_per_2h_[i] == 0.0)
+        candidates.push_back(i);
     rng.shuffle(candidates);
     const std::size_t want = static_cast<std::size_t>(
         std::max<std::int64_t>(0, std::llround((3140 - 36) * s)));
@@ -512,13 +655,14 @@ Population Population::generate(const PopulationConfig& config) {
       const double r = static_cast<double>(rank + 1);
       const double rate = r <= 100.0 ? 400.0 / std::pow(r, 0.30)
                                      : 100.5 * std::pow(100.0 / r, 1.3);
-      pop.services_[candidates[rank]].requests_per_2h = std::max(2.5, rate);
+      pop.requests_per_2h_[candidates[rank]] = std::max(2.5, rate);
     }
   }
 
-  pop.by_onion_.reserve(pop.services_.size());
-  for (const ServiceRecord& svc : pop.services_)
-    pop.by_onion_[svc.onion] = svc.index;
+  pop.by_onion_.reserve(pop.keys_.size());
+  for (std::size_t i = 0; i < pop.onions_.size(); ++i)
+    pop.by_onion_.emplace(interner.view(pop.onions_[i]),
+                          static_cast<ServiceId>(i));
   return pop;
 }
 

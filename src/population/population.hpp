@@ -7,10 +7,18 @@
 // the paper's measurement pipelines against it. `scale` shrinks the
 // population proportionally for tests (pinned head services are always
 // generated).
+//
+// Storage is structure-of-arrays (ROADMAP item 3, docs/data-layout.md):
+// one column per field, addressed by dense ServiceId. Identity is the
+// index — stable for the population's lifetime and across copies/moves —
+// never a pointer or an owning string. Onion addresses, labels, and
+// paper aliases live in util::global_interner(); the columns carry
+// 4-byte intern ids and the facade hands out string_views at the edges.
 #pragma once
 
+#include <cstdint>
 #include <optional>
-#include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -20,12 +28,13 @@
 #include "crypto/keypair.hpp"
 #include "net/service.hpp"
 #include "population/paper_constants.hpp"
+#include "util/interner.hpp"
 #include "util/rng.hpp"
 
 namespace torsim::population {
 
 /// Behavioural class of a synthetic hidden service.
-enum class ServiceClass {
+enum class ServiceClass : std::uint8_t {
   kSkynetBot,       ///< infected machine: only the 55080 abnormal-close
   kSkynetCnC,       ///< Skynet command & control (popular, port 80)
   kGoldnetCnC,      ///< the "Goldnet" botnet the paper discovered (503s)
@@ -45,36 +54,10 @@ enum class ServiceClass {
 
 const char* to_string(ServiceClass klass);
 
-/// One synthetic hidden service.
-struct ServiceRecord {
-  std::size_t index = 0;
-  crypto::KeyPair key;
-  std::string onion;            ///< 16-char base32 (derived from key)
-  ServiceClass klass = ServiceClass::kDark;
-  std::string label;            ///< "Goldnet", "SilkRoad", "" for generic
-  std::string paper_alias;      ///< Table II address this service stands for
-  net::ServiceProfile profile;
-  content::Topic topic = content::Topic::kOther;
-  content::Language language = content::Language::kEnglish;
-
-  /// Descriptor published during the 14–21 Feb scan window.
-  bool published_at_scan = true;
-  /// Probability the host answers on a given scan day (captures the
-  /// churn that limited the paper to 87% port coverage).
-  double daily_availability = 0.95;
-  /// Still alive at the crawl two months later.
-  bool alive_at_crawl = true;
-  /// Expected descriptor fetches per 2-hour window (Table II scale);
-  /// 0 for the ~90% of published services nobody ever asked for.
-  double requests_per_2h = 0.0;
-  /// Ground-truth Table II rank for pinned services (0 = unpinned).
-  int paper_rank = 0;
-  /// Goldnet physical-server grouping (Apache uptime fingerprinting);
-  /// -1 for services that are not Goldnet fronts.
-  int physical_server = -1;
-
-  explicit ServiceRecord(crypto::KeyPair k) : key(std::move(k)) {}
-};
+/// Dense index of one service in its Population — the stable identity
+/// every pipeline joins on (pointer/string identity is gone with the
+/// SoA layout).
+using ServiceId = std::uint32_t;
 
 struct PopulationConfig {
   std::uint64_t seed = 42;
@@ -88,32 +71,162 @@ struct PopulationConfig {
 
 class Population {
  public:
+  /// Read-only view of one service: a (population, id) handle whose
+  /// accessors read the SoA columns. Copy it freely; it stays valid (and
+  /// keeps denoting the same service) for the population's lifetime.
+  class ServiceRef {
+   public:
+    ServiceId index() const { return id_; }
+    const crypto::KeyPair& key() const { return pop_->keys_[id_]; }
+    /// 16-char base32 (derived from key); view into the intern table.
+    std::string_view onion() const { return pop_->onion(id_); }
+    ServiceClass klass() const { return pop_->klasses_[id_]; }
+    /// "Goldnet", "SilkRoad", "" for generic.
+    std::string_view label() const { return pop_->label(id_); }
+    /// Table II address this service stands for.
+    std::string_view paper_alias() const { return pop_->paper_alias(id_); }
+    const net::ServiceProfile& profile() const { return pop_->profiles_[id_]; }
+    content::Topic topic() const { return pop_->topics_[id_]; }
+    content::Language language() const { return pop_->languages_[id_]; }
+    /// Descriptor published during the 14–21 Feb scan window.
+    bool published_at_scan() const {
+      return pop_->published_at_scan_[id_] != 0;
+    }
+    /// Probability the host answers on a given scan day (captures the
+    /// churn that limited the paper to 87% port coverage).
+    double daily_availability() const {
+      return pop_->daily_availability_[id_];
+    }
+    /// Still alive at the crawl two months later.
+    bool alive_at_crawl() const { return pop_->alive_at_crawl_[id_] != 0; }
+    /// Expected descriptor fetches per 2-hour window (Table II scale);
+    /// 0 for the ~90% of published services nobody ever asked for.
+    double requests_per_2h() const { return pop_->requests_per_2h_[id_]; }
+    /// Ground-truth Table II rank for pinned services (0 = unpinned).
+    int paper_rank() const { return pop_->paper_ranks_[id_]; }
+    /// Goldnet physical-server grouping (Apache uptime fingerprinting);
+    /// -1 for services that are not Goldnet fronts.
+    int physical_server() const { return pop_->physical_servers_[id_]; }
+
+    /// Lets std::optional<ServiceRef> callers keep the svc-> spelling.
+    const ServiceRef* operator->() const { return this; }
+
+   private:
+    friend class Population;
+    ServiceRef(const Population* pop, ServiceId id) : pop_(pop), id_(id) {}
+    const Population* pop_;
+    ServiceId id_;
+  };
+
+  /// Forward range over every service, in id order.
+  class ServiceRange {
+   public:
+    class iterator {
+     public:
+      ServiceRef operator*() const { return ServiceRef(pop_, id_); }
+      iterator& operator++() {
+        ++id_;
+        return *this;
+      }
+      bool operator!=(const iterator& other) const { return id_ != other.id_; }
+
+     private:
+      friend class ServiceRange;
+      iterator(const Population* pop, ServiceId id) : pop_(pop), id_(id) {}
+      const Population* pop_;
+      ServiceId id_;
+    };
+    iterator begin() const { return {pop_, 0}; }
+    iterator end() const { return {pop_, static_cast<ServiceId>(pop_->size())}; }
+
+   private:
+    friend class Population;
+    explicit ServiceRange(const Population* pop) : pop_(pop) {}
+    const Population* pop_;
+  };
+
   /// Generates the full calibrated population.
   static Population generate(const PopulationConfig& config);
 
-  const std::vector<ServiceRecord>& services() const { return services_; }
-  std::vector<ServiceRecord>& services() { return services_; }
+  ServiceRange services() const { return ServiceRange(this); }
 
-  std::size_t size() const { return services_.size(); }
+  ServiceRef service(ServiceId id) const { return ServiceRef(this, id); }
 
-  /// Lookup by onion address (nullptr if unknown).
-  const ServiceRecord* find(const std::string& onion) const;
+  std::size_t size() const { return keys_.size(); }
 
-  /// All services of a class.
-  std::vector<const ServiceRecord*> of_class(ServiceClass klass) const;
+  /// Lookup by onion address (nullopt if unknown).
+  std::optional<ServiceRef> find(std::string_view onion) const;
+
+  /// Ids of all services of a class, ascending.
+  std::vector<ServiceId> of_class(ServiceClass klass) const;
 
   /// Count of services whose descriptor is published at scan time.
   std::size_t published_count() const;
 
+  /// Direct column reads for hot loops that already hold an id.
+  std::string_view onion(ServiceId id) const {
+    return util::global_interner().view(onions_[id]);
+  }
+  std::string_view label(ServiceId id) const {
+    return util::global_interner().view(labels_[id]);
+  }
+  std::string_view paper_alias(ServiceId id) const {
+    return util::global_interner().view(aliases_[id]);
+  }
+
+  /// The one sanctioned post-build mutation (test harnesses zero the
+  /// popularity column to isolate phantom traffic).
+  void set_requests_per_2h(ServiceId id, double value) {
+    requests_per_2h_[id] = value;
+  }
+
   const PopulationConfig& config() const { return config_; }
+
+  /// Deterministic byte accounting for the BENCH JSON "population"
+  /// section (bench_population): column footprints are exact; the
+  /// interner share reports the whole global table.
+  struct MemoryFootprint {
+    std::size_t services = 0;
+    /// Sum of column capacities (keys/profiles counted as slots only;
+    /// their heap payloads are layout-independent and excluded).
+    std::size_t column_bytes = 0;
+    /// by_onion_ lookup index estimate.
+    std::size_t index_bytes = 0;
+    /// util::global_interner().bytes() at sampling time.
+    std::size_t interner_bytes = 0;
+    /// What the same records cost in the legacy array-of-structs layout
+    /// (per-record struct slots; same exclusions as column_bytes).
+    std::size_t legacy_record_bytes = 0;
+  };
+  MemoryFootprint memory_footprint() const;
 
  private:
   explicit Population(PopulationConfig config) : config_(config) {}
 
+  /// Build-time handle used by generate(): setters write the columns
+  /// through the population pointer, so column growth/reallocation
+  /// never dangles (no references into vectors are held anywhere).
+  class MutableRef;
+
   PopulationConfig config_;
-  std::vector<ServiceRecord> services_;
+  // One column per legacy ServiceRecord field, indexed by ServiceId.
+  std::vector<crypto::KeyPair> keys_;
+  std::vector<util::StringInterner::Id> onions_;
+  std::vector<ServiceClass> klasses_;
+  std::vector<util::StringInterner::Id> labels_;
+  std::vector<util::StringInterner::Id> aliases_;
+  std::vector<net::ServiceProfile> profiles_;
+  std::vector<content::Topic> topics_;
+  std::vector<content::Language> languages_;
+  std::vector<std::uint8_t> published_at_scan_;
+  std::vector<double> daily_availability_;
+  std::vector<std::uint8_t> alive_at_crawl_;
+  std::vector<double> requests_per_2h_;
+  std::vector<std::int32_t> paper_ranks_;
+  std::vector<std::int32_t> physical_servers_;
   /// Lookup-only index (never iterated): hash map is safe and fast.
-  std::unordered_map<std::string, std::size_t> by_onion_;
+  /// Keys are interner views, stable for the process lifetime.
+  std::unordered_map<std::string_view, ServiceId> by_onion_;
 };
 
 }  // namespace torsim::population

@@ -1,30 +1,49 @@
 #include "scan/port_scanner.hpp"
 
 #include "scan/schedule.hpp"
+#include "util/interner.hpp"
 #include "util/parallel.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstring>
 
 namespace torsim::scan {
 
-std::vector<std::pair<std::string, std::int64_t>> ScanReport::figure1(
+namespace {
+
+/// Fig. 1 bar label for a port, backed by the global intern table: the
+/// format + annotate work runs once per distinct port per process (the
+/// old code rebuilt a std::to_string temporary on every figure1 call).
+std::string_view port_label(std::uint16_t port) {
+  std::string_view suffix;
+  switch (port) {
+    case net::kPortSkynet: suffix = "-Skynet"; break;
+    case net::kPortHttp: suffix = "-http"; break;
+    case net::kPortHttps: suffix = "-https"; break;
+    case net::kPortSsh: suffix = "-ssh"; break;
+    case net::kPortTorChat: suffix = "-TorChat"; break;
+    case net::kPortIrc: suffix = "-irc"; break;
+    default: break;
+  }
+  char buf[32];
+  int len = std::snprintf(buf, sizeof buf, "%u", port);
+  std::memcpy(buf + len, suffix.data(), suffix.size());
+  len += static_cast<int>(suffix.size());
+  util::StringInterner& interner = util::global_interner();
+  return interner.view(
+      interner.intern(std::string_view(buf, static_cast<std::size_t>(len))));
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string_view, std::int64_t>> ScanReport::figure1(
     std::int64_t threshold) const {
   auto [kept, other] = open_ports.with_other_bucket(threshold);
-  std::vector<std::pair<std::string, std::int64_t>> rows;
+  std::vector<std::pair<std::string_view, std::int64_t>> rows;
   rows.reserve(kept.size() + 1);
-  for (const auto& [port, count] : kept) {
-    std::string label = std::to_string(port);
-    switch (port) {
-      case net::kPortSkynet: label += "-Skynet"; break;
-      case net::kPortHttp: label += "-http"; break;
-      case net::kPortHttps: label += "-https"; break;
-      case net::kPortSsh: label += "-ssh"; break;
-      case net::kPortTorChat: label += "-TorChat"; break;
-      case net::kPortIrc: label += "-irc"; break;
-      default: break;
-    }
-    rows.emplace_back(std::move(label), count);
-  }
+  for (const auto& [port, count] : kept)
+    rows.emplace_back(port_label(port), count);
   if (other > 0) rows.emplace_back("other", other);
   return rows;
 }
@@ -58,23 +77,24 @@ ScanReport PortScanner::scan(const population::Population& pop) const {
   injector.set_metrics(config_.metrics);
   const int max_attempts =
       injector.enabled() ? injector.retry().max_attempts : 1;
-  const auto& services = pop.services();
 
   const auto sweep_one = [&](std::size_t index) {
     ServiceSweep out;
-    const population::ServiceRecord& svc = services[index];
-    if (!svc.published_at_scan) return out;
+    const population::Population::ServiceRef svc =
+        pop.service(static_cast<population::ServiceId>(index));
+    if (!svc.published_at_scan()) return out;
     out.scanned = true;
     util::Rng rng = base.child(index);
-    const std::uint64_t onion_key = fault::FaultInjector::key_of(svc.onion);
+    const std::uint64_t onion_key = fault::FaultInjector::key_of(svc.onion());
 
     // Which scan days is this host up on? Drawn once per host so a host
     // that died mid-window misses every range scanned after its death.
     std::vector<bool> up(static_cast<std::size_t>(config_.scan_days));
     for (int d = 0; d < config_.scan_days; ++d)
-      up[static_cast<std::size_t>(d)] = rng.bernoulli(svc.daily_availability);
+      up[static_cast<std::size_t>(d)] =
+          rng.bernoulli(svc.daily_availability());
 
-    for (std::uint16_t port : svc.profile.scannable_ports()) {
+    for (std::uint16_t port : svc.profile().scannable_ports()) {
       ++out.true_open;
       // Port ranges are partitioned across days: every host's port p is
       // probed on the same day, as in a real range sweep.
@@ -132,18 +152,18 @@ ScanReport PortScanner::scan(const population::Population& pop) const {
       }
       if (!probe_alive) continue;
 
-      const net::ConnectResult result = svc.profile.connect(port);
+      const net::ConnectResult result = svc.profile().connect(port);
       if (result != net::ConnectResult::kOpen &&
           result != net::ConnectResult::kAbnormalClose) {
         out.closed_ports.push_back(port);
         continue;
       }
       PortObservation obs;
-      obs.onion = svc.onion;
+      obs.onion = std::string(svc.onion());
       obs.port = port;
       obs.result = result;
       obs.scan_day = day;
-      if (const net::PortService* ps = svc.profile.service_at(port))
+      if (const net::PortService* ps = svc.profile().service_at(port))
         obs.protocol = ps->protocol;
       else
         obs.protocol = net::Protocol::kSkynetControl;  // abnormal close
@@ -155,7 +175,7 @@ ScanReport PortScanner::scan(const population::Population& pop) const {
   };
 
   std::vector<ServiceSweep> sweeps =
-      util::parallel_map(services.size(), config_.threads, sweep_one);
+      util::parallel_map(pop.size(), config_.threads, sweep_one);
 
   // Ordered reduction: commit per-service results in population order.
   ScanReport report;

@@ -5,13 +5,14 @@
 
 namespace torsim::stats {
 
-std::string bar_line(const std::string& label, std::int64_t count,
+std::string bar_line(std::string_view label, std::int64_t count,
                      std::int64_t total, int width) {
   const double frac =
       total > 0 ? static_cast<double>(count) / static_cast<double>(total) : 0.0;
   const int bar = std::clamp(static_cast<int>(frac * width + 0.5), 0, width);
   char head[64];
-  std::snprintf(head, sizeof head, "%-18s %8lld %5.1f%% ", label.c_str(),
+  std::snprintf(head, sizeof head, "%-18.*s %8lld %5.1f%% ",
+                static_cast<int>(label.size()), label.data(),
                 static_cast<long long>(count), frac * 100.0);
   std::string line(head);
   line.append(static_cast<std::size_t>(bar), '#');

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace torsim::stats {
@@ -65,7 +66,7 @@ class Histogram {
 };
 
 /// Renders a horizontal ASCII bar chart line: label, count, percentage bar.
-std::string bar_line(const std::string& label, std::int64_t count,
+std::string bar_line(std::string_view label, std::int64_t count,
                      std::int64_t total, int width = 40);
 
 }  // namespace torsim::stats

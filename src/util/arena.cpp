@@ -1,0 +1,19 @@
+#include "util/arena.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace torsim::util {
+
+ByteArena::Offset ByteArena::append(const void* data, std::size_t size) {
+  if (bytes_.size() + size > 0xffffffffull)
+    throw std::length_error("ByteArena: offset space exhausted");
+  const Offset offset = static_cast<Offset>(bytes_.size());
+  if (size > 0) {
+    bytes_.resize(bytes_.size() + size);
+    std::memcpy(bytes_.data() + offset, data, size);
+  }
+  return offset;
+}
+
+}  // namespace torsim::util

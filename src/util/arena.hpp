@@ -1,0 +1,50 @@
+// Offset-addressed bump arena for descriptor payloads (docs/data-layout.md).
+//
+// hsdir::DescriptorStore keeps its variable-length payloads (public-key
+// bytes, introduction-point fingerprints) in one of these instead of
+// per-descriptor heap vectors: allocation is a pointer bump, and a
+// whole consensus generation's worth of payloads is reclaimed in one
+// reset. Allocations are addressed by byte offset, never by pointer, so
+// the backing buffer may grow (or be compacted) without invalidating
+// stored handles.
+//
+// Not thread-safe: each store owns its arena and mutates it only from
+// the serial publish/expire sections.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace torsim::util {
+
+class ByteArena {
+ public:
+  /// Byte offset of an allocation; stable across arena growth.
+  using Offset = std::uint32_t;
+
+  /// Copies `size` bytes into the arena and returns their offset.
+  /// A zero-byte allocation returns the current end offset.
+  Offset append(const void* data, std::size_t size);
+
+  /// Pointer to the bytes at `offset`. Valid until the next append()
+  /// (the buffer may grow) — callers copy out, they never hold this.
+  const std::uint8_t* at(Offset offset) const { return bytes_.data() + offset; }
+
+  /// Drops every allocation (capacity is kept for reuse).
+  void clear() { bytes_.clear(); }
+
+  /// Pre-sizes the backing buffer (compaction knows the packed size).
+  void reserve(std::size_t bytes) { bytes_.reserve(bytes); }
+
+  /// Releases the backing buffer entirely (epoch compaction swaps in a
+  /// freshly packed arena instead; see hsdir::DescriptorStore).
+  void swap(ByteArena& other) { bytes_.swap(other.bytes_); }
+
+  std::size_t bytes_used() const { return bytes_.size(); }
+  std::size_t bytes_reserved() const { return bytes_.capacity(); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace torsim::util

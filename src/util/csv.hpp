@@ -6,6 +6,7 @@
 #include <initializer_list>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace torsim::util {
@@ -33,6 +34,7 @@ class CsvWriter {
 
  private:
   static std::string to_field(const std::string& s) { return s; }
+  static std::string to_field(std::string_view s) { return std::string(s); }
   static std::string to_field(const char* s) { return s; }
   template <typename T>
   static std::string to_field(const T& value) {

@@ -42,9 +42,10 @@ const population::Population& chaos_population() {
 
 std::int64_t true_open_ports(const population::Population& pop) {
   std::int64_t total = 0;
-  for (const auto& svc : pop.services())
-    if (svc.published_at_scan)
-      total += static_cast<std::int64_t>(svc.profile.scannable_ports().size());
+  for (const auto svc : pop.services())
+    if (svc.published_at_scan())
+      total +=
+          static_cast<std::int64_t>(svc.profile().scannable_ports().size());
   return total;
 }
 

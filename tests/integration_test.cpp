@@ -34,11 +34,11 @@ TEST(IntegrationTest, HarvestThenMeasurePipeline) {
 
   // Only *published* services run a live hidden-service host.
   std::set<std::string> published;
-  for (const auto& svc : pop.services()) {
-    if (!svc.published_at_scan) continue;
+  for (const auto svc : pop.services()) {
+    if (!svc.published_at_scan()) continue;
     world.add_service(crypto::KeyPair::from_public_bytes(
-        svc.key.public_bytes()));
-    published.insert(svc.onion);
+        svc.key().public_bytes()));
+    published.emplace(svc.onion());
   }
 
   // --- 2. Shadow harvest ----------------------------------------------

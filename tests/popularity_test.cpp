@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <optional>
 #include <set>
 
 #include "popularity/request_generator.hpp"
@@ -76,7 +77,8 @@ TEST(RequestGeneratorTest, PhantomVolumeDegradesToZero) {
   // either — volume AND fabricated IDs degrade together, otherwise a
   // lone zero-request phantom id would skew the Table II denominators.
   population::Population pop = test_population();
-  for (auto& svc : pop.services()) svc.requests_per_2h = 0.0;
+  for (population::ServiceId id = 0; id < pop.size(); ++id)
+    pop.set_requests_per_2h(id, 0.0);
   const RequestStream stream = RequestGenerator().generate(pop);
   EXPECT_EQ(stream.real_requests, 0);
   EXPECT_EQ(stream.phantom_requests, 0);
@@ -99,10 +101,10 @@ TEST(RequestGeneratorTest, SkewedClockIdsComeFromAdjacentDayPeriods) {
 
   const util::UnixTime t0 = util::make_utc(2013, 2, 4, 10, 0, 0);
   std::set<crypto::DescriptorId> candidates;
-  for (const auto& svc : test_population().services()) {
-    if (svc.requests_per_2h <= 0.0) continue;
+  for (const auto svc : test_population().services()) {
+    if (svc.requests_per_2h() <= 0.0) continue;
     const auto pid =
-        crypto::permanent_id_from_fingerprint(svc.key.fingerprint());
+        crypto::permanent_id_from_fingerprint(svc.key().fingerprint());
     for (int day = -1; day <= 1; ++day) {
       const util::UnixTime base = t0 + day * util::kSecondsPerDay;
       // Periods can roll over mid-window (id-dependent offset), so
@@ -128,16 +130,16 @@ TEST(RequestGeneratorTest, HeadServiceGetsHeadVolume) {
   // The rank-1 Goldnet service should see roughly its configured
   // 13,714 requests per 2h.
   const auto& pop = test_population();
-  const population::ServiceRecord* goldnet1 = nullptr;
-  for (const auto& svc : pop.services())
-    if (svc.paper_rank == 1) goldnet1 = &svc;
-  ASSERT_NE(goldnet1, nullptr);
+  std::optional<population::Population::ServiceRef> goldnet1;
+  for (const auto svc : pop.services())
+    if (svc.paper_rank() == 1) goldnet1 = svc;
+  ASSERT_TRUE(goldnet1.has_value());
 
   std::map<crypto::DescriptorId, std::int64_t> counts;
   for (const auto& req : test_stream().requests) ++counts[req.descriptor_id];
 
   const auto pid =
-      crypto::permanent_id_from_fingerprint(goldnet1->key.fingerprint());
+      crypto::permanent_id_from_fingerprint(goldnet1->key().fingerprint());
   const util::UnixTime t0 = util::make_utc(2013, 2, 4, 10, 0, 0);
   std::int64_t total = 0;
   for (int day = -1; day <= 1; ++day) {
@@ -262,7 +264,7 @@ TEST(ResolverTest, ResolvedOnionsExistInPopulation) {
   const auto& report = resolved().report;
   const auto& pop = test_population();
   for (const auto& row : report.ranking)
-    EXPECT_NE(pop.find(row.onion), nullptr) << row.onion;
+    EXPECT_TRUE(pop.find(row.onion).has_value()) << row.onion;
 }
 
 TEST(ResolverTest, EmptyStreamProducesEmptyReport) {
@@ -319,10 +321,10 @@ TEST(BotnetInferenceTest, OrdinaryPopularServicesNotFlagged) {
   const auto report =
       infer_botnet_infrastructure(resolved().report, test_population());
   for (const auto& fp : report.cnc_candidates) {
-    const auto* svc = test_population().find(fp.onion);
-    ASSERT_NE(svc, nullptr);
-    EXPECT_EQ(svc->klass, population::ServiceClass::kGoldnetCnC)
-        << fp.onion << " labeled " << svc->label;
+    const auto svc = test_population().find(fp.onion);
+    ASSERT_TRUE(svc.has_value());
+    EXPECT_EQ(svc->klass(), population::ServiceClass::kGoldnetCnC)
+        << fp.onion << " labeled " << svc->label();
   }
 }
 
@@ -354,9 +356,9 @@ TEST(TimeSeriesTest, GoldnetRatesAreSteady) {
   const auto& head = report.series.front();
   EXPECT_GT(head.mean_rate, 1000.0);
   EXPECT_LT(head.cv, 0.15);
-  const auto* svc = test_population().find(head.onion);
-  ASSERT_NE(svc, nullptr);
-  EXPECT_EQ(svc->paper_rank, 1);
+  const auto svc = test_population().find(head.onion);
+  ASSERT_TRUE(svc.has_value());
+  EXPECT_EQ(svc->paper_rank(), 1);
 }
 
 TEST(TimeSeriesTest, WindowCountsSumToResolvedVolume) {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
 
 #include "content/corpus.hpp"
 #include "content/html.hpp"
@@ -36,18 +37,18 @@ TEST(PopulationTest, PublishedShareMatchesPaper) {
 
 TEST(PopulationTest, OnionAddressesUnique) {
   const auto& pop = test_population();
-  std::set<std::string> onions;
-  for (const auto& svc : pop.services()) onions.insert(svc.onion);
+  std::set<std::string, std::less<>> onions;
+  for (const auto svc : pop.services()) onions.emplace(svc.onion());
   EXPECT_EQ(onions.size(), pop.size());
 }
 
 TEST(PopulationTest, FindByOnion) {
   const auto& pop = test_population();
-  const auto& first = pop.services().front();
-  const ServiceRecord* found = pop.find(first.onion);
-  ASSERT_NE(found, nullptr);
-  EXPECT_EQ(found->index, first.index);
-  EXPECT_EQ(pop.find("nonexistentonion"), nullptr);
+  const auto first = pop.service(0);
+  const auto found = pop.find(first.onion());
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->index(), first.index());
+  EXPECT_FALSE(pop.find("nonexistentonion").has_value());
 }
 
 TEST(PopulationTest, SkynetBotsDominateAndAreDark) {
@@ -55,10 +56,11 @@ TEST(PopulationTest, SkynetBotsDominateAndAreDark) {
   const auto bots = pop.of_class(ServiceClass::kSkynetBot);
   // 13,854/0.87 scaled by 0.10.
   EXPECT_NEAR(static_cast<double>(bots.size()), 13854 / 0.87 * 0.10, 20.0);
-  for (const auto* bot : bots) {
-    EXPECT_EQ(bot->profile.connect(net::kPortSkynet),
+  for (const ServiceId id : bots) {
+    const auto bot = pop.service(id);
+    EXPECT_EQ(bot.profile().connect(net::kPortSkynet),
               net::ConnectResult::kAbnormalClose);
-    EXPECT_TRUE(bot->profile.open_ports().empty());
+    EXPECT_TRUE(bot.profile().open_ports().empty());
   }
 }
 
@@ -79,13 +81,13 @@ TEST(PopulationTest, PinnedTable2ServicesExist) {
   const auto& pop = test_population();
   for (const PopularService& row : table2_rows()) {
     bool found = false;
-    for (const auto& svc : pop.services()) {
-      if (svc.paper_alias == row.paper_onion) {
+    for (const auto svc : pop.services()) {
+      if (svc.paper_alias() == row.paper_onion) {
         found = true;
-        EXPECT_EQ(svc.paper_rank, row.paper_rank);
-        EXPECT_DOUBLE_EQ(svc.requests_per_2h,
+        EXPECT_EQ(svc.paper_rank(), row.paper_rank);
+        EXPECT_DOUBLE_EQ(svc.requests_per_2h(),
                          static_cast<double>(row.requests_per_2h));
-        EXPECT_TRUE(svc.published_at_scan);
+        EXPECT_TRUE(svc.published_at_scan());
       }
     }
     EXPECT_TRUE(found) << row.paper_onion;
@@ -97,8 +99,9 @@ TEST(PopulationTest, GoldnetServicesShapedLikeThePaper) {
   const auto goldnet = pop.of_class(ServiceClass::kGoldnetCnC);
   EXPECT_EQ(goldnet.size(), 9u);  // 6 "Goldnet" + 3 "Unknown" rows
   std::set<std::int64_t> uptimes;
-  for (const auto* svc : goldnet) {
-    const auto* web = svc->profile.service_at(net::kPortHttp);
+  for (const ServiceId id : goldnet) {
+    const auto svc = pop.service(id);
+    const auto* web = svc.profile().service_at(net::kPortHttp);
     ASSERT_NE(web, nullptr);
     ASSERT_TRUE(web->http.has_value());
     EXPECT_EQ(web->http->status, 503);
@@ -106,7 +109,7 @@ TEST(PopulationTest, GoldnetServicesShapedLikeThePaper) {
     // ~330 KB/s traffic, ~10 req/s as the paper measured.
     EXPECT_NEAR(web->http->traffic_bytes_per_sec, 330.0 * 1024, 6000);
     EXPECT_NEAR(web->http->requests_per_sec, 10.0, 1.0);
-    EXPECT_GE(svc->physical_server, 0);
+    EXPECT_GE(svc.physical_server(), 0);
     uptimes.insert(web->http->apache_uptime_seconds);
   }
   // Exactly two distinct Apache uptimes -> two physical servers.
@@ -118,13 +121,14 @@ TEST(PopulationTest, TorHostSitesCarrySharedCertificate) {
   const auto sites = pop.of_class(ServiceClass::kTorHostSite);
   EXPECT_GT(sites.size(), 50u);
   int defaults = 0;
-  for (const auto* svc : sites) {
-    const auto* tls = svc->profile.service_at(net::kPortHttps);
+  for (const ServiceId id : sites) {
+    const auto svc = pop.service(id);
+    const auto* tls = svc.profile().service_at(net::kPortHttps);
     ASSERT_NE(tls, nullptr);
     ASSERT_TRUE(tls->certificate.has_value());
     EXPECT_EQ(tls->certificate->common_name, content::kTorHostCertCn);
     EXPECT_FALSE(tls->certificate->matches_requested_host);
-    const auto* web = svc->profile.service_at(net::kPortHttp);
+    const auto* web = svc.profile().service_at(net::kPortHttp);
     ASSERT_NE(web, nullptr);
     if (content::strip_html(web->http->body) ==
         content::torhost_default_page())
@@ -137,8 +141,8 @@ TEST(PopulationTest, TorHostSitesCarrySharedCertificate) {
 TEST(PopulationTest, HttpsSitesIncludeDeanonymisingCerts) {
   const auto& pop = test_population();
   int public_dns = 0, matching = 0;
-  for (const auto* svc : pop.of_class(ServiceClass::kHttpsSite)) {
-    const auto* tls = svc->profile.service_at(net::kPortHttps);
+  for (const ServiceId id : pop.of_class(ServiceClass::kHttpsSite)) {
+    const auto* tls = pop.service(id).profile().service_at(net::kPortHttps);
     ASSERT_NE(tls, nullptr);
     ASSERT_TRUE(tls->certificate.has_value());
     if (tls->certificate->common_name_is_public_dns()) ++public_dns;
@@ -151,9 +155,9 @@ TEST(PopulationTest, HttpsSitesIncludeDeanonymisingCerts) {
 TEST(PopulationTest, SilkroadPhishingPrefixGround) {
   const auto& pop = test_population();
   int prefixed = 0;
-  for (const auto& svc : pop.services())
-    if (svc.label == "SilkroadPhishing") {
-      EXPECT_TRUE(util::starts_with(svc.onion, "sil")) << svc.onion;
+  for (const auto svc : pop.services())
+    if (svc.label() == "SilkroadPhishing") {
+      EXPECT_TRUE(util::starts_with(svc.onion(), "sil")) << svc.onion();
       ++prefixed;
     }
   EXPECT_GE(prefixed, 1);
@@ -161,9 +165,9 @@ TEST(PopulationTest, SilkroadPhishingPrefixGround) {
 
 TEST(PopulationTest, UnpublishedServicesAreInvisible) {
   const auto& pop = test_population();
-  for (const auto* svc : pop.of_class(ServiceClass::kUnpublished)) {
-    EXPECT_FALSE(svc->published_at_scan);
-    EXPECT_FALSE(svc->alive_at_crawl);
+  for (const ServiceId id : pop.of_class(ServiceClass::kUnpublished)) {
+    EXPECT_FALSE(pop.service(id).published_at_scan());
+    EXPECT_FALSE(pop.service(id).alive_at_crawl());
   }
   const double share =
       static_cast<double>(pop.of_class(ServiceClass::kUnpublished).size()) /
@@ -174,8 +178,8 @@ TEST(PopulationTest, UnpublishedServicesAreInvisible) {
 TEST(PopulationTest, RequestedShareOfPublishedNearTenPercent) {
   const auto& pop = test_population();
   std::size_t requested = 0;
-  for (const auto& svc : pop.services())
-    if (svc.published_at_scan && svc.requests_per_2h > 0) ++requested;
+  for (const auto svc : pop.services())
+    if (svc.published_at_scan() && svc.requests_per_2h() > 0) ++requested;
   const double share = static_cast<double>(requested) /
                        static_cast<double>(pop.published_count());
   // Paper: ~10% of published descriptors were ever requested (3,140 of
@@ -190,8 +194,8 @@ TEST(PopulationTest, DeterministicForSeed) {
   const auto a = Population::generate(config);
   const auto b = Population::generate(config);
   ASSERT_EQ(a.size(), b.size());
-  for (std::size_t i = 0; i < a.size(); ++i)
-    EXPECT_EQ(a.services()[i].onion, b.services()[i].onion);
+  for (ServiceId i = 0; i < a.size(); ++i)
+    EXPECT_EQ(a.onion(i), b.onion(i));
 }
 
 TEST(PopulationTest, TinyScaleStillHasPinnedHead) {

@@ -206,9 +206,9 @@ TEST(CrawlerTest, Port80DominatesTable1) {
 TEST(CrawlerTest, DeadServicesNotCrawled) {
   const auto& pop = test_population();
   for (const auto& page : test_crawl().pages) {
-    const auto* svc = pop.find(page.onion);
-    ASSERT_NE(svc, nullptr);
-    EXPECT_TRUE(svc->alive_at_crawl);
+    const auto svc = pop.find(page.onion);
+    ASSERT_TRUE(svc.has_value());
+    EXPECT_TRUE(svc->alive_at_crawl());
   }
 }
 

@@ -245,8 +245,8 @@ TEST(SerialEquivalenceTest, Tab2DictionaryEntriesIdentical) {
   // Same onions, duplicated to exercise the last-writer-wins insert
   // order the serial loop defines.
   std::vector<std::string> onions;
-  for (const auto& service : test_population().services()) {
-    onions.push_back(service.onion);
+  for (const auto service : test_population().services()) {
+    onions.emplace_back(service.onion());
     if (onions.size() >= 200) break;
   }
   onions.insert(onions.end(), onions.begin(), onions.begin() + 50);

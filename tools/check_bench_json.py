@@ -224,6 +224,55 @@ class Checker:
             self.require(quantiles[0] <= quantiles[1] <= quantiles[2],
                          "serve.latency_us: p50 <= p90 <= p99 must hold")
 
+    def check_population(self, population, peak_rss_bytes):
+        # Optional section: only BENCH_population.json carries it (the
+        # SoA-vs-legacy data-layout telemetry from bench_population, see
+        # docs/data-layout.md), but when present anywhere it must be
+        # well-formed. Unlike the other perf sections this one carries a
+        # gate: the document's own peak_rss_bytes must stay under the
+        # peak_rss_budget_bytes ceiling the bench computed for its
+        # scale, so a layout regression fails CI here.
+        if population is None:
+            return
+        if not self.require(isinstance(population, dict),
+                            "population must be an object"):
+            return
+        for key in ("services", "column_bytes", "index_bytes",
+                    "interner_bytes", "interner_strings",
+                    "legacy_record_bytes", "soa_rss_delta_bytes",
+                    "legacy_rss_delta_bytes", "rss_reduction_bytes",
+                    "arena_bytes", "arena_live_bytes", "arena_compactions"):
+            value = population.get(key)
+            if not self.require(self.is_int(value),
+                                f"population.{key} must be an integer"):
+                continue
+            # rss_reduction_bytes is a difference of measured deltas and
+            # the only field allowed to go negative (that IS the
+            # regression signal, reported rather than rejected).
+            if key != "rss_reduction_bytes":
+                self.require(value >= 0,
+                             f"population.{key} must be non-negative")
+        legacy = population.get("legacy_rss_delta_bytes")
+        soa = population.get("soa_rss_delta_bytes")
+        reduction = population.get("rss_reduction_bytes")
+        if all(self.is_int(v) for v in (legacy, soa, reduction)):
+            self.require(reduction == legacy - soa,
+                         "population.rss_reduction_bytes must equal "
+                         "legacy_rss_delta_bytes - soa_rss_delta_bytes")
+        live = population.get("arena_live_bytes")
+        held = population.get("arena_bytes")
+        if self.is_int(live) and self.is_int(held):
+            self.require(live <= held,
+                         "population.arena_live_bytes must not exceed "
+                         "arena_bytes")
+        budget = population.get("peak_rss_budget_bytes")
+        if self.require(self.is_int(budget) and budget > 0,
+                        "population.peak_rss_budget_bytes must be a "
+                        "positive integer") and self.is_int(peak_rss_bytes):
+            self.require(peak_rss_bytes <= budget,
+                         f"peak_rss_bytes {peak_rss_bytes} exceeds "
+                         f"population.peak_rss_budget_bytes {budget}")
+
     def check_scenarios(self, scenarios):
         # Optional section: only BENCH_scenarios.json carries it, but
         # when present anywhere it must be well-formed.
@@ -320,6 +369,7 @@ class Checker:
         self.check_cache(doc.get("cache"))
         self.check_index(doc.get("index"))
         self.check_serve(doc.get("serve"))
+        self.check_population(doc.get("population"), rss)
         self.check_scenarios(doc.get("scenarios"))
         self.check_metrics(doc)
 

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Peak-RSS regression gate for the bench-smoke CI job.
+
+Compares the peak_rss_bytes of a freshly produced BENCH_*.json document
+against a committed baseline (bench/baselines/*.json) and fails when
+the measured peak exceeds the baseline by more than the tolerance
+(default +10%). The baseline is intentionally set above the observed
+peak on a quiet machine, so the gate catches data-layout regressions
+(docs/data-layout.md) without flaking on allocator or kernel noise;
+re-baseline deliberately when the population legitimately grows.
+
+Usage:  check_rss_budget.py --baseline BASELINE.json \\
+                            --current BENCH_population.json \\
+                            [--tolerance 0.10]
+
+Exits non-zero and prints the violation if the current document's peak
+RSS regresses past baseline * (1 + tolerance), or if the documents
+disagree on name/scale (comparing different fixtures is never a pass).
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, encoding="utf-8") as f:
+        return json.load(f)
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="committed baseline JSON (bench/baselines/)")
+    parser.add_argument("--current", required=True,
+                        help="freshly produced BENCH_*.json document")
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed fractional growth over the baseline "
+                             "(default 0.10 = +10%%)")
+    args = parser.parse_args(argv[1:])
+
+    try:
+        baseline = load(args.baseline)
+        current = load(args.current)
+    except (OSError, json.JSONDecodeError) as err:
+        print(f"FAIL unreadable or invalid JSON: {err}", file=sys.stderr)
+        return 2
+
+    failed = False
+    for key in ("name", "scale"):
+        if baseline.get(key) != current.get(key):
+            print(f"FAIL {key} mismatch: baseline {baseline.get(key)!r} "
+                  f"vs current {current.get(key)!r}", file=sys.stderr)
+            failed = True
+
+    peak = current.get("peak_rss_bytes")
+    base = baseline.get("peak_rss_bytes")
+    for label, value in (("baseline", base), ("current", peak)):
+        if not isinstance(value, int) or isinstance(value, bool) or value <= 0:
+            print(f"FAIL {label} peak_rss_bytes must be a positive integer, "
+                  f"got {value!r}", file=sys.stderr)
+            failed = True
+    if failed:
+        return 1
+
+    limit = int(base * (1.0 + args.tolerance))
+    if peak > limit:
+        print(f"FAIL peak_rss_bytes {peak} exceeds baseline {base} "
+              f"+{args.tolerance:.0%} (limit {limit}); if the growth is "
+              f"intentional, re-baseline {args.baseline}", file=sys.stderr)
+        return 1
+
+    print(f"OK   peak_rss_bytes {peak} within baseline {base} "
+          f"+{args.tolerance:.0%} (limit {limit})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
